@@ -1,0 +1,101 @@
+//! Microbenchmarks of the from-scratch cryptography.
+//!
+//! These numbers calibrate `astro_sim::CpuModel` (sign/verify/MAC/hash
+//! costs) and back the DESIGN.md substitution argument (Schnorr/secp256k1
+//! here vs ECDSA-P256 in the paper: same order of per-op cost). The wNAF
+//! vs naive scalar-multiplication comparison is the ablation called out in
+//! DESIGN.md §6.
+
+use astro_crypto::hmac::MacKey;
+use astro_crypto::schnorr::batch_verify;
+use astro_crypto::point::{mul_generator, Affine};
+use astro_crypto::scalar::Scalar;
+use astro_crypto::sha256::sha256;
+use astro_crypto::Keypair;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 8192] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let key = MacKey::from_bytes([7u8; 32]);
+    let msg = vec![0u8; 256];
+    c.bench_function("hmac/tag_256B", |b| {
+        b.iter(|| key.tag(black_box(&msg)));
+    });
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = Keypair::from_seed(b"bench");
+    let msg = b"a typical payment batch digest ..".to_vec();
+    c.bench_function("schnorr/sign", |b| {
+        b.iter(|| kp.sign(black_box(&msg)));
+    });
+    let sig = kp.sign(&msg);
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| kp.public().verify(black_box(&msg), black_box(&sig)));
+    });
+}
+
+fn bench_batch_verify(c: &mut Criterion) {
+    // Calibrates CpuModel::verify_batch_marginal_ns: the per-signature cost
+    // inside a shared-doubling batch verification vs one-by-one.
+    let mut g = c.benchmark_group("schnorr_batch_verify");
+    for k in [4usize, 16, 64] {
+        let items: Vec<(Vec<u8>, astro_crypto::PublicKey, astro_crypto::Signature)> = (0..k)
+            .map(|i| {
+                let kp = Keypair::from_seed(&(i as u64).to_be_bytes());
+                let msg = format!("payment batch {i}").into_bytes();
+                let sig = kp.sign(&msg);
+                (msg, *kp.public(), sig)
+            })
+            .collect();
+        let borrowed: Vec<(&[u8], astro_crypto::PublicKey, astro_crypto::Signature)> =
+            items.iter().map(|(m, p, s)| (m.as_slice(), *p, *s)).collect();
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_function(format!("batched_{k}"), |b| {
+            b.iter(|| batch_verify(black_box(&borrowed)));
+        });
+        g.bench_function(format!("one_by_one_{k}"), |b| {
+            b.iter(|| borrowed.iter().all(|(m, p, s)| p.verify(m, s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalar_mul");
+    let k = Scalar::from_u64(0xdeadbeefcafebabe);
+    let gpt = Affine::generator();
+    g.bench_function("naive_double_and_add", |b| {
+        b.iter(|| gpt.mul_naive(black_box(&k)));
+    });
+    g.bench_function("windowed_4bit", |b| {
+        b.iter_batched(
+            || gpt.mul(&Scalar::from_u64(31337)), // arbitrary non-G base
+            |p| p.mul(black_box(&k)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("fixed_base_comb", |b| {
+        b.iter(|| mul_generator(black_box(&k)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hash, bench_mac, bench_schnorr, bench_batch_verify, bench_scalar_mul
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Microbenchmarks of the protocol state machines in isolation (no
+//! network/CPU model): raw transitions per second on real hardware, and an
+//! end-to-end settle through the in-memory cluster.
+
+use astro_brb::bracha::BrachaBrb;
+use astro_brb::signed::SignedBrb;
+use astro_brb::testkit::Cluster;
+use astro_brb::{BrbConfig, DeliveryOrder, InstanceId};
+use astro_core::astro1::{Astro1Config, AstroOneReplica};
+use astro_core::ledger::Ledger;
+use astro_core::testkit::PaymentCluster;
+use astro_types::{Amount, Group, MacAuthenticator, Payment, ReplicaId, ShardLayout};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_ledger_settle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ledger");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("settle", |b| {
+        b.iter_batched(
+            || Ledger::new(Amount(u64::MAX / 2)),
+            |mut ledger| {
+                for seq in 0..100u64 {
+                    let p = Payment::new(1u64, seq, 2u64, 1u64);
+                    black_box(ledger.settle(&p, true));
+                }
+                ledger
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_bracha_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("brb_round_n4");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("bracha", |b| {
+        b.iter_batched(
+            || {
+                let cfg = Group::of_size(4).unwrap();
+                Cluster::new((0..4).map(|i| {
+                    BrachaBrb::<u64>::new(ReplicaId(i as u32), cfg.clone(), BrbConfig::default())
+                }))
+            },
+            |mut cluster| {
+                let step = cluster.node_mut(0).broadcast(InstanceId { source: 0, tag: 0 }, 42);
+                cluster.submit(ReplicaId(0), step);
+                cluster.run_to_quiescence();
+                cluster
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("signed_mac", |b| {
+        b.iter_batched(
+            || {
+                let cfg = Group::of_size(4).unwrap();
+                Cluster::new((0..4).map(|i| {
+                    SignedBrb::<u64, _>::new(
+                        MacAuthenticator::new(ReplicaId(i as u32), b"bench".to_vec()),
+                        cfg.clone(),
+                        BrbConfig { order: DeliveryOrder::Unordered, ..BrbConfig::default() },
+                    )
+                }))
+            },
+            |mut cluster| {
+                let step = cluster.node_mut(0).broadcast(InstanceId { source: 0, tag: 0 }, 42);
+                cluster.submit(ReplicaId(0), step);
+                cluster.run_to_quiescence();
+                cluster
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_payment_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("astro1_end_to_end_n4");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("batch64", |b| {
+        b.iter_batched(
+            || {
+                let layout = ShardLayout::single(4).unwrap();
+                PaymentCluster::new((0..4).map(|i| {
+                    AstroOneReplica::new(
+                        ReplicaId(i as u32),
+                        layout.clone(),
+                        Astro1Config { batch_size: 64, initial_balance: Amount(u64::MAX / 2) },
+                    )
+                }))
+            },
+            |mut cluster| {
+                let layout = ShardLayout::single(4).unwrap();
+                for seq in 0..64u64 {
+                    let p = Payment::new(1u64, seq, 2u64, 1u64);
+                    let rep = layout.representative_of(p.spender);
+                    let step = cluster.node_mut(rep.0 as usize).submit(p).unwrap();
+                    cluster.submit_step(rep, step);
+                }
+                cluster.run_to_quiescence();
+                assert_eq!(cluster.settled(0).len(), 64);
+                cluster
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ledger_settle, bench_bracha_round, bench_payment_end_to_end
+}
+criterion_main!(benches);

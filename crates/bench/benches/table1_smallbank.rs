@@ -1,0 +1,108 @@
+//! **Table I**: the Smallbank sharded benchmark.
+//!
+//! Paper result (52 replicas per shard, 12.5 % cross-shard transactions):
+//!
+//! ```text
+//! #shards tc(ms)   AstroII per-shard\total Kpps   lat avg\95p ms   BFT-S per-shard\total
+//!   2       0            7.9 \ 15.7                 204 \ 279        1.0 \ 2.0
+//!   2      20            5.1 \ 10.2                 479 \ 705        0.3 \ 0.5
+//!   3       0            5.1 \ 15.4                 213 \ 375        1.0 \ 3.1
+//!   3      20            4.5 \ 13.6                 368 \ 656        0.3 \ 0.8
+//!   4       0            5.0 \ 20.1                 213 \ 259        1.0 \ 4.1
+//!   4      20            4.5 \ 18.1                 354 \ 620        0.3 \ 1.1
+//! ```
+//!
+//! Expected reproduction: near-linear total-throughput scaling with shard
+//! count for Astro II, mild per-shard decrease as the cross-shard CREDIT
+//! share rises, latency roughly doubling under the +20 ms `tc` delay, and
+//! the consensus upper-bound far below Astro II. BFT-SMaRt numbers are —
+//! as in the paper — single-shard measurements multiplied by the shard
+//! count (an upper bound that ignores 2PC cross-shard coordination).
+
+use astro_bench::{default_sim_config, full_scale};
+use astro_consensus::pbft::PbftConfig;
+use astro_core::astro2::Astro2Config;
+use astro_sim::harness::{run, Fault, SimConfig};
+use astro_sim::systems::{Astro2System, PbftSystem};
+use astro_sim::workload::SmallbankWorkload;
+use astro_types::{Amount, ReplicaId};
+
+const GENESIS: Amount = Amount(u64::MAX / 2);
+const PER_SHARD: usize = 52;
+
+fn main() {
+    let base = default_sim_config();
+    let owners_per_shard = if full_scale() { 4096 } else { 1024 };
+    println!("# Table I: Smallbank sharded benchmark ({PER_SHARD} replicas per shard)");
+    println!(
+        "{:>7} {:>6} {:>14} {:>12} {:>9} {:>9} {:>14} {:>12}",
+        "#shards", "tc_ms", "astro2_shard", "astro2_total", "avg_ms", "p95_ms", "bfts_shard", "bfts_total"
+    );
+
+    // Consensus upper bound: single-shard Smallbank run, reused per row
+    // (the paper's BFT-SMaRt numbers are also single-shard upper bounds).
+    let mut bfts: Vec<(f64, f64, f64)> = Vec::new(); // (pps, avg, p95) per tc setting
+    for &tc_ms in &[0u64, 20] {
+        let cfg = with_tc(base.clone(), tc_ms, PER_SHARD);
+        let r = run(
+            PbftSystem::new(
+                PER_SHARD,
+                PbftConfig { batch_size: 64, initial_balance: GENESIS, ..PbftConfig::default() },
+            ),
+            SmallbankWorkload::new(owners_per_shard, 1, 100),
+            cfg,
+        );
+        let (avg, p95) = lat(&r);
+        bfts.push((r.throughput_pps, avg, p95));
+    }
+
+    for &shards in &[2usize, 3, 4] {
+        for (tc_idx, &tc_ms) in [0u64, 20].iter().enumerate() {
+            let total_replicas = shards * PER_SHARD;
+            let cfg = with_tc(base.clone(), tc_ms, total_replicas);
+            let r = run(
+                Astro2System::new(
+                    shards,
+                    PER_SHARD,
+                    Astro2Config {
+                        batch_size: 256,
+                        initial_balance: GENESIS,
+                        ..Astro2Config::default()
+                    },
+                    26_000_000, // N=52 shards: flush ~N*0.5ms (see fig3)
+                ),
+                SmallbankWorkload::new(owners_per_shard * shards, shards, 100),
+                cfg,
+            );
+            let (avg, p95) = lat(&r);
+            let (b_pps, _, _) = bfts[tc_idx];
+            println!(
+                "{:>7} {:>6} {:>14.1} {:>12.1} {:>9.0} {:>9.0} {:>14.1} {:>12.1}",
+                shards,
+                tc_ms,
+                r.throughput_pps / shards as f64 / 1000.0,
+                r.throughput_pps / 1000.0,
+                avg,
+                p95,
+                b_pps / 1000.0,
+                b_pps * shards as f64 / 1000.0,
+            );
+        }
+    }
+}
+
+/// Applies the paper's `tc qdisc … netem delay` to every replica at t = 0.
+fn with_tc(mut cfg: SimConfig, tc_ms: u64, replicas: usize) -> SimConfig {
+    if tc_ms > 0 {
+        for r in 0..replicas as u32 {
+            cfg.faults.push((0, Fault::Delay(ReplicaId(r), tc_ms * 1_000_000)));
+        }
+    }
+    cfg
+}
+
+fn lat(r: &astro_sim::SimReport) -> (f64, f64) {
+    r.latency
+        .map(|l| (l.mean / 1e6, l.p95 as f64 / 1e6))
+        .unwrap_or((f64::NAN, f64::NAN))
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the figure/table reproduction benches.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper (see DESIGN.md §5 for the index and EXPERIMENTS.md for recorded
+//! results). Durations and sweep densities are scaled for a small machine;
+//! override with environment variables:
+//!
+//! - `ASTRO_BENCH_DURATION_SECS` — simulated seconds per run (default 3).
+//! - `ASTRO_BENCH_SIZES` — comma-separated system sizes for Figure 3.
+//! - `ASTRO_BENCH_FULL=1` — use paper-scale durations and sweeps.
+
+pub mod saturation;
+
+use astro_sim::harness::SimConfig;
+use astro_sim::netmodel::Nanos;
+
+/// Simulated run length for throughput experiments.
+pub fn duration() -> Nanos {
+    let secs: u64 = std::env::var("ASTRO_BENCH_DURATION_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full_scale() { 10 } else { 3 });
+    secs * 1_000_000_000
+}
+
+/// True when paper-scale runs were requested.
+pub fn full_scale() -> bool {
+    std::env::var("ASTRO_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+/// The default simulation configuration for throughput experiments.
+pub fn default_sim_config() -> SimConfig {
+    let duration = duration();
+    SimConfig {
+        duration,
+        warmup: duration / 3,
+        ..SimConfig::default()
+    }
+}
+
+/// System sizes for the Figure 3 sweep.
+pub fn fig3_sizes() -> Vec<usize> {
+    if let Ok(v) = std::env::var("ASTRO_BENCH_SIZES") {
+        return v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+    }
+    if full_scale() {
+        // The paper's increments of 6 from 4 to 100.
+        let mut v = vec![4];
+        v.extend((10..=100).step_by(6));
+        v
+    } else {
+        vec![4, 16, 52, 100]
+    }
+}
+
+/// Formats nanoseconds as milliseconds with one decimal.
+pub fn ms(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1_000_000.0)
+}

@@ -1,0 +1,36 @@
+//! Peak-throughput search: grow the closed-loop client population until
+//! throughput stops improving (the paper's "peak throughput … before
+//! latency saturates", §VI-C1).
+
+use astro_sim::harness::{run, SimConfig, SimReport};
+use astro_sim::systems::SimSystem;
+use astro_sim::workload::UniformWorkload;
+
+/// Runs `make_system` under increasing client counts until throughput
+/// stops improving (gain below 3 %), returning the peak report and the
+/// client count. Latency-bound systems saturate slowly, so the search
+/// keeps doubling while gains persist rather than stopping at the first
+/// soft knee.
+pub fn find_peak<S: SimSystem>(
+    mut make_system: impl FnMut() -> S,
+    cfg: &SimConfig,
+    start_clients: usize,
+    max_clients: usize,
+) -> (SimReport, usize) {
+    let mut clients = start_clients.max(1);
+    let mut best: Option<(SimReport, usize)> = None;
+    loop {
+        let report = run(make_system(), UniformWorkload::new(clients, 100), cfg.clone());
+        let better = best
+            .as_ref()
+            .is_none_or(|(b, _)| report.throughput_pps > b.throughput_pps * 1.03);
+        let throughput = report.throughput_pps;
+        if report.throughput_pps > best.as_ref().map_or(0.0, |(b, _)| b.throughput_pps) {
+            best = Some((report, clients));
+        }
+        if !better || clients >= max_clients || throughput <= 0.0 {
+            return best.expect("at least one run");
+        }
+        clients *= 2;
+    }
+}

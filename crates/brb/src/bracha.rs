@@ -1,0 +1,543 @@
+//! Bracha's echo-based Byzantine reliable broadcast — the Astro I protocol
+//! (paper §IV-A and Listing 5).
+//!
+//! Three phases over authenticated links:
+//!
+//! 1. **PREPARE** — the broadcaster sends the payload to all replicas.
+//! 2. **ECHO** — the first time a replica sees a payload for an instance,
+//!    it echoes that payload to everyone. A replica echoes at most once per
+//!    instance, which is what blocks equivocation.
+//! 3. **READY** — on a Byzantine quorum (`2f+1`) of matching ECHOes, or on
+//!    `f+1` matching READYs (amplification), a replica sends READY to all.
+//!    It delivers after `2f+1` matching READYs, FIFO within each source.
+//!
+//! Message complexity is O(N²) with the full payload in every phase; the
+//! protocol needs no signatures (MACs authenticate links) and provides
+//! *totality*: the READY amplification rule guarantees that if one correct
+//! replica delivers, every correct replica eventually does.
+
+use crate::{
+    payload_digest, BrbConfig, Delivery, DeliveryOrder, Dest, Envelope, InstanceId, Payload,
+    Source, Step, Tag,
+};
+use astro_types::wire::{Wire, WireError};
+use astro_types::{Group, ReplicaId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Protocol messages of the echo-based BRB.
+///
+/// ECHO and READY carry the full payload (as in Bracha's original protocol
+/// and the paper's Listing 5), which is why Astro I consumes O(N²·|batch|)
+/// bandwidth per broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrachaMsg<P> {
+    /// Phase 1: broadcaster disseminates the payload.
+    Prepare {
+        /// Instance identifier `(s, n)`.
+        id: InstanceId,
+        /// The broadcast payload.
+        payload: P,
+    },
+    /// Phase 2: first-seen payload is echoed to everyone.
+    Echo {
+        /// Instance identifier.
+        id: InstanceId,
+        /// The echoed payload.
+        payload: P,
+    },
+    /// Phase 3: quorum confirmation; `2f+1` of these trigger delivery.
+    Ready {
+        /// Instance identifier.
+        id: InstanceId,
+        /// The confirmed payload.
+        payload: P,
+    },
+}
+
+impl<P: Wire> Wire for BrachaMsg<P> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            BrachaMsg::Prepare { id, payload } => {
+                buf.push(0);
+                id.encode(buf);
+                payload.encode(buf);
+            }
+            BrachaMsg::Echo { id, payload } => {
+                buf.push(1);
+                id.encode(buf);
+                payload.encode(buf);
+            }
+            BrachaMsg::Ready { id, payload } => {
+                buf.push(2);
+                id.encode(buf);
+                payload.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let tag = u8::decode(buf)?;
+        let id = InstanceId::decode(buf)?;
+        let payload = P::decode(buf)?;
+        match tag {
+            0 => Ok(BrachaMsg::Prepare { id, payload }),
+            1 => Ok(BrachaMsg::Echo { id, payload }),
+            2 => Ok(BrachaMsg::Ready { id, payload }),
+            _ => Err(WireError::InvalidValue("bracha message tag")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        let (id, payload) = match self {
+            BrachaMsg::Prepare { id, payload }
+            | BrachaMsg::Echo { id, payload }
+            | BrachaMsg::Ready { id, payload } => (id, payload),
+        };
+        1 + id.encoded_len() + payload.encoded_len()
+    }
+}
+
+type PayloadDigest = [u8; 32];
+
+/// Per-instance protocol state.
+#[derive(Debug)]
+struct Instance<P> {
+    echo_sent: bool,
+    ready_sent: bool,
+    /// ECHO senders per payload digest.
+    echoes: HashMap<PayloadDigest, HashSet<ReplicaId>>,
+    /// READY senders per payload digest.
+    readys: HashMap<PayloadDigest, HashSet<ReplicaId>>,
+    /// The payload behind each digest (from whichever message carried it).
+    payloads: HashMap<PayloadDigest, P>,
+    /// Set once `2f+1` READYs were gathered; blocks double delivery.
+    complete: bool,
+}
+
+impl<P> Default for Instance<P> {
+    fn default() -> Self {
+        Instance {
+            echo_sent: false,
+            ready_sent: false,
+            echoes: HashMap::new(),
+            readys: HashMap::new(),
+            payloads: HashMap::new(),
+            complete: false,
+        }
+    }
+}
+
+/// One replica's state machine for the echo-based BRB.
+///
+/// Assumes an authenticated transport: the `from` argument of
+/// [`BrachaBrb::handle`] must be the verified sender identity (Astro I uses
+/// pairwise MACs for this; see `astro_crypto::hmac::MacKey`).
+#[derive(Debug)]
+pub struct BrachaBrb<P> {
+    me: ReplicaId,
+    cfg: Group,
+    order: DeliveryOrder,
+    bind_source: bool,
+    instances: HashMap<InstanceId, Instance<P>>,
+    /// Next deliverable tag per source (FIFO mode).
+    next_tag: HashMap<Source, Tag>,
+    /// Completed-but-not-yet-deliverable payloads per source (FIFO mode).
+    buffered: HashMap<Source, BTreeMap<Tag, P>>,
+}
+
+impl<P: Payload> BrachaBrb<P> {
+    /// Creates the state machine for replica `me` in group `cfg`.
+    pub fn new(me: ReplicaId, cfg: Group, brb: BrbConfig) -> Self {
+        BrachaBrb {
+            me,
+            cfg,
+            order: brb.order,
+            bind_source: brb.bind_source,
+            instances: HashMap::new(),
+            next_tag: HashMap::new(),
+            buffered: HashMap::new(),
+        }
+    }
+
+    /// The local replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// Number of instances currently tracked (for memory accounting).
+    pub fn tracked_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Initiates a broadcast of `payload` for `id`.
+    ///
+    /// The returned step contains the PREPARE for all replicas (including
+    /// the local one: the transport loops it back, and the local ECHO
+    /// happens on receipt).
+    pub fn broadcast(&mut self, id: InstanceId, payload: P) -> Step<P, BrachaMsg<P>> {
+        Step {
+            outbound: vec![Envelope { to: Dest::All, msg: BrachaMsg::Prepare { id, payload } }],
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Processes one authenticated inbound message.
+    pub fn handle(&mut self, from: ReplicaId, msg: BrachaMsg<P>) -> Step<P, BrachaMsg<P>> {
+        if !self.cfg.contains(from) {
+            return Step::empty();
+        }
+        match msg {
+            BrachaMsg::Prepare { id, payload } => {
+                if self.bind_source && u64::from(from.0) != id.source {
+                    return Step::empty();
+                }
+                self.on_prepare(id, payload)
+            }
+            BrachaMsg::Echo { id, payload } => self.on_echo(from, id, payload),
+            BrachaMsg::Ready { id, payload } => self.on_ready(from, id, payload),
+        }
+    }
+
+    fn on_prepare(&mut self, id: InstanceId, payload: P) -> Step<P, BrachaMsg<P>> {
+        let instance = self.instances.entry(id).or_default();
+        if instance.echo_sent {
+            // Echo at most once per instance: this is the consistency check
+            // that stops a spender announcing two conflicting payments for
+            // one sequence number (paper §I).
+            return Step::empty();
+        }
+        instance.echo_sent = true;
+        let digest = payload_digest(id, &payload);
+        instance.payloads.entry(digest).or_insert_with(|| payload.clone());
+        Step {
+            outbound: vec![Envelope { to: Dest::All, msg: BrachaMsg::Echo { id, payload } }],
+            delivered: Vec::new(),
+        }
+    }
+
+    fn on_echo(&mut self, from: ReplicaId, id: InstanceId, payload: P) -> Step<P, BrachaMsg<P>> {
+        let quorum = self.cfg.quorum();
+        let digest = payload_digest(id, &payload);
+        let instance = self.instances.entry(id).or_default();
+        if instance.complete {
+            return Step::empty();
+        }
+        instance.payloads.entry(digest).or_insert_with(|| payload.clone());
+        let echoes = instance.echoes.entry(digest).or_default();
+        echoes.insert(from);
+        if echoes.len() >= quorum && !instance.ready_sent {
+            instance.ready_sent = true;
+            return Step {
+                outbound: vec![Envelope { to: Dest::All, msg: BrachaMsg::Ready { id, payload } }],
+                delivered: Vec::new(),
+            };
+        }
+        Step::empty()
+    }
+
+    fn on_ready(&mut self, from: ReplicaId, id: InstanceId, payload: P) -> Step<P, BrachaMsg<P>> {
+        let quorum = self.cfg.quorum();
+        let amplify = self.cfg.small_quorum();
+        let digest = payload_digest(id, &payload);
+
+        let instance = self.instances.entry(id).or_default();
+        if instance.complete {
+            return Step::empty();
+        }
+        instance.payloads.entry(digest).or_insert_with(|| payload.clone());
+        let readys = instance.readys.entry(digest).or_default();
+        readys.insert(from);
+        let ready_count = readys.len();
+
+        let mut step = Step::empty();
+        if ready_count >= amplify && !instance.ready_sent {
+            // READY amplification — together with delivery at 2f+1 this
+            // yields totality: a delivering replica has 2f+1 READYs, at
+            // least f+1 from correct replicas, which every correct replica
+            // eventually receives and amplifies.
+            instance.ready_sent = true;
+            step.outbound.push(Envelope {
+                to: Dest::All,
+                msg: BrachaMsg::Ready { id, payload: payload.clone() },
+            });
+        }
+        if ready_count >= quorum {
+            instance.complete = true;
+            let payload = instance
+                .payloads
+                .get(&digest)
+                .expect("payload recorded with first READY")
+                .clone();
+            step.delivered = self.enqueue_delivery(id, payload);
+        }
+        step
+    }
+
+    /// Applies the delivery-order discipline to a completed instance.
+    fn enqueue_delivery(&mut self, id: InstanceId, payload: P) -> Vec<Delivery<P>> {
+        match self.order {
+            DeliveryOrder::Unordered => vec![Delivery { id, payload }],
+            DeliveryOrder::FifoPerSource => {
+                self.buffered.entry(id.source).or_default().insert(id.tag, payload);
+                let next = self.next_tag.entry(id.source).or_insert(0);
+                let buffered = self.buffered.get_mut(&id.source).expect("just inserted");
+                let mut out = Vec::new();
+                while let Some(payload) = buffered.remove(next) {
+                    out.push(Delivery {
+                        id: InstanceId { source: id.source, tag: *next },
+                        payload,
+                    });
+                    *next += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Drops state for all instances of `source` with `tag < up_to`.
+    ///
+    /// Callers may garbage-collect instances that the application has
+    /// durably applied; later duplicates of pruned instances are treated as
+    /// fresh instances but can no longer be delivered in FIFO mode (their
+    /// tag is below `next_tag`).
+    pub fn gc_source(&mut self, source: Source, up_to: Tag) {
+        self.instances
+            .retain(|id, _| id.source != source || id.tag >= up_to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::Cluster;
+
+    fn cluster(n: usize) -> Cluster<BrachaBrb<u64>> {
+        let cfg = Group::of_size(n).unwrap();
+        Cluster::new(
+            (0..n).map(|i| BrachaBrb::new(ReplicaId(i as u32), cfg.clone(), BrbConfig::default())),
+        )
+    }
+
+    fn iid(source: Source, tag: Tag) -> InstanceId {
+        InstanceId { source, tag }
+    }
+
+    #[test]
+    fn all_correct_replicas_deliver() {
+        let mut c = cluster(4);
+        let step = c.node_mut(0).broadcast(iid(7, 0), 99);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.deliveries(i), &[Delivery { id: iid(7, 0), payload: 99 }]);
+        }
+    }
+
+    #[test]
+    fn delivers_despite_f_crashes() {
+        let mut c = cluster(7); // f = 2
+        c.crash(ReplicaId(5));
+        c.crash(ReplicaId(6));
+        let step = c.node_mut(0).broadcast(iid(1, 0), 5);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        for i in 0..5 {
+            assert_eq!(c.deliveries(i).len(), 1, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn no_delivery_beyond_f_crashes() {
+        // With f+1 crashes no quorum can form; nothing must be delivered
+        // (liveness lost, safety kept).
+        let mut c = cluster(4);
+        c.crash(ReplicaId(2));
+        c.crash(ReplicaId(3));
+        let step = c.node_mut(0).broadcast(iid(1, 0), 5);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        for i in 0..2 {
+            assert!(c.deliveries(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn equivocating_broadcaster_cannot_double_spend() {
+        // Byzantine broadcaster sends payload 1 to replicas {1,2} and
+        // payload 2 to replica {3}: agreement must hold — all correct
+        // deliveries (if any) carry the same payload.
+        let mut c = cluster(4);
+        let id = iid(9, 0);
+        c.inject(ReplicaId(0), ReplicaId(1), BrachaMsg::Prepare { id, payload: 1 });
+        c.inject(ReplicaId(0), ReplicaId(2), BrachaMsg::Prepare { id, payload: 1 });
+        c.inject(ReplicaId(0), ReplicaId(3), BrachaMsg::Prepare { id, payload: 2 });
+        c.run_to_quiescence();
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..4 {
+            for d in c.deliveries(i) {
+                seen.insert(d.payload);
+            }
+        }
+        assert!(seen.len() <= 1, "correct replicas delivered conflicting payloads: {seen:?}");
+    }
+
+    #[test]
+    fn equivocation_with_split_quorums_delivers_at_most_one() {
+        // 7 replicas (f=2, quorum=5). Byzantine source sends payload 1 to
+        // four replicas and payload 2 to the other three — neither echo set
+        // reaches a quorum from the PREPAREs alone, and honest echoes are
+        // split 4/3. No payload can gather 5 echoes, because a correct
+        // replica echoes only its first-seen payload.
+        let mut c = cluster(7);
+        let id = iid(3, 0);
+        for r in 1..5u32 {
+            c.inject(ReplicaId(0), ReplicaId(r), BrachaMsg::Prepare { id, payload: 1 });
+        }
+        for r in 5..7u32 {
+            c.inject(ReplicaId(0), ReplicaId(r), BrachaMsg::Prepare { id, payload: 2 });
+        }
+        c.run_to_quiescence();
+        let mut payloads = std::collections::HashSet::new();
+        for i in 1..7 {
+            for d in c.deliveries(i) {
+                payloads.insert(d.payload);
+            }
+        }
+        assert!(payloads.len() <= 1);
+    }
+
+    #[test]
+    fn totality_via_ready_amplification() {
+        // Drop the broadcaster's PREPARE to replica 3; it still delivers
+        // thanks to ECHO/READY amplification from the others.
+        let mut c = cluster(4);
+        c.set_filter(|from, to, msg| {
+            !(from == ReplicaId(0)
+                && to == ReplicaId(3)
+                && matches!(msg, BrachaMsg::Prepare { .. }))
+        });
+        let step = c.node_mut(0).broadcast(iid(2, 0), 42);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.deliveries(i).len(), 1, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn fifo_buffers_out_of_order_completion() {
+        // Broadcast tags 1 then 0 for the same source; tag 1 must not be
+        // delivered before tag 0 anywhere.
+        let mut c = cluster(4);
+        let s1 = c.node_mut(0).broadcast(iid(4, 1), 11);
+        c.submit(ReplicaId(0), s1);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert!(c.deliveries(i).is_empty(), "tag 1 delivered before tag 0");
+        }
+        let s0 = c.node_mut(0).broadcast(iid(4, 0), 10);
+        c.submit(ReplicaId(0), s0);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            let tags: Vec<Tag> = c.deliveries(i).iter().map(|d| d.id.tag).collect();
+            assert_eq!(tags, vec![0, 1], "replica {i}");
+        }
+    }
+
+    #[test]
+    fn unordered_mode_delivers_immediately() {
+        let cfg = Group::of_size(4).unwrap();
+        let mut c = Cluster::new((0..4).map(|i| {
+            BrachaBrb::<u64>::new(
+                ReplicaId(i as u32),
+                cfg.clone(),
+                BrbConfig { order: DeliveryOrder::Unordered, ..BrbConfig::default() },
+            )
+        }));
+        let step = c.node_mut(0).broadcast(iid(4, 5), 11);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.deliveries(i).len(), 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_messages_cause_single_delivery() {
+        let mut c = cluster(4);
+        let step = c.node_mut(0).broadcast(iid(1, 0), 7);
+        // Submit the same PREPARE twice.
+        c.submit(ReplicaId(0), step.clone());
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.deliveries(i).len(), 1, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn messages_from_unknown_replicas_ignored() {
+        let cfg = Group::of_size(4).unwrap();
+        let mut node = BrachaBrb::<u64>::new(ReplicaId(0), cfg, BrbConfig::default());
+        let step = node.handle(
+            ReplicaId(99),
+            BrachaMsg::Prepare { id: iid(0, 0), payload: 1 },
+        );
+        assert!(step.is_empty());
+    }
+
+    #[test]
+    fn byzantine_double_echo_cannot_force_two_quorums() {
+        // A Byzantine replica echoes both payloads; correct replicas split
+        // 2/1 between payloads. Echo counts: p1 has {1,2} + byz = 3 = quorum
+        // in n=4 — so p1 may deliver, but p2 (1 + byz = 2) must not.
+        let mut c = cluster(4);
+        let id = iid(5, 0);
+        // Correct replicas 1,2 echo payload 1; replica 3 echoes payload 2.
+        c.inject(ReplicaId(0), ReplicaId(1), BrachaMsg::Prepare { id, payload: 1 });
+        c.inject(ReplicaId(0), ReplicaId(2), BrachaMsg::Prepare { id, payload: 1 });
+        c.inject(ReplicaId(0), ReplicaId(3), BrachaMsg::Prepare { id, payload: 2 });
+        // Byzantine replica 0 echoes both payloads to everyone.
+        for r in 1..4u32 {
+            c.inject(ReplicaId(0), ReplicaId(r), BrachaMsg::Echo { id, payload: 1 });
+            c.inject(ReplicaId(0), ReplicaId(r), BrachaMsg::Echo { id, payload: 2 });
+        }
+        c.run_to_quiescence();
+        let mut payloads = std::collections::HashSet::new();
+        for i in 1..4 {
+            for d in c.deliveries(i) {
+                payloads.insert(d.payload);
+            }
+        }
+        assert!(payloads.len() <= 1, "two payloads delivered: {payloads:?}");
+    }
+
+    #[test]
+    fn gc_drops_old_instances() {
+        let mut c = cluster(4);
+        for tag in 0..3 {
+            let step = c.node_mut(0).broadcast(iid(1, tag), tag);
+            c.submit(ReplicaId(0), step);
+        }
+        c.run_to_quiescence();
+        let before = c.node_mut(0).tracked_instances();
+        assert!(before >= 3);
+        c.node_mut(0).gc_source(1, 3);
+        assert_eq!(c.node_mut(0).tracked_instances(), before - 3);
+    }
+
+    #[test]
+    fn wire_round_trip_all_variants() {
+        use astro_types::wire::decode_exact;
+        let id = iid(3, 4);
+        for msg in [
+            BrachaMsg::Prepare { id, payload: 7u64 },
+            BrachaMsg::Echo { id, payload: 8u64 },
+            BrachaMsg::Ready { id, payload: 9u64 },
+        ] {
+            let bytes = msg.to_wire_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(decode_exact::<BrachaMsg<u64>>(&bytes).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Byzantine reliable broadcast (BRB) — the replication primitive of Astro.
+//!
+//! Astro replaces consensus with BRB (paper §II): replicas keep client
+//! xlogs consistent by reliably broadcasting payments. This crate provides
+//! the two BRB protocols the paper implements and evaluates (§IV-A):
+//!
+//! - [`bracha`]: Bracha's echo-based protocol (Astro I). Three phases
+//!   (PREPARE / ECHO / READY), O(N²) messages per broadcast,
+//!   MAC-authenticated links, and the *totality* property.
+//! - [`signed`]: a signature-based protocol in the style of Malkhi & Reiter
+//!   (Astro II). Three phases (PREPARE / ACK / COMMIT), O(N) messages,
+//!   digital signatures, **no totality** — which the payment layer
+//!   compensates for with CREDIT dependency certificates (paper §IV/§V).
+//!
+//! Both are deterministic sans-I/O state machines: callers feed in
+//! `(sender, message)` pairs and receive a [`Step`] of outbound envelopes
+//! and deliveries. The discrete-event simulator, the threaded runtime, and
+//! the unit tests all drive the same code.
+//!
+//! # Properties (paper §IV)
+//!
+//! With identifiers `(source, tag)`:
+//!
+//! - **Agreement** — no two correct replicas deliver different payloads for
+//!   the same identifier.
+//! - **Integrity** — a correct replica delivers at most once per
+//!   identifier, and only if some replica broadcast the payload.
+//! - **Reliability** — if the broadcaster is correct, all correct replicas
+//!   eventually deliver.
+//! - **Totality** (Bracha only) — if any correct replica delivers, every
+//!   correct replica eventually delivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use astro_brb::{bracha::BrachaBrb, BrbConfig, Dest, InstanceId};
+//! use astro_types::{Group, ReplicaId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = Group::of_size(4)?;
+//! let mut replica: BrachaBrb<u64> = BrachaBrb::new(ReplicaId(0), cfg, BrbConfig::default());
+//!
+//! // Replica 0 broadcasts payload 99 for instance (source=7, tag=0).
+//! let id = InstanceId { source: 7, tag: 0 };
+//! let step = replica.broadcast(id, 99);
+//! assert!(matches!(step.outbound[0].to, Dest::All));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bracha;
+pub mod signed;
+pub mod testkit;
+
+use astro_types::wire::{Wire, WireError};
+use astro_types::ReplicaId;
+
+/// The broadcasting-entity id of an instance. In Astro this is the spender
+/// client (unbatched) or the broadcasting replica (batched); the BRB layer
+/// only requires it to name a FIFO stream.
+pub type Source = u64;
+
+/// The per-source sequence number of an instance.
+pub type Tag = u64;
+
+/// Identifier of one broadcast instance: the `(s, n)` pair of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId {
+    /// Whose stream this instance belongs to.
+    pub source: Source,
+    /// Position within the stream.
+    pub tag: Tag,
+}
+
+impl core::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {})", self.source, self.tag)
+    }
+}
+
+impl Wire for InstanceId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.source.encode(buf);
+        self.tag.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(InstanceId { source: Source::decode(buf)?, tag: Tag::decode(buf)? })
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+/// Destination of an outbound message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Send to every replica in the group, including the local one.
+    ///
+    /// Self-delivery is the transport's job (both provided drivers loop a
+    /// copy back), which keeps the protocol cores free of special cases.
+    All,
+    /// Send to a single replica.
+    One(ReplicaId),
+}
+
+/// An outbound protocol message with its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Where to send it.
+    pub to: Dest,
+    /// The message.
+    pub msg: M,
+}
+
+/// A delivered payload together with its instance identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Which instance completed.
+    pub id: InstanceId,
+    /// The agreed payload.
+    pub payload: P,
+}
+
+/// The observable result of one protocol transition.
+#[derive(Debug, Clone)]
+pub struct Step<P, M> {
+    /// Messages to transmit.
+    pub outbound: Vec<Envelope<M>>,
+    /// Payloads delivered by this transition, in delivery order.
+    pub delivered: Vec<Delivery<P>>,
+}
+
+impl<P, M> Step<P, M> {
+    /// An empty step (no sends, no deliveries).
+    pub fn empty() -> Self {
+        Step { outbound: Vec::new(), delivered: Vec::new() }
+    }
+
+    /// Merges another step's effects into this one, preserving order.
+    pub fn merge(&mut self, other: Step<P, M>) {
+        self.outbound.extend(other.outbound);
+        self.delivered.extend(other.delivered);
+    }
+
+    /// True if the step has no effects.
+    pub fn is_empty(&self) -> bool {
+        self.outbound.is_empty() && self.delivered.is_empty()
+    }
+}
+
+impl<P, M> Default for Step<P, M> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Per-source delivery ordering applied by the broadcast layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryOrder {
+    /// Deliver `(s, n)` only after `(s, n-1)` — the `ts == allTS[s] + 1`
+    /// condition of the paper's Listing 5. Used by Astro I.
+    #[default]
+    FifoPerSource,
+    /// Deliver as soon as the instance completes; ordering is the payment
+    /// layer's job (paper Listing 6/8). Used by Astro II.
+    Unordered,
+}
+
+/// Tuning knobs common to both protocols.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrbConfig {
+    /// Delivery ordering discipline.
+    pub order: DeliveryOrder,
+    /// When true, a PREPARE for instance `(s, n)` is only honoured if the
+    /// transport-authenticated sender is replica `s`. Astro's replicas
+    /// broadcast on their own stream (`source` = broadcasting replica), and
+    /// binding stops a Byzantine replica from poisoning another replica's
+    /// stream with conflicting instances. Leave false when sources name
+    /// client streams broadcast by third parties.
+    pub bind_source: bool,
+}
+
+/// The payload contract: broadcast payloads must be cloneable, comparable
+/// and wire-encodable (the protocols hash the canonical encoding to detect
+/// equivocation).
+pub trait Payload: Clone + Eq + core::fmt::Debug + Wire + Send + 'static {}
+
+impl<T: Clone + Eq + core::fmt::Debug + Wire + Send + 'static> Payload for T {}
+
+/// Domain-separated digest of a payload within an instance; what ECHOes
+/// count and ACKs sign.
+pub fn payload_digest<P: Payload>(id: InstanceId, payload: &P) -> [u8; 32] {
+    let bytes = payload.to_wire_bytes();
+    astro_crypto::sha256::sha256_concat(&[
+        b"astro-brb-payload-v1",
+        &id.source.to_be_bytes(),
+        &id.tag.to_be_bytes(),
+        &bytes,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_id_wire_round_trip() {
+        let id = InstanceId { source: 5, tag: 9 };
+        let bytes = id.to_wire_bytes();
+        assert_eq!(bytes.len(), id.encoded_len());
+        assert_eq!(astro_types::wire::decode_exact::<InstanceId>(&bytes).unwrap(), id);
+    }
+
+    #[test]
+    fn digest_depends_on_instance_and_payload() {
+        let a = InstanceId { source: 1, tag: 0 };
+        let b = InstanceId { source: 1, tag: 1 };
+        assert_ne!(payload_digest(a, &7u64), payload_digest(b, &7u64));
+        assert_ne!(payload_digest(a, &7u64), payload_digest(a, &8u64));
+        assert_eq!(payload_digest(a, &7u64), payload_digest(a, &7u64));
+    }
+
+    #[test]
+    fn step_merge_concatenates() {
+        let mut s1: Step<u64, u8> = Step::empty();
+        assert!(s1.is_empty());
+        let s2 = Step {
+            outbound: vec![Envelope { to: Dest::All, msg: 1u8 }],
+            delivered: vec![Delivery { id: InstanceId { source: 0, tag: 0 }, payload: 5u64 }],
+        };
+        s1.merge(s2);
+        assert_eq!(s1.outbound.len(), 1);
+        assert_eq!(s1.delivered.len(), 1);
+    }
+}

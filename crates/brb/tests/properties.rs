@@ -1,0 +1,173 @@
+//! Property-based tests: BRB safety and liveness must hold under *every*
+//! message schedule and every Byzantine equivocation pattern.
+
+use astro_brb::bracha::{BrachaBrb, BrachaMsg};
+use astro_brb::signed::{SignedBrb, SignedMsg};
+use astro_brb::testkit::Cluster;
+use astro_brb::{BrbConfig, DeliveryOrder, InstanceId};
+use astro_types::{Group, MacAuthenticator, ReplicaId, SystemConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn bracha_cluster(n: usize) -> Cluster<BrachaBrb<u64>> {
+    let cfg = Group::of_size(n).unwrap();
+    Cluster::new((0..n).map(|i| BrachaBrb::new(ReplicaId(i as u32), cfg.clone(), BrbConfig::default())))
+}
+
+fn signed_cluster(n: usize) -> Cluster<SignedBrb<u64, MacAuthenticator>> {
+    let cfg = Group::of_size(n).unwrap();
+    Cluster::new((0..n).map(|i| {
+        SignedBrb::new(
+            MacAuthenticator::new(ReplicaId(i as u32), b"prop".to_vec()),
+            cfg.clone(),
+            BrbConfig { order: DeliveryOrder::Unordered, ..BrbConfig::default() },
+        )
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement + totality for Bracha: a Byzantine broadcaster hands each
+    /// replica one of two conflicting payloads; under any schedule, the
+    /// correct replicas deliver at most one distinct payload, and if any
+    /// delivers then all deliver (totality, links reliable here).
+    #[test]
+    fn bracha_agreement_and_totality_under_equivocation(
+        n in 4usize..=7,
+        assignment in proptest::collection::vec(prop::bool::ANY, 7),
+        seed in 1u64..u64::MAX,
+    ) {
+        let mut c = bracha_cluster(n);
+        let id = InstanceId { source: 42, tag: 0 };
+        // Replica 0 is Byzantine: payload 1 or 2 per receiver.
+        for r in 1..n {
+            let payload = if assignment[r - 1] { 1 } else { 2 };
+            c.inject(ReplicaId(0), ReplicaId(r as u32), BrachaMsg::Prepare { id, payload });
+        }
+        c.run_to_quiescence_shuffled(seed);
+
+        let mut delivered_payloads = HashSet::new();
+        let mut deliver_count = 0usize;
+        for i in 1..n {
+            for d in c.deliveries(i) {
+                delivered_payloads.insert(d.payload);
+                deliver_count += 1;
+            }
+        }
+        // Agreement.
+        prop_assert!(delivered_payloads.len() <= 1);
+        // Totality: all-or-none among the n-1 correct replicas.
+        prop_assert!(deliver_count == 0 || deliver_count == n - 1,
+            "partial delivery: {deliver_count}/{}", n - 1);
+    }
+
+    /// Reliability for Bracha: with a correct broadcaster and up to f
+    /// crashed replicas, every live replica delivers, under any schedule.
+    #[test]
+    fn bracha_reliability_with_crashes(
+        n in 4usize..=10,
+        crash_selector in proptest::collection::vec(prop::num::u8::ANY, 3),
+        seed in 1u64..u64::MAX,
+    ) {
+        let cfg = SystemConfig::new(n).unwrap();
+        let f = cfg.f();
+        let mut c = bracha_cluster(n);
+        // Crash up to f replicas, never the broadcaster (replica 0).
+        let mut crashed = HashSet::new();
+        for sel in crash_selector.iter().take(f) {
+            let victim = 1 + (*sel as usize % (n - 1));
+            crashed.insert(victim);
+        }
+        for &v in &crashed {
+            c.crash(ReplicaId(v as u32));
+        }
+        let id = InstanceId { source: 1, tag: 0 };
+        let step = c.node_mut(0).broadcast(id, 77);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence_shuffled(seed);
+        for i in 0..n {
+            if !crashed.contains(&i) {
+                prop_assert_eq!(c.deliveries(i).len(), 1, "live replica {} must deliver", i);
+            }
+        }
+    }
+
+    /// Agreement for the signed protocol under equivocation and any
+    /// schedule (totality is NOT asserted — the protocol does not have it).
+    #[test]
+    fn signed_agreement_under_equivocation(
+        n in 4usize..=7,
+        assignment in proptest::collection::vec(prop::bool::ANY, 7),
+        seed in 1u64..u64::MAX,
+    ) {
+        let mut c = signed_cluster(n);
+        let id = InstanceId { source: 9, tag: 0 };
+        for r in 1..n {
+            let payload = if assignment[r - 1] { 1 } else { 2 };
+            c.inject(ReplicaId(0), ReplicaId(r as u32), SignedMsg::Prepare { id, payload });
+        }
+        c.run_to_quiescence_shuffled(seed);
+        let mut delivered_payloads = HashSet::new();
+        for i in 0..n {
+            for d in c.deliveries(i) {
+                delivered_payloads.insert(d.payload);
+            }
+        }
+        prop_assert!(delivered_payloads.len() <= 1);
+    }
+
+    /// Reliability for the signed protocol with a correct broadcaster and
+    /// up to f crashes.
+    #[test]
+    fn signed_reliability_with_crashes(
+        n in 4usize..=10,
+        crash_selector in proptest::collection::vec(prop::num::u8::ANY, 3),
+        seed in 1u64..u64::MAX,
+    ) {
+        let cfg = SystemConfig::new(n).unwrap();
+        let f = cfg.f();
+        let mut c = signed_cluster(n);
+        let mut crashed = HashSet::new();
+        for sel in crash_selector.iter().take(f) {
+            let victim = 1 + (*sel as usize % (n - 1));
+            crashed.insert(victim);
+        }
+        for &v in &crashed {
+            c.crash(ReplicaId(v as u32));
+        }
+        let id = InstanceId { source: 2, tag: 0 };
+        let step = c.node_mut(0).broadcast(id, 55);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence_shuffled(seed);
+        for i in 0..n {
+            if !crashed.contains(&i) {
+                prop_assert_eq!(c.deliveries(i).len(), 1, "live replica {} must deliver", i);
+            }
+        }
+    }
+
+    /// FIFO delivery: under any schedule, deliveries within one source are
+    /// in tag order with no gaps.
+    #[test]
+    fn bracha_fifo_per_source_any_schedule(
+        tags in proptest::collection::vec(0u64..5, 5),
+        seed in 1u64..u64::MAX,
+    ) {
+        let mut c = bracha_cluster(4);
+        // Broadcast a scrambled set of tags (duplicates allowed — they are
+        // re-broadcasts of the same instance).
+        for &tag in &tags {
+            let step = c.node_mut(0).broadcast(InstanceId { source: 3, tag }, tag);
+            c.submit(ReplicaId(0), step);
+        }
+        c.run_to_quiescence_shuffled(seed);
+        for i in 0..4 {
+            let seq: Vec<u64> = c.deliveries(i).iter().map(|d| d.id.tag).collect();
+            // Must be exactly 0..k for some k (prefix, in order, no dup).
+            for (expect, got) in seq.iter().enumerate() {
+                prop_assert_eq!(expect as u64, *got, "replica {} delivered out of order", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! A leader-based BFT state-machine-replication payment system — the
+//! consensus baseline the paper compares Astro against (§VI-A).
+//!
+//! The paper's baseline is BFT-SMaRt, a mature PBFT-style implementation.
+//! This crate provides a faithful stand-in with the properties the
+//! evaluation exercises:
+//!
+//! - **Three-phase leader-based agreement** (PRE-PREPARE / PREPARE /
+//!   COMMIT) with Byzantine quorums: O(N²) messages per ordered batch.
+//! - **Total order**: all payments of all clients are sequenced by the
+//!   leader, executed in order against the same [`astro_core::Ledger`] the
+//!   Astro replicas use.
+//! - **View change**: replicas monitor progress with a timeout; when the
+//!   leader stalls (crash or slowness), they vote to elect the next leader.
+//!   Throughput drops to zero for the duration — the behaviour Figures 5–7
+//!   of the paper quantify.
+//! - **Batching** with size- and timer-based flushing, like BFT-SMaRt.
+//!
+//! Like Astro I (and BFT-SMaRt's normal case), the protocol relies on
+//! MAC-authenticated point-to-point links rather than signatures, which the
+//! paper calls out as the fair comparison configuration (§VI-D).
+//!
+//! The replica is the same sans-I/O state-machine shape as the Astro
+//! replicas ([`PbftReplica::handle`] / [`PbftReplica::on_tick`] /
+//! [`PbftReplica::submit`]), so the simulator drives all three systems
+//! through one code path.
+
+#![warn(missing_docs)]
+
+pub mod pbft;
+
+pub use pbft::{PbftConfig, PbftMsg, PbftReplica, PbftStep};

@@ -1,0 +1,972 @@
+//! The PBFT-style ordering and execution replica.
+//!
+//! Normal case (leader = `view mod N`):
+//!
+//! 1. Clients submit payments to any replica; non-leaders forward them.
+//! 2. The leader batches requests and sends `PrePrepare(v, n, batch)`.
+//! 3. Replicas answer `Prepare(v, n, digest)` to all; on a Byzantine
+//!    quorum of matching prepares they send `Commit(v, n, digest)` to all.
+//! 4. On a quorum of commits, the batch is *ordered*; batches execute
+//!    strictly in sequence order against the payment ledger.
+//!
+//! View change: every replica arms a timer whenever it knows of requests
+//! that have not yet executed. On expiry it stops participating in the
+//! current view and broadcasts `ViewChange(v+1)`. When the prospective
+//! leader of `v+1` gathers a quorum it installs the view with `NewView`,
+//! re-proposing unexecuted batches; followers re-forward their pending
+//! requests. Timeouts back off exponentially across consecutive failed
+//! views (the classic stability/latency trade-off the paper discusses in
+//! §VI-D).
+
+use astro_brb::{Dest, Envelope};
+use astro_core::batch::Batch;
+use astro_core::ledger::{Ledger, SettleOutcome};
+use astro_core::pending::PendingQueue;
+use astro_types::wire::{Wire, WireError};
+use astro_types::{Amount, ClientId, Group, Payment, ReplicaId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Nanosecond timestamps (the simulator's clock domain).
+pub type Nanos = u64;
+
+/// Configuration of a PBFT payment replica.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Requests per batch (flushed early by the batch timer).
+    pub batch_size: usize,
+    /// Flush an incomplete batch after this long (leader only).
+    pub batch_delay: Nanos,
+    /// Base view-change timeout: how long un-executed requests may linger
+    /// before this replica votes out the leader.
+    pub view_change_timeout: Nanos,
+    /// Genesis balance of every client.
+    pub initial_balance: Amount,
+}
+
+impl Default for PbftConfig {
+    fn default() -> Self {
+        PbftConfig {
+            batch_size: 64,
+            batch_delay: 5_000_000,            // 5 ms
+            view_change_timeout: 4_000_000_000, // 4 s, BFT-SMaRt-like
+            initial_balance: Amount(1_000_000),
+        }
+    }
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbftMsg {
+    /// A payment forwarded to the current leader.
+    Forward(Payment),
+    /// Leader's proposal of batch `n` in view `v`.
+    PrePrepare {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// The proposed batch.
+        batch: Batch,
+    },
+    /// Phase-two vote.
+    Prepare {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest of the proposed batch.
+        digest: [u8; 32],
+    },
+    /// Phase-three vote.
+    Commit {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest of the proposed batch.
+        digest: [u8; 32],
+    },
+    /// A vote to move to `new_view`, carrying the voter's executed prefix
+    /// and the ordered-but-unexecuted suffix it knows.
+    ViewChange {
+        /// The proposed view.
+        new_view: u64,
+        /// Sender's last executed sequence number.
+        last_exec: u64,
+        /// Ordered batches the sender knows beyond `last_exec`.
+        suffix: Vec<(u64, Batch)>,
+    },
+    /// The new leader's installation message.
+    NewView {
+        /// The installed view.
+        view: u64,
+        /// Batches to (re-)propose, by sequence number.
+        proposals: Vec<(u64, Batch)>,
+    },
+}
+
+impl Wire for PbftMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PbftMsg::Forward(p) => {
+                buf.push(0);
+                p.encode(buf);
+            }
+            PbftMsg::PrePrepare { view, seq, batch } => {
+                buf.push(1);
+                view.encode(buf);
+                seq.encode(buf);
+                batch.encode(buf);
+            }
+            PbftMsg::Prepare { view, seq, digest } => {
+                buf.push(2);
+                view.encode(buf);
+                seq.encode(buf);
+                digest.encode(buf);
+            }
+            PbftMsg::Commit { view, seq, digest } => {
+                buf.push(3);
+                view.encode(buf);
+                seq.encode(buf);
+                digest.encode(buf);
+            }
+            PbftMsg::ViewChange { new_view, last_exec, suffix } => {
+                buf.push(4);
+                new_view.encode(buf);
+                last_exec.encode(buf);
+                suffix.encode(buf);
+            }
+            PbftMsg::NewView { view, proposals } => {
+                buf.push(5);
+                view.encode(buf);
+                proposals.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(PbftMsg::Forward(Payment::decode(buf)?)),
+            1 => Ok(PbftMsg::PrePrepare {
+                view: u64::decode(buf)?,
+                seq: u64::decode(buf)?,
+                batch: Batch::decode(buf)?,
+            }),
+            2 => Ok(PbftMsg::Prepare {
+                view: u64::decode(buf)?,
+                seq: u64::decode(buf)?,
+                digest: Wire::decode(buf)?,
+            }),
+            3 => Ok(PbftMsg::Commit {
+                view: u64::decode(buf)?,
+                seq: u64::decode(buf)?,
+                digest: Wire::decode(buf)?,
+            }),
+            4 => Ok(PbftMsg::ViewChange {
+                new_view: u64::decode(buf)?,
+                last_exec: u64::decode(buf)?,
+                suffix: Wire::decode(buf)?,
+            }),
+            5 => Ok(PbftMsg::NewView { view: u64::decode(buf)?, proposals: Wire::decode(buf)? }),
+            _ => Err(WireError::InvalidValue("pbft message tag")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            PbftMsg::Forward(p) => p.encoded_len(),
+            PbftMsg::PrePrepare { view, seq, batch } => {
+                view.encoded_len() + seq.encoded_len() + batch.encoded_len()
+            }
+            PbftMsg::Prepare { view, seq, digest } | PbftMsg::Commit { view, seq, digest } => {
+                view.encoded_len() + seq.encoded_len() + digest.encoded_len()
+            }
+            PbftMsg::ViewChange { new_view, last_exec, suffix } => {
+                new_view.encoded_len() + last_exec.encoded_len() + suffix.encoded_len()
+            }
+            PbftMsg::NewView { view, proposals } => view.encoded_len() + proposals.encoded_len(),
+        }
+    }
+}
+
+fn batch_digest(view: u64, seq: u64, batch: &Batch) -> [u8; 32] {
+    let bytes = batch.to_wire_bytes();
+    astro_crypto::sha256::sha256_concat(&[
+        b"pbft-batch-v1",
+        &view.to_be_bytes(),
+        &seq.to_be_bytes(),
+        &bytes,
+    ])
+}
+
+/// One view-change vote: the voter's executed prefix and known suffix.
+type ViewVotes = HashMap<ReplicaId, (u64, Vec<(u64, Batch)>)>;
+
+/// Per-(view, seq) agreement state.
+#[derive(Debug, Default)]
+struct SlotState {
+    batch: Option<Batch>,
+    digest: Option<[u8; 32]>,
+    prepares: HashMap<[u8; 32], HashSet<ReplicaId>>,
+    commits: HashMap<[u8; 32], HashSet<ReplicaId>>,
+    prepare_sent: bool,
+    commit_sent: bool,
+    ordered: bool,
+}
+
+/// The observable result of one replica transition.
+#[derive(Debug, Clone, Default)]
+pub struct PbftStep {
+    /// Messages to send.
+    pub outbound: Vec<Envelope<PbftMsg>>,
+    /// Payments executed (settled) by this transition, in total order.
+    pub settled: Vec<Payment>,
+    /// Set when this transition installed a new view (telemetry).
+    pub view_installed: Option<u64>,
+}
+
+impl PbftStep {
+    fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// One PBFT payment replica.
+#[derive(Debug)]
+pub struct PbftReplica {
+    me: ReplicaId,
+    group: Group,
+    cfg: PbftConfig,
+    view: u64,
+    /// True while this replica has abandoned `view` and waits for NewView.
+    view_changing: bool,
+    /// Votes per prospective view.
+    view_votes: HashMap<u64, ViewVotes>,
+    /// Exponential back-off exponent for consecutive view changes.
+    timeout_exponent: u32,
+    /// Highest view this replica has voted for.
+    voted_view: u64,
+    /// Request timers restart from here (set at view installs and on
+    /// execution progress), so an old request cannot re-trigger an
+    /// immediate view change right after one completed.
+    timer_base: Nanos,
+    /// Agreement state per sequence number (current view only).
+    slots: HashMap<u64, SlotState>,
+    /// Ordered batches awaiting in-order execution.
+    ordered: BTreeMap<u64, Batch>,
+    /// Executed batches, retained so a new leader can bring lagging
+    /// replicas up to date after a view change. (A production system
+    /// garbage-collects this at checkpoints.)
+    batch_log: BTreeMap<u64, Batch>,
+    last_exec: u64,
+    next_seq: u64,
+    /// Leader: requests not yet proposed.
+    queue: Vec<Payment>,
+    batch_deadline: Option<Nanos>,
+    /// All known outstanding requests with their arrival times; cleared
+    /// when seen in an executed batch. The view-change timer is keyed on
+    /// the *oldest* outstanding request, as in PBFT.
+    in_flight: HashMap<(ClientId, u64), (Payment, Nanos)>,
+    /// Progress timer for view change.
+    progress_deadline: Option<Nanos>,
+    // Application state.
+    ledger: Ledger,
+    app_pending: PendingQueue<()>,
+}
+
+impl PbftReplica {
+    /// Creates replica `me` in `group`.
+    pub fn new(me: ReplicaId, group: Group, cfg: PbftConfig) -> Self {
+        let ledger = Ledger::new(cfg.initial_balance);
+        PbftReplica {
+            me,
+            group,
+            cfg,
+            view: 0,
+            view_changing: false,
+            view_votes: HashMap::new(),
+            timeout_exponent: 0,
+            voted_view: 0,
+            timer_base: 0,
+            slots: HashMap::new(),
+            ordered: BTreeMap::new(),
+            batch_log: BTreeMap::new(),
+            last_exec: 0,
+            next_seq: 1,
+            queue: Vec::new(),
+            batch_deadline: None,
+            in_flight: HashMap::new(),
+            progress_deadline: None,
+            ledger,
+            app_pending: PendingQueue::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The replica group.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// The current leader.
+    pub fn leader(&self) -> ReplicaId {
+        self.leader_of(self.view)
+    }
+
+    fn leader_of(&self, view: u64) -> ReplicaId {
+        let members = self.group.members();
+        members[(view % members.len() as u64) as usize]
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader() == self.me
+    }
+
+    /// The settled balance of a client.
+    pub fn balance(&self, client: ClientId) -> Amount {
+        self.ledger.balance(client)
+    }
+
+    /// Read access to the ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The earliest pending timer, if any — the simulator schedules a tick
+    /// then.
+    pub fn next_deadline(&self) -> Option<Nanos> {
+        match (self.batch_deadline, self.progress_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// A client submits a payment at time `now`.
+    ///
+    /// Mirrors BFT-SMaRt's client fan-out ("each client keeps connections
+    /// to all replicas", paper §VI-B): the request is disseminated to every
+    /// replica, so all of them arm progress timers and can vote out a
+    /// stalled leader.
+    pub fn submit(&mut self, payment: Payment, _now: Nanos) -> PbftStep {
+        let mut step = PbftStep::empty();
+        step.outbound.push(Envelope { to: Dest::All, msg: PbftMsg::Forward(payment) });
+        step
+    }
+
+    /// Fires timers that are due at `now`.
+    pub fn on_tick(&mut self, now: Nanos) -> PbftStep {
+        let mut step = PbftStep::empty();
+        if self.batch_deadline.is_some_and(|d| now >= d) {
+            self.batch_deadline = None;
+            if self.is_leader() && !self.view_changing {
+                self.flush_batch(&mut step);
+            }
+        }
+        if self.progress_deadline.is_some_and(|d| now >= d) {
+            self.progress_deadline = None;
+            let target = self.view.max(self.voted_view) + 1;
+            self.start_view_change(target, now, &mut step);
+        }
+        step
+    }
+
+    /// Processes one replica-to-replica message at time `now`.
+    pub fn handle(&mut self, from: ReplicaId, msg: PbftMsg, now: Nanos) -> PbftStep {
+        if !self.group.contains(from) {
+            return PbftStep::empty();
+        }
+        let mut step = PbftStep::empty();
+        match msg {
+            PbftMsg::Forward(payment) => {
+                // Ignore requests already settled (or superseded).
+                if self.ledger.next_seq(payment.spender) > payment.seq {
+                    return step;
+                }
+                let key = (payment.spender, payment.seq.0);
+                let fresh = self.in_flight.insert(key, (payment, now)).is_none();
+                self.note_outstanding(now);
+                if fresh && self.is_leader() && !self.view_changing {
+                    self.enqueue_as_leader(payment, now, &mut step);
+                }
+            }
+            PbftMsg::PrePrepare { view, seq, batch } => {
+                self.on_preprepare(from, view, seq, batch, &mut step);
+            }
+            PbftMsg::Prepare { view, seq, digest } => {
+                self.on_prepare(from, view, seq, digest, &mut step);
+            }
+            PbftMsg::Commit { view, seq, digest } => {
+                self.on_commit(from, view, seq, digest, now, &mut step);
+            }
+            PbftMsg::ViewChange { new_view, last_exec, suffix } => {
+                self.on_view_change(from, new_view, last_exec, suffix, now, &mut step);
+            }
+            PbftMsg::NewView { view, proposals } => {
+                self.on_new_view(from, view, proposals, now, &mut step);
+            }
+        }
+        step
+    }
+
+    /// (Re-)arms the progress timer on the oldest outstanding request:
+    /// PBFT's per-request timeout discipline — a request that lingers past
+    /// the deadline triggers a view change even while *other* requests
+    /// make (slow) progress.
+    fn note_outstanding(&mut self, _now: Nanos) {
+        if self.view_changing {
+            return;
+        }
+        let timeout = self
+            .cfg
+            .view_change_timeout
+            .saturating_mul(1u64 << self.timeout_exponent.min(6));
+        let base = self.timer_base;
+        self.progress_deadline = self
+            .in_flight
+            .values()
+            .map(|(_, arrived)| (*arrived).max(base) + timeout)
+            .min();
+    }
+
+    fn enqueue_as_leader(&mut self, payment: Payment, now: Nanos, step: &mut PbftStep) {
+        self.queue.push(payment);
+        if self.queue.len() >= self.cfg.batch_size {
+            self.flush_batch(step);
+        } else if self.batch_deadline.is_none() {
+            self.batch_deadline = Some(now + self.cfg.batch_delay);
+        }
+    }
+
+    fn flush_batch(&mut self, step: &mut PbftStep) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let batch = Batch { payments: std::mem::take(&mut self.queue) };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.batch_deadline = None;
+        // The leader pre-prepares to everyone (itself included via
+        // loopback, which drives its own Prepare).
+        step.outbound.push(Envelope {
+            to: Dest::All,
+            msg: PbftMsg::PrePrepare { view: self.view, seq, batch },
+        });
+    }
+
+    fn on_preprepare(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        batch: Batch,
+        step: &mut PbftStep,
+    ) {
+        if view != self.view || self.view_changing || from != self.leader_of(view) {
+            return;
+        }
+        if seq <= self.last_exec {
+            return;
+        }
+        let digest = batch_digest(view, seq, &batch);
+        let slot = self.slots.entry(seq).or_default();
+        if slot.prepare_sent {
+            return; // at most one pre-prepare per slot per view
+        }
+        slot.batch = Some(batch);
+        slot.digest = Some(digest);
+        slot.prepare_sent = true;
+        self.next_seq = self.next_seq.max(seq + 1);
+        step.outbound.push(Envelope {
+            to: Dest::All,
+            msg: PbftMsg::Prepare { view, seq, digest },
+        });
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: [u8; 32],
+        step: &mut PbftStep,
+    ) {
+        if view != self.view || self.view_changing {
+            return;
+        }
+        let quorum = self.group.quorum();
+        let slot = self.slots.entry(seq).or_default();
+        slot.prepares.entry(digest).or_default().insert(from);
+        if slot.commit_sent
+            || slot.digest != Some(digest)
+            || slot.prepares[&digest].len() < quorum
+        {
+            return;
+        }
+        slot.commit_sent = true;
+        step.outbound.push(Envelope {
+            to: Dest::All,
+            msg: PbftMsg::Commit { view, seq, digest },
+        });
+    }
+
+    fn on_commit(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: [u8; 32],
+        now: Nanos,
+        step: &mut PbftStep,
+    ) {
+        if view != self.view || self.view_changing {
+            return;
+        }
+        let quorum = self.group.quorum();
+        let slot = self.slots.entry(seq).or_default();
+        slot.commits.entry(digest).or_default().insert(from);
+        if slot.ordered
+            || slot.digest != Some(digest)
+            || slot.commits[&digest].len() < quorum
+        {
+            return;
+        }
+        slot.ordered = true;
+        let batch = slot.batch.clone().expect("digest implies batch");
+        self.ordered.insert(seq, batch);
+        self.execute_ready(now, step);
+    }
+
+    /// Executes ordered batches in sequence order.
+    fn execute_ready(&mut self, now: Nanos, step: &mut PbftStep) {
+        let mut progressed = false;
+        while let Some(batch) = self.ordered.remove(&(self.last_exec + 1)) {
+            self.last_exec += 1;
+            progressed = true;
+            self.slots.remove(&self.last_exec);
+            self.batch_log.insert(self.last_exec, batch.clone());
+            let mut touched = Vec::new();
+            for payment in &batch.payments {
+                self.in_flight.remove(&(payment.spender, payment.seq.0));
+                match self.ledger.settle(payment, true) {
+                    SettleOutcome::Applied => {
+                        step.settled.push(*payment);
+                        touched.push(payment.spender);
+                        touched.push(payment.beneficiary);
+                    }
+                    SettleOutcome::FutureSeq | SettleOutcome::InsufficientFunds => {
+                        self.app_pending.push(*payment, ());
+                        touched.push(payment.spender);
+                    }
+                    SettleOutcome::StaleSeq => {}
+                }
+            }
+            let settled = self
+                .app_pending
+                .drain_cascade(touched, &mut self.ledger, |l, p, ()| l.settle(p, true));
+            step.settled.extend(settled.into_iter().map(|e| e.payment));
+        }
+        if progressed {
+            // Progress resets the back-off and restarts the timer for the
+            // oldest request still outstanding.
+            self.timeout_exponent = 0;
+            self.timer_base = now;
+            self.progress_deadline = None;
+            self.note_outstanding(now);
+        }
+    }
+
+    /// Abandons the current view and votes for `new_view`.
+    fn start_view_change(&mut self, new_view: u64, now: Nanos, step: &mut PbftStep) {
+        self.view_changing = true;
+        self.voted_view = new_view;
+        self.timeout_exponent = self.timeout_exponent.saturating_add(1);
+        let suffix: Vec<(u64, Batch)> =
+            self.ordered.iter().map(|(s, b)| (*s, b.clone())).collect();
+        // Re-arm the timer: if the view change itself stalls, vote higher.
+        let timeout = self
+            .cfg
+            .view_change_timeout
+            .saturating_mul(1u64 << self.timeout_exponent.min(6));
+        self.progress_deadline = Some(now + timeout);
+        step.outbound.push(Envelope {
+            to: Dest::All,
+            msg: PbftMsg::ViewChange { new_view, last_exec: self.last_exec, suffix },
+        });
+    }
+
+    fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: u64,
+        last_exec: u64,
+        suffix: Vec<(u64, Batch)>,
+        now: Nanos,
+        step: &mut PbftStep,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        let votes = self.view_votes.entry(new_view).or_default();
+        votes.insert(from, (last_exec, suffix));
+        let votes_len = votes.len();
+        // Joining a view change we observe f+1 votes for prevents slow
+        // replicas from being left behind.
+        if votes_len >= self.group.small_quorum() && new_view > self.voted_view {
+            self.start_view_change(new_view, now, step);
+        }
+        if votes_len < self.group.quorum() || self.leader_of(new_view) != self.me {
+            return;
+        }
+        // I am the leader of the new view with a quorum behind me. Rebuild
+        // the proposal window from the *lowest* executed prefix among the
+        // voters, so lagging replicas can catch up; sequence numbers nobody
+        // can account for (they died with the old leader) become no-ops —
+        // gaps would block in-order execution forever.
+        let votes = self.view_votes.remove(&new_view).expect("checked");
+        let mut known: BTreeMap<u64, Batch> = BTreeMap::new();
+        let mut min_exec = self.last_exec;
+        let mut max_seen = self.last_exec.max(self.next_seq.saturating_sub(1));
+        for (_, (exec, suffix)) in votes {
+            min_exec = min_exec.min(exec);
+            for (seq, batch) in suffix {
+                max_seen = max_seen.max(seq);
+                known.entry(seq).or_insert(batch);
+            }
+        }
+        for (seq, batch) in &self.ordered {
+            max_seen = max_seen.max(*seq);
+            known.entry(*seq).or_insert_with(|| batch.clone());
+        }
+        for (seq, batch) in self.batch_log.range(min_exec + 1..) {
+            known.entry(*seq).or_insert_with(|| batch.clone());
+        }
+        let proposals: Vec<(u64, Batch)> = (min_exec + 1..=max_seen)
+            .map(|seq| {
+                let batch = known.remove(&seq).unwrap_or(Batch { payments: Vec::new() });
+                (seq, batch)
+            })
+            .collect();
+        step.outbound.push(Envelope {
+            to: Dest::All,
+            msg: PbftMsg::NewView { view: new_view, proposals },
+        });
+    }
+
+    fn on_new_view(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        proposals: Vec<(u64, Batch)>,
+        now: Nanos,
+        step: &mut PbftStep,
+    ) {
+        if view <= self.view || from != self.leader_of(view) {
+            return;
+        }
+        self.view = view;
+        self.view_changing = false;
+        self.slots.clear();
+        self.view_votes.retain(|v, _| *v > view);
+        self.progress_deadline = None;
+        // PBFT restarts the timers of pending requests in the new view.
+        self.timer_base = now;
+        step.view_installed = Some(view);
+        // Sequencing resumes right after the proposal window; stale
+        // next_seq values from the old view would leave permanent gaps.
+        let max_seq = proposals.iter().map(|(s, _)| *s).max().unwrap_or(self.last_exec);
+        self.next_seq = max_seq.max(self.last_exec) + 1;
+        // Re-run agreement for the re-proposed batches (the new leader
+        // pre-prepares them; every replica processes them normally).
+        if self.me == from {
+            for (seq, batch) in proposals {
+                if seq > self.last_exec {
+                    step.outbound.push(Envelope {
+                        to: Dest::All,
+                        msg: PbftMsg::PrePrepare { view, seq, batch },
+                    });
+                }
+            }
+        }
+        // Every replica knows all outstanding requests (client fan-out),
+        // so the new leader sweeps its in-flight set into the queue rather
+        // than waiting for re-forwards.
+        if self.me == from {
+            let reproposed: HashSet<(ClientId, u64)> = step
+                .outbound
+                .iter()
+                .filter_map(|e| match &e.msg {
+                    PbftMsg::PrePrepare { batch, .. } => Some(batch),
+                    _ => None,
+                })
+                .flat_map(|b| b.payments.iter().map(|p| (p.spender, p.seq.0)))
+                .collect();
+            self.queue.clear();
+            let mut sweep: Vec<Payment> = self
+                .in_flight
+                .values()
+                .map(|(p, _)| p)
+                .filter(|p| {
+                    !reproposed.contains(&(p.spender, p.seq.0))
+                        && self.ledger.next_seq(p.spender) <= p.seq
+                })
+                .copied()
+                .collect();
+            sweep.sort_by_key(|p| (p.spender, p.seq));
+            if !sweep.is_empty() {
+                self.queue = sweep;
+                self.flush_batch(step);
+            }
+        }
+        if !self.in_flight.is_empty() {
+            self.note_outstanding(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic driver with explicit time (the brb/core
+    /// testkits have no clock, PBFT needs one).
+    struct Net {
+        replicas: Vec<PbftReplica>,
+        queue: std::collections::VecDeque<(ReplicaId, ReplicaId, PbftMsg)>,
+        crashed: Vec<bool>,
+        settled: Vec<Vec<Payment>>,
+        now: Nanos,
+    }
+
+    impl Net {
+        fn new(n: usize, cfg: PbftConfig) -> Self {
+            let group = Group::of_size(n).unwrap();
+            Net {
+                replicas: (0..n as u32)
+                    .map(|i| PbftReplica::new(ReplicaId(i), group.clone(), cfg.clone()))
+                    .collect(),
+                queue: Default::default(),
+                crashed: vec![false; n],
+                settled: vec![Vec::new(); n],
+                now: 0,
+            }
+        }
+
+        fn submit_step(&mut self, from: ReplicaId, step: PbftStep) {
+            self.settled[from.0 as usize].extend(step.settled);
+            for env in step.outbound {
+                match env.to {
+                    Dest::All => {
+                        for i in 0..self.replicas.len() {
+                            self.queue.push_back((from, ReplicaId(i as u32), env.msg.clone()));
+                        }
+                    }
+                    Dest::One(to) => self.queue.push_back((from, to, env.msg)),
+                }
+            }
+        }
+
+        fn pay(&mut self, at: usize, p: Payment) {
+            let step = self.replicas[at].submit(p, self.now);
+            self.submit_step(ReplicaId(at as u32), step);
+        }
+
+        /// Drains the network; when idle, advances time to the next timer.
+        /// Returns when no messages or timers remain before `horizon`.
+        fn run_until(&mut self, horizon: Nanos) {
+            loop {
+                while let Some((from, to, msg)) = self.queue.pop_front() {
+                    if self.crashed[from.0 as usize] || self.crashed[to.0 as usize] {
+                        continue;
+                    }
+                    let step = self.replicas[to.0 as usize].handle(from, msg, self.now);
+                    self.submit_step(to, step);
+                }
+                // Advance to the earliest timer.
+                let next = self
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.crashed[*i])
+                    .filter_map(|(_, r)| r.next_deadline())
+                    .min();
+                match next {
+                    Some(t) if t <= horizon => {
+                        self.now = self.now.max(t);
+                        for i in 0..self.replicas.len() {
+                            if !self.crashed[i] {
+                                let step = self.replicas[i].on_tick(self.now);
+                                self.submit_step(ReplicaId(i as u32), step);
+                            }
+                        }
+                    }
+                    _ => return,
+                }
+            }
+        }
+    }
+
+    fn cfg() -> PbftConfig {
+        PbftConfig {
+            batch_size: 4,
+            batch_delay: 1_000_000,
+            view_change_timeout: 1_000_000_000,
+            initial_balance: Amount(100),
+        }
+    }
+
+    const HOUR: Nanos = 3_600_000_000_000;
+
+    #[test]
+    fn payment_executes_on_all_replicas() {
+        let mut net = Net::new(4, cfg());
+        net.pay(1, Payment::new(1u64, 0u64, 2u64, 30u64));
+        net.run_until(HOUR);
+        for i in 0..4 {
+            assert_eq!(net.settled[i].len(), 1, "replica {i}");
+            assert_eq!(net.replicas[i].balance(ClientId(1)), Amount(70));
+            assert_eq!(net.replicas[i].balance(ClientId(2)), Amount(130));
+        }
+    }
+
+    #[test]
+    fn batches_fill_and_flush() {
+        let mut net = Net::new(4, cfg());
+        for i in 0..8u64 {
+            net.pay(0, Payment::new(i + 1, 0u64, 50u64, 1u64));
+        }
+        net.run_until(HOUR);
+        for i in 0..4 {
+            assert_eq!(net.settled[i].len(), 8);
+        }
+        assert_eq!(net.replicas[0].balance(ClientId(50)), Amount(108));
+    }
+
+    #[test]
+    fn total_order_is_identical_across_replicas() {
+        let mut net = Net::new(4, cfg());
+        // Interleave submissions from several clients at several replicas.
+        for i in 0..20u64 {
+            let client = (i % 5) + 1;
+            let seq = i / 5;
+            net.pay((i % 4) as usize, Payment::new(client, seq, 77u64, 2u64));
+        }
+        net.run_until(HOUR);
+        let reference: Vec<Payment> = net.settled[0].clone();
+        assert_eq!(reference.len(), 20);
+        for i in 1..4 {
+            assert_eq!(net.settled[i], reference, "replica {i} ordered differently");
+        }
+    }
+
+    #[test]
+    fn leader_crash_triggers_view_change_and_recovers() {
+        let mut net = Net::new(4, cfg());
+        assert_eq!(net.replicas[1].leader(), ReplicaId(0));
+        net.crashed[0] = true; // crash the leader
+        net.pay(1, Payment::new(1u64, 0u64, 2u64, 10u64));
+        net.run_until(HOUR);
+        // All live replicas moved to view 1 and executed the payment.
+        for i in 1..4 {
+            assert_eq!(net.replicas[i].view(), 1, "replica {i} in wrong view");
+            assert_eq!(net.settled[i].len(), 1, "replica {i} did not execute");
+        }
+    }
+
+    #[test]
+    fn repeated_leader_crashes_walk_the_views() {
+        let mut net = Net::new(7, cfg());
+        net.crashed[0] = true;
+        net.crashed[1] = true;
+        net.pay(2, Payment::new(1u64, 0u64, 2u64, 10u64));
+        net.run_until(HOUR);
+        for i in 2..7 {
+            assert_eq!(net.replicas[i].view(), 2, "replica {i}");
+            assert_eq!(net.settled[i].len(), 1, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn random_follower_crash_does_not_stop_progress() {
+        let mut net = Net::new(4, cfg());
+        net.crashed[2] = true; // not the leader
+        for i in 0..4u64 {
+            net.pay(1, Payment::new(i + 1, 0u64, 9u64, 1u64));
+        }
+        net.run_until(HOUR);
+        for i in [0usize, 1, 3] {
+            assert_eq!(net.settled[i].len(), 4, "replica {i}");
+            assert_eq!(net.replicas[i].view(), 0, "no view change needed");
+        }
+    }
+
+    #[test]
+    fn ordered_but_unexecuted_batches_survive_view_change() {
+        // The leader orders a batch but crashes before some replicas learn
+        // of it; the suffix carried in ViewChange re-proposes it.
+        let mut net = Net::new(4, cfg());
+        net.pay(0, Payment::new(1u64, 0u64, 2u64, 10u64));
+        net.pay(0, Payment::new(1u64, 1u64, 2u64, 10u64));
+        net.run_until(HOUR);
+        let executed_before = net.settled[1].len();
+        assert_eq!(executed_before, 2);
+        // Now crash leader mid-flight for a new request.
+        net.crashed[0] = true;
+        net.pay(1, Payment::new(1u64, 2u64, 2u64, 10u64));
+        net.run_until(HOUR);
+        for i in 1..4 {
+            assert_eq!(net.settled[i].len(), 3, "replica {i}");
+        }
+        // No duplicates despite re-proposals.
+        for i in 1..4 {
+            let ids: Vec<(u64, u64)> =
+                net.settled[i].iter().map(|p| (p.spender.0, p.seq.0)).collect();
+            let dedup: std::collections::HashSet<_> = ids.iter().collect();
+            assert_eq!(dedup.len(), ids.len(), "replica {i} executed a duplicate");
+        }
+    }
+
+    #[test]
+    fn insufficient_funds_queue_until_credit_like_astro() {
+        let mut net = Net::new(4, cfg());
+        net.pay(1, Payment::new(1u64, 0u64, 2u64, 150u64)); // overdraft
+        net.run_until(HOUR);
+        for i in 0..4 {
+            assert!(net.settled[i].is_empty());
+        }
+        net.pay(2, Payment::new(3u64, 0u64, 1u64, 60u64)); // credit client 1
+        net.run_until(HOUR);
+        for i in 0..4 {
+            assert_eq!(net.settled[i].len(), 2, "replica {i}");
+            assert_eq!(net.replicas[i].balance(ClientId(2)), Amount(250));
+        }
+    }
+
+    #[test]
+    fn message_wire_round_trip() {
+        use astro_types::wire::decode_exact;
+        let batch = Batch { payments: vec![Payment::new(1u64, 0u64, 2u64, 3u64)] };
+        let digest = batch_digest(1, 2, &batch);
+        let msgs = vec![
+            PbftMsg::Forward(Payment::new(1u64, 0u64, 2u64, 3u64)),
+            PbftMsg::PrePrepare { view: 1, seq: 2, batch: batch.clone() },
+            PbftMsg::Prepare { view: 1, seq: 2, digest },
+            PbftMsg::Commit { view: 1, seq: 2, digest },
+            PbftMsg::ViewChange { new_view: 2, last_exec: 1, suffix: vec![(2, batch.clone())] },
+            PbftMsg::NewView { view: 2, proposals: vec![(2, batch)] },
+        ];
+        for msg in msgs {
+            let bytes = msg.to_wire_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(decode_exact::<PbftMsg>(&bytes).unwrap(), msg);
+        }
+    }
+}

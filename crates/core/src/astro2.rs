@@ -1,0 +1,805 @@
+//! The Astro II replica: payments over signature-based BRB with the
+//! CREDIT / dependency-certificate mechanism and asynchronous sharding
+//! (paper §IV-A, §V, Listings 6–10).
+//!
+//! Astro II's broadcast lacks totality, so beneficiaries are **not**
+//! credited directly at settlement. Instead, each replica that settles a
+//! payment unicasts a signed CREDIT to the beneficiary's representative;
+//! `f+1` matching CREDITs form a *dependency certificate* — unequivocal,
+//! transferable proof of incoming funds — which the representative attaches
+//! to the beneficiary's next outgoing payment (Listing 7). Settlement then
+//! materializes the certificates into balance (Listing 9). Because the
+//! certificate is verifiable against the settling shard's keys, the exact
+//! same single message step implements cross-shard payments (§V): no 2PC,
+//! no coordination on the critical path.
+
+use crate::batch::{
+    credit_context, verify_certificate, CreditBundle, DepBatch, DepPayment, DependencyCertificate,
+};
+use crate::ledger::{Ledger, SettleOutcome};
+use crate::pending::PendingQueue;
+use crate::{ReplicaStep, SubmitError};
+use astro_brb::signed::{SignedBrb, SignedMsg};
+use astro_brb::{BrbConfig, DeliveryOrder, Envelope, InstanceId};
+use astro_types::wire::{Wire, WireError};
+use astro_types::{
+    Amount, Authenticator, ClientId, Group, Payment, PaymentId, ReplicaId, ShardId, ShardLayout,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// How beneficiaries receive funds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CreditMode {
+    /// All credits flow through CREDIT messages and dependency
+    /// certificates (Listings 7–10). Safe against the partial-payments
+    /// attack even for intra-shard payments; the paper's full mechanism.
+    #[default]
+    Certificates,
+    /// Intra-shard beneficiaries are credited directly at settlement (the
+    /// lightweight path the paper's Table I discussion mentions);
+    /// insufficient funds queue as in Astro I. Cross-shard payments still
+    /// use certificates. Consistent for correct broadcasters; exposed for
+    /// the ablation benchmark.
+    DirectIntraShard,
+}
+
+/// When a representative attaches held certificates to an outgoing
+/// payment (Listing 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepPolicy {
+    /// Attach only when the spender's settled balance (minus amounts
+    /// already committed to in-flight payments) cannot cover the payment.
+    /// Avoids certificate-verification work entirely while clients are
+    /// well funded — the situation in all of the paper's benchmarks
+    /// (§VI-B: "clients have enough balance").
+    #[default]
+    WhenNeeded,
+    /// Attach all accumulated certificates to every payment (the literal
+    /// Listing 7). Kept for the ablation benchmark.
+    Always,
+}
+
+/// Configuration of an Astro II replica.
+#[derive(Debug, Clone)]
+pub struct Astro2Config {
+    /// Payments per broadcast batch (flushed automatically when full).
+    pub batch_size: usize,
+    /// Genesis balance of every client (held in the client's own shard).
+    pub initial_balance: Amount,
+    /// Credit propagation mode.
+    pub credit_mode: CreditMode,
+    /// Certificate attachment policy.
+    pub dep_policy: DepPolicy,
+}
+
+impl Default for Astro2Config {
+    fn default() -> Self {
+        Astro2Config {
+            batch_size: 256,
+            initial_balance: Amount(1_000_000),
+            credit_mode: CreditMode::Certificates,
+            dep_policy: DepPolicy::WhenNeeded,
+        }
+    }
+}
+
+/// Wire messages exchanged between Astro II replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Astro2Msg<S> {
+    /// Broadcast-layer traffic within a shard.
+    Brb(SignedMsg<DepBatch<S>, S>),
+    /// A CREDIT sub-batch, unicast to a beneficiary representative
+    /// (possibly across shards).
+    Credit(CreditBundle<S>),
+}
+
+impl<S: Wire> Wire for Astro2Msg<S> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Astro2Msg::Brb(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            Astro2Msg::Credit(c) => {
+                buf.push(1);
+                c.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Astro2Msg::Brb(Wire::decode(buf)?)),
+            1 => Ok(Astro2Msg::Credit(Wire::decode(buf)?)),
+            _ => Err(WireError::InvalidValue("astro2 message tag")),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Astro2Msg::Brb(m) => m.encoded_len(),
+            Astro2Msg::Credit(c) => c.encoded_len(),
+        }
+    }
+}
+
+/// CREDIT proofs gathered for one sub-batch (Listing 10's `partialDeps`).
+#[derive(Debug)]
+struct PartialBundle<S> {
+    bundle: Vec<Payment>,
+    proofs: HashMap<ReplicaId, S>,
+    certified: bool,
+}
+
+/// One Astro II replica.
+#[derive(Debug)]
+pub struct AstroTwoReplica<A: Authenticator> {
+    me: ReplicaId,
+    layout: ShardLayout,
+    my_shard: ShardId,
+    /// Group per shard id (certificate verification needs every shard).
+    groups: Vec<Group>,
+    auth: A,
+    brb: SignedBrb<DepBatch<A::Sig>, A>,
+    ledger: Ledger,
+    /// Future-sequence payments with their attached certificates.
+    pending: PendingQueue<Vec<DependencyCertificate<A::Sig>>>,
+    /// Credits already materialized (replay protection, Listing 9's
+    /// `usedDeps` — payment ids are globally unique so one set suffices).
+    used_deps: HashSet<PaymentId>,
+    /// Clients whose xlog is permanently stuck (a payment was dropped for
+    /// insufficient funds in certificate mode — Listing 9's early return).
+    stuck: HashSet<ClientId>,
+    /// Representative state: certificates awaiting the client's next
+    /// outgoing payment (Listing 7's `deps`).
+    rep_deps: HashMap<ClientId, Vec<DependencyCertificate<A::Sig>>>,
+    /// Representative state: proofs gathered per sub-batch digest.
+    partial: HashMap<[u8; 32], PartialBundle<A::Sig>>,
+    batch: Vec<DepPayment<A::Sig>>,
+    batch_size: usize,
+    next_tag: u64,
+    mode: CreditMode,
+    dep_policy: DepPolicy,
+    /// Representative state: funds already promised to in-flight payments
+    /// (submitted, not yet observed settled), per client.
+    reserved: HashMap<ClientId, u64>,
+}
+
+impl<A: Authenticator> AstroTwoReplica<A> {
+    /// Creates replica `auth.me()` within `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is not a member of the layout, or a shard is
+    /// smaller than 4 replicas.
+    pub fn new(auth: A, layout: ShardLayout, cfg: Astro2Config) -> Self {
+        let me = auth.me();
+        let my_shard = layout
+            .shard_of_replica(me)
+            .unwrap_or_else(|| panic!("replica {me} not in layout"));
+        let groups: Vec<Group> = layout
+            .shards()
+            .iter()
+            .map(|s| Group::from_spec(s).expect("shard too small"))
+            .collect();
+        let brb = SignedBrb::new(
+            auth.clone(),
+            groups[my_shard.0 as usize].clone(),
+            BrbConfig { order: DeliveryOrder::Unordered, bind_source: true },
+        );
+        AstroTwoReplica {
+            me,
+            layout,
+            my_shard,
+            groups,
+            auth,
+            brb,
+            ledger: Ledger::new(cfg.initial_balance),
+            pending: PendingQueue::new(),
+            used_deps: HashSet::new(),
+            stuck: HashSet::new(),
+            rep_deps: HashMap::new(),
+            partial: HashMap::new(),
+            batch: Vec::new(),
+            batch_size: cfg.batch_size.max(1),
+            next_tag: 0,
+            mode: cfg.credit_mode,
+            dep_policy: cfg.dep_policy,
+            reserved: HashMap::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The shard this replica belongs to.
+    pub fn shard(&self) -> ShardId {
+        self.my_shard
+    }
+
+    /// This replica's broadcast group (its shard).
+    pub fn group(&self) -> &Group {
+        &self.groups[self.my_shard.0 as usize]
+    }
+
+    /// A client submits a payment to its representative (Listing 7): the
+    /// accumulated dependency certificates ride along with it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects clients this replica does not represent.
+    pub fn submit(&mut self, payment: Payment) -> Result<ReplicaStep<Astro2Msg<A::Sig>>, SubmitError> {
+        if !self.layout.is_representative(self.me, payment.spender) {
+            return Err(SubmitError::NotRepresentative {
+                client: payment.spender,
+                representative: self.layout.representative_of(payment.spender),
+            });
+        }
+        let reserved = self.reserved.entry(payment.spender).or_insert(0);
+        let need = reserved.saturating_add(payment.amount.0);
+        let attach = match self.dep_policy {
+            DepPolicy::Always => true,
+            DepPolicy::WhenNeeded => self.ledger.balance(payment.spender).0 < need,
+        };
+        *reserved = need;
+        let deps = if attach {
+            self.rep_deps.remove(&payment.spender).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        self.batch.push(DepPayment { payment, deps });
+        if self.batch.len() >= self.batch_size {
+            Ok(self.flush())
+        } else {
+            Ok(ReplicaStep::empty())
+        }
+    }
+
+    /// Broadcasts the accumulated batch within the shard, if any.
+    pub fn flush(&mut self) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        if self.batch.is_empty() {
+            return ReplicaStep::empty();
+        }
+        let entries = std::mem::take(&mut self.batch);
+        let id = InstanceId { source: u64::from(self.me.0), tag: self.next_tag };
+        self.next_tag += 1;
+        let step = self.brb.broadcast(id, DepBatch { entries });
+        ReplicaStep {
+            outbound: step
+                .outbound
+                .into_iter()
+                .map(|e| Envelope { to: e.to, msg: Astro2Msg::Brb(e.msg) })
+                .collect(),
+            settled: Vec::new(),
+        }
+    }
+
+    /// Number of payments waiting in the unflushed batch.
+    pub fn batched(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Processes one replica-to-replica message.
+    pub fn handle(&mut self, from: ReplicaId, msg: Astro2Msg<A::Sig>) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        match msg {
+            Astro2Msg::Brb(m) => {
+                let step = self.brb.handle(from, m);
+                let mut out = ReplicaStep {
+                    outbound: step
+                        .outbound
+                        .into_iter()
+                        .map(|e| Envelope { to: e.to, msg: Astro2Msg::Brb(e.msg) })
+                        .collect(),
+                    settled: Vec::new(),
+                };
+                for delivery in step.delivered {
+                    self.apply_batch(delivery.id, delivery.payload, &mut out);
+                }
+                out
+            }
+            Astro2Msg::Credit(cb) => self.on_credit(from, cb),
+        }
+    }
+
+    /// Applies a BRB-delivered batch (Listings 8–9) and emits CREDIT
+    /// sub-batches for the settled payments.
+    fn apply_batch(
+        &mut self,
+        id: InstanceId,
+        batch: DepBatch<A::Sig>,
+        out: &mut ReplicaStep<Astro2Msg<A::Sig>>,
+    ) {
+        let broadcaster = ReplicaId(id.source as u32);
+        let mut touched: Vec<ClientId> = Vec::new();
+        let mut settled: Vec<Payment> = Vec::new();
+
+        for entry in batch.entries {
+            let p = entry.payment;
+            // Representative and locality checks.
+            if self.layout.representative_of(p.spender) != broadcaster
+                || self.layout.shard_of_client(p.spender) != self.my_shard
+            {
+                continue;
+            }
+            match self.attempt_settle(&p, &entry.deps) {
+                SettleOutcome::Applied => {
+                    if let Some(r) = self.reserved.get_mut(&p.spender) {
+                        *r = r.saturating_sub(p.amount.0);
+                    }
+                    settled.push(p);
+                    touched.push(p.spender);
+                    touched.push(p.beneficiary);
+                }
+                SettleOutcome::FutureSeq | SettleOutcome::InsufficientFunds => {
+                    // InsufficientFunds only surfaces in DirectIntraShard
+                    // mode (certificate mode converts it into a permanent
+                    // drop); queue until a credit arrives, as in Astro I.
+                    self.pending.push(p, entry.deps);
+                    touched.push(p.spender);
+                }
+                SettleOutcome::StaleSeq => {}
+            }
+        }
+
+        // Cascade: settled payments may unblock queued successors.
+        let Self { pending, ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, .. } =
+            self;
+        let cascaded = pending.drain_cascade(touched, ledger, |ledger, p, deps| {
+            attempt_settle_inner(
+                ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps,
+            )
+        });
+        settled.extend(cascaded.into_iter().map(|e| e.payment));
+
+        // Emit CREDIT sub-batches grouped by beneficiary representative
+        // (paper §VI-A's second batching level: one signature per group).
+        let mut by_rep: BTreeMap<ReplicaId, Vec<Payment>> = BTreeMap::new();
+        for p in &settled {
+            let beneficiary_shard = self.layout.shard_of_client(p.beneficiary);
+            let direct = self.mode == CreditMode::DirectIntraShard
+                && beneficiary_shard == self.my_shard;
+            if !direct {
+                by_rep
+                    .entry(self.layout.representative_of(p.beneficiary))
+                    .or_default()
+                    .push(*p);
+            }
+        }
+        for (rep, bundle) in by_rep {
+            let sig = self.auth.sign(&credit_context(&bundle));
+            out.outbound.push(Envelope {
+                to: astro_brb::Dest::One(rep),
+                msg: Astro2Msg::Credit(CreditBundle { bundle, sig }),
+            });
+        }
+        out.settled.extend(settled);
+    }
+
+    /// One settle attempt for a payment with its dependencies.
+    fn attempt_settle(
+        &mut self,
+        p: &Payment,
+        deps: &[DependencyCertificate<A::Sig>],
+    ) -> SettleOutcome {
+        let Self { ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, .. } = self;
+        attempt_settle_inner(ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps)
+    }
+
+    /// Handles an incoming CREDIT sub-batch at the beneficiary's
+    /// representative (Listing 10).
+    fn on_credit(&mut self, from: ReplicaId, cb: CreditBundle<A::Sig>) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        let empty = ReplicaStep::empty();
+        let Some(first) = cb.bundle.first() else { return empty };
+        // All bundled payments must have been settled by one shard, and the
+        // sender must belong to it.
+        let settling_shard = self.layout.shard_of_client(first.spender);
+        if !cb
+            .bundle
+            .iter()
+            .all(|p| self.layout.shard_of_client(p.spender) == settling_shard)
+        {
+            return empty;
+        }
+        let group = &self.groups[settling_shard.0 as usize];
+        if !group.contains(from) {
+            return empty;
+        }
+        // Ignore bundles for clients we do not represent.
+        if !cb
+            .bundle
+            .iter()
+            .any(|p| self.layout.is_representative(self.me, p.beneficiary))
+        {
+            return empty;
+        }
+        let context = credit_context(&cb.bundle);
+        if !self.auth.verify(from, &context, &cb.sig) {
+            return empty;
+        }
+        let key: [u8; 32] = context.as_slice().try_into().expect("sha256 digest");
+        let small_quorum = group.small_quorum();
+        let partial = self.partial.entry(key).or_insert_with(|| PartialBundle {
+            bundle: cb.bundle,
+            proofs: HashMap::new(),
+            certified: false,
+        });
+        partial.proofs.insert(from, cb.sig);
+        if partial.certified || partial.proofs.len() < small_quorum {
+            return empty;
+        }
+        partial.certified = true;
+        let cert = DependencyCertificate {
+            bundle: partial.bundle.clone(),
+            proofs: partial.proofs.iter().map(|(r, s)| (*r, s.clone())).collect(),
+        };
+        // Store the certificate for every beneficiary we represent.
+        let mut beneficiaries: Vec<ClientId> =
+            cert.bundle.iter().map(|p| p.beneficiary).collect();
+        beneficiaries.sort_unstable();
+        beneficiaries.dedup();
+        for b in beneficiaries {
+            if self.layout.is_representative(self.me, b) {
+                self.rep_deps.entry(b).or_default().push(cert.clone());
+            }
+        }
+        empty
+    }
+
+    /// The settled balance of a client at this replica.
+    pub fn balance(&self, client: ClientId) -> Amount {
+        self.ledger.balance(client)
+    }
+
+    /// The balance a representative reports to its client: settled balance
+    /// plus certified-but-unspent incoming credits.
+    pub fn available_balance(&self, client: ClientId) -> Amount {
+        let mut total = self.ledger.balance(client);
+        if let Some(certs) = self.rep_deps.get(&client) {
+            for cert in certs {
+                for p in cert.credits_for(client) {
+                    if !self.used_deps.contains(&p.id()) {
+                        total = total.saturating_add(p.amount);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Read access to the ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Number of payments queued awaiting approval.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Clients whose xlog was permanently stuck by an under-funded payment
+    /// (certificate mode).
+    pub fn stuck_clients(&self) -> impl Iterator<Item = ClientId> + '_ {
+        self.stuck.iter().copied()
+    }
+
+    /// Certificates currently held for `client` (representative state).
+    pub fn held_certificates(&self, client: ClientId) -> usize {
+        self.rep_deps.get(&client).map_or(0, Vec::len)
+    }
+}
+
+/// The settle attempt, free of `self` so the pending-queue cascade can call
+/// it while the queue itself is mutably borrowed.
+#[allow(clippy::too_many_arguments)]
+fn attempt_settle_inner<A: Authenticator>(
+    ledger: &mut Ledger,
+    auth: &A,
+    layout: &ShardLayout,
+    groups: &[Group],
+    used_deps: &mut HashSet<PaymentId>,
+    stuck: &mut HashSet<ClientId>,
+    mode: CreditMode,
+    my_shard: ShardId,
+    p: &Payment,
+    deps: &[DependencyCertificate<A::Sig>],
+) -> SettleOutcome {
+    let next = ledger.next_seq(p.spender);
+    if p.seq > next {
+        return SettleOutcome::FutureSeq;
+    }
+    if p.seq < next {
+        return SettleOutcome::StaleSeq;
+    }
+    if stuck.contains(&p.spender) {
+        // The xlog is stuck (Listing 9's early return dropped a payment);
+        // successors can never settle.
+        return SettleOutcome::StaleSeq;
+    }
+    // Materialize dependencies (Listing 9: `newDeps`, `usedDeps`,
+    // `bal += balanceOf(newDeps)`) — before the funds check, and kept even
+    // if the payment is then rejected.
+    for cert in deps {
+        let Some(first) = cert.bundle.first() else { continue };
+        let settling_shard = layout.shard_of_client(first.spender);
+        if !cert
+            .bundle
+            .iter()
+            .all(|d| layout.shard_of_client(d.spender) == settling_shard)
+        {
+            continue;
+        }
+        let group = &groups[settling_shard.0 as usize];
+        if !verify_certificate(cert, group, auth) {
+            continue;
+        }
+        for d in cert.credits_for(p.spender) {
+            if used_deps.insert(d.id()) {
+                ledger.credit(p.spender, d.amount);
+            }
+        }
+    }
+    let direct_credit = mode == CreditMode::DirectIntraShard
+        && layout.shard_of_client(p.beneficiary) == my_shard;
+    match ledger.settle(p, direct_credit) {
+        SettleOutcome::InsufficientFunds if mode == CreditMode::Certificates => {
+            // Listing 9's `if bal[Alice] < x: return` — the payment is
+            // dropped at every correct replica identically, and the xlog
+            // can never advance past this gap.
+            stuck.insert(p.spender);
+            SettleOutcome::StaleSeq
+        }
+        outcome => outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::PaymentCluster;
+    use astro_types::MacAuthenticator;
+
+    type Replica = AstroTwoReplica<MacAuthenticator>;
+
+    fn cluster(shards: usize, per_shard: usize, cfg: Astro2Config) -> PaymentCluster<Replica> {
+        let layout = ShardLayout::uniform(shards, per_shard).unwrap();
+        let total = shards * per_shard;
+        PaymentCluster::new((0..total).map(|i| {
+            AstroTwoReplica::new(
+                MacAuthenticator::new(ReplicaId(i as u32), b"astro2".to_vec()),
+                layout.clone(),
+                cfg.clone(),
+            )
+        }))
+    }
+
+    fn cfg(mode: CreditMode) -> Astro2Config {
+        Astro2Config { batch_size: 1, initial_balance: Amount(100), credit_mode: mode, dep_policy: DepPolicy::WhenNeeded }
+    }
+
+    /// Submits a payment at its representative.
+    fn pay(c: &mut PaymentCluster<Replica>, layout: &ShardLayout, p: Payment) {
+        let rep = layout.representative_of(p.spender);
+        let step = c.node_mut(rep.0 as usize).submit(p).expect("representative accepts");
+        c.submit_step(rep, step);
+    }
+
+    #[test]
+    fn intra_shard_payment_settles_and_certifies() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        // Client 0 pays client 1.
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.settled(i).len(), 1, "replica {i}");
+            assert_eq!(c.node(i).balance(ClientId(0)), Amount(70));
+            // Certificate mode: the beneficiary's settled balance is
+            // untouched until she spends.
+            assert_eq!(c.node(i).balance(ClientId(1)), Amount(100));
+        }
+        // Client 1's representative accumulated a certificate.
+        let rep1 = layout.representative_of(ClientId(1));
+        assert_eq!(c.node(rep1.0 as usize).held_certificates(ClientId(1)), 1);
+        assert_eq!(
+            c.node(rep1.0 as usize).available_balance(ClientId(1)),
+            Amount(130)
+        );
+    }
+
+    #[test]
+    fn beneficiary_spends_received_funds_via_certificate() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        // Client 1 now spends 120 — more than her genesis 100; the
+        // attached certificate covers it.
+        pay(&mut c, &layout, Payment::new(1u64, 0u64, 2u64, 120u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.settled(i).len(), 2, "replica {i}");
+            assert_eq!(c.node(i).balance(ClientId(1)), Amount(10)); // 100+30-120
+        }
+    }
+
+    #[test]
+    fn cross_shard_payment_one_step() {
+        let layout = ShardLayout::uniform(2, 4).unwrap();
+        let mut c = cluster(2, 4, cfg(CreditMode::Certificates));
+        // Find a client in shard 0 and one in shard 1.
+        let a = (0..100u64).map(ClientId).find(|x| layout.shard_of_client(*x) == ShardId(0)).unwrap();
+        let b = (0..100u64).map(ClientId).find(|x| layout.shard_of_client(*x) == ShardId(1)).unwrap();
+        pay(&mut c, &layout, Payment::new(a.0, 0u64, b.0, 50u64));
+        c.run_to_quiescence();
+        // Settled in shard 0 only (4 replicas).
+        let settled_replicas: usize = (0..8).filter(|&i| !c.settled(i).is_empty()).count();
+        assert_eq!(settled_replicas, 4, "only the spender's shard settles");
+        // The beneficiary's representative (shard 1) holds the certificate.
+        let rep_b = layout.representative_of(b);
+        assert_eq!(c.node(rep_b.0 as usize).held_certificates(b), 1);
+        assert_eq!(c.node(rep_b.0 as usize).available_balance(b), Amount(150));
+        // And b can spend it inside shard 1.
+        let b2 = (0..100u64)
+            .map(ClientId)
+            .find(|x| layout.shard_of_client(*x) == ShardId(1) && *x != b)
+            .unwrap();
+        pay(&mut c, &layout, Payment::new(b.0, 0u64, b2.0, 140u64));
+        c.run_to_quiescence();
+        let rep_b2 = layout.representative_of(b2);
+        assert_eq!(c.node(rep_b2.0 as usize).available_balance(b2), Amount(240));
+    }
+
+    #[test]
+    fn partial_payments_attack_is_contained() {
+        // Byzantine broadcaster sends the COMMIT to exactly one replica of
+        // the shard. That replica settles and emits one CREDIT — below the
+        // f+1 certificate threshold, so the beneficiary cannot spend
+        // unprovable money.
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let rep0 = layout.representative_of(ClientId(0)); // spender's rep
+        c.set_filter(move |from, to, msg| {
+            // Drop commits from the broadcaster except to replica 1.
+            !(from == rep0
+                && to != ReplicaId(1)
+                && matches!(msg, Astro2Msg::Brb(SignedMsg::Commit { .. })))
+        });
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        let settled: usize = (0..4).filter(|&i| !c.settled(i).is_empty()).count();
+        assert_eq!(settled, 1, "only the victim replica settles");
+        // No certificate anywhere: 1 < f+1 = 2 proofs.
+        let rep1 = layout.representative_of(ClientId(1));
+        assert_eq!(c.node(rep1.0 as usize).held_certificates(ClientId(1)), 0);
+        assert_eq!(c.node(rep1.0 as usize).available_balance(ClientId(1)), Amount(100));
+    }
+
+    #[test]
+    fn replayed_certificate_credits_only_once() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        // Steal the certificate from client 1's representative and attach
+        // it to TWO consecutive payments (double-deposit attempt).
+        let rep1 = layout.representative_of(ClientId(1));
+        let cert = c.node(rep1.0 as usize).rep_deps.get(&ClientId(1)).unwrap()[0].clone();
+        let node = c.node_mut(rep1.0 as usize);
+        node.batch.push(DepPayment {
+            payment: Payment::new(1u64, 0u64, 2u64, 10u64),
+            deps: vec![cert.clone()],
+        });
+        let step = node.flush();
+        c.submit_step(rep1, step);
+        c.run_to_quiescence();
+        let node = c.node_mut(rep1.0 as usize);
+        node.batch.push(DepPayment {
+            payment: Payment::new(1u64, 1u64, 2u64, 10u64),
+            deps: vec![cert],
+        });
+        let step = node.flush();
+        c.submit_step(rep1, step);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            // 100 + 30 (credited once!) - 20 = 110.
+            assert_eq!(c.node(i).balance(ClientId(1)), Amount(110), "replica {i}");
+        }
+    }
+
+    #[test]
+    fn direct_mode_credits_intra_shard_immediately() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::DirectIntraShard));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.node(i).balance(ClientId(1)), Amount(130), "replica {i}");
+        }
+        // No CREDIT traffic was needed: no certificates held anywhere.
+        for i in 0..4 {
+            assert_eq!(c.node(i).held_certificates(ClientId(1)), 0);
+        }
+    }
+
+    #[test]
+    fn overdraft_in_certificate_mode_sticks_the_xlog() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        // 150 > genesis 100 and no dependencies: dropped, xlog stuck.
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 150u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert!(c.settled(i).is_empty());
+            assert_eq!(c.node(i).stuck_clients().count(), 1);
+        }
+        // A later, well-funded payment of the same client can never settle.
+        pay(&mut c, &layout, Payment::new(0u64, 1u64, 1u64, 10u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert!(c.settled(i).is_empty(), "stuck xlog must not advance");
+        }
+    }
+
+    #[test]
+    fn overdraft_in_direct_mode_queues() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::DirectIntraShard));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 150u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.node(i).pending_len(), 1);
+        }
+        // Credit arrives; the queued payment settles.
+        pay(&mut c, &layout, Payment::new(2u64, 0u64, 0u64, 60u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.settled(i).len(), 2, "replica {i}");
+            assert_eq!(c.node(i).balance(ClientId(0)), Amount(10));
+        }
+    }
+
+    #[test]
+    fn equivocating_representative_cannot_double_spend_across_replicas() {
+        // The representative broadcasts two conflicting batches for the
+        // same instance tag; BRB agreement lets at most one deliver.
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let rep = layout.representative_of(ClientId(0));
+        let idx = rep.0 as usize;
+        let id = InstanceId { source: u64::from(rep.0), tag: 0 };
+        let batch_a = DepBatch {
+            entries: vec![DepPayment { payment: Payment::new(0u64, 0u64, 1u64, 50u64), deps: vec![] }],
+        };
+        let batch_b = DepBatch {
+            entries: vec![DepPayment { payment: Payment::new(0u64, 0u64, 2u64, 50u64), deps: vec![] }],
+        };
+        // Byzantine: prepare A at two replicas, B at the other two.
+        for (i, batch) in [(0u32, &batch_a), (1, &batch_a), (2, &batch_b), (3, &batch_b)] {
+            c.inject(
+                rep,
+                ReplicaId(i),
+                Astro2Msg::Brb(SignedMsg::Prepare { id, payload: batch.clone() }),
+            );
+        }
+        c.run_to_quiescence();
+        // Neither side can reach a 2f+1 = 3 ack quorum: nothing settles.
+        for i in 0..4 {
+            if i != idx {
+                assert!(c.settled(i).is_empty(), "replica {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn message_wire_round_trip() {
+        use astro_types::wire::decode_exact;
+        let auth = MacAuthenticator::new(ReplicaId(0), b"wire".to_vec());
+        let bundle = vec![Payment::new(1u64, 0u64, 2u64, 5u64)];
+        let sig = auth.sign(&credit_context(&bundle));
+        let msg: Astro2Msg<astro_types::auth::SimSig> =
+            Astro2Msg::Credit(CreditBundle { bundle, sig });
+        let bytes = msg.to_wire_bytes();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(decode_exact::<Astro2Msg<astro_types::auth::SimSig>>(&bytes).unwrap(), msg);
+    }
+}

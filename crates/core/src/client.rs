@@ -1,0 +1,84 @@
+//! Client-side logic: sequence-number assignment (paper Listing 1).
+//!
+//! Clients are lightweight: they keep only their own next sequence number,
+//! construct payments, and submit them to their representative replica.
+
+use astro_types::{Amount, ClientId, Payment, SeqNo};
+
+/// A client of the payment system — the owner of one exclusive log.
+///
+/// # Examples
+///
+/// ```
+/// use astro_core::client::Client;
+/// use astro_types::{ClientId, SeqNo};
+///
+/// let mut alice = Client::new(ClientId(1));
+/// let p1 = alice.pay(ClientId(2), 10u64.into());
+/// let p2 = alice.pay(ClientId(3), 5u64.into());
+/// assert_eq!(p1.seq, SeqNo(0));
+/// assert_eq!(p2.seq, SeqNo(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Client {
+    id: ClientId,
+    next_seq: SeqNo,
+}
+
+impl Client {
+    /// Creates a fresh client (first payment will carry sequence number 0).
+    pub fn new(id: ClientId) -> Self {
+        Client { id, next_seq: SeqNo::FIRST }
+    }
+
+    /// Resumes a client whose xlog already has `settled` payments (e.g.
+    /// after reconnecting and querying the representative).
+    pub fn resume(id: ClientId, next_seq: SeqNo) -> Self {
+        Client { id, next_seq }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The sequence number the next payment will carry.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// Creates the next payment (Listing 1: assign the sequence number,
+    /// then increment). The caller submits it to the representative.
+    pub fn pay(&mut self, beneficiary: ClientId, amount: Amount) -> Payment {
+        let payment = Payment {
+            spender: self.id,
+            seq: self.next_seq,
+            beneficiary,
+            amount,
+        };
+        self.next_seq = self.next_seq.next();
+        payment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let mut c = Client::new(ClientId(7));
+        for expect in 0..10u64 {
+            let p = c.pay(ClientId(8), Amount(1));
+            assert_eq!(p.seq, SeqNo(expect));
+            assert_eq!(p.spender, ClientId(7));
+        }
+    }
+
+    #[test]
+    fn resume_continues_numbering() {
+        let mut c = Client::resume(ClientId(7), SeqNo(5));
+        assert_eq!(c.pay(ClientId(8), Amount(1)).seq, SeqNo(5));
+        assert_eq!(c.next_seq(), SeqNo(6));
+    }
+}

@@ -1,0 +1,216 @@
+//! Replica-local system state: balances, sequence numbers, and xlogs —
+//! the `sn[..]`, `bal[..]`, `xlogs[..]` of the paper's Listing 2.
+
+use crate::xlog::XLog;
+use astro_types::{Amount, ClientId, Payment, SeqNo};
+use std::collections::HashMap;
+
+/// Outcome of attempting to settle a payment against the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleOutcome {
+    /// The payment was applied (balances, sequence number, xlog updated).
+    Applied,
+    /// The payment's sequence number is ahead of the spender's xlog —
+    /// approval criterion (1) of Listing 3 is unmet; queue and retry.
+    FutureSeq,
+    /// The sequence number was already settled — a duplicate or the loser
+    /// of an equivocation; drop.
+    StaleSeq,
+    /// Approval criterion (2) unmet: insufficient balance; queue and retry
+    /// after a credit (Astro I), or reject (Astro II without matching
+    /// dependencies).
+    InsufficientFunds,
+}
+
+/// The state a replica maintains for its shard's clients.
+///
+/// Unknown clients implicitly start with `initial_balance` — the genesis
+/// endowment used throughout the paper's experiments (clients are funded so
+/// payments can settle immediately, §VI-B).
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    initial_balance: Amount,
+    balances: HashMap<ClientId, Amount>,
+    xlogs: HashMap<ClientId, XLog>,
+}
+
+impl Ledger {
+    /// Creates a ledger where every client starts with `initial_balance`.
+    pub fn new(initial_balance: Amount) -> Self {
+        Ledger { initial_balance, balances: HashMap::new(), xlogs: HashMap::new() }
+    }
+
+    /// The spendable balance of `client` as currently settled.
+    pub fn balance(&self, client: ClientId) -> Amount {
+        *self.balances.get(&client).unwrap_or(&self.initial_balance)
+    }
+
+    /// The next expected sequence number of `client`'s xlog (the paper's
+    /// `sn[client] + 1` with 0-based numbering).
+    pub fn next_seq(&self, client: ClientId) -> SeqNo {
+        self.xlogs.get(&client).map_or(SeqNo::FIRST, XLog::next_seq)
+    }
+
+    /// The xlog of `client`, if any payment has been recorded.
+    pub fn xlog(&self, client: ClientId) -> Option<&XLog> {
+        self.xlogs.get(&client)
+    }
+
+    /// Iterates over all xlogs (state transfer / audit).
+    pub fn xlogs(&self) -> impl Iterator<Item = &XLog> {
+        self.xlogs.values()
+    }
+
+    /// Number of payments settled across all xlogs.
+    pub fn total_settled(&self) -> usize {
+        self.xlogs.values().map(XLog::len).sum()
+    }
+
+    /// Credits `amount` to `client` (beneficiary side of settlement, or a
+    /// materialized dependency certificate).
+    pub fn credit(&mut self, client: ClientId, amount: Amount) {
+        let balance = self.balance(client);
+        let new = balance
+            .checked_add(amount)
+            .expect("balance overflow: total money supply exceeds u64");
+        self.balances.insert(client, new);
+    }
+
+    /// Attempts to settle `payment` atomically: both approval criteria of
+    /// Listing 3 are checked, then the updates of Listing 4 are applied.
+    ///
+    /// `credit_beneficiary` controls whether the beneficiary's balance is
+    /// updated in the same step (Astro I / intra-shard direct mode) or left
+    /// to the CREDIT-certificate mechanism (Astro II, Listing 9).
+    pub fn settle(&mut self, payment: &Payment, credit_beneficiary: bool) -> SettleOutcome {
+        let next = self.next_seq(payment.spender);
+        if payment.seq > next {
+            return SettleOutcome::FutureSeq;
+        }
+        if payment.seq < next {
+            return SettleOutcome::StaleSeq;
+        }
+        let balance = self.balance(payment.spender);
+        let Some(remaining) = balance.checked_sub(payment.amount) else {
+            return SettleOutcome::InsufficientFunds;
+        };
+        // Apply (Listing 4).
+        self.balances.insert(payment.spender, remaining);
+        if credit_beneficiary {
+            self.credit(payment.beneficiary, payment.amount);
+        }
+        self.xlogs
+            .entry(payment.spender)
+            .or_insert_with(|| XLog::new(payment.spender))
+            .append(*payment)
+            .expect("sequence checked above");
+        SettleOutcome::Applied
+    }
+
+    /// Installs a transferred xlog and balance during reconfiguration
+    /// state transfer (Appendix A). Overwrites local state for the owner.
+    pub fn install(&mut self, xlog: XLog, balance: Amount) {
+        self.balances.insert(xlog.owner(), balance);
+        self.xlogs.insert(xlog.owner(), xlog);
+    }
+
+    /// Audit: every xlog internally consistent.
+    pub fn audit(&self) -> bool {
+        self.xlogs.values().all(XLog::audit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> Ledger {
+        Ledger::new(Amount(100))
+    }
+
+    #[test]
+    fn settle_applies_in_order() {
+        let mut l = ledger();
+        let p = Payment::new(1u64, 0u64, 2u64, 30u64);
+        assert_eq!(l.settle(&p, true), SettleOutcome::Applied);
+        assert_eq!(l.balance(ClientId(1)), Amount(70));
+        assert_eq!(l.balance(ClientId(2)), Amount(130));
+        assert_eq!(l.next_seq(ClientId(1)), SeqNo(1));
+        assert_eq!(l.total_settled(), 1);
+    }
+
+    #[test]
+    fn settle_without_beneficiary_credit() {
+        let mut l = ledger();
+        let p = Payment::new(1u64, 0u64, 2u64, 30u64);
+        assert_eq!(l.settle(&p, false), SettleOutcome::Applied);
+        assert_eq!(l.balance(ClientId(2)), Amount(100), "beneficiary not credited");
+    }
+
+    #[test]
+    fn future_seq_not_applied() {
+        let mut l = ledger();
+        let p = Payment::new(1u64, 1u64, 2u64, 30u64);
+        assert_eq!(l.settle(&p, true), SettleOutcome::FutureSeq);
+        assert_eq!(l.balance(ClientId(1)), Amount(100));
+    }
+
+    #[test]
+    fn stale_seq_dropped() {
+        let mut l = ledger();
+        assert_eq!(l.settle(&Payment::new(1u64, 0u64, 2u64, 10u64), true), SettleOutcome::Applied);
+        // Conflicting payment with the same (settled) sequence number.
+        assert_eq!(l.settle(&Payment::new(1u64, 0u64, 3u64, 10u64), true), SettleOutcome::StaleSeq);
+        assert_eq!(l.balance(ClientId(3)), Amount(100));
+    }
+
+    #[test]
+    fn insufficient_funds_blocks() {
+        let mut l = ledger();
+        let p = Payment::new(1u64, 0u64, 2u64, 101u64);
+        assert_eq!(l.settle(&p, true), SettleOutcome::InsufficientFunds);
+        // A credit unblocks it.
+        l.credit(ClientId(1), Amount(1));
+        assert_eq!(l.settle(&p, true), SettleOutcome::Applied);
+        assert_eq!(l.balance(ClientId(1)), Amount(0));
+    }
+
+    #[test]
+    fn self_payment_conserves_money() {
+        let mut l = ledger();
+        let p = Payment::new(1u64, 0u64, 1u64, 40u64);
+        assert_eq!(l.settle(&p, true), SettleOutcome::Applied);
+        assert_eq!(l.balance(ClientId(1)), Amount(100));
+    }
+
+    #[test]
+    fn money_conservation_over_random_settles() {
+        let mut l = Ledger::new(Amount(50));
+        let clients = 5u64;
+        let mut seqs = vec![0u64; clients as usize];
+        let mut applied = 0;
+        for i in 0..100u64 {
+            let s = i % clients;
+            let b = (i * 7 + 3) % clients;
+            let p = Payment::new(s, seqs[s as usize], b, (i % 13) + 1);
+            if l.settle(&p, true) == SettleOutcome::Applied {
+                seqs[s as usize] += 1;
+                applied += 1;
+            }
+        }
+        assert!(applied > 0);
+        let total: u64 = (0..clients).map(|c| l.balance(ClientId(c)).0).sum();
+        assert_eq!(total, clients * 50, "money must be conserved");
+    }
+
+    #[test]
+    fn install_overwrites_state() {
+        let mut l = ledger();
+        let mut xlog = XLog::new(ClientId(9));
+        xlog.append(Payment::new(9u64, 0u64, 1u64, 5u64)).unwrap();
+        l.install(xlog.clone(), Amount(77));
+        assert_eq!(l.balance(ClientId(9)), Amount(77));
+        assert_eq!(l.next_seq(ClientId(9)), SeqNo(1));
+        assert!(l.audit());
+    }
+}

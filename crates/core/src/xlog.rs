@@ -1,0 +1,208 @@
+//! The exclusive log (xlog) — Astro's core abstraction (paper §II).
+//!
+//! An xlog is an append-only record of all *outgoing* payments of one
+//! client, ordered by the sequence numbers the client assigned. Only the
+//! owner may append (hence "exclusive"); the replication layer guarantees
+//! all correct replicas hold identical copies.
+//!
+//! Storing full logs (rather than just balances and sequence numbers) is
+//! what enables auditability and reconfiguration state transfer (§II,
+//! Appendix A).
+
+use astro_types::{Amount, ClientId, Payment, SeqNo};
+
+/// Error appending to an xlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XLogError {
+    /// The payment's spender is not the log owner.
+    WrongOwner {
+        /// The log's owner.
+        owner: ClientId,
+        /// The payment's spender.
+        spender: ClientId,
+    },
+    /// The payment's sequence number is not the next expected one.
+    SequenceGap {
+        /// The expected next sequence number.
+        expected: SeqNo,
+        /// The payment's sequence number.
+        got: SeqNo,
+    },
+}
+
+impl core::fmt::Display for XLogError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            XLogError::WrongOwner { owner, spender } => {
+                write!(f, "payment spender {spender} is not log owner {owner}")
+            }
+            XLogError::SequenceGap { expected, got } => {
+                write!(f, "expected sequence {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XLogError {}
+
+/// The exclusive, append-only payment log of one client.
+///
+/// # Examples
+///
+/// ```
+/// use astro_core::xlog::XLog;
+/// use astro_types::{ClientId, Payment};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut log = XLog::new(ClientId(1));
+/// log.append(Payment::new(1u64, 0u64, 2u64, 10u64))?;
+/// log.append(Payment::new(1u64, 1u64, 3u64, 5u64))?;
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.total_spent().0, 15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XLog {
+    owner: ClientId,
+    entries: Vec<Payment>,
+}
+
+impl XLog {
+    /// Creates an empty log owned by `owner`.
+    pub fn new(owner: ClientId) -> Self {
+        XLog { owner, entries: Vec::new() }
+    }
+
+    /// The owning client.
+    pub fn owner(&self) -> ClientId {
+        self.owner
+    }
+
+    /// Number of recorded payments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no payments are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The next sequence number this log expects.
+    pub fn next_seq(&self) -> SeqNo {
+        SeqNo(self.entries.len() as u64)
+    }
+
+    /// Appends a payment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the payment's spender is not the owner, or its sequence
+    /// number is not exactly [`XLog::next_seq`] (logs never have gaps).
+    pub fn append(&mut self, payment: Payment) -> Result<(), XLogError> {
+        if payment.spender != self.owner {
+            return Err(XLogError::WrongOwner { owner: self.owner, spender: payment.spender });
+        }
+        let expected = self.next_seq();
+        if payment.seq != expected {
+            return Err(XLogError::SequenceGap { expected, got: payment.seq });
+        }
+        self.entries.push(payment);
+        Ok(())
+    }
+
+    /// The payment at sequence number `seq`, if recorded.
+    pub fn get(&self, seq: SeqNo) -> Option<&Payment> {
+        self.entries.get(seq.0 as usize)
+    }
+
+    /// Iterates over payments in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = &Payment> {
+        self.entries.iter()
+    }
+
+    /// Total amount spent through this log (audit helper).
+    ///
+    /// Saturates at `u64::MAX`; individual balances can never reach this
+    /// because settlement uses checked arithmetic.
+    pub fn total_spent(&self) -> Amount {
+        self.entries
+            .iter()
+            .fold(Amount::ZERO, |acc, p| acc.saturating_add(p.amount))
+    }
+
+    /// Audit check: owner and sequence invariants hold for every entry.
+    /// Always true for logs built through [`XLog::append`]; useful after
+    /// state transfer.
+    pub fn audit(&self) -> bool {
+        self.entries.iter().enumerate().all(|(i, p)| {
+            p.spender == self.owner && p.seq == SeqNo(i as u64)
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a XLog {
+    type Item = &'a Payment;
+    type IntoIter = std::slice::Iter<'a, Payment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_in_order() {
+        let mut log = XLog::new(ClientId(1));
+        assert_eq!(log.next_seq(), SeqNo(0));
+        log.append(Payment::new(1u64, 0u64, 2u64, 10u64)).unwrap();
+        assert_eq!(log.next_seq(), SeqNo(1));
+        assert_eq!(log.get(SeqNo(0)).unwrap().amount, Amount(10));
+        assert!(log.audit());
+    }
+
+    #[test]
+    fn rejects_wrong_owner() {
+        let mut log = XLog::new(ClientId(1));
+        let err = log.append(Payment::new(2u64, 0u64, 3u64, 1u64)).unwrap_err();
+        assert!(matches!(err, XLogError::WrongOwner { .. }));
+    }
+
+    #[test]
+    fn rejects_sequence_gap() {
+        let mut log = XLog::new(ClientId(1));
+        let err = log.append(Payment::new(1u64, 1u64, 2u64, 1u64)).unwrap_err();
+        assert_eq!(err, XLogError::SequenceGap { expected: SeqNo(0), got: SeqNo(1) });
+    }
+
+    #[test]
+    fn rejects_duplicate_seq() {
+        let mut log = XLog::new(ClientId(1));
+        log.append(Payment::new(1u64, 0u64, 2u64, 1u64)).unwrap();
+        let err = log.append(Payment::new(1u64, 0u64, 3u64, 1u64)).unwrap_err();
+        assert!(matches!(err, XLogError::SequenceGap { .. }));
+    }
+
+    #[test]
+    fn total_spent_sums() {
+        let mut log = XLog::new(ClientId(5));
+        for (i, amt) in [3u64, 4, 5].iter().enumerate() {
+            log.append(Payment::new(5u64, i as u64, 9u64, *amt)).unwrap();
+        }
+        assert_eq!(log.total_spent(), Amount(12));
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let mut log = XLog::new(ClientId(1));
+        for i in 0..5u64 {
+            log.append(Payment::new(1u64, i, 2u64, i + 1)).unwrap();
+        }
+        let seqs: Vec<u64> = log.iter().map(|p| p.seq.0).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the ledger / pending-queue engine: conservation,
+//! idempotence, and cascade correctness under arbitrary workloads.
+
+use astro_core::ledger::{Ledger, SettleOutcome};
+use astro_core::pending::PendingQueue;
+use astro_core::xlog::XLog;
+use astro_types::{Amount, ClientId, Payment, SeqNo};
+use proptest::prelude::*;
+
+const CLIENTS: u64 = 6;
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((0..CLIENTS, 1..CLIENTS, 1u64..500), 1..60)
+}
+
+fn as_payments(raw: &[(u64, u64, u64)]) -> Vec<Payment> {
+    let mut seq = vec![0u64; CLIENTS as usize];
+    raw.iter()
+        .map(|&(s, off, x)| {
+            let p = Payment::new(s, seq[s as usize], (s + off) % CLIENTS, x);
+            seq[s as usize] += 1;
+            p
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever happens — settles, queues, drops — total money is fixed.
+    #[test]
+    fn conservation_under_arbitrary_ops(raw in arb_ops(), genesis in 0u64..300) {
+        let mut ledger = Ledger::new(Amount(genesis));
+        let mut queue: PendingQueue<()> = PendingQueue::new();
+        for p in as_payments(&raw) {
+            match ledger.settle(&p, true) {
+                SettleOutcome::Applied => {
+                    queue.drain_cascade(
+                        [p.spender, p.beneficiary],
+                        &mut ledger,
+                        |l, q, ()| l.settle(q, true),
+                    );
+                }
+                SettleOutcome::FutureSeq | SettleOutcome::InsufficientFunds => {
+                    queue.push(p, ());
+                }
+                SettleOutcome::StaleSeq => {}
+            }
+        }
+        let total: u64 = (0..CLIENTS).map(|c| ledger.balance(ClientId(c)).0).sum();
+        prop_assert_eq!(total, genesis * CLIENTS);
+        prop_assert!(ledger.audit());
+    }
+
+    /// Replaying the full payment stream a second time changes nothing
+    /// (all payments are stale on replay).
+    #[test]
+    fn replay_is_idempotent(raw in arb_ops()) {
+        let mut ledger = Ledger::new(Amount(10_000));
+        let payments = as_payments(&raw);
+        for p in &payments {
+            let _ = ledger.settle(p, true);
+        }
+        let snapshot: Vec<u64> = (0..CLIENTS).map(|c| ledger.balance(ClientId(c)).0).collect();
+        let settled = ledger.total_settled();
+        for p in &payments {
+            let outcome = ledger.settle(p, true);
+            prop_assert!(
+                matches!(outcome, SettleOutcome::StaleSeq),
+                "replayed payment must be stale, got {:?}", outcome
+            );
+        }
+        let after: Vec<u64> = (0..CLIENTS).map(|c| ledger.balance(ClientId(c)).0).collect();
+        prop_assert_eq!(snapshot, after);
+        prop_assert_eq!(settled, ledger.total_settled());
+    }
+
+    /// Delivery order does not matter: shuffled delivery through the
+    /// pending queue reaches the same final state as in-order delivery
+    /// (per-spender sequence numbers impose the only required order).
+    #[test]
+    fn out_of_order_delivery_converges(raw in arb_ops(), seed in any::<u64>()) {
+        let payments = as_payments(&raw);
+
+        // In order.
+        let mut l1 = Ledger::new(Amount(10_000));
+        let mut q1: PendingQueue<()> = PendingQueue::new();
+        for p in &payments {
+            if l1.settle(p, true) != SettleOutcome::Applied {
+                q1.push(*p, ());
+            }
+            q1.drain_cascade([p.spender, p.beneficiary], &mut l1, |l, q, ()| l.settle(q, true));
+        }
+
+        // Deterministically shuffled.
+        let mut shuffled = payments.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let mut l2 = Ledger::new(Amount(10_000));
+        let mut q2: PendingQueue<()> = PendingQueue::new();
+        for p in &shuffled {
+            if l2.settle(p, true) != SettleOutcome::Applied {
+                q2.push(*p, ());
+            }
+            q2.drain_cascade([p.spender, p.beneficiary], &mut l2, |l, q, ()| l.settle(q, true));
+        }
+
+        for c in 0..CLIENTS {
+            prop_assert_eq!(
+                l1.balance(ClientId(c)),
+                l2.balance(ClientId(c)),
+                "divergence for client {}", c
+            );
+        }
+        prop_assert_eq!(l1.total_settled(), l2.total_settled());
+    }
+
+    /// XLog append is exactly the settled subsequence per spender.
+    #[test]
+    fn xlogs_mirror_settlement(raw in arb_ops()) {
+        let mut ledger = Ledger::new(Amount(10_000));
+        let mut applied: Vec<Payment> = Vec::new();
+        for p in as_payments(&raw) {
+            if ledger.settle(&p, true) == SettleOutcome::Applied {
+                applied.push(p);
+            }
+        }
+        for c in 0..CLIENTS {
+            let client = ClientId(c);
+            let expected: Vec<&Payment> = applied.iter().filter(|p| p.spender == client).collect();
+            match ledger.xlog(client) {
+                None => prop_assert!(expected.is_empty()),
+                Some(xlog) => {
+                    prop_assert_eq!(xlog.len(), expected.len());
+                    for (i, p) in expected.iter().enumerate() {
+                        prop_assert_eq!(xlog.get(SeqNo(i as u64)), Some(*p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconstructing a ledger from transferred xlogs preserves audit.
+    #[test]
+    fn state_transfer_preserves_audit(raw in arb_ops()) {
+        let mut source = Ledger::new(Amount(10_000));
+        for p in as_payments(&raw) {
+            let _ = source.settle(&p, true);
+        }
+        let mut target = Ledger::new(Amount(10_000));
+        for xlog in source.xlogs() {
+            let mut copy = XLog::new(xlog.owner());
+            for p in xlog.iter() {
+                copy.append(*p).expect("source log is valid");
+            }
+            target.install(copy, source.balance(xlog.owner()));
+        }
+        prop_assert!(target.audit());
+        for c in 0..CLIENTS {
+            prop_assert_eq!(target.next_seq(ClientId(c)), source.next_seq(ClientId(c)));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The secp256k1 base field GF(p), p = 2^256 − 2^32 − 977.
+
+use crate::u256::{self, Limbs, Modulus};
+
+/// secp256k1 field modulus p = 2^256 − 2^32 − 977.
+pub const P: Modulus = Modulus::new([
+    0xFFFFFFFEFFFFFC2F,
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFFFFFFFFFF,
+]);
+
+/// An element of GF(p), kept fully reduced (`0 <= value < p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fe(Limbs);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+    /// The curve constant b = 7 of y² = x³ + 7.
+    pub const SEVEN: Fe = Fe([7, 0, 0, 0]);
+
+    /// Creates a field element from limbs, reducing modulo p.
+    pub fn from_limbs(limbs: Limbs) -> Self {
+        Fe(P.reduce(&limbs))
+    }
+
+    /// Creates a field element from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Fe([v, 0, 0, 0])
+    }
+
+    /// Parses a 32-byte big-endian encoding; `None` if `>= p`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let limbs = u256::from_be_bytes(bytes);
+        if u256::lt(&limbs, &P.m) {
+            Some(Fe(limbs))
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        u256::to_be_bytes(&self.0)
+    }
+
+    /// Raw limb access (always reduced).
+    pub fn limbs(&self) -> &Limbs {
+        &self.0
+    }
+
+    /// True if this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        u256::is_zero(&self.0)
+    }
+
+    /// True if the canonical representative is odd (used for point
+    /// compression parity).
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fe) -> Fe {
+        Fe(P.add_mod(&self.0, &other.0))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fe) -> Fe {
+        Fe(P.sub_mod(&self.0, &other.0))
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        Fe(P.mul_mod(&self.0, &other.0))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Fe {
+        Fe(P.neg_mod(&self.0))
+    }
+
+    /// Doubles the element (`2·self`).
+    pub fn double(&self) -> Fe {
+        self.add(self)
+    }
+
+    /// Multiplies by a small constant.
+    pub fn mul_u64(&self, k: u64) -> Fe {
+        self.mul(&Fe::from_u64(k))
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`self^(p−2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero (zero has no inverse).
+    pub fn invert(&self) -> Fe {
+        assert!(!self.is_zero(), "inverse of zero field element");
+        let (p_minus_2, _) = u256::sub(&P.m, &[2, 0, 0, 0]);
+        Fe(P.pow_mod(&self.0, &p_minus_2))
+    }
+
+    /// Square root, if one exists. Since p ≡ 3 (mod 4) this is
+    /// `self^((p+1)/4)`; returns `None` when `self` is a non-residue.
+    pub fn sqrt(&self) -> Option<Fe> {
+        // (p+1)/4: add 1 then shift right by 2.
+        let (p_plus_1, carry) = u256::add(&P.m, &[1, 0, 0, 0]);
+        debug_assert!(!carry);
+        let mut exp = p_plus_1;
+        // Right shift by 2 bits across limbs.
+        for _ in 0..2 {
+            let mut prev = 0u64;
+            for i in (0..4).rev() {
+                let cur = exp[i];
+                exp[i] = (cur >> 1) | (prev << 63);
+                prev = cur & 1;
+            }
+        }
+        let root = Fe(P.pow_mod(&self.0, &exp));
+        if root.square() == *self {
+            Some(root)
+        } else {
+            None
+        }
+    }
+}
+
+impl core::fmt::Display for Fe {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for b in self.to_be_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_plus_one_is_two() {
+        assert_eq!(Fe::ONE.add(&Fe::ONE), Fe::from_u64(2));
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let a = Fe::from_u64(1234567);
+        assert_eq!(a.mul(&a.invert()), Fe::ONE);
+    }
+
+    #[test]
+    fn sqrt_of_square() {
+        let a = Fe::from_u64(987654321);
+        let sq = a.square();
+        let root = sq.sqrt().expect("square must have a root");
+        assert!(root == a || root == a.neg());
+    }
+
+    #[test]
+    fn non_residue_has_no_sqrt() {
+        // If a is a residue, -a is a non-residue when p ≡ 3 mod 4 (and a != 0).
+        let a = Fe::from_u64(4);
+        assert!(a.sqrt().is_some());
+        // Find a non-residue by scanning small values.
+        let mut found = false;
+        for v in 2..40u64 {
+            if Fe::from_u64(v).sqrt().is_none() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "some small non-residue must exist");
+    }
+
+    #[test]
+    fn neg_adds_to_zero() {
+        let a = Fe::from_u64(55);
+        assert_eq!(a.add(&a.neg()), Fe::ZERO);
+    }
+
+    #[test]
+    fn parse_rejects_values_at_or_above_p() {
+        let p_bytes = u256::to_be_bytes(&P.m);
+        assert!(Fe::from_be_bytes(&p_bytes).is_none());
+        let max = [0xffu8; 32];
+        assert!(Fe::from_be_bytes(&max).is_none());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = Fe::from_u64(0xdeadbeefcafe);
+        assert_eq!(Fe::from_be_bytes(&a.to_be_bytes()), Some(a));
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = Fe::from_u64(17);
+        let b = Fe::from_u64(101);
+        let c = Fe::from_u64(977);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}

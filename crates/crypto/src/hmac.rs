@@ -1,0 +1,177 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1) and authenticated-channel helpers.
+//!
+//! Astro I authenticates replica-to-replica links with MACs rather than
+//! signatures (paper §IV-A); [`MacKey`] models the pairwise symmetric key of
+//! such a link.
+//!
+//! # Examples
+//!
+//! ```
+//! use astro_crypto::hmac::MacKey;
+//!
+//! let key = MacKey::from_bytes([7u8; 32]);
+//! let tag = key.tag(b"PREPARE payment #42");
+//! assert!(key.verify(b"PREPARE payment #42", &tag));
+//! assert!(!key.verify(b"PREPARE payment #43", &tag));
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Length of an HMAC-SHA256 tag in bytes.
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// An HMAC-SHA256 authentication tag.
+pub type Tag = [u8; TAG_LEN];
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Tag {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = crate::sha256::sha256(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest: Digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time equality for fixed-size byte arrays.
+///
+/// Avoids leaking the position of the first mismatching byte through timing.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// A symmetric key for a point-to-point authenticated channel.
+///
+/// Astro I's Bracha broadcast assumes authenticated links; each ordered
+/// replica pair shares one `MacKey` (in a deployment these would be derived
+/// from a key-agreement handshake; tests derive them deterministically).
+#[derive(Clone)]
+pub struct MacKey {
+    key: [u8; 32],
+}
+
+impl core::fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.write_str("MacKey(..)")
+    }
+}
+
+impl MacKey {
+    /// Creates a key from raw bytes.
+    pub fn from_bytes(key: [u8; 32]) -> Self {
+        Self { key }
+    }
+
+    /// Derives the channel key for the ordered pair `(a, b)` from a shared
+    /// system secret. Deterministic: both endpoints derive the same key.
+    pub fn derive(system_secret: &[u8], a: u64, b: u64) -> Self {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let tag = hmac_sha256(
+            system_secret,
+            &[b"astro-mac-channel" as &[u8], &lo.to_be_bytes(), &hi.to_be_bytes()].concat(),
+        );
+        Self { key: tag }
+    }
+
+    /// Computes the authentication tag for `message`.
+    pub fn tag(&self, message: &[u8]) -> Tag {
+        hmac_sha256(&self.key, message)
+    }
+
+    /// Verifies `tag` over `message` in constant time.
+    pub fn verify(&self, message: &[u8], tag: &Tag) -> bool {
+        ct_eq(&self.tag(message), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        // Key "Jefe", data "what do ya want for nothing?"
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        // Keys longer than the block size are pre-hashed; check it does not
+        // equal the unhashed interpretation.
+        let long_key = [0xaau8; 80];
+        let t1 = hmac_sha256(&long_key, b"msg");
+        let short = crate::sha256::sha256(&long_key);
+        let t2 = hmac_sha256(&short, b"msg");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn mac_key_round_trip_and_reject() {
+        let k = MacKey::from_bytes([3u8; 32]);
+        let tag = k.tag(b"payload");
+        assert!(k.verify(b"payload", &tag));
+        assert!(!k.verify(b"payloae", &tag));
+        let other = MacKey::from_bytes([4u8; 32]);
+        assert!(!other.verify(b"payload", &tag));
+    }
+
+    #[test]
+    fn derive_is_symmetric_in_endpoints() {
+        let a = MacKey::derive(b"secret", 3, 9);
+        let b = MacKey::derive(b"secret", 9, 3);
+        assert_eq!(a.tag(b"x"), b.tag(b"x"));
+        let c = MacKey::derive(b"secret", 3, 10);
+        assert_ne!(a.tag(b"x"), c.tag(b"x"));
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+    }
+}

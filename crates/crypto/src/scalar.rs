@@ -1,0 +1,162 @@
+//! Scalars modulo the secp256k1 group order n.
+
+use crate::u256::{self, Limbs, Modulus, Wide};
+
+/// secp256k1 group order
+/// n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141.
+pub const N: Modulus = Modulus::new([
+    0xBFD25E8CD0364141,
+    0xBAAEDCE6AF48A03B,
+    0xFFFFFFFFFFFFFFFE,
+    0xFFFFFFFFFFFFFFFF,
+]);
+
+/// An integer modulo the group order n, kept fully reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar(Limbs);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Creates a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Parses a 32-byte big-endian value, reducing modulo n.
+    ///
+    /// Unlike strict parsers this never fails: out-of-range values wrap.
+    /// Use [`Scalar::from_be_bytes_checked`] when canonicity matters (e.g.
+    /// signature decoding).
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> Self {
+        Scalar(N.reduce(&u256::from_be_bytes(bytes)))
+    }
+
+    /// Parses a canonical (already reduced) 32-byte big-endian value.
+    pub fn from_be_bytes_checked(bytes: &[u8; 32]) -> Option<Self> {
+        let limbs = u256::from_be_bytes(bytes);
+        if u256::lt(&limbs, &N.m) {
+            Some(Scalar(limbs))
+        } else {
+            None
+        }
+    }
+
+    /// Reduces a 64-byte (512-bit) big-endian value modulo n. Used for
+    /// hash-to-scalar with negligible bias.
+    pub fn from_wide_be_bytes(bytes: &[u8; 64]) -> Self {
+        let hi = u256::from_be_bytes(bytes[..32].try_into().unwrap());
+        let lo = u256::from_be_bytes(bytes[32..].try_into().unwrap());
+        let wide: Wide = [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]];
+        Scalar(N.reduce_wide(&wide))
+    }
+
+    /// Serializes to 32 big-endian bytes (canonical form).
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        u256::to_be_bytes(&self.0)
+    }
+
+    /// Raw limb access (always reduced).
+    pub fn limbs(&self) -> &Limbs {
+        &self.0
+    }
+
+    /// True if this is zero.
+    pub fn is_zero(&self) -> bool {
+        u256::is_zero(&self.0)
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        u256::bit(&self.0, i)
+    }
+
+    /// Scalar addition mod n.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        Scalar(N.add_mod(&self.0, &other.0))
+    }
+
+    /// Scalar subtraction mod n.
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        Scalar(N.sub_mod(&self.0, &other.0))
+    }
+
+    /// Scalar multiplication mod n.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        Scalar(N.mul_mod(&self.0, &other.0))
+    }
+
+    /// Additive inverse mod n.
+    pub fn neg(&self) -> Scalar {
+        Scalar(N.neg_mod(&self.0))
+    }
+
+    /// Multiplicative inverse via Fermat (`self^(n−2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn invert(&self) -> Scalar {
+        assert!(!self.is_zero(), "inverse of zero scalar");
+        let (n_minus_2, _) = u256::sub(&N.m, &[2, 0, 0, 0]);
+        Scalar(N.pow_mod(&self.0, &n_minus_2))
+    }
+}
+
+impl core::fmt::Display for Scalar {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for b in self.to_be_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_minus_1_plus_1_wraps() {
+        let n_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        assert_eq!(n_minus_1.add(&Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let a = Scalar::from_u64(0xabcdef123);
+        assert_eq!(a.mul(&a.invert()), Scalar::ONE);
+    }
+
+    #[test]
+    fn checked_parse_rejects_n() {
+        let n_bytes = u256::to_be_bytes(&N.m);
+        assert!(Scalar::from_be_bytes_checked(&n_bytes).is_none());
+        assert!(Scalar::from_be_bytes_reduced(&n_bytes).is_zero());
+    }
+
+    #[test]
+    fn wide_reduction_consistent() {
+        // A value below n reduces to itself through the wide path.
+        let a = Scalar::from_u64(42);
+        let mut wide = [0u8; 64];
+        wide[32..].copy_from_slice(&a.to_be_bytes());
+        assert_eq!(Scalar::from_wide_be_bytes(&wide), a);
+    }
+
+    #[test]
+    fn mul_commutes() {
+        let a = Scalar::from_u64(999983);
+        let b = Scalar::from_u64(777777777);
+        assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = Scalar::from_u64(0x123456789);
+        assert_eq!(Scalar::from_be_bytes_checked(&a.to_be_bytes()), Some(a));
+    }
+}

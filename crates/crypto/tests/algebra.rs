@@ -1,0 +1,117 @@
+//! Property-based tests of the field, scalar, and group algebra — the
+//! foundations every signature in the system rests on.
+
+use astro_crypto::field::Fe;
+use astro_crypto::point::{mul_generator, Affine};
+use astro_crypto::scalar::Scalar;
+use astro_crypto::Keypair;
+use proptest::prelude::*;
+
+fn arb_fe() -> impl Strategy<Value = Fe> {
+    proptest::array::uniform32(any::<u8>()).prop_map(|mut b| {
+        b[0] &= 0x7f; // stay below p
+        Fe::from_be_bytes(&b).expect("below p")
+    })
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    proptest::array::uniform32(any::<u8>()).prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn field_addition_commutes_and_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn field_multiplication_distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn field_inverse_is_two_sided(a in arb_fe()) {
+        prop_assume!(!a.is_zero());
+        let inv = a.invert();
+        prop_assert_eq!(a.mul(&inv), Fe::ONE);
+        prop_assert_eq!(inv.mul(&a), Fe::ONE);
+    }
+
+    #[test]
+    fn field_square_matches_self_mul(a in arb_fe()) {
+        prop_assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn field_sqrt_round_trips_through_square(a in arb_fe()) {
+        let sq = a.square();
+        let root = sq.sqrt().expect("squares are residues");
+        prop_assert!(root == a || root == a.neg());
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_inverse(a in arb_scalar()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(&a.invert()), Scalar::ONE);
+    }
+
+    #[test]
+    fn scalar_mul_is_group_homomorphism(a in arb_scalar(), b in arb_scalar()) {
+        // (a + b)·G == a·G + b·G
+        let lhs = mul_generator(&a.add(&b));
+        let rhs = mul_generator(&a).add(&mul_generator(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scalar_mul_strategies_agree(a in arb_scalar()) {
+        let g = Affine::generator();
+        let naive = g.mul_naive(&a);
+        let comb = mul_generator(&a);
+        prop_assert_eq!(naive, comb);
+    }
+
+    #[test]
+    fn points_stay_on_curve(a in arb_scalar()) {
+        prop_assert!(mul_generator(&a).is_on_curve());
+    }
+
+    #[test]
+    fn compression_round_trips(a in arb_scalar()) {
+        prop_assume!(!a.is_zero());
+        let p = mul_generator(&a);
+        let enc = p.to_compressed();
+        prop_assert_eq!(Affine::from_compressed(&enc), Some(p));
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_message(seed in any::<[u8; 16]>(), msg in any::<Vec<u8>>()) {
+        let kp = Keypair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        let mut other = msg.clone();
+        other.push(0x55);
+        prop_assert!(!kp.public().verify(&other, &sig));
+    }
+
+    #[test]
+    fn signatures_bind_key(seed1 in any::<[u8; 16]>(), seed2 in any::<[u8; 16]>()) {
+        prop_assume!(seed1 != seed2);
+        let kp1 = Keypair::from_seed(&seed1);
+        let kp2 = Keypair::from_seed(&seed2);
+        let sig = kp1.sign(b"msg");
+        prop_assert!(!kp2.public().verify(b"msg", &sig));
+    }
+}

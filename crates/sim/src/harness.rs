@@ -1,0 +1,521 @@
+//! The simulation harness: closed-loop clients driving a payment system
+//! over the modelled WAN, with fault injection and metrics.
+//!
+//! Reproduces the paper's measurement methodology (§VI-B): clients submit
+//! a payment, wait for confirmation from their replica, and immediately
+//! submit the next one; throughput is confirmed payments per second,
+//! latency is the client-observed submit-to-confirmation time.
+
+use crate::cpumodel::CpuModel;
+use crate::metrics::{LatencyRecorder, LatencyStats, ThroughputTimeline};
+use crate::netmodel::{Nanos, NetParams, Network, Region};
+use crate::systems::{ConfirmRule, SimSystem};
+use crate::workload::Workload;
+use astro_brb::Dest;
+use astro_core::ReplicaStep;
+use astro_types::{PaymentId, ReplicaId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A scheduled fault (paper §VI-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash-stop a replica.
+    Crash(ReplicaId),
+    /// Add a constant delay to all the replica's outgoing packets
+    /// (`tc qdisc … netem delay …`).
+    Delay(ReplicaId, Nanos),
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated duration.
+    pub duration: Nanos,
+    /// Metrics (latency, steady-state throughput) ignore confirmations
+    /// before this time.
+    pub warmup: Nanos,
+    /// RNG seed (simulations are deterministic given a seed).
+    pub seed: u64,
+    /// Network parameters.
+    pub net: NetParams,
+    /// CPU cost model.
+    pub cpu: CpuModel,
+    /// Scheduled faults.
+    pub faults: Vec<(Nanos, Fault)>,
+    /// Throughput timeline bucket width.
+    pub timeline_bucket: Nanos,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration: 10_000_000_000, // 10 s
+            warmup: 2_000_000_000,    // 2 s
+            seed: 42,
+            net: NetParams::europe_wan(),
+            cpu: CpuModel::calibrated(),
+            faults: Vec::new(),
+            timeline_bucket: 1_000_000_000,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Payments submitted.
+    pub submitted: usize,
+    /// Payments confirmed.
+    pub confirmed: usize,
+    /// Steady-state throughput (confirmations in `[warmup, duration)`).
+    pub throughput_pps: f64,
+    /// Latency statistics for confirmations after warmup.
+    pub latency: Option<LatencyStats>,
+    /// Per-bucket confirmation timeline (for the robustness figures).
+    pub timeline: ThroughputTimeline,
+    /// Total simulator events processed.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: ReplicaId, to: ReplicaId, msg: M },
+    Tick { replica: ReplicaId },
+    ClientSubmit { client: usize },
+    Fault(Fault),
+}
+
+struct Event<M> {
+    time: Nanos,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Outstanding {
+    client: usize,
+    sent_at: Nanos,
+    entry: ReplicaId,
+    seen_at: u32,
+}
+
+/// Runs `workload` against `system` under `cfg` and reports metrics.
+pub fn run<S: SimSystem, W: Workload>(system: S, workload: W, cfg: SimConfig) -> SimReport {
+    run_with_system(system, workload, cfg).0
+}
+
+/// Like [`run`], additionally returning the system for post-run inspection
+/// (final views, replica state).
+pub fn run_with_system<S: SimSystem, W: Workload>(
+    mut system: S,
+    mut workload: W,
+    cfg: SimConfig,
+) -> (SimReport, S) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut network = Network::new(system.n(), cfg.net.clone());
+    let mut heap: BinaryHeap<Reverse<Event<S::Msg>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<Event<S::Msg>>>, seq: &mut u64, time, kind| {
+        *seq += 1;
+        heap.push(Reverse(Event { time, seq: *seq, kind }));
+    };
+
+    // Closed-loop clients start staggered to avoid a thundering herd, but
+    // the whole ramp fits well inside the warm-up window regardless of the
+    // client count.
+    let stagger = 137_000.min(500_000_000 / workload.num_clients().max(1) as Nanos);
+    for c in 0..workload.num_clients() {
+        push(&mut heap, &mut seq, (c as Nanos) * stagger, EventKind::ClientSubmit { client: c });
+    }
+    for (t, f) in &cfg.faults {
+        push(&mut heap, &mut seq, *t, EventKind::Fault(*f));
+    }
+
+    let mut cpu_free: Vec<Nanos> = vec![0; system.n()];
+    let mut next_tick: Vec<Nanos> = vec![Nanos::MAX; system.n()];
+    let mut outstanding: HashMap<PaymentId, Outstanding> = HashMap::new();
+    let mut entry_override: HashMap<usize, ReplicaId> = HashMap::new();
+    let mut latency = LatencyRecorder::new();
+    let mut timeline = ThroughputTimeline::new(cfg.timeline_bucket);
+    let mut submitted = 0usize;
+    let mut confirmed = 0usize;
+    let mut events = 0u64;
+    let confirm_rule = system.confirm_rule();
+
+    while let Some(Reverse(event)) = heap.pop() {
+        if event.time > cfg.duration {
+            break;
+        }
+        events += 1;
+        match event.kind {
+            EventKind::Fault(f) => match f {
+                Fault::Crash(r) => network.crash(r),
+                Fault::Delay(r, extra) => network.add_delay(r, extra),
+            },
+            EventKind::ClientSubmit { client } => {
+                let payment = workload.next_payment(client, &mut rng);
+                // Route by the *payment's spender* — a Smallbank owner has
+                // two xlogs (checking, savings) with possibly different
+                // representatives.
+                let mut entry = *entry_override
+                    .get(&client)
+                    .unwrap_or(&system.entry_replica(payment.spender));
+                if network.is_crashed(entry) {
+                    match confirm_rule {
+                        // Astro: fate-sharing with the representative —
+                        // the client's xlog stops (paper §VI-D).
+                        ConfirmRule::AtEntryReplica => continue,
+                        // BFT-SMaRt clients reconnect to another replica.
+                        ConfirmRule::ReplicaCount(_) => {
+                            let live: Vec<ReplicaId> = (0..system.n() as u32)
+                                .map(ReplicaId)
+                                .filter(|r| !network.is_crashed(*r))
+                                .collect();
+                            if live.is_empty() {
+                                continue;
+                            }
+                            entry = live[rng.gen_range(0..live.len())];
+                            entry_override.insert(client, entry);
+                        }
+                    }
+                }
+                submitted += 1;
+                outstanding.insert(
+                    payment.id(),
+                    Outstanding { client, sent_at: event.time, entry, seen_at: 0 },
+                );
+                let arrival = event.time + client_leg(&network, entry, &cfg.net);
+                let start = arrival.max(cpu_free[entry.0 as usize]);
+                let step = system.submit(entry, payment, start);
+                let completion = start + cfg.cpu.overhead_ns;
+                cpu_free[entry.0 as usize] = completion;
+                process_step(
+                    &mut system, &mut network, &mut heap, &mut seq, &mut rng, &cfg,
+                    &mut outstanding, &mut latency, &mut timeline, &mut confirmed,
+                    &mut next_tick, &mut cpu_free, entry, step, completion, confirm_rule,
+                );
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if network.is_crashed(to) {
+                    continue;
+                }
+                let start = event.time.max(cpu_free[to.0 as usize]);
+                let base_cost = cfg.cpu.overhead_ns + system.deliver_cost(&msg, &cfg.cpu);
+                let step = system.deliver(to, from, msg, start + base_cost);
+                let completion =
+                    start + base_cost + cfg.cpu.settle_ns * step.settled.len() as Nanos;
+                cpu_free[to.0 as usize] = completion;
+                process_step(
+                    &mut system, &mut network, &mut heap, &mut seq, &mut rng, &cfg,
+                    &mut outstanding, &mut latency, &mut timeline, &mut confirmed,
+                    &mut next_tick, &mut cpu_free, to, step, completion, confirm_rule,
+                );
+            }
+            EventKind::Tick { replica } => {
+                next_tick[replica.0 as usize] = Nanos::MAX;
+                if network.is_crashed(replica) {
+                    continue;
+                }
+                let start = event.time.max(cpu_free[replica.0 as usize]);
+                let step = system.tick(replica, start);
+                let completion = start
+                    + cfg.cpu.overhead_ns
+                    + cfg.cpu.settle_ns * step.settled.len() as Nanos;
+                cpu_free[replica.0 as usize] = completion;
+                process_step(
+                    &mut system, &mut network, &mut heap, &mut seq, &mut rng, &cfg,
+                    &mut outstanding, &mut latency, &mut timeline, &mut confirmed,
+                    &mut next_tick, &mut cpu_free, replica, step, completion, confirm_rule,
+                );
+            }
+        }
+    }
+
+    let measured = cfg.duration.saturating_sub(cfg.warmup);
+    let throughput = if measured > 0 {
+        timeline.rate_between(cfg.warmup, cfg.duration)
+    } else {
+        0.0
+    };
+    (
+        SimReport {
+            submitted,
+            confirmed,
+            throughput_pps: throughput,
+            latency: latency.stats(),
+            timeline,
+            events,
+        },
+        system,
+    )
+}
+
+/// One-way latency between the client park (Ireland, §VI-B) and a replica.
+fn client_leg(network: &Network, replica: ReplicaId, params: &NetParams) -> Nanos {
+    if network.region_of(replica) == Region::Ireland {
+        params.intra_region_latency
+    } else {
+        params.inter_region_latency
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_step<S: SimSystem>(
+    system: &mut S,
+    network: &mut Network,
+    heap: &mut BinaryHeap<Reverse<Event<S::Msg>>>,
+    seq: &mut u64,
+    rng: &mut StdRng,
+    cfg: &SimConfig,
+    outstanding: &mut HashMap<PaymentId, Outstanding>,
+    latency: &mut LatencyRecorder,
+    timeline: &mut ThroughputTimeline,
+    confirmed: &mut usize,
+    next_tick: &mut [Nanos],
+    cpu_free: &mut [Nanos],
+    replica: ReplicaId,
+    step: ReplicaStep<S::Msg>,
+    now: Nanos,
+    confirm_rule: ConfirmRule,
+) {
+    // Confirmations.
+    for p in &step.settled {
+        let id = p.id();
+        let confirm = match confirm_rule {
+            ConfirmRule::AtEntryReplica => {
+                outstanding.get(&id).is_some_and(|o| o.entry == replica)
+            }
+            ConfirmRule::ReplicaCount(k) => match outstanding.get_mut(&id) {
+                Some(o) => {
+                    o.seen_at += 1;
+                    o.seen_at as usize >= k
+                }
+                None => false,
+            },
+        };
+        if confirm {
+            let info = outstanding.remove(&id).expect("checked above");
+            let reply_at = now + client_leg(network, replica, &cfg.net);
+            if reply_at >= cfg.warmup {
+                latency.record(reply_at - info.sent_at);
+            }
+            timeline.record(reply_at);
+            *confirmed += 1;
+            // Closed loop: the client immediately submits its next payment.
+            *seq += 1;
+            heap.push(Reverse(Event {
+                time: reply_at,
+                seq: *seq,
+                kind: EventKind::ClientSubmit { client: info.client },
+            }));
+        }
+    }
+
+    // Outbound messages. Each copy costs sender CPU (serialization, link
+    // MAC) before it reaches the NIC, so broadcasts serialize through the
+    // sender — the leader-bottleneck effect.
+    let mut send_clock = now;
+    for env in step.outbound {
+        let size = system.wire_size(&env.msg);
+        let per_copy = system.send_cost(&env.msg, &cfg.cpu);
+        match env.to {
+            Dest::All => {
+                for target in system.broadcast_targets(replica) {
+                    send_clock += per_copy;
+                    if let Some(arrival) = network.transmit(replica, target, size, send_clock, rng)
+                    {
+                        *seq += 1;
+                        heap.push(Reverse(Event {
+                            time: arrival,
+                            seq: *seq,
+                            kind: EventKind::Deliver {
+                                from: replica,
+                                to: target,
+                                msg: env.msg.clone(),
+                            },
+                        }));
+                    }
+                }
+            }
+            Dest::One(target) => {
+                send_clock += per_copy;
+                if let Some(arrival) = network.transmit(replica, target, size, send_clock, rng) {
+                    *seq += 1;
+                    heap.push(Reverse(Event {
+                        time: arrival,
+                        seq: *seq,
+                        kind: EventKind::Deliver { from: replica, to: target, msg: env.msg },
+                    }));
+                }
+            }
+        }
+    }
+
+    // The sender's CPU was busy until the last copy left.
+    cpu_free[replica.0 as usize] = cpu_free[replica.0 as usize].max(send_clock);
+
+    // Timer rescheduling for this replica.
+    if let Some(deadline) = system.next_deadline(replica) {
+        let slot = &mut next_tick[replica.0 as usize];
+        if deadline < *slot {
+            *slot = deadline;
+            *seq += 1;
+            heap.push(Reverse(Event {
+                time: deadline.max(now),
+                seq: *seq,
+                kind: EventKind::Tick { replica },
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{Astro1System, Astro2System, PbftSystem};
+    use crate::workload::UniformWorkload;
+    use astro_consensus::pbft::PbftConfig;
+    use astro_core::astro1::Astro1Config;
+    use astro_core::astro2::Astro2Config;
+    use astro_types::Amount;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            duration: 3_000_000_000,
+            warmup: 500_000_000,
+            seed: 7,
+            net: NetParams::europe_wan(),
+            cpu: CpuModel::calibrated(),
+            faults: Vec::new(),
+            timeline_bucket: 500_000_000,
+        }
+    }
+
+    #[test]
+    fn astro1_simulation_confirms_payments() {
+        let system = Astro1System::new(
+            4,
+            Astro1Config { batch_size: 8, initial_balance: Amount(1_000_000_000) },
+            5_000_000,
+        );
+        let report = run(system, UniformWorkload::new(8, 10), quick_cfg());
+        assert!(report.confirmed > 50, "confirmed only {}", report.confirmed);
+        assert!(report.throughput_pps > 10.0);
+        let lat = report.latency.expect("has samples");
+        // WAN quorum round trips: tens of milliseconds, sub-second.
+        assert!(lat.p50 > 10_000_000, "p50 {} too small", lat.p50);
+        assert!(lat.p95 < 1_000_000_000, "p95 {} too large", lat.p95);
+    }
+
+    #[test]
+    fn astro2_simulation_confirms_payments() {
+        let system = Astro2System::new(
+            1,
+            4,
+            Astro2Config {
+                batch_size: 8,
+                initial_balance: Amount(1_000_000_000),
+                ..Astro2Config::default()
+            },
+            5_000_000,
+        );
+        let report = run(system, UniformWorkload::new(8, 10), quick_cfg());
+        assert!(report.confirmed > 50, "confirmed only {}", report.confirmed);
+    }
+
+    #[test]
+    fn pbft_simulation_confirms_payments() {
+        let system = PbftSystem::new(
+            4,
+            PbftConfig {
+                batch_size: 8,
+                batch_delay: 5_000_000,
+                view_change_timeout: 2_000_000_000,
+                initial_balance: Amount(1_000_000_000),
+            },
+        );
+        let report = run(system, UniformWorkload::new(8, 10), quick_cfg());
+        assert!(report.confirmed > 50, "confirmed only {}", report.confirmed);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let mk = || {
+            Astro1System::new(
+                4,
+                Astro1Config { batch_size: 4, initial_balance: Amount(1_000_000_000) },
+                5_000_000,
+            )
+        };
+        let r1 = run(mk(), UniformWorkload::new(4, 10), quick_cfg());
+        let r2 = run(mk(), UniformWorkload::new(4, 10), quick_cfg());
+        assert_eq!(r1.confirmed, r2.confirmed);
+        assert_eq!(r1.events, r2.events);
+        assert_eq!(r1.timeline.buckets(), r2.timeline.buckets());
+    }
+
+    #[test]
+    fn crash_of_representative_stalls_only_its_clients() {
+        let mut cfg = quick_cfg();
+        cfg.duration = 4_000_000_000;
+        // Crash replica 1 at t = 2 s.
+        cfg.faults = vec![(2_000_000_000, Fault::Crash(ReplicaId(1)))];
+        let system = Astro1System::new(
+            4,
+            Astro1Config { batch_size: 4, initial_balance: Amount(1_000_000_000) },
+            5_000_000,
+        );
+        let report = run(system, UniformWorkload::new(8, 10), cfg);
+        // Throughput drops but does not reach zero: other representatives
+        // keep settling (the broadcast-robustness claim of Figure 5).
+        let per_sec = report.timeline.per_second();
+        let after = per_sec.last().copied().unwrap_or(0.0);
+        assert!(after > 0.0, "non-crashed clients must keep confirming");
+    }
+
+    #[test]
+    fn pbft_leader_crash_halts_then_recovers() {
+        let mut cfg = quick_cfg();
+        cfg.duration = 12_000_000_000;
+        cfg.faults = vec![(3_000_000_000, Fault::Crash(ReplicaId(0)))]; // leader of view 0
+        let system = PbftSystem::new(
+            4,
+            PbftConfig {
+                batch_size: 4,
+                batch_delay: 5_000_000,
+                view_change_timeout: 1_000_000_000,
+                initial_balance: Amount(1_000_000_000),
+            },
+        );
+        let report = run(system, UniformWorkload::new(8, 10), cfg);
+        let per_sec = report.timeline.per_second();
+        // Somewhere after the crash there must be a (near-)zero bucket
+        // (view change), and throughput must resume afterwards.
+        let crash_bucket = 6; // 3 s / 0.5 s buckets
+        let stall = per_sec[crash_bucket..]
+            .iter()
+            .any(|&r| r < 1.0);
+        let resumed = per_sec.last().copied().unwrap_or(0.0) > 1.0;
+        assert!(stall, "expected a stalled bucket after leader crash: {per_sec:?}");
+        assert!(resumed, "expected recovery after view change: {per_sec:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Measurement: throughput timelines and latency percentiles.
+
+use super::netmodel::Nanos;
+
+/// Latency statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency in nanoseconds.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: Nanos,
+    /// 95th percentile (the paper's headline tail metric).
+    pub p95: Nanos,
+    /// 99th percentile.
+    pub p99: Nanos,
+    /// Maximum observed.
+    pub max: Nanos,
+}
+
+/// Collects per-payment confirmation latencies.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<Nanos>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Nanos) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Computes the statistics; `None` when no samples exist.
+    pub fn stats(&self) -> Option<LatencyStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        // Nearest-rank convention: the p-th percentile is the smallest
+        // sample with at least p·n samples at or below it.
+        let pct = |p: f64| -> Nanos {
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        Some(LatencyStats {
+            count: sorted.len(),
+            mean: sum as f64 / sorted.len() as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Counts confirmations into fixed-width time buckets — the throughput
+/// timelines of Figures 5–7.
+#[derive(Debug, Clone)]
+pub struct ThroughputTimeline {
+    bucket: Nanos,
+    counts: Vec<u64>,
+}
+
+impl ThroughputTimeline {
+    /// Creates a timeline with `bucket`-sized windows.
+    pub fn new(bucket: Nanos) -> Self {
+        ThroughputTimeline { bucket, counts: Vec::new() }
+    }
+
+    /// Records one confirmation at `time`.
+    pub fn record(&mut self, time: Nanos) {
+        let idx = (time / self.bucket) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// The bucket width.
+    pub fn bucket(&self) -> Nanos {
+        self.bucket
+    }
+
+    /// Confirmations per bucket, in time order.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Throughput in payments/second for each bucket.
+    pub fn per_second(&self) -> Vec<f64> {
+        let scale = 1_000_000_000.0 / self.bucket as f64;
+        self.counts.iter().map(|&c| c as f64 * scale).collect()
+    }
+
+    /// Total confirmations in `[from, to)` nanoseconds, as a rate (pps).
+    pub fn rate_between(&self, from: Nanos, to: Nanos) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let lo = (from / self.bucket) as usize;
+        let hi = ((to.saturating_sub(1)) / self.bucket) as usize;
+        let total: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= lo && *i <= hi)
+            .map(|(_, c)| *c)
+            .sum();
+        total as f64 * 1_000_000_000.0 / (to - from) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(i * 1_000_000);
+        }
+        let s = r.stats().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50_000_000);
+        assert_eq!(s.p95, 95_000_000);
+        assert_eq!(s.max, 100_000_000);
+        assert!((s.mean - 50_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_recorder_has_no_stats() {
+        assert!(LatencyRecorder::new().stats().is_none());
+    }
+
+    #[test]
+    fn timeline_buckets_and_rates() {
+        let mut t = ThroughputTimeline::new(1_000_000_000); // 1 s buckets
+        for i in 0..10u64 {
+            t.record(i * 500_000_000); // every 0.5 s => 2/s
+        }
+        assert_eq!(t.buckets().len(), 5);
+        assert_eq!(t.buckets()[0], 2);
+        let rate = t.rate_between(0, 5_000_000_000);
+        assert!((rate - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_between_partial_window() {
+        let mut t = ThroughputTimeline::new(1_000_000_000);
+        t.record(100);
+        t.record(1_500_000_000);
+        assert!((t.rate_between(0, 1_000_000_000) - 1.0).abs() < 0.01);
+        assert!((t.rate_between(0, 2_000_000_000) - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,158 @@
+//! Key distribution: the permissioned-system key book.
+//!
+//! The paper assumes "replica key-pairs are distributed in advance among all
+//! replicas, which makes Astro a permissioned payment system" (§III).
+//! [`KeyBook`] is that public registry; [`Keychain`] is one replica's view —
+//! its own key pair, everybody's public keys, and the pairwise MAC channel
+//! keys used by Astro I.
+
+use crate::ids::ReplicaId;
+use astro_crypto::{Keypair, MacKey, PublicKey, Signature};
+
+/// Public registry of replica verification keys.
+#[derive(Debug, Clone)]
+pub struct KeyBook {
+    replicas: Vec<PublicKey>,
+}
+
+impl KeyBook {
+    /// Builds a key book from the replicas' public keys, indexed by
+    /// [`ReplicaId`] order.
+    pub fn new(replicas: Vec<PublicKey>) -> Self {
+        KeyBook { replicas }
+    }
+
+    /// Deterministic book for tests/simulation: replica `i` gets the key
+    /// pair seeded by `(seed, i)`.
+    pub fn deterministic(seed: &[u8], n: usize) -> (Self, Vec<Keypair>) {
+        let keypairs: Vec<Keypair> = (0..n)
+            .map(|i| {
+                let mut s = seed.to_vec();
+                s.extend_from_slice(&(i as u64).to_be_bytes());
+                Keypair::from_seed(&s)
+            })
+            .collect();
+        let book = KeyBook::new(keypairs.iter().map(|kp| *kp.public()).collect());
+        (book, keypairs)
+    }
+
+    /// Number of registered replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True if no replicas are registered.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The public key of `replica`, or `None` if unknown.
+    pub fn key_of(&self, replica: ReplicaId) -> Option<&PublicKey> {
+        self.replicas.get(replica.0 as usize)
+    }
+
+    /// Verifies `signature` over `message` against `replica`'s key.
+    /// Unknown replicas verify as `false`.
+    pub fn verify(&self, replica: ReplicaId, message: &[u8], signature: &Signature) -> bool {
+        self.key_of(replica)
+            .is_some_and(|pk| pk.verify(message, signature))
+    }
+}
+
+/// One replica's complete key material.
+#[derive(Debug, Clone)]
+pub struct Keychain {
+    id: ReplicaId,
+    keypair: Keypair,
+    book: KeyBook,
+    mac_secret: Vec<u8>,
+}
+
+impl Keychain {
+    /// Assembles a keychain for `id`.
+    pub fn new(id: ReplicaId, keypair: Keypair, book: KeyBook, mac_secret: Vec<u8>) -> Self {
+        Keychain { id, keypair, book, mac_secret }
+    }
+
+    /// Deterministic keychains for a whole `n`-replica system (tests and
+    /// simulation).
+    pub fn deterministic_system(seed: &[u8], n: usize) -> Vec<Keychain> {
+        let (book, keypairs) = KeyBook::deterministic(seed, n);
+        keypairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, kp)| Keychain::new(ReplicaId(i as u32), kp, book.clone(), seed.to_vec()))
+            .collect()
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The shared public registry.
+    pub fn book(&self) -> &KeyBook {
+        &self.book
+    }
+
+    /// This replica's public key.
+    pub fn public(&self) -> &PublicKey {
+        self.keypair.public()
+    }
+
+    /// Signs `message` with this replica's secret key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.keypair.sign(message)
+    }
+
+    /// Verifies a peer replica's signature.
+    pub fn verify(&self, peer: ReplicaId, message: &[u8], signature: &Signature) -> bool {
+        self.book.verify(peer, message, signature)
+    }
+
+    /// The MAC key for the authenticated link between this replica and
+    /// `peer` (Astro I channels).
+    pub fn mac_with(&self, peer: ReplicaId) -> MacKey {
+        MacKey::derive(&self.mac_secret, u64::from(self.id.0), u64::from(peer.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_book_is_reproducible() {
+        let (book1, _) = KeyBook::deterministic(b"seed", 4);
+        let (book2, _) = KeyBook::deterministic(b"seed", 4);
+        for i in 0..4 {
+            assert_eq!(book1.key_of(ReplicaId(i)), book2.key_of(ReplicaId(i)));
+        }
+    }
+
+    #[test]
+    fn sign_verify_through_book() {
+        let chains = Keychain::deterministic_system(b"sys", 4);
+        let sig = chains[2].sign(b"hello");
+        assert!(chains[0].verify(ReplicaId(2), b"hello", &sig));
+        assert!(!chains[0].verify(ReplicaId(1), b"hello", &sig));
+        assert!(!chains[0].verify(ReplicaId(2), b"other", &sig));
+    }
+
+    #[test]
+    fn unknown_replica_fails_verification() {
+        let chains = Keychain::deterministic_system(b"sys", 4);
+        let sig = chains[0].sign(b"m");
+        assert!(!chains[1].verify(ReplicaId(99), b"m", &sig));
+    }
+
+    #[test]
+    fn mac_channels_agree_between_endpoints() {
+        let chains = Keychain::deterministic_system(b"sys", 4);
+        let k01 = chains[0].mac_with(ReplicaId(1));
+        let k10 = chains[1].mac_with(ReplicaId(0));
+        assert_eq!(k01.tag(b"x"), k10.tag(b"x"));
+        let k02 = chains[0].mac_with(ReplicaId(2));
+        assert_ne!(k01.tag(b"x"), k02.tag(b"x"));
+    }
+}
