@@ -87,10 +87,9 @@ fn main() {
     println!();
     println!("# Ablation 3: dependency attachment policy (N = {N})");
     println!("{:>24} {:>12}", "policy", "peak_pps");
-    for (label, policy) in [
-        ("when_needed (lazy)", DepPolicy::WhenNeeded),
-        ("always (Listing 7)", DepPolicy::Always),
-    ] {
+    for (label, policy) in
+        [("when_needed (lazy)", DepPolicy::WhenNeeded), ("always (Listing 7)", DepPolicy::Always)]
+    {
         let (r, _) = find_peak(
             || {
                 Astro2System::new(

@@ -75,7 +75,11 @@ fn main() {
             || {
                 PbftSystem::new(
                     n,
-                    PbftConfig { batch_size: 64, initial_balance: GENESIS, ..PbftConfig::default() },
+                    PbftConfig {
+                        batch_size: 64,
+                        initial_balance: GENESIS,
+                        ..PbftConfig::default()
+                    },
                 )
             },
             &cfg,

@@ -25,7 +25,9 @@ fn main() {
         vec![8, 64, 512, 2048]
     };
     println!("# Figure 4: latency vs throughput at N = {N} (one line per load point)");
-    println!("# paper: BFT-SMaRt avg <1s (95p 1.3-1.5s); AstroI 400-500ms; AstroII ~200ms (95p<240ms)");
+    println!(
+        "# paper: BFT-SMaRt avg <1s (95p 1.3-1.5s); AstroI 400-500ms; AstroII ~200ms (95p<240ms)"
+    );
     println!(
         "{:>10} {:>8} {:>12} {:>10} {:>10} {:>10}",
         "system", "clients", "pps", "avg_ms", "p95_ms", "p99_ms"

@@ -22,18 +22,12 @@ const CLIENTS: usize = 10;
 const GENESIS: Amount = Amount(u64::MAX / 2);
 
 fn main() {
-    let secs: u64 = std::env::var("ASTRO_BENCH_DURATION_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(24);
+    let secs: u64 =
+        std::env::var("ASTRO_BENCH_DURATION_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
     let duration = secs * 1_000_000_000;
     let fault_at = duration / 2;
-    let cfg = SimConfig {
-        duration,
-        warmup: 0,
-        timeline_bucket: 1_000_000_000,
-        ..SimConfig::default()
-    };
+    let cfg =
+        SimConfig { duration, warmup: 0, timeline_bucket: 1_000_000_000, ..SimConfig::default() };
 
     println!("# Figure 5: throughput during a crash-stop failure, N = {N}, {CLIENTS} clients");
     println!("# fault at t = {} s; one column per second (pps)", fault_at / 1_000_000_000);
@@ -54,11 +48,7 @@ fn main() {
     let mut c = cfg.clone();
     c.faults = vec![(fault_at, Fault::Crash(ReplicaId(7)))];
     let r = run(
-        Astro1System::new(
-            N,
-            Astro1Config { batch_size: 64, initial_balance: GENESIS },
-            5_000_000,
-        ),
+        Astro1System::new(N, Astro1Config { batch_size: 64, initial_balance: GENESIS }, 5_000_000),
         UniformWorkload::new(CLIENTS, 100),
         c,
     );

@@ -8,7 +8,7 @@
 //! causes only a brief quorum-switch dip; in Astro the affected replica's
 //! own clients slow down and nothing else changes.
 
-use astro_consensus::pbft::{PbftConfig, Nanos};
+use astro_consensus::pbft::{Nanos, PbftConfig};
 use astro_core::astro1::Astro1Config;
 use astro_sim::harness::{run, Fault, SimConfig};
 use astro_sim::systems::{Astro1System, PbftSystem};
@@ -21,18 +21,12 @@ const GENESIS: Amount = Amount(u64::MAX / 2);
 const DELAY: u64 = 100_000_000; // 100 ms, as in the paper
 
 fn main() {
-    let secs: u64 = std::env::var("ASTRO_BENCH_DURATION_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(24);
+    let secs: u64 =
+        std::env::var("ASTRO_BENCH_DURATION_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
     let duration = secs * 1_000_000_000;
     let fault_at = duration / 2;
-    let cfg = SimConfig {
-        duration,
-        warmup: 0,
-        timeline_bucket: 1_000_000_000,
-        ..SimConfig::default()
-    };
+    let cfg =
+        SimConfig { duration, warmup: 0, timeline_bucket: 1_000_000_000, ..SimConfig::default() };
 
     println!("# Figure 6: throughput during asynchrony (100 ms delay), N = {N}, {CLIENTS} clients");
     println!("# fault at t = {} s; one column per second (pps)", fault_at / 1_000_000_000);
@@ -59,11 +53,7 @@ fn main() {
     let mut c = cfg.clone();
     c.faults = vec![(fault_at, Fault::Delay(ReplicaId(7), DELAY))];
     let r = run(
-        Astro1System::new(
-            N,
-            Astro1Config { batch_size: 64, initial_balance: GENESIS },
-            5_000_000,
-        ),
+        Astro1System::new(N, Astro1Config { batch_size: 64, initial_balance: GENESIS }, 5_000_000),
         UniformWorkload::new(CLIENTS, 100),
         c,
     );

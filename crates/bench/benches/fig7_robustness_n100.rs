@@ -22,21 +22,17 @@ const GENESIS: Amount = Amount(u64::MAX / 2);
 const DELAY: u64 = 100_000_000;
 
 fn main() {
-    let secs: u64 = std::env::var("ASTRO_BENCH_DURATION_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
+    let secs: u64 =
+        std::env::var("ASTRO_BENCH_DURATION_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
     let duration = secs * 1_000_000_000;
     let fault_at = duration / 2;
-    let cfg = SimConfig {
-        duration,
-        warmup: 0,
-        timeline_bucket: 1_000_000_000,
-        ..SimConfig::default()
-    };
+    let cfg =
+        SimConfig { duration, warmup: 0, timeline_bucket: 1_000_000_000, ..SimConfig::default() };
 
-    println!("# Figure 7: robustness at N = {N}, {CLIENTS} clients; fault at t = {} s",
-        fault_at / 1_000_000_000);
+    println!(
+        "# Figure 7: robustness at N = {N}, {CLIENTS} clients; fault at t = {} s",
+        fault_at / 1_000_000_000
+    );
 
     let mut c = cfg.clone();
     c.faults = vec![(fault_at, Fault::Crash(ReplicaId(0)))];
@@ -72,11 +68,7 @@ fn pbft() -> PbftSystem {
 }
 
 fn astro1() -> Astro1System {
-    Astro1System::new(
-        N,
-        Astro1Config { batch_size: 64, initial_balance: GENESIS },
-        5_000_000,
-    )
+    Astro1System::new(N, Astro1Config { batch_size: 64, initial_balance: GENESIS }, 5_000_000)
 }
 
 fn print_series(label: &str, r: &astro_sim::SimReport) {

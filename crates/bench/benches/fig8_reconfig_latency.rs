@@ -20,10 +20,10 @@ use astro_sim::systems::PbftSystem;
 use astro_sim::workload::UniformWorkload;
 use astro_types::wire::Wire;
 use astro_types::{Amount, Group, MacAuthenticator, Payment, ReplicaId};
-use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Heap entries: (arrival, tiebreak, from, to, arena slot).
 type HeapEntry = Reverse<(u64, u64, u32, u32, usize)>;
@@ -36,7 +36,8 @@ const VIEW_MANAGER_BARRIER: u64 = 1_000_000_000;
 fn main() {
     println!("# Figure 8: join latency (ms) vs system size N (one join per N)");
     println!("{:>4} {:>12} {:>14}", "N", "astro2_ms", "bft_smart_ms");
-    let sizes: Vec<usize> = (4..=80).step_by(if astro_bench::full_scale() { 1 } else { 8 }).collect();
+    let sizes: Vec<usize> =
+        (4..=80).step_by(if astro_bench::full_scale() { 1 } else { 8 }).collect();
     for n in sizes {
         let astro = astro_join_latency(n);
         let bfts = consensus_join_latency(n);
@@ -82,7 +83,17 @@ fn astro_join_latency(n: usize) -> u64 {
     let step = replicas[n].request_join();
     let recipients = replicas[n].recipients();
     for env in step.outbound {
-        dispatch(env, joiner, &recipients, &mut network, &mut rng, 0, &mut heap, &mut arena, &mut seq);
+        dispatch(
+            env,
+            joiner,
+            &recipients,
+            &mut network,
+            &mut rng,
+            0,
+            &mut heap,
+            &mut arena,
+            &mut seq,
+        );
     }
 
     while let Some(Reverse((time, _, from, to, slot))) = heap.pop() {
@@ -97,7 +108,17 @@ fn astro_join_latency(n: usize) -> u64 {
         }
         let recipients = replicas[idx].recipients();
         for env in step.outbound {
-            dispatch(env, ReplicaId(to), &recipients, &mut network, &mut rng, time, &mut heap, &mut arena, &mut seq);
+            dispatch(
+                env,
+                ReplicaId(to),
+                &recipients,
+                &mut network,
+                &mut rng,
+                time,
+                &mut heap,
+                &mut arena,
+                &mut seq,
+            );
         }
     }
     panic!("joiner never activated at n = {n}");
@@ -140,15 +161,15 @@ fn dispatch<M: Clone + Wire>(
 /// reconfiguration request, the view-manager barrier, and state transfer.
 fn consensus_join_latency(n: usize) -> u64 {
     // Measure the ordering latency of one request at this system size.
-    let cfg = SimConfig {
-        duration: 5_000_000_000,
-        warmup: 0,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig { duration: 5_000_000_000, warmup: 0, ..SimConfig::default() };
     let report = run(
         PbftSystem::new(
             n,
-            PbftConfig { batch_size: 8, initial_balance: Amount(1_000_000), ..PbftConfig::default() },
+            PbftConfig {
+                batch_size: 8,
+                initial_balance: Amount(1_000_000),
+                ..PbftConfig::default()
+            },
         ),
         UniformWorkload::new(1, 10),
         cfg,

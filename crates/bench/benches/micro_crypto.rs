@@ -7,9 +7,9 @@
 //! DESIGN.md §6.
 
 use astro_crypto::hmac::MacKey;
-use astro_crypto::schnorr::batch_verify;
 use astro_crypto::point::{mul_generator, Affine};
 use astro_crypto::scalar::Scalar;
+use astro_crypto::schnorr::batch_verify;
 use astro_crypto::sha256::sha256;
 use astro_crypto::Keypair;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};

@@ -1,0 +1,97 @@
+//! Transport comparison: end-to-end settlement throughput of a 4-replica
+//! Astro I cluster over in-process channels vs loopback TCP with
+//! HMAC-authenticated sessions, plus the raw link-layer message rate.
+//!
+//! The gap between the two series is the price of real sockets + MACs;
+//! the protocol work (Bracha O(N²) echo traffic, ledger settlement) is
+//! identical on both sides.
+
+use astro_core::astro1::Astro1Config;
+use astro_net::{Endpoint, InProcTransport, TcpTransport, Transport};
+use astro_runtime::AstroOneCluster;
+use astro_types::{Amount, Keychain, Payment, ReplicaId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Duration;
+
+const PAYMENTS: u64 = 256;
+
+fn settle_workload(cluster: &AstroOneCluster) {
+    for seq in 0..PAYMENTS {
+        cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).expect("cluster accepts payments");
+    }
+    let settled = cluster.wait_settled(PAYMENTS as usize, Duration::from_secs(60));
+    assert_eq!(settled.len(), PAYMENTS as usize);
+}
+
+fn cfg() -> Astro1Config {
+    Astro1Config { batch_size: 32, initial_balance: Amount(u64::MAX / 2) }
+}
+
+fn bench_settlement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("settle_256_n4");
+    g.throughput(Throughput::Elements(PAYMENTS));
+    g.bench_function("inproc", |b| {
+        b.iter_batched(
+            || AstroOneCluster::start(4, cfg(), Duration::from_millis(1)).unwrap(),
+            |cluster| {
+                settle_workload(&cluster);
+                cluster.shutdown()
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.bench_function("tcp_hmac", |b| {
+        b.iter_batched(
+            || AstroOneCluster::start_tcp(4, cfg(), Duration::from_millis(1)).unwrap(),
+            |cluster| {
+                settle_workload(&cluster);
+                cluster.shutdown()
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+fn bench_link_messages(c: &mut Criterion) {
+    // Raw link layer: 1 KiB messages 0 → 1, no protocol on top.
+    const MSGS: u64 = 512;
+    let payload = vec![0x5au8; 1024];
+    let mut g = c.benchmark_group("link_512x1KiB");
+    g.throughput(Throughput::Bytes(MSGS * 1024));
+    g.bench_function("inproc", |b| {
+        let mut eps = InProcTransport::new(2).into_endpoints();
+        let mut rx = eps.pop().unwrap();
+        let mut tx = eps.pop().unwrap();
+        b.iter(|| {
+            for _ in 0..MSGS {
+                tx.send(ReplicaId(1), &payload).unwrap();
+            }
+            for _ in 0..MSGS {
+                rx.recv_timeout(Duration::from_secs(5)).unwrap().expect("delivered");
+            }
+        });
+    });
+    g.bench_function("tcp_hmac", |b| {
+        let chains = Keychain::deterministic_system(b"bench-link", 2);
+        let mut eps = TcpTransport::loopback(chains).unwrap().into_endpoints();
+        let mut rx = eps.pop().unwrap();
+        let mut tx = eps.pop().unwrap();
+        b.iter(|| {
+            for _ in 0..MSGS {
+                tx.send(ReplicaId(1), &payload).unwrap();
+            }
+            for _ in 0..MSGS {
+                rx.recv_timeout(Duration::from_secs(5)).unwrap().expect("delivered");
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_settlement, bench_link_messages
+}
+criterion_main!(benches);

@@ -36,7 +36,14 @@ fn main() {
     println!("# Table I: Smallbank sharded benchmark ({PER_SHARD} replicas per shard)");
     println!(
         "{:>7} {:>6} {:>14} {:>12} {:>9} {:>9} {:>14} {:>12}",
-        "#shards", "tc_ms", "astro2_shard", "astro2_total", "avg_ms", "p95_ms", "bfts_shard", "bfts_total"
+        "#shards",
+        "tc_ms",
+        "astro2_shard",
+        "astro2_total",
+        "avg_ms",
+        "p95_ms",
+        "bfts_shard",
+        "bfts_total"
     );
 
     // Consensus upper bound: single-shard Smallbank run, reused per row
@@ -102,7 +109,5 @@ fn with_tc(mut cfg: SimConfig, tc_ms: u64, replicas: usize) -> SimConfig {
 }
 
 fn lat(r: &astro_sim::SimReport) -> (f64, f64) {
-    r.latency
-        .map(|l| (l.mean / 1e6, l.p95 as f64 / 1e6))
-        .unwrap_or((f64::NAN, f64::NAN))
+    r.latency.map(|l| (l.mean / 1e6, l.p95 as f64 / 1e6)).unwrap_or((f64::NAN, f64::NAN))
 }

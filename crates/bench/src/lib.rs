@@ -31,20 +31,13 @@ pub fn full_scale() -> bool {
 /// The default simulation configuration for throughput experiments.
 pub fn default_sim_config() -> SimConfig {
     let duration = duration();
-    SimConfig {
-        duration,
-        warmup: duration / 3,
-        ..SimConfig::default()
-    }
+    SimConfig { duration, warmup: duration / 3, ..SimConfig::default() }
 }
 
 /// System sizes for the Figure 3 sweep.
 pub fn fig3_sizes() -> Vec<usize> {
     if let Ok(v) = std::env::var("ASTRO_BENCH_SIZES") {
-        return v
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .collect();
+        return v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
     }
     if full_scale() {
         // The paper's increments of 6 from 4 to 100.

@@ -21,9 +21,8 @@ pub fn find_peak<S: SimSystem>(
     let mut best: Option<(SimReport, usize)> = None;
     loop {
         let report = run(make_system(), UniformWorkload::new(clients, 100), cfg.clone());
-        let better = best
-            .as_ref()
-            .is_none_or(|(b, _)| report.throughput_pps > b.throughput_pps * 1.03);
+        let better =
+            best.as_ref().is_none_or(|(b, _)| report.throughput_pps > b.throughput_pps * 1.03);
         let throughput = report.throughput_pps;
         if report.throughput_pps > best.as_ref().map_or(0.0, |(b, _)| b.throughput_pps) {
             best = Some((report, clients));

@@ -263,11 +263,8 @@ impl<P: Payload> BrachaBrb<P> {
         }
         if ready_count >= quorum {
             instance.complete = true;
-            let payload = instance
-                .payloads
-                .get(&digest)
-                .expect("payload recorded with first READY")
-                .clone();
+            let payload =
+                instance.payloads.get(&digest).expect("payload recorded with first READY").clone();
             step.delivered = self.enqueue_delivery(id, payload);
         }
         step
@@ -301,8 +298,7 @@ impl<P: Payload> BrachaBrb<P> {
     /// fresh instances but can no longer be delivered in FIFO mode (their
     /// tag is below `next_tag`).
     pub fn gc_source(&mut self, source: Source, up_to: Tag) {
-        self.instances
-            .retain(|id, _| id.source != source || id.tag >= up_to);
+        self.instances.retain(|id, _| id.source != source || id.tag >= up_to);
     }
 }
 
@@ -479,10 +475,7 @@ mod tests {
     fn messages_from_unknown_replicas_ignored() {
         let cfg = Group::of_size(4).unwrap();
         let mut node = BrachaBrb::<u64>::new(ReplicaId(0), cfg, BrbConfig::default());
-        let step = node.handle(
-            ReplicaId(99),
-            BrachaMsg::Prepare { id: iid(0, 0), payload: 1 },
-        );
+        let step = node.handle(ReplicaId(99), BrachaMsg::Prepare { id: iid(0, 0), payload: 1 });
         assert!(step.is_empty());
     }
 

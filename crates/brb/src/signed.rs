@@ -86,10 +86,7 @@ impl<P: Wire, S: Wire> Wire for SignedMsg<P, S> {
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         match u8::decode(buf)? {
-            0 => Ok(SignedMsg::Prepare {
-                id: InstanceId::decode(buf)?,
-                payload: P::decode(buf)?,
-            }),
+            0 => Ok(SignedMsg::Prepare { id: InstanceId::decode(buf)?, payload: P::decode(buf)? }),
             1 => Ok(SignedMsg::Ack {
                 id: InstanceId::decode(buf)?,
                 digest: Wire::decode(buf)?,
@@ -226,10 +223,8 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         payload: P,
     ) -> Step<P, SignedMsg<P, A::Sig>> {
         let digest = payload_digest(id, &payload);
-        let instance = self
-            .instances
-            .entry(id)
-            .or_insert(RecvInstance { acked: None, delivered: false });
+        let instance =
+            self.instances.entry(id).or_insert(RecvInstance { acked: None, delivered: false });
         match instance.acked {
             Some(acked) if acked != digest => {
                 // Conflicting payload for an instance we already
@@ -291,10 +286,8 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         proof: Vec<(ReplicaId, A::Sig)>,
     ) -> Step<P, SignedMsg<P, A::Sig>> {
         {
-            let instance = self
-                .instances
-                .entry(id)
-                .or_insert(RecvInstance { acked: None, delivered: false });
+            let instance =
+                self.instances.entry(id).or_insert(RecvInstance { acked: None, delivered: false });
             if instance.delivered {
                 return Step::empty();
             }
@@ -439,9 +432,7 @@ mod tests {
         let mut c = mac_cluster(4);
         // Drop commits except those to replica 1.
         c.set_filter(|from, to, msg| {
-            !(from == ReplicaId(0)
-                && to != ReplicaId(1)
-                && matches!(msg, SignedMsg::Commit { .. }))
+            !(from == ReplicaId(0) && to != ReplicaId(1) && matches!(msg, SignedMsg::Commit { .. }))
         });
         let step = c.node_mut(0).broadcast(iid(5, 0), 10);
         c.submit(ReplicaId(0), step);
@@ -481,7 +472,8 @@ mod tests {
         let a0 = MacAuthenticator::new(ReplicaId(0), b"cluster".to_vec());
         let sig = a0.sign(&ctx);
         // Three copies of the same signer must not count as a quorum.
-        let proof = vec![(ReplicaId(0), sig.clone()), (ReplicaId(0), sig.clone()), (ReplicaId(0), sig)];
+        let proof =
+            vec![(ReplicaId(0), sig.clone()), (ReplicaId(0), sig.clone()), (ReplicaId(0), sig)];
         c.inject(ReplicaId(0), ReplicaId(1), SignedMsg::Commit { id, payload, proof });
         c.run_to_quiescence();
         assert!(c.deliveries(1).is_empty());

@@ -11,7 +11,9 @@ use std::collections::HashSet;
 
 fn bracha_cluster(n: usize) -> Cluster<BrachaBrb<u64>> {
     let cfg = Group::of_size(n).unwrap();
-    Cluster::new((0..n).map(|i| BrachaBrb::new(ReplicaId(i as u32), cfg.clone(), BrbConfig::default())))
+    Cluster::new(
+        (0..n).map(|i| BrachaBrb::new(ReplicaId(i as u32), cfg.clone(), BrbConfig::default())),
+    )
 }
 
 fn signed_cluster(n: usize) -> Cluster<SignedBrb<u64, MacAuthenticator>> {

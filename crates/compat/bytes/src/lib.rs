@@ -1,0 +1,60 @@
+//! Offline substitute for the `bytes` crate.
+//!
+//! Provides exactly the [`Buf`] / [`BufMut`] surface the workspace uses
+//! (`remaining` on byte slices, `put_slice` / `put_u8` on `Vec<u8>`).
+
+#![warn(missing_docs)]
+
+/// Read-side cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Write-side sink for bytes.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_remaining_tracks_slice() {
+        let data = [1u8, 2, 3];
+        let s: &[u8] = &data;
+        assert_eq!(s.remaining(), 3);
+        assert_eq!((&data[1..]).remaining(), 2);
+    }
+
+    #[test]
+    fn bufmut_appends() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_slice(&[8, 9]);
+        assert_eq!(v, vec![7, 8, 9]);
+    }
+}

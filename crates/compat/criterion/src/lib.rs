@@ -1,0 +1,239 @@
+//! Offline substitute for `criterion`.
+//!
+//! A minimal benchmark harness: each `bench_function` runs a short warm-up,
+//! then `sample_size` timed samples, and prints median ns/iter plus derived
+//! throughput when one was declared. No plots, no statistics beyond the
+//! median — honest wall-clock numbers with near-zero harness overhead,
+//! suitable for offline comparison runs (`cargo bench`).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the substitute runs one setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { samples: Vec::with_capacity(sample_size), sample_size }
+    }
+
+    /// Times `routine` over `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches/allocators settle.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` input per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        std::hint::black_box(routine(input));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2]
+    }
+}
+
+fn report(label: &str, median_ns: u128, throughput: Option<Throughput>) {
+    let time = if median_ns >= 1_000_000 {
+        format!("{:.3} ms", median_ns as f64 / 1e6)
+    } else if median_ns >= 1_000 {
+        format!("{:.3} µs", median_ns as f64 / 1e3)
+    } else {
+        format!("{median_ns} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if median_ns > 0 => {
+            format!("  {:>10.1} MiB/s", b as f64 / (median_ns as f64 / 1e9) / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(e)) if median_ns > 0 => {
+            format!("  {:>10.0} elem/s", e as f64 / (median_ns as f64 / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {time:>12}{rate}");
+}
+
+/// The benchmark manager.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&id, b.median_ns(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        report(&label, b.median_ns(), self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.median_ns() < 1_000_000);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0;
+        let mut b = Bencher::new(4);
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5); // 1 warm-up + 4 samples
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(2));
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| ()));
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline substitute for `crossbeam`.
+//!
+//! Only the [`channel`] module is provided, backed by `std::sync::mpsc`.
+//! Semantics match what the workspace relies on: unbounded MPSC channels
+//! with cloneable senders, blocking/timeout/non-blocking receives, and
+//! disconnect detection.
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; holds
+    /// the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> core::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: core::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns immediately with a message, `Empty`, or `Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_message() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9).unwrap_err().0, 9);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline substitute for `rand`.
+//!
+//! Provides the surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`], and the
+//! [`Rng`] methods `gen_range` (half-open and inclusive integer ranges) and
+//! `gen_bool`. The generator is xoshiro256++ seeded through splitmix64 —
+//! deterministic, fast, and statistically adequate for simulation and
+//! workload generation (not for cryptography; the workspace's crypto lives
+//! in `astro-crypto`).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Maps a uniform `u64` draw into `[lo, hi]` (inclusive).
+    fn from_uniform_inclusive(lo: Self, hi: Self, draw: u64) -> Self;
+
+    /// Maps a uniform `u64` draw into `[lo, hi)` (half-open).
+    fn from_uniform_half_open(lo: Self, hi_exclusive: Self, draw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn from_uniform_inclusive(lo: Self, hi: Self, draw: u64) -> Self {
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((draw as u128) % span) as $ty
+            }
+            fn from_uniform_half_open(lo: Self, hi_exclusive: Self, draw: u64) -> Self {
+                let span = (hi_exclusive as u128) - (lo as u128);
+                lo + ((draw as u128) % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample(self, rng: &mut impl Rng) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl Rng) -> T {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        T::from_uniform_half_open(self.start, self.end, rng.next_u64())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl Rng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on an empty range");
+        T::from_uniform_inclusive(lo, hi, rng.next_u64())
+    }
+}
+
+/// A source of randomness.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from an integer range (`0..n` or `0..=n` style).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // 53 random bits → uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` (expanded via splitmix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // An all-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0; 4] {
+                let mut sm = 0xdead_beef_cafe_f00d;
+                for word in &mut s {
+                    *word = splitmix64(&mut sm);
+                }
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain reference).
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: usize = rng.gen_range(0..1);
+            assert_eq!(w, 0);
+            let x: u64 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&x));
+            let y: u8 = rng.gen_range(0..5u8);
+            assert!(y < 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn from_seed_avoids_zero_state() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -47,7 +47,7 @@ impl Default for PbftConfig {
     fn default() -> Self {
         PbftConfig {
             batch_size: 64,
-            batch_delay: 5_000_000,            // 5 ms
+            batch_delay: 5_000_000,             // 5 ms
             view_change_timeout: 4_000_000_000, // 4 s, BFT-SMaRt-like
             initial_balance: Amount(1_000_000),
         }
@@ -425,16 +425,11 @@ impl PbftReplica {
         if self.view_changing {
             return;
         }
-        let timeout = self
-            .cfg
-            .view_change_timeout
-            .saturating_mul(1u64 << self.timeout_exponent.min(6));
+        let timeout =
+            self.cfg.view_change_timeout.saturating_mul(1u64 << self.timeout_exponent.min(6));
         let base = self.timer_base;
-        self.progress_deadline = self
-            .in_flight
-            .values()
-            .map(|(_, arrived)| (*arrived).max(base) + timeout)
-            .min();
+        self.progress_deadline =
+            self.in_flight.values().map(|(_, arrived)| (*arrived).max(base) + timeout).min();
     }
 
     fn enqueue_as_leader(&mut self, payment: Payment, now: Nanos, step: &mut PbftStep) {
@@ -485,10 +480,7 @@ impl PbftReplica {
         slot.digest = Some(digest);
         slot.prepare_sent = true;
         self.next_seq = self.next_seq.max(seq + 1);
-        step.outbound.push(Envelope {
-            to: Dest::All,
-            msg: PbftMsg::Prepare { view, seq, digest },
-        });
+        step.outbound.push(Envelope { to: Dest::All, msg: PbftMsg::Prepare { view, seq, digest } });
     }
 
     fn on_prepare(
@@ -505,17 +497,12 @@ impl PbftReplica {
         let quorum = self.group.quorum();
         let slot = self.slots.entry(seq).or_default();
         slot.prepares.entry(digest).or_default().insert(from);
-        if slot.commit_sent
-            || slot.digest != Some(digest)
-            || slot.prepares[&digest].len() < quorum
+        if slot.commit_sent || slot.digest != Some(digest) || slot.prepares[&digest].len() < quorum
         {
             return;
         }
         slot.commit_sent = true;
-        step.outbound.push(Envelope {
-            to: Dest::All,
-            msg: PbftMsg::Commit { view, seq, digest },
-        });
+        step.outbound.push(Envelope { to: Dest::All, msg: PbftMsg::Commit { view, seq, digest } });
     }
 
     fn on_commit(
@@ -533,10 +520,7 @@ impl PbftReplica {
         let quorum = self.group.quorum();
         let slot = self.slots.entry(seq).or_default();
         slot.commits.entry(digest).or_default().insert(from);
-        if slot.ordered
-            || slot.digest != Some(digest)
-            || slot.commits[&digest].len() < quorum
-        {
+        if slot.ordered || slot.digest != Some(digest) || slot.commits[&digest].len() < quorum {
             return;
         }
         slot.ordered = true;
@@ -589,13 +573,10 @@ impl PbftReplica {
         self.view_changing = true;
         self.voted_view = new_view;
         self.timeout_exponent = self.timeout_exponent.saturating_add(1);
-        let suffix: Vec<(u64, Batch)> =
-            self.ordered.iter().map(|(s, b)| (*s, b.clone())).collect();
+        let suffix: Vec<(u64, Batch)> = self.ordered.iter().map(|(s, b)| (*s, b.clone())).collect();
         // Re-arm the timer: if the view change itself stalls, vote higher.
-        let timeout = self
-            .cfg
-            .view_change_timeout
-            .saturating_mul(1u64 << self.timeout_exponent.min(6));
+        let timeout =
+            self.cfg.view_change_timeout.saturating_mul(1u64 << self.timeout_exponent.min(6));
         self.progress_deadline = Some(now + timeout);
         step.outbound.push(Envelope {
             to: Dest::All,
@@ -655,10 +636,8 @@ impl PbftReplica {
                 (seq, batch)
             })
             .collect();
-        step.outbound.push(Envelope {
-            to: Dest::All,
-            msg: PbftMsg::NewView { view: new_view, proposals },
-        });
+        step.outbound
+            .push(Envelope { to: Dest::All, msg: PbftMsg::NewView { view: new_view, proposals } });
     }
 
     fn on_new_view(

@@ -59,10 +59,7 @@ impl AstroOneReplica {
     ///
     /// Panics if `me` is not a member of the layout.
     pub fn new(me: ReplicaId, layout: ShardLayout, cfg: Astro1Config) -> Self {
-        assert!(
-            layout.shard_of_replica(me).is_some(),
-            "replica {me} not in layout"
-        );
+        assert!(layout.shard_of_replica(me).is_some(), "replica {me} not in layout");
         let spec = layout.shard(layout.shard_of_replica(me).expect("checked"));
         let group = Group::from_spec(spec).expect("layout shard too small");
         let brb = BrachaBrb::new(
@@ -168,9 +165,8 @@ impl AstroOneReplica {
                 SettleOutcome::StaleSeq => {}
             }
         }
-        let settled = self.pending.drain_cascade(touched, &mut self.ledger, |l, p, ()| {
-            l.settle(p, true)
-        });
+        let settled =
+            self.pending.drain_cascade(touched, &mut self.ledger, |l, p, ()| l.settle(p, true));
         out.settled.extend(settled.into_iter().map(|e| e.payment));
     }
 
@@ -232,18 +228,13 @@ mod tests {
         // Client 0's representative in a single-shard 4-replica layout.
         let rep = c.node(0).layout.representative_of(ClientId(0));
         for seq in 0..2u64 {
-            let step = c
-                .node_mut(rep.0 as usize)
-                .submit(Payment::new(0u64, seq, 1u64, 1u64))
-                .unwrap();
+            let step =
+                c.node_mut(rep.0 as usize).submit(Payment::new(0u64, seq, 1u64, 1u64)).unwrap();
             assert!(step.outbound.is_empty(), "batch below threshold must not flush");
             c.submit_step(rep, step);
         }
         assert_eq!(c.node(rep.0 as usize).batched(), 2);
-        let step = c
-            .node_mut(rep.0 as usize)
-            .submit(Payment::new(0u64, 2u64, 1u64, 1u64))
-            .unwrap();
+        let step = c.node_mut(rep.0 as usize).submit(Payment::new(0u64, 2u64, 1u64, 1u64)).unwrap();
         assert!(!step.outbound.is_empty(), "third payment fills the batch");
         c.submit_step(rep, step);
         c.run_to_quiescence();
@@ -256,10 +247,7 @@ mod tests {
     fn manual_flush_broadcasts_partial_batch() {
         let mut c = cluster(4, 100);
         let rep = c.node(0).layout.representative_of(ClientId(0));
-        let step = c
-            .node_mut(rep.0 as usize)
-            .submit(Payment::new(0u64, 0u64, 1u64, 5u64))
-            .unwrap();
+        let step = c.node_mut(rep.0 as usize).submit(Payment::new(0u64, 0u64, 1u64, 5u64)).unwrap();
         c.submit_step(rep, step);
         let step = c.node_mut(rep.0 as usize).flush();
         c.submit_step(rep, step);
@@ -272,11 +260,8 @@ mod tests {
     #[test]
     fn rejects_clients_of_other_representatives() {
         let layout = ShardLayout::single(4).unwrap();
-        let mut replica = AstroOneReplica::new(
-            ReplicaId(0),
-            layout.clone(),
-            Astro1Config::default(),
-        );
+        let mut replica =
+            AstroOneReplica::new(ReplicaId(0), layout.clone(), Astro1Config::default());
         // Find a client NOT represented by replica 0.
         let foreign = (0..100u64)
             .map(ClientId)

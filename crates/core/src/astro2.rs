@@ -172,14 +172,10 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// smaller than 4 replicas.
     pub fn new(auth: A, layout: ShardLayout, cfg: Astro2Config) -> Self {
         let me = auth.me();
-        let my_shard = layout
-            .shard_of_replica(me)
-            .unwrap_or_else(|| panic!("replica {me} not in layout"));
-        let groups: Vec<Group> = layout
-            .shards()
-            .iter()
-            .map(|s| Group::from_spec(s).expect("shard too small"))
-            .collect();
+        let my_shard =
+            layout.shard_of_replica(me).unwrap_or_else(|| panic!("replica {me} not in layout"));
+        let groups: Vec<Group> =
+            layout.shards().iter().map(|s| Group::from_spec(s).expect("shard too small")).collect();
         let brb = SignedBrb::new(
             auth.clone(),
             groups[my_shard.0 as usize].clone(),
@@ -228,7 +224,10 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// # Errors
     ///
     /// Rejects clients this replica does not represent.
-    pub fn submit(&mut self, payment: Payment) -> Result<ReplicaStep<Astro2Msg<A::Sig>>, SubmitError> {
+    pub fn submit(
+        &mut self,
+        payment: Payment,
+    ) -> Result<ReplicaStep<Astro2Msg<A::Sig>>, SubmitError> {
         if !self.layout.is_representative(self.me, payment.spender) {
             return Err(SubmitError::NotRepresentative {
                 client: payment.spender,
@@ -280,7 +279,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     }
 
     /// Processes one replica-to-replica message.
-    pub fn handle(&mut self, from: ReplicaId, msg: Astro2Msg<A::Sig>) -> ReplicaStep<Astro2Msg<A::Sig>> {
+    pub fn handle(
+        &mut self,
+        from: ReplicaId,
+        msg: Astro2Msg<A::Sig>,
+    ) -> ReplicaStep<Astro2Msg<A::Sig>> {
         match msg {
             Astro2Msg::Brb(m) => {
                 let step = self.brb.handle(from, m);
@@ -342,8 +345,9 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         }
 
         // Cascade: settled payments may unblock queued successors.
-        let Self { pending, ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, .. } =
-            self;
+        let Self {
+            pending, ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, ..
+        } = self;
         let cascaded = pending.drain_cascade(touched, ledger, |ledger, p, deps| {
             attempt_settle_inner(
                 ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps,
@@ -356,13 +360,10 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         let mut by_rep: BTreeMap<ReplicaId, Vec<Payment>> = BTreeMap::new();
         for p in &settled {
             let beneficiary_shard = self.layout.shard_of_client(p.beneficiary);
-            let direct = self.mode == CreditMode::DirectIntraShard
-                && beneficiary_shard == self.my_shard;
+            let direct =
+                self.mode == CreditMode::DirectIntraShard && beneficiary_shard == self.my_shard;
             if !direct {
-                by_rep
-                    .entry(self.layout.representative_of(p.beneficiary))
-                    .or_default()
-                    .push(*p);
+                by_rep.entry(self.layout.representative_of(p.beneficiary)).or_default().push(*p);
             }
         }
         for (rep, bundle) in by_rep {
@@ -382,22 +383,24 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         deps: &[DependencyCertificate<A::Sig>],
     ) -> SettleOutcome {
         let Self { ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, .. } = self;
-        attempt_settle_inner(ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps)
+        attempt_settle_inner(
+            ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps,
+        )
     }
 
     /// Handles an incoming CREDIT sub-batch at the beneficiary's
     /// representative (Listing 10).
-    fn on_credit(&mut self, from: ReplicaId, cb: CreditBundle<A::Sig>) -> ReplicaStep<Astro2Msg<A::Sig>> {
+    fn on_credit(
+        &mut self,
+        from: ReplicaId,
+        cb: CreditBundle<A::Sig>,
+    ) -> ReplicaStep<Astro2Msg<A::Sig>> {
         let empty = ReplicaStep::empty();
         let Some(first) = cb.bundle.first() else { return empty };
         // All bundled payments must have been settled by one shard, and the
         // sender must belong to it.
         let settling_shard = self.layout.shard_of_client(first.spender);
-        if !cb
-            .bundle
-            .iter()
-            .all(|p| self.layout.shard_of_client(p.spender) == settling_shard)
-        {
+        if !cb.bundle.iter().all(|p| self.layout.shard_of_client(p.spender) == settling_shard) {
             return empty;
         }
         let group = &self.groups[settling_shard.0 as usize];
@@ -405,11 +408,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             return empty;
         }
         // Ignore bundles for clients we do not represent.
-        if !cb
-            .bundle
-            .iter()
-            .any(|p| self.layout.is_representative(self.me, p.beneficiary))
-        {
+        if !cb.bundle.iter().any(|p| self.layout.is_representative(self.me, p.beneficiary)) {
             return empty;
         }
         let context = credit_context(&cb.bundle);
@@ -433,8 +432,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             proofs: partial.proofs.iter().map(|(r, s)| (*r, s.clone())).collect(),
         };
         // Store the certificate for every beneficiary we represent.
-        let mut beneficiaries: Vec<ClientId> =
-            cert.bundle.iter().map(|p| p.beneficiary).collect();
+        let mut beneficiaries: Vec<ClientId> = cert.bundle.iter().map(|p| p.beneficiary).collect();
         beneficiaries.sort_unstable();
         beneficiaries.dedup();
         for b in beneficiaries {
@@ -521,11 +519,7 @@ fn attempt_settle_inner<A: Authenticator>(
     for cert in deps {
         let Some(first) = cert.bundle.first() else { continue };
         let settling_shard = layout.shard_of_client(first.spender);
-        if !cert
-            .bundle
-            .iter()
-            .all(|d| layout.shard_of_client(d.spender) == settling_shard)
-        {
+        if !cert.bundle.iter().all(|d| layout.shard_of_client(d.spender) == settling_shard) {
             continue;
         }
         let group = &groups[settling_shard.0 as usize];
@@ -538,8 +532,8 @@ fn attempt_settle_inner<A: Authenticator>(
             }
         }
     }
-    let direct_credit = mode == CreditMode::DirectIntraShard
-        && layout.shard_of_client(p.beneficiary) == my_shard;
+    let direct_credit =
+        mode == CreditMode::DirectIntraShard && layout.shard_of_client(p.beneficiary) == my_shard;
     match ledger.settle(p, direct_credit) {
         SettleOutcome::InsufficientFunds if mode == CreditMode::Certificates => {
             // Listing 9's `if bal[Alice] < x: return` — the payment is
@@ -573,7 +567,12 @@ mod tests {
     }
 
     fn cfg(mode: CreditMode) -> Astro2Config {
-        Astro2Config { batch_size: 1, initial_balance: Amount(100), credit_mode: mode, dep_policy: DepPolicy::WhenNeeded }
+        Astro2Config {
+            batch_size: 1,
+            initial_balance: Amount(100),
+            credit_mode: mode,
+            dep_policy: DepPolicy::WhenNeeded,
+        }
     }
 
     /// Submits a payment at its representative.
@@ -600,10 +599,7 @@ mod tests {
         // Client 1's representative accumulated a certificate.
         let rep1 = layout.representative_of(ClientId(1));
         assert_eq!(c.node(rep1.0 as usize).held_certificates(ClientId(1)), 1);
-        assert_eq!(
-            c.node(rep1.0 as usize).available_balance(ClientId(1)),
-            Amount(130)
-        );
+        assert_eq!(c.node(rep1.0 as usize).available_balance(ClientId(1)), Amount(130));
     }
 
     #[test]
@@ -627,8 +623,10 @@ mod tests {
         let layout = ShardLayout::uniform(2, 4).unwrap();
         let mut c = cluster(2, 4, cfg(CreditMode::Certificates));
         // Find a client in shard 0 and one in shard 1.
-        let a = (0..100u64).map(ClientId).find(|x| layout.shard_of_client(*x) == ShardId(0)).unwrap();
-        let b = (0..100u64).map(ClientId).find(|x| layout.shard_of_client(*x) == ShardId(1)).unwrap();
+        let a =
+            (0..100u64).map(ClientId).find(|x| layout.shard_of_client(*x) == ShardId(0)).unwrap();
+        let b =
+            (0..100u64).map(ClientId).find(|x| layout.shard_of_client(*x) == ShardId(1)).unwrap();
         pay(&mut c, &layout, Payment::new(a.0, 0u64, b.0, 50u64));
         c.run_to_quiescence();
         // Settled in shard 0 only (4 replicas).
@@ -693,10 +691,8 @@ mod tests {
         c.submit_step(rep1, step);
         c.run_to_quiescence();
         let node = c.node_mut(rep1.0 as usize);
-        node.batch.push(DepPayment {
-            payment: Payment::new(1u64, 1u64, 2u64, 10u64),
-            deps: vec![cert],
-        });
+        node.batch
+            .push(DepPayment { payment: Payment::new(1u64, 1u64, 2u64, 10u64), deps: vec![cert] });
         let step = node.flush();
         c.submit_step(rep1, step);
         c.run_to_quiescence();
@@ -768,10 +764,16 @@ mod tests {
         let idx = rep.0 as usize;
         let id = InstanceId { source: u64::from(rep.0), tag: 0 };
         let batch_a = DepBatch {
-            entries: vec![DepPayment { payment: Payment::new(0u64, 0u64, 1u64, 50u64), deps: vec![] }],
+            entries: vec![DepPayment {
+                payment: Payment::new(0u64, 0u64, 1u64, 50u64),
+                deps: vec![],
+            }],
         };
         let batch_b = DepBatch {
-            entries: vec![DepPayment { payment: Payment::new(0u64, 0u64, 2u64, 50u64), deps: vec![] }],
+            entries: vec![DepPayment {
+                payment: Payment::new(0u64, 0u64, 2u64, 50u64),
+                deps: vec![],
+            }],
         };
         // Byzantine: prepare A at two replicas, B at the other two.
         for (i, batch) in [(0u32, &batch_a), (1, &batch_a), (2, &batch_b), (3, &batch_b)] {

@@ -52,7 +52,10 @@ pub struct DependencyCertificate<S> {
 
 impl<S> DependencyCertificate<S> {
     /// The payments in this certificate crediting `beneficiary`.
-    pub fn credits_for(&self, beneficiary: astro_types::ClientId) -> impl Iterator<Item = &Payment> {
+    pub fn credits_for(
+        &self,
+        beneficiary: astro_types::ClientId,
+    ) -> impl Iterator<Item = &Payment> {
         self.bundle.iter().filter(move |p| p.beneficiary == beneficiary)
     }
 }
@@ -198,15 +201,11 @@ mod tests {
         let group = Group::new((4..8).map(ReplicaId)).unwrap(); // f = 1
         let bundle = vec![p(1, 0, 2, 5)];
         let ctx = credit_context(&bundle);
-        let auths: Vec<MacAuthenticator> = (4..8)
-            .map(|i| MacAuthenticator::new(ReplicaId(i), b"cert".to_vec()))
-            .collect();
+        let auths: Vec<MacAuthenticator> =
+            (4..8).map(|i| MacAuthenticator::new(ReplicaId(i), b"cert".to_vec())).collect();
         let cert = DependencyCertificate {
             bundle: bundle.clone(),
-            proofs: vec![
-                (ReplicaId(4), auths[0].sign(&ctx)),
-                (ReplicaId(5), auths[1].sign(&ctx)),
-            ],
+            proofs: vec![(ReplicaId(4), auths[0].sign(&ctx)), (ReplicaId(5), auths[1].sign(&ctx))],
         };
         let verifier = MacAuthenticator::new(ReplicaId(0), b"cert".to_vec());
         assert!(verify_certificate(&cert, &group, &verifier));
@@ -218,10 +217,7 @@ mod tests {
         let bundle = vec![p(1, 0, 2, 5)];
         let ctx = credit_context(&bundle);
         let a = MacAuthenticator::new(ReplicaId(4), b"cert".to_vec());
-        let cert = DependencyCertificate {
-            bundle,
-            proofs: vec![(ReplicaId(4), a.sign(&ctx))],
-        };
+        let cert = DependencyCertificate { bundle, proofs: vec![(ReplicaId(4), a.sign(&ctx))] };
         assert!(!verify_certificate(&cert, &group, &a));
     }
 
@@ -261,17 +257,13 @@ mod tests {
         let group = Group::new((4..8).map(ReplicaId)).unwrap();
         let bundle = vec![p(1, 0, 2, 5)];
         let ctx = credit_context(&bundle);
-        let auths: Vec<MacAuthenticator> = (4..6)
-            .map(|i| MacAuthenticator::new(ReplicaId(i), b"cert".to_vec()))
-            .collect();
+        let auths: Vec<MacAuthenticator> =
+            (4..6).map(|i| MacAuthenticator::new(ReplicaId(i), b"cert".to_vec())).collect();
         let mut tampered = bundle.clone();
         tampered[0].amount = astro_types::Amount(5000);
         let cert = DependencyCertificate {
             bundle: tampered,
-            proofs: vec![
-                (ReplicaId(4), auths[0].sign(&ctx)),
-                (ReplicaId(5), auths[1].sign(&ctx)),
-            ],
+            proofs: vec![(ReplicaId(4), auths[0].sign(&ctx)), (ReplicaId(5), auths[1].sign(&ctx))],
         };
         assert!(!verify_certificate(&cert, &group, &auths[0]));
     }
@@ -291,10 +283,7 @@ mod tests {
             bundle: vec![p(1, 0, 2, 5), p(3, 0, 2, 7), p(4, 0, 9, 1)],
             proofs: vec![],
         };
-        let total: u64 = cert
-            .credits_for(astro_types::ClientId(2))
-            .map(|p| p.amount.0)
-            .sum();
+        let total: u64 = cert.credits_for(astro_types::ClientId(2)).map(|p| p.amount.0).sum();
         assert_eq!(total, 12);
     }
 

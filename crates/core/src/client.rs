@@ -50,12 +50,7 @@ impl Client {
     /// Creates the next payment (Listing 1: assign the sequence number,
     /// then increment). The caller submits it to the representative.
     pub fn pay(&mut self, beneficiary: ClientId, amount: Amount) -> Payment {
-        let payment = Payment {
-            spender: self.id,
-            seq: self.next_seq,
-            beneficiary,
-            amount,
-        };
+        let payment = Payment { spender: self.id, seq: self.next_seq, beneficiary, amount };
         self.next_seq = self.next_seq.next();
         payment
     }

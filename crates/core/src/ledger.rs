@@ -70,9 +70,8 @@ impl Ledger {
     /// materialized dependency certificate).
     pub fn credit(&mut self, client: ClientId, amount: Amount) {
         let balance = self.balance(client);
-        let new = balance
-            .checked_add(amount)
-            .expect("balance overflow: total money supply exceeds u64");
+        let new =
+            balance.checked_add(amount).expect("balance overflow: total money supply exceeds u64");
         self.balances.insert(client, new);
     }
 

@@ -118,10 +118,9 @@ pub enum SubmitError {
 impl core::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            SubmitError::NotRepresentative { client, representative } => write!(
-                f,
-                "client {client} is represented by {representative}, not this replica"
-            ),
+            SubmitError::NotRepresentative { client, representative } => {
+                write!(f, "client {client} is represented by {representative}, not this replica")
+            }
         }
     }
 }

@@ -142,7 +142,10 @@ mod tests {
         let settled = q.drain_cascade([ClientId(1)], &mut ledger, plain_settle);
         assert!(settled.is_empty());
         // Now seq 0 settles directly; cascade must pick up seq 1.
-        assert_eq!(ledger.settle(&Payment::new(1u64, 0u64, 2u64, 5u64), true), SettleOutcome::Applied);
+        assert_eq!(
+            ledger.settle(&Payment::new(1u64, 0u64, 2u64, 5u64), true),
+            SettleOutcome::Applied
+        );
         let settled = q.drain_cascade([ClientId(1)], &mut ledger, plain_settle);
         assert_eq!(settled.len(), 1);
         assert_eq!(settled[0].payment.seq.0, 1);
@@ -158,7 +161,10 @@ mod tests {
         assert!(q.drain_cascade([ClientId(1)], &mut ledger, plain_settle).is_empty());
         // Client 2 (topped up first) pays client 1 enough.
         ledger.credit(ClientId(2), Amount(40));
-        assert_eq!(ledger.settle(&Payment::new(2u64, 0u64, 1u64, 45u64), true), SettleOutcome::Applied);
+        assert_eq!(
+            ledger.settle(&Payment::new(2u64, 0u64, 1u64, 45u64), true),
+            SettleOutcome::Applied
+        );
         let settled = q.drain_cascade([ClientId(1)], &mut ledger, plain_settle);
         assert_eq!(settled.len(), 1);
         assert_eq!(ledger.balance(ClientId(1)), Amount(5));

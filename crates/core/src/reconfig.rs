@@ -325,10 +325,7 @@ impl<A: Authenticator> ReconfigReplica<A> {
         }
         let digest = view.digest();
         let quorum = self.view.quorum();
-        let entry = self
-            .proposals
-            .entry(digest)
-            .or_insert_with(|| (view.clone(), HashMap::new()));
+        let entry = self.proposals.entry(digest).or_insert_with(|| (view.clone(), HashMap::new()));
         entry.1.insert(from, sig);
         if entry.1.len() < quorum {
             return ReconfigStep::empty();
@@ -342,12 +339,8 @@ impl<A: Authenticator> ReconfigReplica<A> {
         step.installed = Some(installed.clone());
         // Members of the old view push state to the newcomers.
         if self.active {
-            let newcomers: Vec<ReplicaId> = installed
-                .members
-                .iter()
-                .copied()
-                .filter(|m| !old_members.contains(m))
-                .collect();
+            let newcomers: Vec<ReplicaId> =
+                installed.members.iter().copied().filter(|m| !old_members.contains(m)).collect();
             if !newcomers.is_empty() {
                 // Canonical order: state digests must match across correct
                 // replicas, so records are sorted by owner.
@@ -391,10 +384,7 @@ impl<A: Authenticator> ReconfigReplica<A> {
         h.update(&records.encoded_len().to_be_bytes());
         h.update(&records.to_wire_bytes());
         let digest = h.finalize();
-        let entry = self
-            .state_votes
-            .entry(digest)
-            .or_insert_with(|| (records, HashSet::new()));
+        let entry = self.state_votes.entry(digest).or_insert_with(|| (records, HashSet::new()));
         entry.1.insert(from);
         if entry.1.len() < self.view.small_quorum() {
             return ReconfigStep::empty();
@@ -432,7 +422,11 @@ mod tests {
     struct Net {
         replicas: Vec<R>,
         ledgers: Vec<Ledger>,
-        queue: std::collections::VecDeque<(ReplicaId, ReplicaId, ReconfigMsg<astro_types::auth::SimSig>)>,
+        queue: std::collections::VecDeque<(
+            ReplicaId,
+            ReplicaId,
+            ReconfigMsg<astro_types::auth::SimSig>,
+        )>,
         installed: Vec<Option<View>>,
         activated: Vec<bool>,
     }
@@ -441,9 +435,8 @@ mod tests {
         fn new(members: usize, joiners: usize) -> Self {
             let group = Group::of_size(members).unwrap();
             let view = View::initial(&group);
-            let mut replicas: Vec<R> = (0..members as u32)
-                .map(|i| R::member(auth(i), view.clone()))
-                .collect();
+            let mut replicas: Vec<R> =
+                (0..members as u32).map(|i| R::member(auth(i), view.clone())).collect();
             for j in 0..joiners {
                 replicas.push(R::joiner(auth((members + j) as u32), view.clone()));
             }
@@ -480,10 +473,8 @@ mod tests {
         fn run(&mut self) {
             while let Some((from, to, msg)) = self.queue.pop_front() {
                 if (to.0 as usize) < self.replicas.len() {
-                    let mut ledger = std::mem::replace(
-                        &mut self.ledgers[to.0 as usize],
-                        Ledger::new(Amount(0)),
-                    );
+                    let mut ledger =
+                        std::mem::replace(&mut self.ledgers[to.0 as usize], Ledger::new(Amount(0)));
                     let step = self.replicas[to.0 as usize].handle(from, msg, &mut ledger);
                     self.ledgers[to.0 as usize] = ledger;
                     self.submit(to, step);

@@ -127,18 +127,17 @@ impl XLog {
     /// Saturates at `u64::MAX`; individual balances can never reach this
     /// because settlement uses checked arithmetic.
     pub fn total_spent(&self) -> Amount {
-        self.entries
-            .iter()
-            .fold(Amount::ZERO, |acc, p| acc.saturating_add(p.amount))
+        self.entries.iter().fold(Amount::ZERO, |acc, p| acc.saturating_add(p.amount))
     }
 
     /// Audit check: owner and sequence invariants hold for every entry.
     /// Always true for logs built through [`XLog::append`]; useful after
     /// state transfer.
     pub fn audit(&self) -> bool {
-        self.entries.iter().enumerate().all(|(i, p)| {
-            p.spender == self.owner && p.seq == SeqNo(i as u64)
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.spender == self.owner && p.seq == SeqNo(i as u64))
     }
 }
 

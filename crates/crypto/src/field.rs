@@ -3,12 +3,8 @@
 use crate::u256::{self, Limbs, Modulus};
 
 /// secp256k1 field modulus p = 2^256 − 2^32 − 977.
-pub const P: Modulus = Modulus::new([
-    0xFFFFFFFEFFFFFC2F,
-    0xFFFFFFFFFFFFFFFF,
-    0xFFFFFFFFFFFFFFFF,
-    0xFFFFFFFFFFFFFFFF,
-]);
+pub const P: Modulus =
+    Modulus::new([0xFFFFFFFEFFFFFC2F, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF]);
 
 /// An element of GF(p), kept fully reduced (`0 <= value < p`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

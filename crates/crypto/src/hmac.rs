@@ -99,6 +99,28 @@ impl MacKey {
         Self { key: tag }
     }
 
+    /// Derives a direction-specific session key from this (long-lived) link
+    /// key and the two handshake nonces.
+    ///
+    /// `astro-net` runs one handshake per connection: the dialer and the
+    /// acceptor each contribute a fresh nonce, and every transfer direction
+    /// gets its own key (`sender` is the sending replica's id). Reconnects
+    /// therefore never reuse a session key, so a recorded session cannot be
+    /// replayed into a new connection.
+    pub fn session(
+        &self,
+        dialer_nonce: &[u8; 16],
+        acceptor_nonce: &[u8; 16],
+        sender: u64,
+    ) -> MacKey {
+        let tag = hmac_sha256(
+            &self.key,
+            &[b"astro-session-v1" as &[u8], dialer_nonce, acceptor_nonce, &sender.to_be_bytes()]
+                .concat(),
+        );
+        MacKey { key: tag }
+    }
+
     /// Computes the authentication tag for `message`.
     pub fn tag(&self, message: &[u8]) -> Tag {
         hmac_sha256(&self.key, message)
@@ -122,20 +144,14 @@ mod tests {
     fn rfc4231_test_case_1() {
         let key = [0x0bu8; 20];
         let tag = hmac_sha256(&key, b"Hi There");
-        assert_eq!(
-            hex(&tag),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
-        );
+        assert_eq!(hex(&tag), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
     }
 
     #[test]
     fn rfc4231_test_case_2() {
         // Key "Jefe", data "what do ya want for nothing?"
         let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
-        assert_eq!(
-            hex(&tag),
-            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
-        );
+        assert_eq!(hex(&tag), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
     }
 
     #[test]
@@ -166,6 +182,22 @@ mod tests {
         assert_eq!(a.tag(b"x"), b.tag(b"x"));
         let c = MacKey::derive(b"secret", 3, 10);
         assert_ne!(a.tag(b"x"), c.tag(b"x"));
+    }
+
+    #[test]
+    fn session_keys_are_direction_and_nonce_specific() {
+        let link = MacKey::derive(b"secret", 0, 1);
+        let (na, nb) = ([1u8; 16], [2u8; 16]);
+        // Both endpoints derive identical per-direction keys.
+        let a_to_b = link.session(&na, &nb, 0);
+        let a_to_b_again = link.session(&na, &nb, 0);
+        assert_eq!(a_to_b.tag(b"m"), a_to_b_again.tag(b"m"));
+        // Directions differ.
+        let b_to_a = link.session(&na, &nb, 1);
+        assert_ne!(a_to_b.tag(b"m"), b_to_a.tag(b"m"));
+        // Fresh nonces (reconnect) yield fresh keys.
+        let reconnect = link.session(&[3u8; 16], &nb, 0);
+        assert_ne!(a_to_b.tag(b"m"), reconnect.tag(b"m"));
     }
 
     #[test]

@@ -308,11 +308,7 @@ impl Jacobian {
         let z_inv = self.z.invert();
         let z2 = z_inv.square();
         let z3 = z2.mul(&z_inv);
-        Affine {
-            x: self.x.mul(&z2),
-            y: self.y.mul(&z3),
-            infinity: false,
-        }
+        Affine { x: self.x.mul(&z2), y: self.y.mul(&z3), infinity: false }
     }
 }
 

@@ -4,12 +4,8 @@ use crate::u256::{self, Limbs, Modulus, Wide};
 
 /// secp256k1 group order
 /// n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141.
-pub const N: Modulus = Modulus::new([
-    0xBFD25E8CD0364141,
-    0xBAAEDCE6AF48A03B,
-    0xFFFFFFFFFFFFFFFE,
-    0xFFFFFFFFFFFFFFFF,
-]);
+pub const N: Modulus =
+    Modulus::new([0xBFD25E8CD0364141, 0xBAAEDCE6AF48A03B, 0xFFFFFFFFFFFFFFFE, 0xFFFFFFFFFFFFFFFF]);
 
 /// An integer modulo the group order n, kept fully reduced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

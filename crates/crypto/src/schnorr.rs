@@ -104,9 +104,7 @@ impl SecretKey {
 
     /// The corresponding public key.
     pub fn public(&self) -> PublicKey {
-        PublicKey {
-            point: crate::point::mul_generator(&self.scalar),
-        }
+        PublicKey { point: crate::point::mul_generator(&self.scalar) }
     }
 
     /// Signs `message` with a deterministic nonce.
@@ -362,7 +360,7 @@ mod tests {
         let sig = kp.sign(b"msg");
         let mut bytes = sig.to_bytes();
         bytes[40] ^= 0x01; // flip a bit in s
-        // Failing to decode is also acceptable.
+                           // Failing to decode is also acceptable.
         if let Ok(bad) = Signature::from_bytes(&bytes) {
             assert!(!kp.public().verify(b"msg", &bad));
         }

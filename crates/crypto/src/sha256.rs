@@ -72,21 +72,14 @@ impl Default for Sha256 {
 
 impl core::fmt::Debug for Sha256 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Sha256")
-            .field("total_len", &self.total_len)
-            .finish_non_exhaustive()
+        f.debug_struct("Sha256").field("total_len", &self.total_len).finish_non_exhaustive()
     }
 }
 
 impl Sha256 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Self {
-            state: H0,
-            buf: [0u8; BLOCK_LEN],
-            buf_len: 0,
-            total_len: 0,
-        }
+        Self { state: H0, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: 0 }
     }
 
     /// Absorbs `data` into the hash state.
@@ -155,21 +148,14 @@ impl Sha256 {
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = s0.wrapping_add(maj);
@@ -238,9 +224,7 @@ mod tests {
     #[test]
     fn two_block_message_matches_nist_vector() {
         assert_eq!(
-            hex(&sha256(
-                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
-            )),
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -272,10 +256,7 @@ mod tests {
 
     #[test]
     fn concat_equals_oneshot() {
-        assert_eq!(
-            sha256_concat(&[b"hello ", b"", b"world"]),
-            sha256(b"hello world")
-        );
+        assert_eq!(sha256_concat(&[b"hello ", b"", b"world"]), sha256(b"hello world"));
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! TCP transport: one authenticated socket per replica link.
+//!
+//! Topology is a full mesh with a deterministic dialing convention — the
+//! lower-id replica dials the higher-id replica's listener — so each
+//! ordered pair shares exactly one connection. Every connection runs the
+//! [`session`](crate::session) handshake before carrying traffic, and
+//! every frame is `len || seq || payload || tag` (framing from
+//! [`astro_types::wire`], MAC from the session layer).
+//!
+//! Failure handling: a broken connection tears the link down; the dialer
+//! side re-dials on the next send, the acceptor side keeps its listener
+//! open and installs whatever authenticated replacement arrives. Messages
+//! in flight during the outage are lost — exactly the fair-loss link the
+//! BRB layer is designed to tolerate (quorums mask a disconnected
+//! minority; a reconnected replica rejoins the broadcast flow).
+
+use crate::session::{
+    make_ack, make_confirm, make_hello, session_pair, verify_ack, verify_confirm, verify_hello,
+    RecvSession, SendSession, ACK_LEN, CONFIRM_LEN, HELLO_LEN,
+};
+use crate::{Endpoint, NetError, Transport};
+use astro_types::wire::{peek_frame_len, put_frame, MAX_FRAME_LEN};
+use astro_types::{Keychain, ReplicaId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Packet = (ReplicaId, Vec<u8>);
+
+/// How long a handshake leg may block before the connection is dropped.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Socket write timeout (`SO_SNDTIMEO`) for every established connection:
+/// a peer that completes the handshake but stops reading turns `write_all`
+/// into an error after this long, instead of blocking the caller (which
+/// holds the link mutex) indefinitely.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Minimum spacing between redial attempts to one peer. Sends to a down
+/// link inside this window fail fast with [`NetError::LinkDown`] rather
+/// than stalling the caller — a crashed peer must not slow traffic to the
+/// rest of the mesh (the BRB layer tolerates the loss; quorums mask a
+/// disconnected minority).
+const REDIAL_COOLDOWN: Duration = Duration::from_millis(250);
+
+/// Pause between re-dial attempts during `establish` (process start skew).
+const REDIAL_BACKOFF: Duration = Duration::from_millis(25);
+
+/// One live, authenticated connection's write half.
+struct LinkWriter {
+    stream: TcpStream,
+    session: SendSession,
+}
+
+/// Per-peer link state. `generation` lets a stale reader thread detect
+/// that the link it was serving has already been replaced;
+/// `next_dial_at` rate-limits dialer-side reconnection attempts.
+struct LinkState {
+    writer: Option<LinkWriter>,
+    generation: u64,
+    next_dial_at: Option<Instant>,
+}
+
+struct LinkSlot {
+    state: Mutex<LinkState>,
+}
+
+struct Shared {
+    keychain: Keychain,
+    n: usize,
+    peer_addrs: Vec<Option<SocketAddr>>,
+    links: Vec<LinkSlot>,
+    // `Sender` is Send but not Sync; reader threads clone one out.
+    inbox_tx: Mutex<Sender<Packet>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn me(&self) -> ReplicaId {
+        self.keychain.id()
+    }
+
+    fn is_dialer_for(&self, peer: ReplicaId) -> bool {
+        self.me().0 < peer.0
+    }
+
+    /// Installs an authenticated connection and spawns its reader.
+    fn install_link(
+        &self,
+        self_arc: &Arc<Shared>,
+        peer: ReplicaId,
+        writer: LinkWriter,
+        rx: RecvSession,
+    ) {
+        let read_stream = match writer.stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let generation = {
+            let mut state = self.links[peer.0 as usize].state.lock();
+            if let Some(old) = state.writer.take() {
+                let _ = old.stream.shutdown(Shutdown::Both);
+            }
+            state.generation += 1;
+            state.writer = Some(writer);
+            state.generation
+        };
+        let shared = Arc::clone(self_arc);
+        let inbox = self.inbox_tx.lock().clone();
+        std::thread::spawn(move || {
+            reader_main(&shared, peer, generation, read_stream, rx, &inbox);
+        });
+    }
+
+    /// Clears the link if `generation` still names the active connection.
+    fn teardown_link(&self, peer: ReplicaId, generation: u64) {
+        let mut state = self.links[peer.0 as usize].state.lock();
+        if state.generation == generation {
+            if let Some(writer) = state.writer.take() {
+                let _ = writer.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Reads length-prefixed frames from `stream`, authenticates them against
+/// the session, and forwards payloads to the endpoint inbox. Exits (and
+/// tears the link down) on EOF, IO error, or any authentication failure.
+fn reader_main(
+    shared: &Arc<Shared>,
+    peer: ReplicaId,
+    generation: u64,
+    mut stream: TcpStream,
+    mut session: RecvSession,
+    inbox: &Sender<Packet>,
+) {
+    let mut header = [0u8; 4];
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        if stream.read_exact(&mut header).is_err() {
+            break;
+        }
+        let len = match peek_frame_len(&header) {
+            Ok(Some(len)) => len,
+            // Oversized frame: Byzantine or corrupted peer; drop the link.
+            _ => break,
+        };
+        let mut sealed = vec![0u8; len];
+        if stream.read_exact(&mut sealed).is_err() {
+            break;
+        }
+        match session.open(&sealed) {
+            Ok(payload) => {
+                if inbox.send((peer, payload)).is_err() {
+                    break; // endpoint dropped
+                }
+            }
+            // Forged/tampered/replayed traffic: the connection is not
+            // trustworthy anymore.
+            Err(_) => break,
+        }
+    }
+    shared.teardown_link(peer, generation);
+}
+
+fn read_exact_frame(stream: &mut TcpStream, expected_len: usize) -> Result<Vec<u8>, NetError> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let len = peek_frame_len(&header)
+        .map_err(|_| NetError::Handshake { peer: None, reason: "oversized frame" })?
+        .expect("4 bytes present");
+    if len != expected_len || len > MAX_FRAME_LEN {
+        return Err(NetError::Handshake { peer: None, reason: "unexpected frame size" });
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    put_frame(&mut buf, payload);
+    stream.write_all(&buf)
+}
+
+/// Dials `peer` and runs the dialer leg of the handshake
+/// (HELLO → ACK → CONFIRM).
+fn dial(shared: &Shared, peer: ReplicaId) -> Result<(LinkWriter, RecvSession), NetError> {
+    let addr = shared.peer_addrs[peer.0 as usize].ok_or(NetError::UnknownPeer(peer))?;
+    let mut stream = TcpStream::connect_timeout(&addr, HANDSHAKE_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    // A bounded write timeout for the connection's whole life: a peer
+    // that stops draining its socket turns writes into errors (and the
+    // link into a teardown) instead of wedging the writer thread.
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let (hello, nonce_d) = make_hello(&shared.keychain, peer);
+    write_frame(&mut stream, &hello)?;
+    let ack = read_exact_frame(&mut stream, ACK_LEN)?;
+    let nonce_a = verify_ack(&shared.keychain, peer, &nonce_d, &ack)
+        .map_err(|_| NetError::Handshake { peer: Some(peer), reason: "ack rejected" })?;
+    let confirm = make_confirm(&shared.keychain, peer, &nonce_d, &nonce_a);
+    write_frame(&mut stream, &confirm)?;
+    stream.set_read_timeout(None)?;
+    let (tx, rx) = session_pair(&shared.keychain, peer, shared.me(), &nonce_d, &nonce_a);
+    Ok((LinkWriter { stream, session: tx }, rx))
+}
+
+/// Accept-side handshake on a fresh connection.
+fn accept_handshake(
+    shared: &Shared,
+    mut stream: TcpStream,
+) -> Result<(ReplicaId, LinkWriter, RecvSession), NetError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let hello = read_exact_frame(&mut stream, HELLO_LEN)?;
+    let (from, nonce_d) = verify_hello(&shared.keychain, &hello)
+        .map_err(|_| NetError::Handshake { peer: None, reason: "hello rejected" })?;
+    // Only the designated dialer may own this link: the mesh convention
+    // is lower id dials, so an inbound connection must come from a
+    // lower-id replica (and never from our own id).
+    if from.0 >= shared.me().0 {
+        return Err(NetError::Handshake { peer: Some(from), reason: "not my dialer" });
+    }
+    let (ack, nonce_a) = make_ack(&shared.keychain, from, &nonce_d);
+    write_frame(&mut stream, &ack)?;
+    // Key confirmation: a replayed HELLO passes the check above, but only
+    // the real key holder can answer our fresh nonce. Without this leg an
+    // attacker could evict a genuine link by replaying recorded HELLOs.
+    let confirm = read_exact_frame(&mut stream, CONFIRM_LEN)?;
+    verify_confirm(&shared.keychain, from, &nonce_d, &nonce_a, &confirm)
+        .map_err(|_| NetError::Handshake { peer: Some(from), reason: "confirm rejected" })?;
+    stream.set_read_timeout(None)?;
+    let (tx, rx) = session_pair(&shared.keychain, from, from, &nonce_d, &nonce_a);
+    Ok((from, LinkWriter { stream, session: tx }, rx))
+}
+
+fn acceptor_main(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // One short-lived thread per inbound connection: a connector that
+        // stalls mid-handshake burns its own thread until the read
+        // timeout fires, never the accept loop.
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            if let Ok((from, writer, rx)) = accept_handshake(&shared, stream) {
+                shared.install_link(&shared, from, writer, rx);
+            }
+        });
+    }
+}
+
+/// One replica's TCP endpoint.
+///
+/// Created directly with [`TcpEndpoint::establish`] (one call per OS
+/// process) or in bulk with [`TcpTransport::loopback`] (single-process
+/// clusters and tests).
+pub struct TcpEndpoint {
+    shared: Arc<Shared>,
+    inbox: Receiver<Packet>,
+    listen_addr: SocketAddr,
+}
+
+impl std::fmt::Debug for TcpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpEndpoint")
+            .field("me", &self.shared.me())
+            .field("n", &self.shared.n)
+            .field("listen", &self.listen_addr)
+            .finish()
+    }
+}
+
+impl TcpEndpoint {
+    /// Brings up this replica's side of the mesh: starts the acceptor on
+    /// `listener`, then dials every higher-id peer (the mesh convention:
+    /// lower id dials).
+    ///
+    /// `peer_addrs[i]` is replica `i`'s listen address (`None` for the
+    /// local slot). Connections from lower-id peers arrive through the
+    /// acceptor whenever those peers come up — [`wait_connected`] blocks
+    /// until the mesh is complete.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address book does not match the keychain's key book,
+    /// or a dial/handshake to an already-listening peer fails.
+    ///
+    /// [`wait_connected`]: TcpEndpoint::wait_connected
+    pub fn establish(
+        keychain: Keychain,
+        listener: TcpListener,
+        peer_addrs: Vec<Option<SocketAddr>>,
+    ) -> Result<TcpEndpoint, NetError> {
+        let n = keychain.book().len();
+        if peer_addrs.len() != n {
+            return Err(NetError::Handshake {
+                peer: None,
+                reason: "address book size does not match key book",
+            });
+        }
+        let me = keychain.id();
+        let (inbox_tx, inbox) = unbounded();
+        let listen_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            keychain,
+            n,
+            peer_addrs,
+            links: (0..n)
+                .map(|_| LinkSlot {
+                    state: Mutex::new(LinkState {
+                        writer: None,
+                        generation: 0,
+                        next_dial_at: None,
+                    }),
+                })
+                .collect(),
+            inbox_tx: Mutex::new(inbox_tx),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let acceptor_shared = Arc::clone(&shared);
+        std::thread::spawn(move || acceptor_main(acceptor_shared, listener));
+
+        // Dial my share of the mesh: every higher-id peer with a known
+        // address. Tolerate a briefly absent listener (process start skew).
+        for i in (me.0 as usize + 1)..n {
+            let peer = ReplicaId(i as u32);
+            if shared.peer_addrs[i].is_none() {
+                continue;
+            }
+            let mut last = None;
+            for _ in 0..40 {
+                match dial(&shared, peer) {
+                    Ok((writer, rx)) => {
+                        shared.install_link(&shared, peer, writer, rx);
+                        last = None;
+                        break;
+                    }
+                    Err(e) => {
+                        last = Some(e);
+                        std::thread::sleep(REDIAL_BACKOFF);
+                    }
+                }
+            }
+            if let Some(e) = last {
+                shared.shutdown.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+
+        Ok(TcpEndpoint { shared, inbox, listen_addr })
+    }
+
+    /// The address the endpoint's listener is bound to.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Blocks until every link of the mesh is authenticated and up.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if the mesh is still incomplete after
+    /// `timeout` (a peer is down or holds different key material).
+    pub fn wait_connected(&self, timeout: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let up = (0..self.shared.n)
+                .filter(|&i| i != self.shared.me().0 as usize)
+                .all(|i| self.shared.links[i].state.lock().writer.is_some());
+            if up {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout("mesh did not come up"));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Severs every live connection without shutting the endpoint down —
+    /// the reconnect path then has to bring the mesh back. Test-only.
+    #[doc(hidden)]
+    pub fn debug_sever_links(&self) {
+        for slot in &self.shared.links {
+            let mut state = slot.state.lock();
+            if let Some(writer) = state.writer.take() {
+                let _ = writer.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    fn send_now(&self, to: ReplicaId, payload: &[u8]) -> Result<bool, NetError> {
+        let slot = &self.shared.links[to.0 as usize];
+        let mut state = slot.state.lock();
+        let Some(writer) = state.writer.as_mut() else {
+            return Ok(false);
+        };
+        let sealed = writer.session.seal(payload);
+        let mut buf = Vec::with_capacity(4 + sealed.len());
+        put_frame(&mut buf, &sealed);
+        match writer.stream.write_all(&buf) {
+            Ok(()) => Ok(true),
+            Err(_) => {
+                // Broken pipe: tear down and let the caller retry.
+                if let Some(w) = state.writer.take() {
+                    let _ = w.stream.shutdown(Shutdown::Both);
+                }
+                Ok(false)
+            }
+        }
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn local(&self) -> ReplicaId {
+        self.shared.me()
+    }
+
+    fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    fn send(&mut self, to: ReplicaId, payload: &[u8]) -> Result<(), NetError> {
+        if to.0 as usize >= self.shared.n {
+            return Err(NetError::UnknownPeer(to));
+        }
+        if to == self.shared.me() {
+            // Self-delivery short-circuits the socket layer.
+            let tx = self.shared.inbox_tx.lock().clone();
+            let _ = tx.send((to, payload.to_vec()));
+            return Ok(());
+        }
+        if self.send_now(to, payload)? {
+            return Ok(());
+        }
+        // Link down. Never stall the caller waiting for it: a crashed peer
+        // must not slow traffic to the live quorum. The dialer side makes
+        // at most one cooldown-gated reconnection attempt; the acceptor
+        // side reports down and relies on the peer to re-dial.
+        if self.shared.is_dialer_for(to) {
+            {
+                let state = self.shared.links[to.0 as usize].state.lock();
+                if state.next_dial_at.is_some_and(|at| Instant::now() < at) {
+                    return Err(NetError::LinkDown(to));
+                }
+            }
+            let attempt = dial(&self.shared, to);
+            // Space attempts from *completion*: a connect timeout against a
+            // blackholed peer must not make every subsequent send redial.
+            self.shared.links[to.0 as usize].state.lock().next_dial_at =
+                Some(Instant::now() + REDIAL_COOLDOWN);
+            if let Ok((writer, rx)) = attempt {
+                self.shared.install_link(&self.shared, to, writer, rx);
+                if self.send_now(to, payload)? {
+                    return Ok(());
+                }
+            }
+        }
+        Err(NetError::LinkDown(to))
+    }
+
+    fn broadcast(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        let mut first_err = None;
+        for i in 0..self.shared.n {
+            if let Err(e) = self.send(ReplicaId(i as u32), payload) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Packet>, NetError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(packet) => Ok(Some(packet)),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the acceptor's `accept()`.
+        let _ = TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(200));
+        for slot in &self.shared.links {
+            let mut state = slot.state.lock();
+            if let Some(writer) = state.writer.take() {
+                let _ = writer.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// A single-process loopback mesh: `n` [`TcpEndpoint`]s over 127.0.0.1,
+/// with key material from the provided keychains.
+pub struct TcpTransport {
+    endpoints: Vec<TcpEndpoint>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport").field("n", &self.endpoints.len()).finish()
+    }
+}
+
+impl TcpTransport {
+    /// Binds `keychains.len()` listeners on loopback, establishes the full
+    /// authenticated mesh, and waits until every link is up.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bind/dial errors or if the mesh does not complete within a
+    /// few seconds (e.g. mismatched key material).
+    pub fn loopback(keychains: Vec<Keychain>) -> Result<TcpTransport, NetError> {
+        let n = keychains.len();
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind(("127.0.0.1", 0))).collect::<std::io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(TcpListener::local_addr).collect::<std::io::Result<_>>()?;
+
+        // Establish concurrently: every endpoint both dials and accepts.
+        let handles: Vec<_> = keychains
+            .into_iter()
+            .zip(listeners)
+            .enumerate()
+            .map(|(i, (keychain, listener))| {
+                let peer_addrs: Vec<Option<SocketAddr>> =
+                    addrs.iter().enumerate().map(|(j, a)| (j != i).then_some(*a)).collect();
+                std::thread::spawn(move || TcpEndpoint::establish(keychain, listener, peer_addrs))
+            })
+            .collect();
+
+        let mut endpoints = Vec::with_capacity(n);
+        for handle in handles {
+            endpoints.push(handle.join().expect("establish thread panicked")?);
+        }
+        for ep in &endpoints {
+            ep.wait_connected(Duration::from_secs(5))?;
+        }
+        Ok(TcpTransport { endpoints })
+    }
+
+    /// Number of replicas in the mesh.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True if the mesh is empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+impl Transport for TcpTransport {
+    type Endpoint = TcpEndpoint;
+
+    fn into_endpoints(self) -> Vec<TcpEndpoint> {
+        self.endpoints
+    }
+}

@@ -1,12 +1,23 @@
-//! Threaded in-process deployment of Astro replicas.
+//! Threaded deployment of Astro replicas, generic over the transport.
 //!
 //! The simulator (`astro-sim`) models time; this crate runs the *same*
 //! replica state machines under real concurrency: one OS thread per
-//! replica, crossbeam channels as authenticated links, real wall-clock
-//! batching timers, and real Schnorr signatures if desired. Integration
-//! tests use it to check that protocol behaviour is schedule-independent
-//! in practice, and the Criterion microbenchmarks use it for honest
-//! end-to-end numbers on real hardware.
+//! replica, an [`astro_net::Transport`] carrying wire-encoded protocol
+//! messages between them, and real wall-clock batching timers. Two
+//! backends ship today:
+//!
+//! - [`InProcTransport`] — crossbeam channels, authenticated by
+//!   construction: the deterministic-outcome baseline.
+//! - [`TcpTransport`] — real sockets with HMAC-authenticated sessions
+//!   (paper §III's authenticated links made literal), one connection per
+//!   replica link, reconnect-on-drop.
+//!
+//! The replica state machines cannot tell the difference: messages are
+//! encoded with [`astro_types::wire::Wire`], moved as bytes, and decoded
+//! on receipt (a peer's malformed bytes are dropped, never a panic).
+//! [`AstroOneCluster`] runs Astro I (Bracha BRB); [`AstroTwoCluster`] runs
+//! Astro II (signature-based BRB with CREDIT certificates) under real
+//! Schnorr signatures.
 //!
 //! # Examples
 //!
@@ -15,84 +26,256 @@
 //! use astro_core::astro1::Astro1Config;
 //! use astro_types::{Amount, ClientId, Payment};
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cluster = AstroOneCluster::start(
 //!     4,
 //!     Astro1Config { batch_size: 4, initial_balance: Amount(100) },
 //!     std::time::Duration::from_millis(1),
-//! );
-//! cluster.submit(Payment::new(1u64, 0u64, 2u64, 30u64)).unwrap();
+//! )?;
+//! cluster.submit(Payment::new(1u64, 0u64, 2u64, 30u64))?;
 //! let settled = cluster.wait_settled(1, std::time::Duration::from_secs(5));
 //! assert_eq!(settled.len(), 1);
 //! let finals = cluster.shutdown();
 //! let expected: std::collections::HashMap<ClientId, Amount> =
 //!     [(ClientId(1), Amount(70)), (ClientId(2), Amount(130))].into_iter().collect();
 //! assert_eq!(finals[0].0, expected);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
 
 use astro_brb::Dest;
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
-use astro_core::ReplicaStep;
-use astro_types::{Amount, ClientId, Payment, ReplicaId, ShardLayout};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use astro_core::astro2::{Astro2Config, Astro2Msg, AstroTwoReplica};
+use astro_core::{ReplicaStep, SubmitError};
+use astro_net::{Endpoint, InProcTransport, NetError, TcpTransport, Transport};
+use astro_types::wire::{decode_exact, Wire};
+use astro_types::{
+    Amount, ClientId, ConfigError, Keychain, Payment, ReplicaId, SchnorrAuthenticator, ShardLayout,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Messages on a replica's inbox.
-enum Inbox {
-    /// Peer protocol traffic.
-    Peer { from: ReplicaId, msg: Astro1Msg },
-    /// A client payment submission.
+/// Upper bound on one transport poll, so control-channel commands (client
+/// submissions, shutdown) are picked up promptly even under long flush
+/// intervals.
+const POLL_SLICE: Duration = Duration::from_millis(1);
+
+/// Errors starting or driving a cluster.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Fewer than `3f + 1 = 4` replicas were requested.
+    TooSmall {
+        /// The requested size.
+        n: usize,
+    },
+    /// The shard layout could not be built.
+    Config(ConfigError),
+    /// The transport failed to come up.
+    Net(NetError),
+    /// The transport's endpoint count does not match the replica count.
+    EndpointMismatch {
+        /// Replicas requested.
+        expected: usize,
+        /// Endpoints provided.
+        got: usize,
+    },
+    /// The cluster is shutting down and no longer accepts payments.
+    ShuttingDown,
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::TooSmall { n } => {
+                write!(f, "a cluster needs at least 4 replicas, got {n}")
+            }
+            ClusterError::Config(e) => write!(f, "invalid layout: {e}"),
+            ClusterError::Net(e) => write!(f, "transport failed: {e}"),
+            ClusterError::EndpointMismatch { expected, got } => {
+                write!(f, "transport has {got} endpoints for {expected} replicas")
+            }
+            ClusterError::ShuttingDown => f.write_str("cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Config(e) => Some(e),
+            ClusterError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ClusterError {
+    fn from(e: ConfigError) -> Self {
+        ClusterError::Config(e)
+    }
+}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+/// A replica state machine the threaded driver can host.
+///
+/// Implemented by [`AstroOneReplica`] and Schnorr-backed
+/// [`AstroTwoReplica`]; the driver, cluster plumbing, and transports are
+/// shared.
+pub trait RuntimeNode: Send + 'static {
+    /// The peer-to-peer message type.
+    type Msg: Wire + Clone + Send + 'static;
+
+    /// This replica's id.
+    fn id(&self) -> ReplicaId;
+
+    /// A client submits a payment at its representative.
+    ///
+    /// # Errors
+    ///
+    /// Rejects clients this replica does not represent.
+    fn submit(&mut self, payment: Payment) -> Result<ReplicaStep<Self::Msg>, SubmitError>;
+
+    /// Processes one peer message.
+    fn handle(&mut self, from: ReplicaId, msg: Self::Msg) -> ReplicaStep<Self::Msg>;
+
+    /// Flushes the pending batch (timer-driven).
+    fn flush(&mut self) -> ReplicaStep<Self::Msg>;
+
+    /// Final per-client balances (every client the replica has seen).
+    fn final_balances(&self) -> HashMap<ClientId, Amount>;
+
+    /// Total payments settled.
+    fn total_settled(&self) -> usize;
+}
+
+fn ledger_balances(ledger: &astro_core::Ledger) -> HashMap<ClientId, Amount> {
+    let mut clients: Vec<ClientId> =
+        ledger.xlogs().flat_map(|x| x.iter().flat_map(|p| [p.spender, p.beneficiary])).collect();
+    clients.sort_unstable();
+    clients.dedup();
+    clients.into_iter().map(|c| (c, ledger.balance(c))).collect()
+}
+
+impl RuntimeNode for AstroOneReplica {
+    type Msg = Astro1Msg;
+
+    fn id(&self) -> ReplicaId {
+        AstroOneReplica::id(self)
+    }
+
+    fn submit(&mut self, payment: Payment) -> Result<ReplicaStep<Self::Msg>, SubmitError> {
+        AstroOneReplica::submit(self, payment)
+    }
+
+    fn handle(&mut self, from: ReplicaId, msg: Self::Msg) -> ReplicaStep<Self::Msg> {
+        AstroOneReplica::handle(self, from, msg)
+    }
+
+    fn flush(&mut self) -> ReplicaStep<Self::Msg> {
+        AstroOneReplica::flush(self)
+    }
+
+    fn final_balances(&self) -> HashMap<ClientId, Amount> {
+        ledger_balances(self.ledger())
+    }
+
+    fn total_settled(&self) -> usize {
+        self.ledger().total_settled()
+    }
+}
+
+impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
+    type Msg = Astro2Msg<astro_crypto::Signature>;
+
+    fn id(&self) -> ReplicaId {
+        AstroTwoReplica::id(self)
+    }
+
+    fn submit(&mut self, payment: Payment) -> Result<ReplicaStep<Self::Msg>, SubmitError> {
+        AstroTwoReplica::submit(self, payment)
+    }
+
+    fn handle(&mut self, from: ReplicaId, msg: Self::Msg) -> ReplicaStep<Self::Msg> {
+        AstroTwoReplica::handle(self, from, msg)
+    }
+
+    fn flush(&mut self) -> ReplicaStep<Self::Msg> {
+        AstroTwoReplica::flush(self)
+    }
+
+    fn final_balances(&self) -> HashMap<ClientId, Amount> {
+        ledger_balances(self.ledger())
+    }
+
+    fn total_settled(&self) -> usize {
+        self.ledger().total_settled()
+    }
+}
+
+/// Control-channel commands, delivered outside the replica mesh (clients
+/// are not replicas; their submissions do not travel authenticated links).
+enum Ctrl {
     Client(Payment),
-    /// Orderly shutdown.
     Stop,
 }
 
-/// A running threaded Astro I cluster.
+/// The transport-generic threaded cluster driver.
 ///
-/// Replicas run on their own threads and exchange protocol messages over
-/// channels; batches flush on a real timer. Settled payments are observable
-/// through a shared log.
-pub struct AstroOneCluster {
-    senders: Vec<Sender<Inbox>>,
+/// Owns one OS thread per replica; each thread multiplexes its control
+/// channel (client traffic, shutdown) with its transport endpoint (peer
+/// traffic) and flushes batches on a wall-clock timer.
+pub struct Cluster {
+    ctrl: Vec<Sender<Ctrl>>,
     handles: Vec<JoinHandle<(HashMap<ClientId, Amount>, usize)>>,
     settled: Arc<Mutex<Vec<Vec<Payment>>>>,
     layout: ShardLayout,
 }
 
-impl AstroOneCluster {
-    /// Starts `n` replica threads with the given configuration and batch
-    /// flush interval.
+impl Cluster {
+    /// Starts `nodes` over `transport`; `nodes[i]` must be `ReplicaId(i)`
+    /// and the transport must provide one endpoint per node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n < 4`.
-    pub fn start(n: usize, cfg: Astro1Config, flush_every: Duration) -> Self {
-        let layout = ShardLayout::single(n).expect("n >= 4");
-        let channels: Vec<(Sender<Inbox>, Receiver<Inbox>)> =
-            (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<Inbox>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    /// Fails on a node/endpoint count mismatch.
+    pub fn start<N, T>(
+        nodes: Vec<N>,
+        transport: T,
+        layout: ShardLayout,
+        flush_every: Duration,
+    ) -> Result<Cluster, ClusterError>
+    where
+        N: RuntimeNode,
+        T: Transport,
+    {
+        let n = nodes.len();
+        let endpoints = transport.into_endpoints();
+        if endpoints.len() != n {
+            return Err(ClusterError::EndpointMismatch { expected: n, got: endpoints.len() });
+        }
         let settled = Arc::new(Mutex::new(vec![Vec::new(); n]));
-
-        let handles = channels
-            .into_iter()
-            .enumerate()
-            .map(|(i, (_, rx))| {
-                let mut replica =
-                    AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone());
-                let peers = senders.clone();
-                let settled = Arc::clone(&settled);
-                std::thread::spawn(move || {
-                    replica_main(&mut replica, rx, &peers, &settled, flush_every)
-                })
-            })
-            .collect();
-
-        AstroOneCluster { senders, handles, settled, layout }
+        let mut ctrl = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (mut node, endpoint) in nodes.into_iter().zip(endpoints) {
+            let (tx, rx) = unbounded();
+            ctrl.push(tx);
+            let settled = Arc::clone(&settled);
+            handles.push(std::thread::spawn(move || {
+                replica_main(&mut node, endpoint, &rx, &settled, flush_every)
+            }));
+        }
+        Ok(Cluster { ctrl, handles, settled, layout })
     }
 
     /// The client → representative mapping in use.
@@ -105,11 +288,11 @@ impl AstroOneCluster {
     /// # Errors
     ///
     /// Fails if the cluster is shutting down.
-    pub fn submit(&self, payment: Payment) -> Result<(), &'static str> {
+    pub fn submit(&self, payment: Payment) -> Result<(), ClusterError> {
         let rep = self.layout.representative_of(payment.spender);
-        self.senders[rep.0 as usize]
-            .send(Inbox::Client(payment))
-            .map_err(|_| "cluster is shut down")
+        self.ctrl[rep.0 as usize]
+            .send(Ctrl::Client(payment))
+            .map_err(|_| ClusterError::ShuttingDown)
     }
 
     /// Blocks until every replica has settled at least `count` payments or
@@ -138,79 +321,259 @@ impl AstroOneCluster {
     /// Stops all replicas and returns each replica's final balance map and
     /// total settled count.
     pub fn shutdown(self) -> Vec<(HashMap<ClientId, Amount>, usize)> {
-        for s in &self.senders {
-            let _ = s.send(Inbox::Stop);
+        for s in &self.ctrl {
+            let _ = s.send(Ctrl::Stop);
         }
-        self.handles
-            .into_iter()
-            .map(|h| {
-                let (balances, count) = h.join().expect("replica thread panicked");
-                (balances, count)
-            })
-            .collect()
+        self.handles.into_iter().map(|h| h.join().expect("replica thread panicked")).collect()
     }
 }
 
-fn replica_main(
-    replica: &mut AstroOneReplica,
-    rx: Receiver<Inbox>,
-    peers: &[Sender<Inbox>],
+fn replica_main<N: RuntimeNode, E: Endpoint>(
+    node: &mut N,
+    mut endpoint: E,
+    ctrl: &Receiver<Ctrl>,
     settled: &Arc<Mutex<Vec<Vec<Payment>>>>,
     flush_every: Duration,
 ) -> (HashMap<ClientId, Amount>, usize) {
-    let me = replica.id();
-    loop {
-        match rx.recv_timeout(flush_every) {
-            Ok(Inbox::Stop) => break,
-            Ok(Inbox::Client(p)) => {
-                if let Ok(step) = replica.submit(p) {
-                    dispatch(me, step, peers, settled);
+    let me = node.id();
+    let mut next_flush = Instant::now() + flush_every;
+    'run: loop {
+        // Drain control traffic first: client submissions and shutdown.
+        loop {
+            match ctrl.try_recv() {
+                Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => break 'run,
+                Ok(Ctrl::Client(p)) => {
+                    if let Ok(step) = node.submit(p) {
+                        dispatch(me, step, &mut endpoint, settled);
+                    }
                 }
+                Err(TryRecvError::Empty) => break,
             }
-            Ok(Inbox::Peer { from, msg }) => {
-                let step = replica.handle(from, msg);
-                dispatch(me, step, peers, settled);
+        }
+        // Peer traffic, waiting at most until the next flush deadline.
+        let wait = next_flush.saturating_duration_since(Instant::now()).min(POLL_SLICE);
+        if let Ok(Some((from, bytes))) = endpoint.recv_timeout(wait) {
+            // Malformed bytes from a Byzantine peer are dropped here; the
+            // wire codec is total, so this is the only failure mode.
+            if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
+                let step = node.handle(from, msg);
+                dispatch(me, step, &mut endpoint, settled);
             }
-            Err(RecvTimeoutError::Timeout) => {
-                let step = replica.flush();
-                dispatch(me, step, peers, settled);
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if Instant::now() >= next_flush {
+            let step = node.flush();
+            dispatch(me, step, &mut endpoint, settled);
+            next_flush = Instant::now() + flush_every;
         }
     }
-    // Every replica settles every payment, so the set of clients it knows
-    // about is derivable from its own xlogs.
-    let mut clients: Vec<ClientId> = replica
-        .ledger()
-        .xlogs()
-        .flat_map(|x| x.iter().flat_map(|p| [p.spender, p.beneficiary]))
-        .collect();
-    clients.sort_unstable();
-    clients.dedup();
-    let balances = clients.into_iter().map(|c| (c, replica.balance(c))).collect();
-    (balances, replica.ledger().total_settled())
+    (node.final_balances(), node.total_settled())
 }
 
-fn dispatch(
+fn dispatch<M: Wire, E: Endpoint>(
     me: ReplicaId,
-    step: ReplicaStep<Astro1Msg>,
-    peers: &[Sender<Inbox>],
+    step: ReplicaStep<M>,
+    endpoint: &mut E,
     settled: &Arc<Mutex<Vec<Vec<Payment>>>>,
 ) {
     if !step.settled.is_empty() {
         settled.lock()[me.0 as usize].extend(step.settled);
     }
     for env in step.outbound {
+        let bytes = env.msg.to_wire_bytes();
+        // A failed send means a peer link is down; the BRB layer tolerates
+        // the loss (quorums mask a disconnected minority).
         match env.to {
             Dest::All => {
-                for peer in peers {
-                    let _ = peer.send(Inbox::Peer { from: me, msg: env.msg.clone() });
-                }
+                let _ = endpoint.broadcast(&bytes);
             }
             Dest::One(to) => {
-                let _ = peers[to.0 as usize].send(Inbox::Peer { from: me, msg: env.msg });
+                let _ = endpoint.send(to, &bytes);
             }
         }
+    }
+}
+
+fn single_layout(n: usize) -> Result<ShardLayout, ClusterError> {
+    if n < 4 {
+        return Err(ClusterError::TooSmall { n });
+    }
+    Ok(ShardLayout::single(n)?)
+}
+
+/// A running threaded Astro I cluster (Bracha BRB, MAC-authenticated
+/// links).
+pub struct AstroOneCluster {
+    inner: Cluster,
+}
+
+impl AstroOneCluster {
+    /// Starts `n` replica threads over in-process channels.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4`.
+    pub fn start(n: usize, cfg: Astro1Config, flush_every: Duration) -> Result<Self, ClusterError> {
+        Self::start_with(InProcTransport::new(n), n, cfg, flush_every)
+    }
+
+    /// Starts `n` replica threads over loopback TCP with HMAC-authenticated
+    /// sessions, key material drawn from a deterministic keychain set (a
+    /// real deployment loads pre-distributed keychains instead, §III).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4` or the TCP mesh cannot be established.
+    pub fn start_tcp(
+        n: usize,
+        cfg: Astro1Config,
+        flush_every: Duration,
+    ) -> Result<Self, ClusterError> {
+        if n < 4 {
+            return Err(ClusterError::TooSmall { n });
+        }
+        let keychains = Keychain::deterministic_system(b"astro-runtime-tcp", n);
+        let transport = TcpTransport::loopback(keychains)?;
+        Self::start_with(transport, n, cfg, flush_every)
+    }
+
+    /// Starts `n` replica threads over an arbitrary transport.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4` or the transport's endpoint count is not `n`.
+    pub fn start_with<T: Transport>(
+        transport: T,
+        n: usize,
+        cfg: Astro1Config,
+        flush_every: Duration,
+    ) -> Result<Self, ClusterError> {
+        let layout = single_layout(n)?;
+        let nodes: Vec<AstroOneReplica> = (0..n)
+            .map(|i| AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone()))
+            .collect();
+        Ok(AstroOneCluster { inner: Cluster::start(nodes, transport, layout, flush_every)? })
+    }
+
+    /// The client → representative mapping in use.
+    pub fn layout(&self) -> &ShardLayout {
+        self.inner.layout()
+    }
+
+    /// Submits a payment to the spender's representative.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster is shutting down.
+    pub fn submit(&self, payment: Payment) -> Result<(), ClusterError> {
+        self.inner.submit(payment)
+    }
+
+    /// Blocks until every replica has settled at least `count` payments or
+    /// the timeout elapses; returns replica 0's settled log.
+    pub fn wait_settled(&self, count: usize, timeout: Duration) -> Vec<Payment> {
+        self.inner.wait_settled(count, timeout)
+    }
+
+    /// Settled payments as observed by replica `i` so far.
+    pub fn settled_at(&self, i: usize) -> Vec<Payment> {
+        self.inner.settled_at(i)
+    }
+
+    /// Stops all replicas and returns each replica's final balance map and
+    /// total settled count.
+    pub fn shutdown(self) -> Vec<(HashMap<ClientId, Amount>, usize)> {
+        self.inner.shutdown()
+    }
+}
+
+/// A running threaded Astro II cluster (signature-based BRB with CREDIT
+/// certificates) under real Schnorr signatures.
+pub struct AstroTwoCluster {
+    inner: Cluster,
+}
+
+impl AstroTwoCluster {
+    /// Starts `n` replica threads over in-process channels.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4`.
+    pub fn start(n: usize, cfg: Astro2Config, flush_every: Duration) -> Result<Self, ClusterError> {
+        Self::start_with(InProcTransport::new(n), n, cfg, flush_every)
+    }
+
+    /// Starts `n` replica threads over loopback TCP with HMAC-authenticated
+    /// sessions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4` or the TCP mesh cannot be established.
+    pub fn start_tcp(
+        n: usize,
+        cfg: Astro2Config,
+        flush_every: Duration,
+    ) -> Result<Self, ClusterError> {
+        if n < 4 {
+            return Err(ClusterError::TooSmall { n });
+        }
+        let keychains = Keychain::deterministic_system(b"astro-runtime-tcp", n);
+        let transport = TcpTransport::loopback(keychains)?;
+        Self::start_with(transport, n, cfg, flush_every)
+    }
+
+    /// Starts `n` replica threads over an arbitrary transport.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4` or the transport's endpoint count is not `n`.
+    pub fn start_with<T: Transport>(
+        transport: T,
+        n: usize,
+        cfg: Astro2Config,
+        flush_every: Duration,
+    ) -> Result<Self, ClusterError> {
+        let layout = single_layout(n)?;
+        // The signing keys are independent of any transport session keys;
+        // deterministic for reproducibility, as everywhere in the repo.
+        let keychains = Keychain::deterministic_system(b"astro-runtime-astro2", n);
+        let nodes: Vec<AstroTwoReplica<SchnorrAuthenticator>> = keychains
+            .into_iter()
+            .map(|kc| {
+                AstroTwoReplica::new(SchnorrAuthenticator::new(kc), layout.clone(), cfg.clone())
+            })
+            .collect();
+        Ok(AstroTwoCluster { inner: Cluster::start(nodes, transport, layout, flush_every)? })
+    }
+
+    /// The client → representative mapping in use.
+    pub fn layout(&self) -> &ShardLayout {
+        self.inner.layout()
+    }
+
+    /// Submits a payment to the spender's representative.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster is shutting down.
+    pub fn submit(&self, payment: Payment) -> Result<(), ClusterError> {
+        self.inner.submit(payment)
+    }
+
+    /// Blocks until every replica has settled at least `count` payments or
+    /// the timeout elapses; returns replica 0's settled log.
+    pub fn wait_settled(&self, count: usize, timeout: Duration) -> Vec<Payment> {
+        self.inner.wait_settled(count, timeout)
+    }
+
+    /// Settled payments as observed by replica `i` so far.
+    pub fn settled_at(&self, i: usize) -> Vec<Payment> {
+        self.inner.settled_at(i)
+    }
+
+    /// Stops all replicas and returns each replica's final balance map and
+    /// total settled count.
+    pub fn shutdown(self) -> Vec<(HashMap<ClientId, Amount>, usize)> {
+        self.inner.shutdown()
     }
 }
 
@@ -223,8 +586,22 @@ mod tests {
     }
 
     #[test]
+    fn start_rejects_too_small_clusters() {
+        for n in 0..4 {
+            match AstroOneCluster::start(n, cfg(), Duration::from_millis(1)) {
+                Err(ClusterError::TooSmall { n: got }) => assert_eq!(got, n),
+                other => panic!("expected TooSmall for n={n}, got {:?}", other.is_ok()),
+            }
+        }
+        assert!(matches!(
+            AstroTwoCluster::start(3, Astro2Config::default(), Duration::from_millis(1)),
+            Err(ClusterError::TooSmall { n: 3 })
+        ));
+    }
+
+    #[test]
     fn threaded_cluster_settles_payments() {
-        let cluster = AstroOneCluster::start(4, cfg(), Duration::from_millis(1));
+        let cluster = AstroOneCluster::start(4, cfg(), Duration::from_millis(1)).unwrap();
         for seq in 0..20u64 {
             cluster.submit(Payment::new(1u64, seq, 2u64, 10u64)).unwrap();
         }
@@ -240,18 +617,13 @@ mod tests {
 
     #[test]
     fn concurrent_clients_converge() {
-        let cluster = AstroOneCluster::start(4, cfg(), Duration::from_millis(1));
+        let cluster = Arc::new(AstroOneCluster::start(4, cfg(), Duration::from_millis(1)).unwrap());
         // Two client threads submitting interleaved payment streams.
         let c1 = {
-            let layout = cluster.layout().clone();
-            let senders: Vec<_> = (0..4)
-                .map(|i| cluster.senders[i].clone())
-                .collect();
+            let cluster = Arc::clone(&cluster);
             std::thread::spawn(move || {
                 for seq in 0..25u64 {
-                    let p = Payment::new(3u64, seq, 4u64, 1u64);
-                    let rep = layout.representative_of(p.spender);
-                    senders[rep.0 as usize].send(Inbox::Client(p)).unwrap();
+                    cluster.submit(Payment::new(3u64, seq, 4u64, 1u64)).unwrap();
                 }
             })
         };
@@ -261,6 +633,7 @@ mod tests {
         c1.join().unwrap();
         let settled = cluster.wait_settled(50, Duration::from_secs(10));
         assert_eq!(settled.len(), 50);
+        let cluster = Arc::into_inner(cluster).expect("sole owner");
         let finals = cluster.shutdown();
         for (balances, count) in &finals {
             assert_eq!(*count, 50);
@@ -271,7 +644,7 @@ mod tests {
 
     #[test]
     fn all_replicas_observe_identical_settlement_order_per_client() {
-        let cluster = AstroOneCluster::start(4, cfg(), Duration::from_millis(1));
+        let cluster = AstroOneCluster::start(4, cfg(), Duration::from_millis(1)).unwrap();
         for seq in 0..30u64 {
             cluster.submit(Payment::new(7u64, seq, 8u64, 1u64)).unwrap();
         }
@@ -281,6 +654,35 @@ mod tests {
         for log in &logs {
             let seqs: Vec<u64> = log.iter().map(|p| p.seq.0).collect();
             assert_eq!(seqs, (0..30u64).collect::<Vec<_>>(), "xlog order must hold");
+        }
+    }
+
+    #[test]
+    fn astro_two_cluster_settles_payments() {
+        // Direct intra-shard credits so final ledger balances mirror the
+        // settled payments (certificate mode defers beneficiary credits
+        // until the beneficiary spends).
+        let cluster = AstroTwoCluster::start(
+            4,
+            Astro2Config {
+                batch_size: 4,
+                initial_balance: Amount(500),
+                credit_mode: astro_core::astro2::CreditMode::DirectIntraShard,
+                ..Astro2Config::default()
+            },
+            Duration::from_millis(1),
+        )
+        .unwrap();
+        for seq in 0..10u64 {
+            cluster.submit(Payment::new(1u64, seq, 2u64, 5u64)).unwrap();
+        }
+        let settled = cluster.wait_settled(10, Duration::from_secs(10));
+        assert_eq!(settled.len(), 10);
+        let finals = cluster.shutdown();
+        for (balances, count) in &finals {
+            assert_eq!(*count, 10);
+            assert_eq!(balances[&ClientId(1)], Amount(450));
+            assert_eq!(balances[&ClientId(2)], Amount(550));
         }
     }
 }

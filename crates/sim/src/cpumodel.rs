@@ -45,8 +45,8 @@ impl CpuModel {
     /// (t2.medium-class; see `micro_crypto` bench).
     pub fn calibrated() -> Self {
         CpuModel {
-            sign_ns: 90_000,     // fixed-base comb multiplication
-            verify_ns: 260_000,  // double-scalar multiplication
+            sign_ns: 90_000,    // fixed-base comb multiplication
+            verify_ns: 260_000, // double-scalar multiplication
             verify_batch_marginal_ns: 60_000,
             mac_ns: 1_500,
             hash_ns_per_byte: 8,

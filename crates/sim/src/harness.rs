@@ -176,9 +176,8 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                 // Route by the *payment's spender* — a Smallbank owner has
                 // two xlogs (checking, savings) with possibly different
                 // representatives.
-                let mut entry = *entry_override
-                    .get(&client)
-                    .unwrap_or(&system.entry_replica(payment.spender));
+                let mut entry =
+                    *entry_override.get(&client).unwrap_or(&system.entry_replica(payment.spender));
                 if network.is_crashed(entry) {
                     match confirm_rule {
                         // Astro: fate-sharing with the representative —
@@ -209,9 +208,22 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                 let completion = start + cfg.cpu.overhead_ns;
                 cpu_free[entry.0 as usize] = completion;
                 process_step(
-                    &mut system, &mut network, &mut heap, &mut seq, &mut rng, &cfg,
-                    &mut outstanding, &mut latency, &mut timeline, &mut confirmed,
-                    &mut next_tick, &mut cpu_free, entry, step, completion, confirm_rule,
+                    &mut system,
+                    &mut network,
+                    &mut heap,
+                    &mut seq,
+                    &mut rng,
+                    &cfg,
+                    &mut outstanding,
+                    &mut latency,
+                    &mut timeline,
+                    &mut confirmed,
+                    &mut next_tick,
+                    &mut cpu_free,
+                    entry,
+                    step,
+                    completion,
+                    confirm_rule,
                 );
             }
             EventKind::Deliver { from, to, msg } => {
@@ -225,9 +237,22 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                     start + base_cost + cfg.cpu.settle_ns * step.settled.len() as Nanos;
                 cpu_free[to.0 as usize] = completion;
                 process_step(
-                    &mut system, &mut network, &mut heap, &mut seq, &mut rng, &cfg,
-                    &mut outstanding, &mut latency, &mut timeline, &mut confirmed,
-                    &mut next_tick, &mut cpu_free, to, step, completion, confirm_rule,
+                    &mut system,
+                    &mut network,
+                    &mut heap,
+                    &mut seq,
+                    &mut rng,
+                    &cfg,
+                    &mut outstanding,
+                    &mut latency,
+                    &mut timeline,
+                    &mut confirmed,
+                    &mut next_tick,
+                    &mut cpu_free,
+                    to,
+                    step,
+                    completion,
+                    confirm_rule,
                 );
             }
             EventKind::Tick { replica } => {
@@ -237,25 +262,34 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                 }
                 let start = event.time.max(cpu_free[replica.0 as usize]);
                 let step = system.tick(replica, start);
-                let completion = start
-                    + cfg.cpu.overhead_ns
-                    + cfg.cpu.settle_ns * step.settled.len() as Nanos;
+                let completion =
+                    start + cfg.cpu.overhead_ns + cfg.cpu.settle_ns * step.settled.len() as Nanos;
                 cpu_free[replica.0 as usize] = completion;
                 process_step(
-                    &mut system, &mut network, &mut heap, &mut seq, &mut rng, &cfg,
-                    &mut outstanding, &mut latency, &mut timeline, &mut confirmed,
-                    &mut next_tick, &mut cpu_free, replica, step, completion, confirm_rule,
+                    &mut system,
+                    &mut network,
+                    &mut heap,
+                    &mut seq,
+                    &mut rng,
+                    &cfg,
+                    &mut outstanding,
+                    &mut latency,
+                    &mut timeline,
+                    &mut confirmed,
+                    &mut next_tick,
+                    &mut cpu_free,
+                    replica,
+                    step,
+                    completion,
+                    confirm_rule,
                 );
             }
         }
     }
 
     let measured = cfg.duration.saturating_sub(cfg.warmup);
-    let throughput = if measured > 0 {
-        timeline.rate_between(cfg.warmup, cfg.duration)
-    } else {
-        0.0
-    };
+    let throughput =
+        if measured > 0 { timeline.rate_between(cfg.warmup, cfg.duration) } else { 0.0 };
     (
         SimReport {
             submitted,
@@ -301,9 +335,7 @@ fn process_step<S: SimSystem>(
     for p in &step.settled {
         let id = p.id();
         let confirm = match confirm_rule {
-            ConfirmRule::AtEntryReplica => {
-                outstanding.get(&id).is_some_and(|o| o.entry == replica)
-            }
+            ConfirmRule::AtEntryReplica => outstanding.get(&id).is_some_and(|o| o.entry == replica),
             ConfirmRule::ReplicaCount(k) => match outstanding.get_mut(&id) {
                 Some(o) => {
                     o.seen_at += 1;
@@ -511,9 +543,7 @@ mod tests {
         // Somewhere after the crash there must be a (near-)zero bucket
         // (view change), and throughput must resume afterwards.
         let crash_bucket = 6; // 3 s / 0.5 s buckets
-        let stall = per_sec[crash_bucket..]
-            .iter()
-            .any(|&r| r < 1.0);
+        let stall = per_sec[crash_bucket..].iter().any(|&r| r < 1.0);
         let resumed = per_sec.last().copied().unwrap_or(0.0) > 1.0;
         assert!(stall, "expected a stalled bucket after leader crash: {per_sec:?}");
         assert!(resumed, "expected recovery after view change: {per_sec:?}");

@@ -35,7 +35,8 @@ pub enum Region {
 
 impl Region {
     /// The paper's four regions, in round-robin assignment order.
-    pub const ALL: [Region; 4] = [Region::Frankfurt, Region::Ireland, Region::London, Region::Paris];
+    pub const ALL: [Region; 4] =
+        [Region::Frankfurt, Region::Ireland, Region::London, Region::Paris];
 }
 
 /// Static parameters of the modelled network.
@@ -248,9 +249,7 @@ mod tests {
         let mut r = rng();
         let mut last = 0;
         for i in 0..200 {
-            let a = net
-                .transmit(ReplicaId(0), ReplicaId(1), 100, i * 10, &mut r)
-                .unwrap();
+            let a = net.transmit(ReplicaId(0), ReplicaId(1), 100, i * 10, &mut r).unwrap();
             assert!(a > last, "link must deliver in order");
             last = a;
         }

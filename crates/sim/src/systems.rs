@@ -46,12 +46,21 @@ pub trait SimSystem {
     fn confirm_rule(&self) -> ConfirmRule;
 
     /// A client payment arrives at `replica`.
-    fn submit(&mut self, replica: ReplicaId, payment: Payment, now: Nanos)
-        -> ReplicaStep<Self::Msg>;
+    fn submit(
+        &mut self,
+        replica: ReplicaId,
+        payment: Payment,
+        now: Nanos,
+    ) -> ReplicaStep<Self::Msg>;
 
     /// A network message arrives.
-    fn deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Self::Msg, now: Nanos)
-        -> ReplicaStep<Self::Msg>;
+    fn deliver(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Self::Msg,
+        now: Nanos,
+    ) -> ReplicaStep<Self::Msg>;
 
     /// A timer fires at `replica` (batch flush, protocol timeouts).
     fn tick(&mut self, replica: ReplicaId, now: Nanos) -> ReplicaStep<Self::Msg>;
@@ -172,20 +181,26 @@ impl SimSystem for Astro1System {
         ConfirmRule::AtEntryReplica
     }
 
-    fn submit(&mut self, replica: ReplicaId, payment: Payment, now: Nanos)
-        -> ReplicaStep<Self::Msg>
-    {
+    fn submit(
+        &mut self,
+        replica: ReplicaId,
+        payment: Payment,
+        now: Nanos,
+    ) -> ReplicaStep<Self::Msg> {
         let step = self.replicas[replica.0 as usize]
             .submit(payment)
             .unwrap_or_else(|_| ReplicaStep::empty());
-        self.flush
-            .note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
+        self.flush.note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
         step
     }
 
-    fn deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Self::Msg, _now: Nanos)
-        -> ReplicaStep<Self::Msg>
-    {
+    fn deliver(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Self::Msg,
+        _now: Nanos,
+    ) -> ReplicaStep<Self::Msg> {
         self.replicas[to.0 as usize].handle(from, msg)
     }
 
@@ -247,11 +262,8 @@ impl Astro2System {
     pub fn new(shards: usize, per_shard: usize, cfg: Astro2Config, batch_delay: Nanos) -> Self {
         let layout = ShardLayout::uniform(shards, per_shard).expect("valid layout");
         let total = shards * per_shard;
-        let groups = layout
-            .shards()
-            .iter()
-            .map(|s| Group::from_spec(s).expect("shard size"))
-            .collect();
+        let groups =
+            layout.shards().iter().map(|s| Group::from_spec(s).expect("shard size")).collect();
         Astro2System {
             replicas: (0..total as u32)
                 .map(|i| {
@@ -294,20 +306,26 @@ impl SimSystem for Astro2System {
         ConfirmRule::AtEntryReplica
     }
 
-    fn submit(&mut self, replica: ReplicaId, payment: Payment, now: Nanos)
-        -> ReplicaStep<Self::Msg>
-    {
+    fn submit(
+        &mut self,
+        replica: ReplicaId,
+        payment: Payment,
+        now: Nanos,
+    ) -> ReplicaStep<Self::Msg> {
         let step = self.replicas[replica.0 as usize]
             .submit(payment)
             .unwrap_or_else(|_| ReplicaStep::empty());
-        self.flush
-            .note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
+        self.flush.note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
         step
     }
 
-    fn deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Self::Msg, _now: Nanos)
-        -> ReplicaStep<Self::Msg>
-    {
+    fn deliver(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Self::Msg,
+        _now: Nanos,
+    ) -> ReplicaStep<Self::Msg> {
         self.replicas[to.0 as usize].handle(from, msg)
     }
 
@@ -358,7 +376,9 @@ impl SimSystem for Astro2System {
                 cpu.hash(size) + cpu.batch_verify(proof.len() + dep_sigs)
             }
             // Receiving a CREDIT sub-batch: hash + one verification.
-            Astro2Msg::Credit(bundle) => cpu.hash(size) + cpu.verify_ns + bundle.sig.encoded_len() as Nanos,
+            Astro2Msg::Credit(bundle) => {
+                cpu.hash(size) + cpu.verify_ns + bundle.sig.encoded_len() as Nanos
+            }
         }
     }
 }
@@ -419,16 +439,23 @@ impl SimSystem for PbftSystem {
         ConfirmRule::ReplicaCount(self.confirm_threshold)
     }
 
-    fn submit(&mut self, replica: ReplicaId, payment: Payment, now: Nanos)
-        -> ReplicaStep<Self::Msg>
-    {
+    fn submit(
+        &mut self,
+        replica: ReplicaId,
+        payment: Payment,
+        now: Nanos,
+    ) -> ReplicaStep<Self::Msg> {
         let step = self.replicas[replica.0 as usize].submit(payment, now);
         ReplicaStep { outbound: step.outbound, settled: step.settled }
     }
 
-    fn deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Self::Msg, now: Nanos)
-        -> ReplicaStep<Self::Msg>
-    {
+    fn deliver(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Self::Msg,
+        now: Nanos,
+    ) -> ReplicaStep<Self::Msg> {
         let step = self.replicas[to.0 as usize].handle(from, msg, now);
         ReplicaStep { outbound: step.outbound, settled: step.settled }
     }

@@ -22,7 +22,9 @@ pub enum ConfigError {
 impl core::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ConfigError::TooFewReplicas => f.write_str("need at least 4 replicas (N = 3f+1, f >= 1)"),
+            ConfigError::TooFewReplicas => {
+                f.write_str("need at least 4 replicas (N = 3f+1, f >= 1)")
+            }
             ConfigError::NoShards => f.write_str("need at least one shard"),
         }
     }
@@ -172,10 +174,7 @@ impl ShardLayout {
 
     /// The shard a replica belongs to, or `None` for unknown replicas.
     pub fn shard_of_replica(&self, replica: ReplicaId) -> Option<ShardId> {
-        self.shards
-            .iter()
-            .find(|s| s.replicas.contains(&replica))
-            .map(|s| s.id)
+        self.shards.iter().find(|s| s.replicas.contains(&replica)).map(|s| s.id)
     }
 
     /// The spec of a shard.
@@ -261,10 +260,7 @@ mod tests {
         for c in 0..100u64 {
             let client = ClientId(c);
             let rep = layout.representative_of(client);
-            assert_eq!(
-                layout.shard_of_replica(rep),
-                Some(layout.shard_of_client(client))
-            );
+            assert_eq!(layout.shard_of_replica(rep), Some(layout.shard_of_client(client)));
         }
     }
 

@@ -54,8 +54,7 @@ impl KeyBook {
     /// Verifies `signature` over `message` against `replica`'s key.
     /// Unknown replicas verify as `false`.
     pub fn verify(&self, replica: ReplicaId, message: &[u8], signature: &Signature) -> bool {
-        self.key_of(replica)
-            .is_some_and(|pk| pk.verify(message, signature))
+        self.key_of(replica).is_some_and(|pk| pk.verify(message, signature))
     }
 }
 

@@ -13,9 +13,7 @@ use astro_crypto::Digest;
 use serde::{Deserialize, Serialize};
 
 /// The globally unique identifier of a payment: `(spender, sequence number)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PaymentId {
     /// The client whose xlog the payment belongs to.
     pub spender: ClientId,
@@ -83,11 +81,7 @@ impl Payment {
 
 impl core::fmt::Display for Payment {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{} --{}--> {} {}",
-            self.spender, self.amount, self.beneficiary, self.seq
-        )
+        write!(f, "{} --{}--> {} {}", self.spender, self.amount, self.beneficiary, self.seq)
     }
 }
 
@@ -157,10 +151,7 @@ impl Wire for PaymentId {
         self.seq.encode(buf);
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(PaymentId {
-            spender: ClientId::decode(buf)?,
-            seq: SeqNo::decode(buf)?,
-        })
+        Ok(PaymentId { spender: ClientId::decode(buf)?, seq: SeqNo::decode(buf)? })
     }
     fn encoded_len(&self) -> usize {
         16

@@ -210,6 +210,60 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+// --- stream framing ---
+
+/// Maximum payload length accepted in one length-prefixed frame (16 MiB).
+///
+/// Bounds allocation when framing data arrives from untrusted (Byzantine)
+/// peers over a byte stream; `astro-net` enforces it on both directions.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Appends a length-prefixed frame containing `payload` to `buf`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — oversized frames are a
+/// local logic error, never a remote input.
+pub fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    (payload.len() as u32).encode(buf);
+    buf.put_slice(payload);
+}
+
+/// Inspects the front of `buf` for a frame header.
+///
+/// Returns `Ok(Some(payload_len))` once the 4-byte header is available,
+/// `Ok(None)` if fewer than 4 bytes have arrived, and an error if the
+/// advertised length exceeds [`MAX_FRAME_LEN`] (the peer is faulty or
+/// Byzantine and the stream should be dropped).
+pub fn peek_frame_len(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::InvalidValue("frame too large"));
+    }
+    Ok(Some(len))
+}
+
+/// Splits one complete frame off the front of `buf`, advancing it past the
+/// header and payload.
+///
+/// # Errors
+///
+/// [`WireError::UnexpectedEof`] if the frame is still incomplete, or
+/// [`WireError::InvalidValue`] if the advertised length is oversized.
+pub fn take_frame<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], WireError> {
+    let len = peek_frame_len(buf)?.ok_or(WireError::UnexpectedEof)?;
+    if buf.len() < 4 + len {
+        return Err(WireError::UnexpectedEof);
+    }
+    let payload = &buf[4..4 + len];
+    *buf = &buf[4 + len..];
+    Ok(payload)
+}
+
 // --- crypto types ---
 
 impl Wire for astro_crypto::Signature {
@@ -284,10 +338,7 @@ mod tests {
     fn vec_rejects_huge_length_prefix() {
         let mut buf = Vec::new();
         (u32::MAX).encode(&mut buf);
-        assert!(matches!(
-            decode_exact::<Vec<u8>>(&buf),
-            Err(WireError::InvalidValue(_))
-        ));
+        assert!(matches!(decode_exact::<Vec<u8>>(&buf), Err(WireError::InvalidValue(_))));
     }
 
     #[test]
@@ -305,6 +356,50 @@ mod tests {
         5u8.encode(&mut buf);
         buf.push(0);
         assert!(decode_exact::<u8>(&buf).is_err());
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"hello");
+        put_frame(&mut buf, b"");
+        put_frame(&mut buf, &[7u8; 300]);
+        let mut s = buf.as_slice();
+        assert_eq!(take_frame(&mut s).unwrap(), b"hello");
+        assert_eq!(take_frame(&mut s).unwrap(), b"");
+        assert_eq!(take_frame(&mut s).unwrap(), &[7u8; 300][..]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn truncated_frame_is_incomplete_not_fatal() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"payload");
+        // Header only: peek knows the length, take reports EOF.
+        assert_eq!(peek_frame_len(&buf[..4]).unwrap(), Some(7));
+        let mut s = &buf[..buf.len() - 1];
+        assert_eq!(take_frame(&mut s), Err(WireError::UnexpectedEof));
+        // Partial header: not even a length yet.
+        assert_eq!(peek_frame_len(&buf[..3]).unwrap(), None);
+        let mut s = &buf[..3];
+        assert_eq!(take_frame(&mut s), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let mut buf = Vec::new();
+        ((MAX_FRAME_LEN + 1) as u32).encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(peek_frame_len(&buf), Err(WireError::InvalidValue(_))));
+        let mut s = buf.as_slice();
+        assert!(matches!(take_frame(&mut s), Err(WireError::InvalidValue(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "frame payload too large")]
+    fn put_frame_refuses_oversized_payload() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, &vec![0u8; MAX_FRAME_LEN + 1]);
     }
 
     #[test]

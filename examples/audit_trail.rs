@@ -9,9 +9,9 @@
 //! replica join the (consensusless) system and verifies the transferred
 //! state lets it reconstruct exactly the same view of the world.
 
+use astro_brb::Dest;
 use astro_core::ledger::Ledger;
 use astro_core::reconfig::{ReconfigMsg, ReconfigReplica, View};
-use astro_brb::Dest;
 use astro_types::{Amount, ClientId, Group, MacAuthenticator, Payment, ReplicaId};
 use std::collections::VecDeque;
 
@@ -55,9 +55,13 @@ fn main() {
 
     let mut queue: VecDeque<(ReplicaId, ReplicaId, ReconfigMsg<_>)> = VecDeque::new();
     let route = |from: ReplicaId,
-                     step: astro_core::reconfig::ReconfigStep<astro_types::auth::SimSig>,
-                     replicas: &Vec<ReconfigReplica<MacAuthenticator>>,
-                     queue: &mut VecDeque<(ReplicaId, ReplicaId, ReconfigMsg<astro_types::auth::SimSig>)>| {
+                 step: astro_core::reconfig::ReconfigStep<astro_types::auth::SimSig>,
+                 replicas: &Vec<ReconfigReplica<MacAuthenticator>>,
+                 queue: &mut VecDeque<(
+        ReplicaId,
+        ReplicaId,
+        ReconfigMsg<astro_types::auth::SimSig>,
+    )>| {
         let recipients = replicas[from.0 as usize].recipients();
         for env in step.outbound {
             match env.to {

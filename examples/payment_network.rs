@@ -24,12 +24,8 @@ const CLIENTS: usize = 10;
 fn main() {
     let duration = 16_000_000_000;
     let fault_at = 8_000_000_000;
-    let base = SimConfig {
-        duration,
-        warmup: 0,
-        timeline_bucket: 1_000_000_000,
-        ..SimConfig::default()
-    };
+    let base =
+        SimConfig { duration, warmup: 0, timeline_bucket: 1_000_000_000, ..SimConfig::default() };
 
     println!("payment network: N = {N}, {CLIENTS} closed-loop clients over a 4-region WAN");
     println!("a replica crashes at t = 8 s\n");

@@ -20,16 +20,13 @@ fn main() {
     // A single-shard system of four replicas (N = 3f + 1, f = 1).
     let layout = ShardLayout::single(4).expect("4 >= 4");
     let config = Astro1Config { batch_size: 1, initial_balance: Amount(100) };
-    let mut cluster = PaymentCluster::new((0..4).map(|i| {
-        AstroOneReplica::new(ReplicaId(i), layout.clone(), config.clone())
-    }));
+    let mut cluster = PaymentCluster::new(
+        (0..4).map(|i| AstroOneReplica::new(ReplicaId(i), layout.clone(), config.clone())),
+    );
 
     // Alice (client 1) pays Bob (client 2), then Carol (client 3).
     let mut alice = Client::new(ClientId(1));
-    let payments = [
-        alice.pay(ClientId(2), Amount(30)),
-        alice.pay(ClientId(3), Amount(25)),
-    ];
+    let payments = [alice.pay(ClientId(2), Amount(30)), alice.pay(ClientId(3), Amount(25))];
     for payment in payments {
         submit(&mut cluster, &layout, payment);
     }
@@ -57,9 +54,6 @@ fn main() {
 
 fn submit(cluster: &mut PaymentCluster<AstroOneReplica>, layout: &ShardLayout, p: Payment) {
     let rep = layout.representative_of(p.spender);
-    let step = cluster
-        .node_mut(rep.0 as usize)
-        .submit(p)
-        .expect("submitted at the representative");
+    let step = cluster.node_mut(rep.0 as usize).submit(p).expect("submitted at the representative");
     cluster.submit_step(rep, step);
 }

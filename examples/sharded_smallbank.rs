@@ -47,10 +47,8 @@ fn main() {
             cross_shard += 1;
         }
         let rep = layout.representative_of(payment.spender);
-        let step = cluster
-            .node_mut(rep.0 as usize)
-            .submit(payment)
-            .expect("representative accepts");
+        let step =
+            cluster.node_mut(rep.0 as usize).submit(payment).expect("representative accepts");
         cluster.submit_step(rep, step);
         // Flush every few submissions so partially filled batches move.
         if i % 8 == 7 {
@@ -68,7 +66,10 @@ fn main() {
     cluster.run_to_quiescence();
 
     println!("submitted {TRANSACTIONS} smallbank transactions over {SHARDS} shards");
-    println!("cross-shard: {cross_shard} ({:.1} %)", 100.0 * cross_shard as f64 / TRANSACTIONS as f64);
+    println!(
+        "cross-shard: {cross_shard} ({:.1} %)",
+        100.0 * cross_shard as f64 / TRANSACTIONS as f64
+    );
     for shard in 0..SHARDS as u16 {
         let member = layout.shard(ShardId(shard)).replicas[0];
         let node = cluster.node(member.0 as usize);
@@ -101,9 +102,8 @@ fn main() {
     println!("ok: every shard is internally consistent");
 
     // Show a cross-shard certificate in action.
-    let holder = (0..OWNERS as u64)
-        .map(|o| SmallbankWorkload::checking(o, SHARDS as u64))
-        .find(|c| {
+    let holder =
+        (0..OWNERS as u64).map(|o| SmallbankWorkload::checking(o, SHARDS as u64)).find(|c| {
             let rep = layout.representative_of(*c);
             cluster.node(rep.0 as usize).held_certificates(*c) > 0
         });

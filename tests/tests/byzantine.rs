@@ -56,11 +56,7 @@ fn forged_credit_bundle_is_rejected_with_real_signatures() {
     let outsider = Keychain::deterministic_system(b"attacker", 4);
     let bad_sig = SchnorrAuthenticator::new(outsider[3].clone()).sign(&credit_context(&bundle));
     let rep1 = layout.representative_of(ClientId(1));
-    cluster.inject(
-        ReplicaId(3),
-        rep1,
-        Astro2Msg::Credit(CreditBundle { bundle, sig: bad_sig }),
-    );
+    cluster.inject(ReplicaId(3), rep1, Astro2Msg::Credit(CreditBundle { bundle, sig: bad_sig }));
     cluster.run_to_quiescence();
     assert_eq!(cluster.node(rep1.0 as usize).held_certificates(ClientId(1)), 0);
     assert_eq!(

@@ -15,10 +15,7 @@ const GENESIS: u64 = 200;
 
 /// Strategy: a sequence of (spender, beneficiary offset, amount) triples.
 fn payments_strategy() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
-    proptest::collection::vec(
-        (0..CLIENTS, 1..CLIENTS, 1u64..8),
-        1..40,
-    )
+    proptest::collection::vec((0..CLIENTS, 1..CLIENTS, 1u64..8), 1..40)
 }
 
 fn materialize(raw: &[(u64, u64, u64)]) -> Vec<Payment> {

@@ -3,12 +3,12 @@
 //! functionally equivalent to totally-ordered payments when clients are
 //! honest (the paper's core claim that total order is unnecessary).
 
+use astro_brb::Dest;
 use astro_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica, PbftStep};
 use astro_core::astro1::{Astro1Config, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, AstroTwoReplica, CreditMode};
 use astro_core::client::Client;
 use astro_core::testkit::PaymentCluster;
-use astro_brb::Dest;
 use astro_types::{Amount, ClientId, Group, MacAuthenticator, Payment, ReplicaId, ShardLayout};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -123,20 +123,21 @@ fn consensus_final_balances(payments: &[Payment]) -> Vec<Amount> {
         .collect();
     let mut queue: std::collections::VecDeque<(ReplicaId, ReplicaId, PbftMsg)> = Default::default();
     let mut now = 0u64;
-    let push_step = |from: ReplicaId,
-                         step: PbftStep,
-                         queue: &mut std::collections::VecDeque<(ReplicaId, ReplicaId, PbftMsg)>| {
-        for env in step.outbound {
-            match env.to {
-                Dest::All => {
-                    for i in 0..N as u32 {
-                        queue.push_back((from, ReplicaId(i), env.msg.clone()));
+    let push_step =
+        |from: ReplicaId,
+         step: PbftStep,
+         queue: &mut std::collections::VecDeque<(ReplicaId, ReplicaId, PbftMsg)>| {
+            for env in step.outbound {
+                match env.to {
+                    Dest::All => {
+                        for i in 0..N as u32 {
+                            queue.push_back((from, ReplicaId(i), env.msg.clone()));
+                        }
                     }
+                    Dest::One(to) => queue.push_back((from, to, env.msg)),
                 }
-                Dest::One(to) => queue.push_back((from, to, env.msg)),
             }
-        }
-    };
+        };
     for p in payments {
         now += 1_000_000;
         let step = replicas[0].submit(*p, now);

@@ -49,7 +49,8 @@ fn threaded_runtime_matches_deterministic_testkit() {
         4,
         Astro1Config { batch_size: 4, initial_balance: Amount(500) },
         Duration::from_millis(1),
-    );
+    )
+    .expect("4 replicas is a valid cluster");
     for p in &payments {
         cluster.submit(*p).unwrap();
     }
@@ -74,14 +75,14 @@ fn threaded_runtime_is_deterministic_in_outcome_across_runs() {
             4,
             Astro1Config { batch_size: 8, initial_balance: Amount(500) },
             Duration::from_millis(1),
-        );
+        )
+        .expect("4 replicas is a valid cluster");
         for p in &payments {
             cluster.submit(*p).unwrap();
         }
         cluster.wait_settled(payments.len(), Duration::from_secs(20));
         let finals = cluster.shutdown();
-        let balances: Vec<Amount> =
-            (1..=3u64).map(|c| finals[0].0[&ClientId(c)]).collect();
+        let balances: Vec<Amount> = (1..=3u64).map(|c| finals[0].0[&ClientId(c)]).collect();
         outcomes.push(balances);
     }
     assert_eq!(outcomes[0], outcomes[1]);
@@ -96,7 +97,8 @@ fn threaded_runtime_handles_out_of_order_submission() {
         4,
         Astro1Config { batch_size: 2, initial_balance: Amount(100) },
         Duration::from_millis(1),
-    );
+    )
+    .expect("4 replicas is a valid cluster");
     // seq 2, 1, 0 — deliberately reversed.
     for seq in [2u64, 1, 0] {
         cluster.submit(Payment::new(5u64, seq, 6u64, 10u64)).unwrap();

@@ -34,11 +34,7 @@ fn astro2_sharded_smallbank_settles_cross_shard() {
         },
         5_000_000,
     );
-    let (report, system) = run_with_system(
-        system,
-        SmallbankWorkload::new(64, 2, 10),
-        cfg(4),
-    );
+    let (report, system) = run_with_system(system, SmallbankWorkload::new(64, 2, 10), cfg(4));
     assert!(report.confirmed > 100, "only {} confirmed", report.confirmed);
     // The simulation cuts off mid-flight, so replicas may differ by
     // in-flight batches; the safety invariant is *prefix consistency*:
@@ -52,10 +48,8 @@ fn astro2_sharded_smallbank_settles_cross_shard() {
             if layout.shard_of_client(c) != ShardId(shard) {
                 continue;
             }
-            let logs: Vec<_> = members
-                .iter()
-                .map(|m| system.replica(m.0 as usize).ledger().xlog(c))
-                .collect();
+            let logs: Vec<_> =
+                members.iter().map(|m| system.replica(m.0 as usize).ledger().xlog(c)).collect();
             let min_len = logs.iter().map(|l| l.map_or(0, |x| x.len())).min().unwrap();
             for k in 0..min_len {
                 let seq = astro_types::SeqNo(k as u64);
@@ -152,9 +146,7 @@ fn pbft_total_order_survives_simulated_crash() {
     }
     for cl in 0..8u64 {
         let client = ClientId(cl);
-        let logs: Vec<_> = (1..4)
-            .map(|i| system.replica(i).ledger().xlog(client))
-            .collect();
+        let logs: Vec<_> = (1..4).map(|i| system.replica(i).ledger().xlog(client)).collect();
         let min_len = logs.iter().map(|l| l.map_or(0, |x| x.len())).min().unwrap();
         for k in 0..min_len {
             let seq = astro_types::SeqNo(k as u64);
