@@ -67,9 +67,12 @@ pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
 
 /// A symmetric key for a point-to-point authenticated channel.
 ///
-/// Astro I's Bracha broadcast assumes authenticated links; each ordered
-/// replica pair shares one `MacKey` (in a deployment these would be derived
-/// from a key-agreement handshake; tests derive them deterministically).
+/// Astro I's Bracha broadcast assumes authenticated links; each replica
+/// pair shares one `MacKey`, derived via static Diffie–Hellman between the
+/// endpoints' long-lived key pairs ([`SecretKey::agree`]), so no third
+/// replica can compute it.
+///
+/// [`SecretKey::agree`]: crate::schnorr::SecretKey::agree
 #[derive(Clone)]
 pub struct MacKey {
     key: [u8; 32],
@@ -88,12 +91,14 @@ impl MacKey {
         Self { key }
     }
 
-    /// Derives the channel key for the ordered pair `(a, b)` from a shared
-    /// system secret. Deterministic: both endpoints derive the same key.
-    pub fn derive(system_secret: &[u8], a: u64, b: u64) -> Self {
+    /// Derives the channel key for the unordered pair `(a, b)` from a
+    /// secret shared by exactly those two endpoints (in practice the
+    /// static Diffie–Hellman output of their key pairs). Symmetric in the
+    /// endpoints: both derive the same key.
+    pub fn derive(pair_secret: &[u8], a: u64, b: u64) -> Self {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let tag = hmac_sha256(
-            system_secret,
+            pair_secret,
             &[b"astro-mac-channel" as &[u8], &lo.to_be_bytes(), &hi.to_be_bytes()].concat(),
         );
         Self { key: tag }

@@ -25,8 +25,13 @@
 //! let sig = replica.sign(b"ACK (alice, 3)");
 //! assert!(replica.public().verify(b"ACK (alice, 3)", &sig));
 //!
-//! // Astro I style: MAC channels.
-//! let chan = MacKey::derive(b"system-secret", 2, 5);
+//! // Astro I style: MAC channels keyed by pairwise DH agreement, so only
+//! // the two link endpoints can compute the channel key.
+//! let replica2 = Keypair::from_seed(b"replica-2");
+//! let replica5 = Keypair::from_seed(b"replica-5");
+//! let secret_25 = replica2.agree(replica5.public());
+//! assert_eq!(secret_25, replica5.agree(replica2.public()));
+//! let chan = MacKey::derive(&secret_25, 2, 5);
 //! let tag = chan.tag(b"ECHO (alice, 3)");
 //! assert!(chan.verify(b"ECHO (alice, 3)", &tag));
 //! ```

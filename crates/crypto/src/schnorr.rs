@@ -107,6 +107,27 @@ impl SecretKey {
         PublicKey { point: crate::point::mul_generator(&self.scalar) }
     }
 
+    /// Static Diffie–Hellman agreement with `peer`: the 32-byte hash of
+    /// the shared point `sk·P_peer`.
+    ///
+    /// Symmetric — `a.agree(B) == b.agree(A)` — and computable only by
+    /// the two key holders, so the result serves as a pairwise secret for
+    /// deriving MAC link keys (the paper's §III authenticated links)
+    /// without any system-wide shared secret.
+    ///
+    /// The underlying scalar multiplication is not constant-time (this
+    /// repo's from-scratch curve arithmetic makes no constant-time claims
+    /// anywhere), so callers must keep this off attacker-triggerable hot
+    /// paths: derive pairwise keys once at startup and cache them, as
+    /// `astro_types::Keychain` does.
+    pub fn agree(&self, peer: &PublicKey) -> [u8; 32] {
+        // `peer.point` is a valid non-infinity point and `self.scalar` is
+        // nonzero mod the (prime) group order, so the product is never
+        // the point at infinity.
+        let shared = peer.point.mul(&self.scalar);
+        sha256_concat(&[b"astro-ecdh-v1", &shared.to_compressed()])
+    }
+
     /// Signs `message` with a deterministic nonce.
     pub fn sign(&self, message: &[u8]) -> Signature {
         let pk = self.public();
@@ -218,6 +239,11 @@ impl Keypair {
     /// Signs a message. See [`SecretKey::sign`].
     pub fn sign(&self, message: &[u8]) -> Signature {
         self.secret.sign(message)
+    }
+
+    /// Static Diffie–Hellman agreement. See [`SecretKey::agree`].
+    pub fn agree(&self, peer: &PublicKey) -> [u8; 32] {
+        self.secret.agree(peer)
     }
 }
 
@@ -429,6 +455,25 @@ mod tests {
         assert!(batch_verify(&[(b"m".as_slice(), *kp.public(), sig)]));
         let bad = kp.sign(b"other");
         assert!(!batch_verify(&[(b"m".as_slice(), *kp.public(), bad)]));
+    }
+
+    #[test]
+    fn agreement_is_symmetric() {
+        let a = Keypair::from_seed(b"dh-a");
+        let b = Keypair::from_seed(b"dh-b");
+        assert_eq!(a.agree(b.public()), b.agree(a.public()));
+    }
+
+    #[test]
+    fn agreement_excludes_third_parties() {
+        let a = Keypair::from_seed(b"dh-a");
+        let b = Keypair::from_seed(b"dh-b");
+        let c = Keypair::from_seed(b"dh-c");
+        let ab = a.agree(b.public());
+        // c knows both public keys but neither secret: everything it can
+        // derive differs from the (a, b) shared secret.
+        assert_ne!(c.agree(a.public()), ab);
+        assert_ne!(c.agree(b.public()), ab);
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //!
 //! 1. The **dialer** sends `HELLO(version, from, to, nonce_d, tag)` where
 //!    `tag` MACs the header under the pairwise link key from the replicas'
-//!    [`Keychain`]s (pre-distributed key material, §III).
+//!    [`Keychain`]s — static Diffie–Hellman between the two endpoints'
+//!    pre-distributed key pairs (§III), so each link key is computable by
+//!    exactly those two replicas and no one else, other (possibly
+//!    Byzantine) replicas included.
 //! 2. The **acceptor** verifies the tag — which authenticates the dialer,
-//!    since only the two link endpoints hold the key — and answers
+//!    since only the two link endpoints can derive the key — and answers
 //!    `ACK(nonce_a, tag)` binding both nonces, which authenticates the
 //!    acceptor to the dialer.
 //! 3. The dialer answers `CONFIRM(tag)` over both nonces — key
@@ -408,6 +411,20 @@ mod tests {
         let ks = chains();
         let stranger = &Keychain::deterministic_system(b"other-system", 4)[0];
         let (hello, _) = make_hello(stranger, ks[1].id());
+        assert_eq!(verify_hello(&ks[1], &hello), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn byzantine_replica_cannot_impersonate_another() {
+        // Replica 2 is a member of the system (it holds the key book and
+        // its own keypair) and claims to be replica 0 dialing replica 1.
+        // Link keys are pairwise DH-derived, so without replica 0's secret
+        // key its HELLO tag cannot match the genuine (0, 1) link key.
+        use astro_types::KeyBook;
+        let ks = chains();
+        let (book, keypairs) = KeyBook::deterministic(b"session-tests", 4);
+        let masquerade = Keychain::new(ReplicaId(0), keypairs[2].clone(), book);
+        let (hello, _) = make_hello(&masquerade, ks[1].id());
         assert_eq!(verify_hello(&ks[1], &hello), Err(AuthError::BadTag));
     }
 

@@ -50,6 +50,11 @@ const REDIAL_COOLDOWN: Duration = Duration::from_millis(250);
 /// Pause between re-dial attempts during `establish` (process start skew).
 const REDIAL_BACKOFF: Duration = Duration::from_millis(25);
 
+/// Pause after a failed `accept()` before retrying. Persistent accept
+/// errors (e.g. fd exhaustion) must degrade into a slow retry loop, not a
+/// busy spin pinning a core.
+const ACCEPT_RETRY_DELAY: Duration = Duration::from_millis(50);
+
 /// One live, authenticated connection's write half.
 struct LinkWriter {
     stream: TcpStream,
@@ -120,6 +125,22 @@ impl Shared {
     fn teardown_link(&self, peer: ReplicaId, generation: u64) {
         let mut state = self.links[peer.0 as usize].state.lock();
         if state.generation == generation {
+            if let Some(writer) = state.writer.take() {
+                let _ = writer.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Stops the endpoint: raises the shutdown flag, pokes the listener so
+    /// the acceptor thread observes it (its `accept()` blocks otherwise),
+    /// and severs every live link. Called from `Drop` and from the
+    /// `establish` failure path — both must release the listener thread
+    /// and its port.
+    fn shut_down(&self, listen_addr: SocketAddr) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect_timeout(&listen_addr, Duration::from_millis(200));
+        for slot in &self.links {
+            let mut state = slot.state.lock();
             if let Some(writer) = state.writer.take() {
                 let _ = writer.stream.shutdown(Shutdown::Both);
             }
@@ -248,6 +269,7 @@ fn acceptor_main(shared: Arc<Shared>, listener: TcpListener) {
             if shared.shutdown.load(Ordering::Relaxed) {
                 break;
             }
+            std::thread::sleep(ACCEPT_RETRY_DELAY);
             continue;
         };
         if shared.shutdown.load(Ordering::Relaxed) {
@@ -359,7 +381,7 @@ impl TcpEndpoint {
                 }
             }
             if let Some(e) = last {
-                shared.shutdown.store(true, Ordering::Relaxed);
+                shared.shut_down(listen_addr);
                 return Err(e);
             }
         }
@@ -499,15 +521,7 @@ impl Endpoint for TcpEndpoint {
 
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the acceptor's `accept()`.
-        let _ = TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(200));
-        for slot in &self.shared.links {
-            let mut state = slot.state.lock();
-            if let Some(writer) = state.writer.take() {
-                let _ = writer.stream.shutdown(Shutdown::Both);
-            }
-        }
+        self.shared.shut_down(self.listen_addr);
     }
 }
 

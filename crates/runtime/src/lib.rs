@@ -417,8 +417,13 @@ impl AstroOneCluster {
     }
 
     /// Starts `n` replica threads over loopback TCP with HMAC-authenticated
-    /// sessions, key material drawn from a deterministic keychain set (a
-    /// real deployment loads pre-distributed keychains instead, §III).
+    /// sessions, key material drawn from a deterministic keychain set.
+    ///
+    /// **Demo/test only.** The keychains derive from a fixed, public seed,
+    /// so any local process that can reach the loopback ports holds the
+    /// same key material and could join or impersonate replicas. A real
+    /// deployment distributes key pairs in advance (§III) and calls
+    /// [`start_tcp_with_keychains`](Self::start_tcp_with_keychains).
     ///
     /// # Errors
     ///
@@ -428,10 +433,30 @@ impl AstroOneCluster {
         cfg: Astro1Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
+        Self::start_tcp_with_keychains(
+            Keychain::deterministic_system(b"astro-runtime-tcp", n),
+            cfg,
+            flush_every,
+        )
+    }
+
+    /// Starts one replica thread per keychain over loopback TCP with
+    /// HMAC-authenticated sessions, using caller-provided key material
+    /// (pre-distributed key pairs, §III).
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than 4 keychains are given or the TCP mesh cannot be
+    /// established.
+    pub fn start_tcp_with_keychains(
+        keychains: Vec<Keychain>,
+        cfg: Astro1Config,
+        flush_every: Duration,
+    ) -> Result<Self, ClusterError> {
+        let n = keychains.len();
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
         }
-        let keychains = Keychain::deterministic_system(b"astro-runtime-tcp", n);
         let transport = TcpTransport::loopback(keychains)?;
         Self::start_with(transport, n, cfg, flush_every)
     }
@@ -505,6 +530,11 @@ impl AstroTwoCluster {
     /// Starts `n` replica threads over loopback TCP with HMAC-authenticated
     /// sessions.
     ///
+    /// **Demo/test only.** The transport keychains derive from a fixed,
+    /// public seed — see [`AstroOneCluster::start_tcp`] for the caveats.
+    /// Deployments should use
+    /// [`start_tcp_with_keychains`](Self::start_tcp_with_keychains).
+    ///
     /// # Errors
     ///
     /// Fails if `n < 4` or the TCP mesh cannot be established.
@@ -513,10 +543,30 @@ impl AstroTwoCluster {
         cfg: Astro2Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
+        Self::start_tcp_with_keychains(
+            Keychain::deterministic_system(b"astro-runtime-tcp", n),
+            cfg,
+            flush_every,
+        )
+    }
+
+    /// Starts one replica thread per keychain over loopback TCP with
+    /// HMAC-authenticated sessions, using caller-provided transport key
+    /// material (pre-distributed key pairs, §III).
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than 4 keychains are given or the TCP mesh cannot be
+    /// established.
+    pub fn start_tcp_with_keychains(
+        keychains: Vec<Keychain>,
+        cfg: Astro2Config,
+        flush_every: Duration,
+    ) -> Result<Self, ClusterError> {
+        let n = keychains.len();
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
         }
-        let keychains = Keychain::deterministic_system(b"astro-runtime-tcp", n);
         let transport = TcpTransport::loopback(keychains)?;
         Self::start_with(transport, n, cfg, flush_every)
     }

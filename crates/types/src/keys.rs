@@ -3,8 +3,12 @@
 //! The paper assumes "replica key-pairs are distributed in advance among all
 //! replicas, which makes Astro a permissioned payment system" (§III).
 //! [`KeyBook`] is that public registry; [`Keychain`] is one replica's view —
-//! its own key pair, everybody's public keys, and the pairwise MAC channel
-//! keys used by Astro I.
+//! its own key pair plus everybody's public keys. The pairwise MAC channel
+//! keys used by Astro I are derived at construction by static
+//! Diffie–Hellman between a keychain's secret key and each peer's
+//! registered public key ([`Keychain::mac_with`]), so each link key is
+//! computable by exactly its two endpoints — a Byzantine replica holds no
+//! other pair's key material.
 
 use crate::ids::ReplicaId;
 use astro_crypto::{Keypair, MacKey, PublicKey, Signature};
@@ -64,13 +68,26 @@ pub struct Keychain {
     id: ReplicaId,
     keypair: Keypair,
     book: KeyBook,
-    mac_secret: Vec<u8>,
+    /// Pairwise link keys, indexed by peer id. Computed once here so the
+    /// per-connection handshake costs only HMACs — an unauthenticated
+    /// dialer must not be able to trigger scalar multiplications at will
+    /// (asymmetric-cost DoS), and the long-lived secret goes through the
+    /// scalar-multiplication path a bounded number of times at startup.
+    link_keys: Vec<MacKey>,
 }
 
 impl Keychain {
-    /// Assembles a keychain for `id`.
-    pub fn new(id: ReplicaId, keypair: Keypair, book: KeyBook, mac_secret: Vec<u8>) -> Self {
-        Keychain { id, keypair, book, mac_secret }
+    /// Assembles a keychain for `id`, deriving the pairwise link keys for
+    /// every replica in `book` (one static Diffie–Hellman agreement each).
+    pub fn new(id: ReplicaId, keypair: Keypair, book: KeyBook) -> Self {
+        let link_keys = (0..book.len())
+            .map(|i| {
+                let pk = book.key_of(ReplicaId(i as u32)).expect("index within book");
+                let shared = keypair.secret().agree(pk);
+                MacKey::derive(&shared, u64::from(id.0), i as u64)
+            })
+            .collect();
+        Keychain { id, keypair, book, link_keys }
     }
 
     /// Deterministic keychains for a whole `n`-replica system (tests and
@@ -80,7 +97,7 @@ impl Keychain {
         keypairs
             .into_iter()
             .enumerate()
-            .map(|(i, kp)| Keychain::new(ReplicaId(i as u32), kp, book.clone(), seed.to_vec()))
+            .map(|(i, kp)| Keychain::new(ReplicaId(i as u32), kp, book.clone()))
             .collect()
     }
 
@@ -110,9 +127,22 @@ impl Keychain {
     }
 
     /// The MAC key for the authenticated link between this replica and
-    /// `peer` (Astro I channels).
+    /// `peer` (Astro I channels, §III).
+    ///
+    /// Derived (once, at construction) by static Diffie–Hellman between
+    /// this replica's secret key and `peer`'s registered public key, then
+    /// bound to the pair of replica ids. Both endpoints compute the same
+    /// key; nobody else can — in particular, a Byzantine replica cannot
+    /// forge traffic on links it is not an endpoint of.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is not in the key book. Membership is fixed in a
+    /// permissioned system, so an unknown id here is a caller bug —
+    /// network-supplied ids are vetted against the book before any key is
+    /// used (see `astro-net`'s `verify_hello`).
     pub fn mac_with(&self, peer: ReplicaId) -> MacKey {
-        MacKey::derive(&self.mac_secret, u64::from(self.id.0), u64::from(peer.0))
+        self.link_keys.get(peer.0 as usize).expect("peer replica not in key book").clone()
     }
 }
 
@@ -153,5 +183,25 @@ mod tests {
         assert_eq!(k01.tag(b"x"), k10.tag(b"x"));
         let k02 = chains[0].mac_with(ReplicaId(2));
         assert_ne!(k01.tag(b"x"), k02.tag(b"x"));
+    }
+
+    #[test]
+    fn third_replica_cannot_compute_a_link_key() {
+        // The review scenario: Byzantine replica 2 holds the full public
+        // book and its own keypair, and tries to impersonate replica 0 on
+        // the (0, 1) link. Without replica 0's (or 1's) secret key the DH
+        // shared secret — and hence the link key — is out of reach.
+        let chains = Keychain::deterministic_system(b"sys", 4);
+        let k01 = chains[0].mac_with(ReplicaId(1));
+        let (book, keypairs) = KeyBook::deterministic(b"sys", 4);
+        let masquerade = Keychain::new(ReplicaId(0), keypairs[2].clone(), book);
+        assert_ne!(masquerade.mac_with(ReplicaId(1)).tag(b"x"), k01.tag(b"x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "peer replica not in key book")]
+    fn mac_with_unknown_peer_panics() {
+        let chains = Keychain::deterministic_system(b"sys", 4);
+        let _ = chains[0].mac_with(ReplicaId(99));
     }
 }
