@@ -5,6 +5,7 @@
 //! with 95p < 240 ms at low load. Each system's latency stays roughly flat
 //! until its saturation knee.
 
+use astro_bench::json::Metric;
 use astro_bench::{default_sim_config, full_scale};
 use astro_consensus::pbft::PbftConfig;
 use astro_core::astro1::Astro1Config;
@@ -32,6 +33,7 @@ fn main() {
         "{:>10} {:>8} {:>12} {:>10} {:>10} {:>10}",
         "system", "clients", "pps", "avg_ms", "p95_ms", "p99_ms"
     );
+    let mut metrics: Vec<Metric> = Vec::new();
     for &clients in &loads {
         let r = run(
             Astro1System::new(
@@ -43,7 +45,7 @@ fn main() {
             UniformWorkload::new(clients, 100),
             cfg.clone(),
         );
-        print_row("astro1", clients, &r);
+        record_row(&mut metrics, "astro1", clients, &r);
         let r = run(
             Astro2System::new(
                 1,
@@ -58,7 +60,7 @@ fn main() {
             UniformWorkload::new(clients, 100),
             cfg.clone(),
         );
-        print_row("astro2", clients, &r);
+        record_row(&mut metrics, "astro2", clients, &r);
         let r = run(
             PbftSystem::new(
                 N,
@@ -67,17 +69,30 @@ fn main() {
             UniformWorkload::new(clients, 100),
             cfg.clone(),
         );
-        print_row("consensus", clients, &r);
+        record_row(&mut metrics, "consensus", clients, &r);
     }
+    let path =
+        astro_bench::json::write("fig4_latency_throughput", &metrics).expect("write bench json");
+    println!("\nwrote {}", path.display());
 }
 
-fn print_row(system: &str, clients: usize, r: &astro_sim::SimReport) {
-    let (avg, p95, p99) = r
+fn record_row(metrics: &mut Vec<Metric>, system: &str, clients: usize, r: &astro_sim::SimReport) {
+    let (avg, p50, p95, p99) = r
         .latency
-        .map(|l| (l.mean / 1e6, l.p95 as f64 / 1e6, l.p99 as f64 / 1e6))
-        .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        .map(|l| (l.mean / 1e6, l.p50 as f64 / 1e6, l.p95 as f64 / 1e6, l.p99 as f64 / 1e6))
+        .unwrap_or((f64::NAN, f64::NAN, f64::NAN, f64::NAN));
     println!(
         "{:>10} {:>8} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
         system, clients, r.throughput_pps, avg, p95, p99
     );
+    metrics.push(Metric::new(
+        format!("{system}/clients_{clients}"),
+        [
+            ("payments_per_sec", r.throughput_pps),
+            ("avg_ms", avg),
+            ("p50_ms", p50),
+            ("p95_ms", p95),
+            ("p99_ms", p99),
+        ],
+    ));
 }

@@ -6,13 +6,14 @@
 //! vs naive scalar-multiplication comparison is the ablation called out in
 //! DESIGN.md §6.
 
+use astro_bench::json::Metric;
 use astro_crypto::hmac::MacKey;
-use astro_crypto::point::{mul_generator, Affine};
+use astro_crypto::point::{mul_generator, multi_scalar_mul, Affine};
 use astro_crypto::scalar::Scalar;
 use astro_crypto::schnorr::batch_verify;
 use astro_crypto::sha256::sha256;
 use astro_crypto::Keypair;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_hash(c: &mut Criterion) {
@@ -49,9 +50,10 @@ fn bench_schnorr(c: &mut Criterion) {
 
 fn bench_batch_verify(c: &mut Criterion) {
     // Calibrates CpuModel::verify_batch_marginal_ns: the per-signature cost
-    // inside a shared-doubling batch verification vs one-by-one.
+    // inside a shared-doubling batch verification vs one-by-one. Size 32 is
+    // the acceptance gate (batch ≥ 3× cheaper per signature than serial).
     let mut g = c.benchmark_group("schnorr_batch_verify");
-    for k in [4usize, 16, 64] {
+    for k in [4usize, 16, 32, 64] {
         let items: Vec<(Vec<u8>, astro_crypto::PublicKey, astro_crypto::Signature)> = (0..k)
             .map(|i| {
                 let kp = Keypair::from_seed(&(i as u64).to_be_bytes());
@@ -93,9 +95,74 @@ fn bench_scalar_mul(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hash, bench_mac, bench_schnorr, bench_batch_verify, bench_scalar_mul
+fn bench_msm(c: &mut Criterion) {
+    // Multi-scalar multiplication Σ kᵢ·Pᵢ — the engine under batch
+    // verification — against the one-multiplication-per-term baseline.
+    let mut g = c.benchmark_group("multi_scalar_mul");
+    for n in [2usize, 8, 32, 128] {
+        let terms: Vec<(Scalar, Affine)> = (0..n)
+            .map(|i| {
+                // Full-width 256-bit scalars: hash-derived, reduced mod n.
+                let seed = astro_crypto::sha256::sha256(&(i as u64).to_be_bytes());
+                let k = Scalar::from_be_bytes_reduced(&seed);
+                let p = mul_generator(&Scalar::from_u64(i as u64 * 7 + 3));
+                (k, p)
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("msm_{n}"), |b| {
+            b.iter(|| multi_scalar_mul(black_box(&terms)));
+        });
+        g.bench_function(format!("separate_{n}"), |b| {
+            b.iter(|| {
+                terms.iter().fold(Affine::infinity(), |acc, (k, p)| acc.add(&p.mul(black_box(k))))
+            });
+        });
+    }
+    g.finish();
 }
-criterion_main!(benches);
+
+fn main() {
+    let samples = if astro_bench::smoke() { 5 } else { 20 };
+    let mut c = Criterion::default().sample_size(samples);
+    bench_hash(&mut c);
+    bench_mac(&mut c);
+    bench_schnorr(&mut c);
+    bench_batch_verify(&mut c);
+    bench_scalar_mul(&mut c);
+    bench_msm(&mut c);
+
+    // Machine-readable export: every benchmark, plus the derived
+    // batch-vs-serial per-signature speedup the acceptance gate tracks.
+    let reports = criterion::drain_reports();
+    let mut metrics: Vec<Metric> = reports
+        .iter()
+        .map(|r| {
+            Metric::new(
+                r.id.clone(),
+                [
+                    ("p50_ns", r.median_ns as f64),
+                    ("p99_ns", r.p99_ns as f64),
+                    (r.rate_unit(), r.ops_per_sec()),
+                ],
+            )
+        })
+        .collect();
+    let median = |id: &str| reports.iter().find(|r| r.id == id).map(|r| r.median_ns as f64);
+    for k in [4u64, 16, 32, 64] {
+        if let (Some(batched), Some(serial)) = (
+            median(&format!("schnorr_batch_verify/batched_{k}")),
+            median(&format!("schnorr_batch_verify/one_by_one_{k}")),
+        ) {
+            metrics.push(Metric::new(
+                format!("schnorr_batch_verify/speedup_{k}"),
+                [
+                    ("batch_over_serial", serial / batched),
+                    ("per_sig_batched_ns", batched / k as f64),
+                ],
+            ));
+        }
+    }
+    let path = astro_bench::json::write("micro_crypto", &metrics).expect("write bench json");
+    println!("\nwrote {}", path.display());
+}

@@ -24,8 +24,8 @@ use crate::{
     Source, Step, Tag,
 };
 use astro_types::wire::{Wire, WireError};
-use astro_types::{Authenticator, Group, ReplicaId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use astro_types::{count_valid_signers, Authenticator, Group, ReplicaId};
+use std::collections::{BTreeMap, HashMap};
 
 type PayloadDigest = [u8; 32];
 
@@ -137,7 +137,14 @@ struct RecvInstance {
 struct Outgoing<P, S> {
     payload: P,
     digest: PayloadDigest,
+    /// ACKs whose signatures have been verified (individually or as part
+    /// of a batch).
     acks: HashMap<ReplicaId, S>,
+    /// ACKs accumulated but not yet verified: signature checks are
+    /// deferred until a quorum is *possible*, then done as one batch
+    /// (`Authenticator::verify_all`) instead of one curve operation per
+    /// ACK on the critical path.
+    unverified: Vec<(ReplicaId, S)>,
     committed: bool,
 }
 
@@ -185,7 +192,13 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         let digest = payload_digest(id, &payload);
         self.outgoing.insert(
             id,
-            Outgoing { payload: payload.clone(), digest, acks: HashMap::new(), committed: false },
+            Outgoing {
+                payload: payload.clone(),
+                digest,
+                acks: HashMap::new(),
+                unverified: Vec::new(),
+                committed: false,
+            },
         );
         Step {
             outbound: vec![Envelope { to: Dest::All, msg: SignedMsg::Prepare { id, payload } }],
@@ -259,10 +272,32 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         if outgoing.committed || outgoing.digest != digest {
             return Step::empty();
         }
-        if !self.auth.verify(from, &ack_context(id, &digest), &sig) {
+        if outgoing.acks.contains_key(&from) || outgoing.unverified.iter().any(|(r, _)| *r == from)
+        {
             return Step::empty();
         }
-        outgoing.acks.insert(from, sig);
+        // Defer the signature check: accumulate until a quorum is
+        // possible, then verify the whole pending set as one batch.
+        outgoing.unverified.push((from, sig));
+        if outgoing.acks.len() + outgoing.unverified.len() < quorum {
+            return Step::empty();
+        }
+        let context = ack_context(id, &digest);
+        let pending = std::mem::take(&mut outgoing.unverified);
+        let refs: Vec<(ReplicaId, &A::Sig)> = pending.iter().map(|(r, s)| (*r, s)).collect();
+        if self.auth.verify_all(&context, &refs) {
+            outgoing.acks.extend(pending);
+        } else {
+            // At least one forgery in the batch: locate it (bisection
+            // under Schnorr), keeping the honest ACKs. A dropped signer
+            // may re-ack correctly later.
+            let valid = self.auth.verify_each(&context, &refs);
+            for ((replica, sig), ok) in pending.into_iter().zip(valid) {
+                if ok {
+                    outgoing.acks.insert(replica, sig);
+                }
+            }
+        }
         if outgoing.acks.len() < quorum {
             return Step::empty();
         }
@@ -294,16 +329,11 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         }
         let digest = payload_digest(id, &payload);
         let context = ack_context(id, &digest);
-        let mut distinct: HashSet<ReplicaId> = HashSet::new();
-        for (replica, sig) in &proof {
-            if !self.cfg.contains(*replica) {
-                continue;
-            }
-            if self.auth.verify(*replica, &context, sig) {
-                distinct.insert(*replica);
-            }
-        }
-        if distinct.len() < self.cfg.quorum() {
+        // Batched quorum-proof check: one batch verification over the
+        // deduped member signatures, forgery-locating fallback on failure
+        // (see `astro_types::count_valid_signers`).
+        let valid = count_valid_signers(&self.auth, &context, &proof, |r| self.cfg.contains(r));
+        if valid < self.cfg.quorum() {
             return Step::empty();
         }
         let instance = self.instances.get_mut(&id).expect("inserted above");
@@ -344,6 +374,7 @@ mod tests {
     use super::*;
     use crate::testkit::Cluster;
     use astro_types::{Keychain, MacAuthenticator, SchnorrAuthenticator};
+    use std::collections::HashSet;
 
     type MacBrb = SignedBrb<u64, MacAuthenticator>;
 
@@ -390,6 +421,71 @@ mod tests {
         for i in 0..4 {
             assert_eq!(c.deliveries(i).len(), 1);
         }
+    }
+
+    #[test]
+    fn forged_ack_in_accumulated_batch_is_located_and_dropped() {
+        // ACK signatures are verified lazily as one batch once a quorum is
+        // possible; a single forgery in the batch must be pinpointed by
+        // the one-by-one fallback without blocking the eventual commit.
+        let cfg = Group::of_size(4).unwrap();
+        let chains = Keychain::deterministic_system(b"batch-acks", 4);
+        let auths: Vec<SchnorrAuthenticator> =
+            chains.into_iter().map(SchnorrAuthenticator::new).collect();
+        let mut node0 = SignedBrb::<u64, _>::new(auths[0].clone(), cfg, BrbConfig::default());
+        let id = iid(0, 0);
+        let _prepare = node0.broadcast(id, 42);
+        let digest = payload_digest(id, &42u64);
+        let ctx = ack_context(id, &digest);
+
+        // Byzantine replica 3 acks with a signature over the wrong bytes.
+        let forged = auths[3].sign(b"not the ack context");
+        assert!(node0.handle(ReplicaId(3), SignedMsg::Ack { id, digest, sig: forged }).is_empty());
+        // Two genuine acks: at the third accumulated ACK a quorum is
+        // possible, the batch check fails, and the fallback keeps only
+        // the two honest signatures — still below quorum, no commit.
+        let sig1 = auths[1].sign(&ctx);
+        assert!(node0.handle(ReplicaId(1), SignedMsg::Ack { id, digest, sig: sig1 }).is_empty());
+        let sig2 = auths[2].sign(&ctx);
+        assert!(node0.handle(ReplicaId(2), SignedMsg::Ack { id, digest, sig: sig2 }).is_empty());
+        // The broadcaster's own ack completes a genuine quorum.
+        let sig0 = auths[0].sign(&ctx);
+        let step = node0.handle(ReplicaId(0), SignedMsg::Ack { id, digest, sig: sig0 });
+        assert_eq!(step.outbound.len(), 1, "quorum of honest acks must commit");
+        let SignedMsg::Commit { proof, .. } = &step.outbound[0].msg else {
+            panic!("expected a commit");
+        };
+        let signers: HashSet<ReplicaId> = proof.iter().map(|(r, _)| *r).collect();
+        assert_eq!(
+            signers,
+            [ReplicaId(0), ReplicaId(1), ReplicaId(2)].into_iter().collect(),
+            "the forged ack must not appear in the commit proof"
+        );
+    }
+
+    #[test]
+    fn dropped_forged_ack_signer_may_reack_correctly() {
+        // After the fallback drops a forged ACK, a later valid ACK from
+        // the same replica is accepted (the forgery is not remembered
+        // against the signer).
+        let cfg = Group::of_size(4).unwrap();
+        let chains = Keychain::deterministic_system(b"reack", 4);
+        let auths: Vec<SchnorrAuthenticator> =
+            chains.into_iter().map(SchnorrAuthenticator::new).collect();
+        let mut node0 = SignedBrb::<u64, _>::new(auths[0].clone(), cfg, BrbConfig::default());
+        let id = iid(0, 0);
+        let _prepare = node0.broadcast(id, 7);
+        let digest = payload_digest(id, &7u64);
+        let ctx = ack_context(id, &digest);
+        let forged = auths[2].sign(b"garbage");
+        node0.handle(ReplicaId(2), SignedMsg::Ack { id, digest, sig: forged });
+        node0.handle(ReplicaId(1), SignedMsg::Ack { id, digest, sig: auths[1].sign(&ctx) });
+        // Third ACK triggers the failing batch; 2's forgery is dropped.
+        node0.handle(ReplicaId(0), SignedMsg::Ack { id, digest, sig: auths[0].sign(&ctx) });
+        // 2 re-acks correctly: 0, 1, 2 now form a quorum.
+        let step =
+            node0.handle(ReplicaId(2), SignedMsg::Ack { id, digest, sig: auths[2].sign(&ctx) });
+        assert_eq!(step.outbound.len(), 1, "re-acked quorum must commit");
     }
 
     #[test]

@@ -72,14 +72,79 @@ impl Bencher {
         }
     }
 
-    fn median_ns(&self) -> u128 {
+    /// `(p50, p99)` from one sorted copy of the samples.
+    fn percentiles_ns(&self) -> (u128, u128) {
         if self.samples.is_empty() {
-            return 0;
+            return (0, 0);
         }
         let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
         ns.sort_unstable();
-        ns[ns.len() / 2]
+        let rank = |p: f64| {
+            let r = (p * (ns.len() - 1) as f64).round() as usize;
+            ns[r.min(ns.len() - 1)]
+        };
+        (rank(0.5), rank(0.99))
     }
+}
+
+/// One finished benchmark's summary, retained for machine-readable export
+/// (see [`drain_reports`]).
+#[derive(Debug, Clone)]
+pub struct ReportEntry {
+    /// Full benchmark label (`group/name` or bare name).
+    pub id: String,
+    /// Median (p50) wall-clock nanoseconds per iteration.
+    pub median_ns: u128,
+    /// 99th-percentile nanoseconds per iteration.
+    pub p99_ns: u128,
+    /// The declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl ReportEntry {
+    /// Rate per second at the median. The unit follows the declared
+    /// throughput — use [`rate_unit`](ReportEntry::rate_unit) when
+    /// exporting so elements/s and bytes/s are never conflated.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.median_ns == 0 {
+            return 0.0;
+        }
+        let per_iter = match self.throughput {
+            Some(Throughput::Elements(e)) => e as f64,
+            Some(Throughput::Bytes(b)) => b as f64,
+            None => 1.0,
+        };
+        per_iter / (self.median_ns as f64 / 1e9)
+    }
+
+    /// The unit of [`ops_per_sec`](ReportEntry::ops_per_sec):
+    /// `"elements_per_sec"`, `"bytes_per_sec"`, or `"iters_per_sec"`.
+    pub fn rate_unit(&self) -> &'static str {
+        match self.throughput {
+            Some(Throughput::Elements(_)) => "elements_per_sec",
+            Some(Throughput::Bytes(_)) => "bytes_per_sec",
+            None => "iters_per_sec",
+        }
+    }
+}
+
+fn reports() -> &'static std::sync::Mutex<Vec<ReportEntry>> {
+    static REPORTS: std::sync::OnceLock<std::sync::Mutex<Vec<ReportEntry>>> =
+        std::sync::OnceLock::new();
+    REPORTS.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Drains every benchmark summary recorded so far — bench mains call this
+/// after running their groups to export `BENCH_*.json` files.
+pub fn drain_reports() -> Vec<ReportEntry> {
+    std::mem::take(&mut *reports().lock().unwrap())
+}
+
+fn record(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let (median_ns, p99_ns) = b.percentiles_ns();
+    let entry = ReportEntry { id: label.to_string(), median_ns, p99_ns, throughput };
+    report(label, entry.median_ns, throughput);
+    reports().lock().unwrap().push(entry);
 }
 
 fn report(label: &str, median_ns: u128, throughput: Option<Throughput>) {
@@ -130,7 +195,7 @@ impl Criterion {
         let id = id.into();
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        report(&id, b.median_ns(), None);
+        record(&id, &b, None);
         self
     }
 
@@ -163,7 +228,7 @@ impl BenchmarkGroup<'_> {
         let label = format!("{}/{}", self.name, id.into());
         let mut b = Bencher::new(self.criterion.sample_size);
         f(&mut b);
-        report(&label, b.median_ns(), self.throughput);
+        record(&label, &b, self.throughput);
         self
     }
 
@@ -208,7 +273,7 @@ mod tests {
         let mut b = Bencher::new(5);
         b.iter(|| 1 + 1);
         assert_eq!(b.samples.len(), 5);
-        assert!(b.median_ns() < 1_000_000);
+        assert!(b.percentiles_ns().0 < 1_000_000);
     }
 
     #[test]

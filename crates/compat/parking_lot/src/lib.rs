@@ -41,9 +41,114 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`], with parking_lot's
+/// poison-free, guard-in-place API (`wait` takes the guard by `&mut`).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing the guard's lock.
+    pub fn wait<'a, T>(&self, guard: &mut MutexGuard<'a, T>) {
+        replace_with(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, result) = self.0.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Bridges std's by-value condvar API to parking_lot's `&mut`-guard API:
+/// moves the guard out of the slot, runs `f` (which consumes it and
+/// returns the re-acquired guard), and writes the result back. Aborts if
+/// `f` unwinds — the slot would otherwise be left holding a moved-out
+/// guard.
+fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    struct AbortOnUnwind;
+    impl Drop for AbortOnUnwind {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let bomb = AbortOnUnwind;
+        let old = std::ptr::read(slot);
+        let new = f(old);
+        std::ptr::write(slot, new);
+        std::mem::forget(bomb);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn condvar_notify_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let result = cv.wait_for(&mut guard, std::time::Duration::from_millis(10));
+        assert!(result.timed_out());
+    }
 
     #[test]
     fn lock_round_trip() {

@@ -129,6 +129,67 @@ struct PartialBundle<S> {
     certified: bool,
 }
 
+/// Certificates a replica keeps verified per process lifetime.
+const CERT_CACHE_CAP: usize = 4096;
+
+/// A bounded cache of *verified* dependency-certificate digests.
+///
+/// A certificate referenced by many dependent payments (a hub client's
+/// incoming funds, a cert re-attached after a queue/cascade) used to be
+/// re-verified — `f+1` signature checks — on every settle attempt. The
+/// cache keys on the digest of the certificate's full wire encoding
+/// (bundle *and* proofs), so any bit of a forged variant misses; only
+/// certificates whose signatures actually verified are ever admitted.
+/// FIFO eviction bounds memory.
+#[derive(Debug)]
+pub struct CertCache {
+    verified: HashSet<[u8; 32]>,
+    order: std::collections::VecDeque<[u8; 32]>,
+    cap: usize,
+}
+
+impl CertCache {
+    /// Creates a cache holding at most `cap` digests.
+    pub fn new(cap: usize) -> Self {
+        CertCache { verified: HashSet::new(), order: std::collections::VecDeque::new(), cap }
+    }
+
+    /// True if `digest` names a certificate that already verified.
+    pub fn contains(&self, digest: &[u8; 32]) -> bool {
+        self.verified.contains(digest)
+    }
+
+    /// Records a certificate that passed full signature verification.
+    pub fn admit(&mut self, digest: [u8; 32]) {
+        if self.verified.insert(digest) {
+            self.order.push_back(digest);
+            if self.order.len() > self.cap {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.verified.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Number of digests currently cached.
+    pub fn len(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// True when nothing has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.verified.is_empty()
+    }
+}
+
+/// Content digest of a certificate (bundle and proofs).
+fn cert_digest<S: Wire>(cert: &DependencyCertificate<S>) -> [u8; 32] {
+    let mut h = astro_crypto::sha256::Sha256::new();
+    h.update(b"astro-cert-digest-v1");
+    h.update(&cert.to_wire_bytes());
+    h.finalize()
+}
+
 /// One Astro II replica.
 #[derive(Debug)]
 pub struct AstroTwoReplica<A: Authenticator> {
@@ -145,6 +206,9 @@ pub struct AstroTwoReplica<A: Authenticator> {
     /// Credits already materialized (replay protection, Listing 9's
     /// `usedDeps` — payment ids are globally unique so one set suffices).
     used_deps: HashSet<PaymentId>,
+    /// Digests of certificates already verified (one verification per
+    /// certificate per replica, not per settle attempt).
+    cert_cache: CertCache,
     /// Clients whose xlog is permanently stuck (a payment was dropped for
     /// insufficient funds in certificate mode — Listing 9's early return).
     stuck: HashSet<ClientId>,
@@ -191,6 +255,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             ledger: Ledger::new(cfg.initial_balance),
             pending: PendingQueue::new(),
             used_deps: HashSet::new(),
+            cert_cache: CertCache::new(CERT_CACHE_CAP),
             stuck: HashSet::new(),
             rep_deps: HashMap::new(),
             partial: HashMap::new(),
@@ -252,6 +317,20 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         } else {
             Ok(ReplicaStep::empty())
         }
+    }
+
+    /// Enqueues a payment with explicitly chosen dependency certificates
+    /// and flushes immediately — the hook adversarial tests use to model a
+    /// Byzantine representative attaching arbitrary (possibly forged)
+    /// certificates. Test-only.
+    #[doc(hidden)]
+    pub fn debug_submit_with_deps(
+        &mut self,
+        payment: Payment,
+        deps: Vec<DependencyCertificate<A::Sig>>,
+    ) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        self.batch.push(DepPayment { payment, deps });
+        self.flush()
     }
 
     /// Broadcasts the accumulated batch within the shard, if any.
@@ -346,11 +425,22 @@ impl<A: Authenticator> AstroTwoReplica<A> {
 
         // Cascade: settled payments may unblock queued successors.
         let Self {
-            pending, ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, ..
+            pending,
+            ledger,
+            auth,
+            layout,
+            groups,
+            used_deps,
+            cert_cache,
+            stuck,
+            mode,
+            my_shard,
+            ..
         } = self;
         let cascaded = pending.drain_cascade(touched, ledger, |ledger, p, deps| {
             attempt_settle_inner(
-                ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps,
+                ledger, auth, layout, groups, used_deps, cert_cache, stuck, *mode, *my_shard, p,
+                deps,
             )
         });
         settled.extend(cascaded.into_iter().map(|e| e.payment));
@@ -382,9 +472,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         p: &Payment,
         deps: &[DependencyCertificate<A::Sig>],
     ) -> SettleOutcome {
-        let Self { ledger, auth, layout, groups, used_deps, stuck, mode, my_shard, .. } = self;
+        let Self {
+            ledger, auth, layout, groups, used_deps, cert_cache, stuck, mode, my_shard, ..
+        } = self;
         attempt_settle_inner(
-            ledger, auth, layout, groups, used_deps, stuck, *mode, *my_shard, p, deps,
+            ledger, auth, layout, groups, used_deps, cert_cache, stuck, *mode, *my_shard, p, deps,
         )
     }
 
@@ -484,6 +576,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     pub fn held_certificates(&self, client: ClientId) -> usize {
         self.rep_deps.get(&client).map_or(0, Vec::len)
     }
+
+    /// The verified-certificate cache (observability and tests).
+    pub fn cert_cache(&self) -> &CertCache {
+        &self.cert_cache
+    }
 }
 
 /// The settle attempt, free of `self` so the pending-queue cascade can call
@@ -495,6 +592,7 @@ fn attempt_settle_inner<A: Authenticator>(
     layout: &ShardLayout,
     groups: &[Group],
     used_deps: &mut HashSet<PaymentId>,
+    cert_cache: &mut CertCache,
     stuck: &mut HashSet<ClientId>,
     mode: CreditMode,
     my_shard: ShardId,
@@ -523,8 +621,15 @@ fn attempt_settle_inner<A: Authenticator>(
             continue;
         }
         let group = &groups[settling_shard.0 as usize];
-        if !verify_certificate(cert, group, auth) {
-            continue;
+        // One signature-verification pass per certificate per replica: a
+        // cache hit (content digest over bundle *and* proofs) skips the
+        // f+1 signature checks; only fully verified certs are admitted.
+        let digest = cert_digest(cert);
+        if !cert_cache.contains(&digest) {
+            if !verify_certificate(cert, group, auth) {
+                continue;
+            }
+            cert_cache.admit(digest);
         }
         for d in cert.credits_for(p.spender) {
             if used_deps.insert(d.id()) {
@@ -789,6 +894,66 @@ mod tests {
             if i != idx {
                 assert!(c.settled(i).is_empty(), "replica {i}");
             }
+        }
+    }
+
+    #[test]
+    fn cert_cache_is_bounded_fifo() {
+        let mut cache = CertCache::new(3);
+        for i in 0..5u8 {
+            cache.admit([i; 32]);
+        }
+        assert_eq!(cache.len(), 3);
+        // Oldest two evicted, newest three retained.
+        assert!(!cache.contains(&[0u8; 32]));
+        assert!(!cache.contains(&[1u8; 32]));
+        for i in 2..5u8 {
+            assert!(cache.contains(&[i; 32]));
+        }
+        // Re-admitting an existing digest does not grow or double-track.
+        cache.admit([4u8; 32]);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn settling_with_certificates_populates_the_cache() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        // Client 1 spends more than genesis; the attached certificate is
+        // verified (and cached) at every replica that settles.
+        pay(&mut c, &layout, Payment::new(1u64, 0u64, 2u64, 120u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.settled(i).len(), 2, "replica {i}");
+            assert_eq!(c.node(i).cert_cache().len(), 1, "replica {i} cached the cert");
+        }
+    }
+
+    #[test]
+    fn tampered_certificate_is_never_admitted_to_the_cache() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        // Steal the genuine certificate and inflate the bundled amount:
+        // the signatures no longer cover the bundle.
+        let rep1 = layout.representative_of(ClientId(1));
+        let mut cert = c.node(rep1.0 as usize).rep_deps.get(&ClientId(1)).unwrap()[0].clone();
+        cert.bundle[0].amount = Amount(1_000_000);
+        let node = c.node_mut(rep1.0 as usize);
+        node.batch
+            .push(DepPayment { payment: Payment::new(1u64, 0u64, 2u64, 500u64), deps: vec![cert] });
+        let step = node.flush();
+        c.submit_step(rep1, step);
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.settled(i).len(), 1, "replica {i}: the overdraft must not settle");
+            assert!(
+                c.node(i).cert_cache().is_empty(),
+                "replica {i}: a failing cert must never enter the cache"
+            );
         }
     }
 

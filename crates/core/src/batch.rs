@@ -89,6 +89,11 @@ pub fn credit_context(bundle: &[Payment]) -> Vec<u8> {
 ///
 /// Checks that at least `f+1` *distinct members of `settling_group`* signed
 /// the bundle digest. Returns `false` for empty bundles.
+///
+/// All proofs cover the same digest, so the check runs as one batch
+/// (a single multi-scalar multiplication under Schnorr) with a
+/// forgery-locating fallback that still counts the genuine signers —
+/// see [`astro_types::count_valid_signers`].
 pub fn verify_certificate<A: Authenticator>(
     cert: &DependencyCertificate<A::Sig>,
     settling_group: &Group,
@@ -98,16 +103,10 @@ pub fn verify_certificate<A: Authenticator>(
         return false;
     }
     let context = credit_context(&cert.bundle);
-    let mut distinct = std::collections::HashSet::new();
-    for (replica, sig) in &cert.proofs {
-        if !settling_group.contains(*replica) {
-            continue;
-        }
-        if auth.verify(*replica, &context, sig) {
-            distinct.insert(*replica);
-        }
-    }
-    distinct.len() >= settling_group.small_quorum()
+    let valid = astro_types::count_valid_signers(auth, &context, &cert.proofs, |r| {
+        settling_group.contains(r)
+    });
+    valid >= settling_group.small_quorum()
 }
 
 /// An Astro II payment entry: the payment plus the dependency certificates

@@ -76,6 +76,11 @@ pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
 #[derive(Clone)]
 pub struct MacKey {
     key: [u8; 32],
+    /// SHA-256 midstate after absorbing `key ⊕ ipad` — one block of
+    /// hashing saved on every tag.
+    inner_midstate: [u32; 8],
+    /// Midstate after `key ⊕ opad`.
+    outer_midstate: [u32; 8],
 }
 
 impl core::fmt::Debug for MacKey {
@@ -88,7 +93,17 @@ impl core::fmt::Debug for MacKey {
 impl MacKey {
     /// Creates a key from raw bytes.
     pub fn from_bytes(key: [u8; 32]) -> Self {
-        Self { key }
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..key.len() {
+            ipad[i] ^= key[i];
+            opad[i] ^= key[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { key, inner_midstate: inner.midstate(), outer_midstate: outer.midstate() }
     }
 
     /// Derives the channel key for the unordered pair `(a, b)` from a
@@ -101,7 +116,7 @@ impl MacKey {
             pair_secret,
             &[b"astro-mac-channel" as &[u8], &lo.to_be_bytes(), &hi.to_be_bytes()].concat(),
         );
-        Self { key: tag }
+        Self::from_bytes(tag)
     }
 
     /// Derives a direction-specific session key from this (long-lived) link
@@ -123,12 +138,30 @@ impl MacKey {
             &[b"astro-session-v1" as &[u8], dialer_nonce, acceptor_nonce, &sender.to_be_bytes()]
                 .concat(),
         );
-        MacKey { key: tag }
+        MacKey::from_bytes(tag)
     }
 
     /// Computes the authentication tag for `message`.
+    ///
+    /// Runs from the cached pad midstates: per tag the key costs zero
+    /// hashing, only the message (plus one finalization block each for the
+    /// inner and outer hash).
     pub fn tag(&self, message: &[u8]) -> Tag {
-        hmac_sha256(&self.key, message)
+        self.tag_parts(&[message])
+    }
+
+    /// Computes the tag over the concatenation of `parts` without
+    /// materializing it — the per-frame hot path of the authenticated
+    /// transport (`header ‖ seq ‖ payload`).
+    pub fn tag_parts(&self, parts: &[&[u8]]) -> Tag {
+        let mut inner = Sha256::from_midstate(self.inner_midstate, BLOCK_LEN as u64);
+        for part in parts {
+            inner.update(part);
+        }
+        let inner_digest: Digest = inner.finalize();
+        let mut outer = Sha256::from_midstate(self.outer_midstate, BLOCK_LEN as u64);
+        outer.update(&inner_digest);
+        outer.finalize()
     }
 
     /// Verifies `tag` over `message` in constant time.
@@ -178,6 +211,25 @@ mod tests {
         assert!(!k.verify(b"payloae", &tag));
         let other = MacKey::from_bytes([4u8; 32]);
         assert!(!other.verify(b"payload", &tag));
+    }
+
+    #[test]
+    fn midstate_tag_matches_reference_hmac() {
+        // The cached-midstate fast path must be byte-identical to the
+        // straightforward HMAC computation for any message length.
+        let key = MacKey::from_bytes([0x42u8; 32]);
+        for len in [0usize, 1, 31, 32, 55, 56, 64, 65, 127, 128, 1000] {
+            let msg = vec![0x5au8; len];
+            assert_eq!(key.tag(&msg), hmac_sha256(&[0x42u8; 32], &msg), "len {len}");
+        }
+    }
+
+    #[test]
+    fn tag_parts_equals_tag_of_concatenation() {
+        let key = MacKey::from_bytes([9u8; 32]);
+        let (a, b, c) = (b"astro-msg-v1".as_slice(), 7u64.to_be_bytes(), vec![1u8; 300]);
+        let concat = [a, &b, &c].concat();
+        assert_eq!(key.tag_parts(&[a, &b, &c]), key.tag(&concat));
     }
 
     #[test]

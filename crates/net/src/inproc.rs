@@ -6,12 +6,12 @@
 //! with `ReplicaId(i)` — so no MAC work is spent; this is the baseline the
 //! TCP backend is benchmarked against.
 
-use crate::{Endpoint, NetError, Transport};
+use crate::{Endpoint, NetError, Payload, Transport};
 use astro_types::ReplicaId;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
-type Packet = (ReplicaId, Vec<u8>);
+type Packet = (ReplicaId, Payload);
 
 /// A full in-process mesh for `n` replicas.
 #[derive(Debug)]
@@ -77,13 +77,16 @@ impl Endpoint for InProcEndpoint {
         let tx = self.peers.get(to.0 as usize).ok_or(NetError::UnknownPeer(to))?;
         // A dropped endpoint (stopped replica) swallows traffic, exactly
         // like a crashed peer on a real network.
-        let _ = tx.send((self.me, payload.to_vec()));
+        let _ = tx.send((self.me, Payload::from(payload)));
         Ok(())
     }
 
     fn broadcast(&mut self, payload: &[u8]) -> Result<(), NetError> {
-        for i in 0..self.peers.len() {
-            self.send(ReplicaId(i as u32), payload)?;
+        // One allocation for the whole fan-out: every peer receives a
+        // refcount bump of the same shared buffer, not its own copy.
+        let shared = Payload::from(payload);
+        for tx in &self.peers {
+            let _ = tx.send((self.me, Payload::clone(&shared)));
         }
         Ok(())
     }
@@ -111,12 +114,28 @@ mod tests {
         e0.send(ReplicaId(0), b"self").unwrap();
         assert_eq!(
             e1.recv_timeout(Duration::from_secs(1)).unwrap(),
-            Some((ReplicaId(0), b"x".to_vec()))
+            Some((ReplicaId(0), Payload::from(b"x".as_slice())))
         );
         assert_eq!(
             e0.recv_timeout(Duration::from_secs(1)).unwrap(),
-            Some((ReplicaId(0), b"self".to_vec()))
+            Some((ReplicaId(0), Payload::from(b"self".as_slice())))
         );
+    }
+
+    #[test]
+    fn broadcast_shares_one_buffer() {
+        let mut eps = InProcTransport::new(3).into_endpoints();
+        eps[0].broadcast(b"shared").unwrap();
+        let mut bodies = Vec::new();
+        for ep in &mut eps {
+            let (from, body) = ep.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+            assert_eq!(from, ReplicaId(0));
+            assert_eq!(&body[..], b"shared");
+            bodies.push(body);
+        }
+        // All three receivers hold the same allocation.
+        assert!(Payload::ptr_eq(&bodies[0], &bodies[1]));
+        assert!(Payload::ptr_eq(&bodies[1], &bodies[2]));
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //!         .unwrap()
 //!         .expect("broadcast reaches everyone, sender included");
 //!     assert_eq!(from, ReplicaId(0));
-//!     assert_eq!(bytes, b"hello");
+//!     assert_eq!(&bytes[..], b"hello");
 //! }
 //! ```
 
@@ -56,7 +56,16 @@ pub use inproc::{InProcEndpoint, InProcTransport};
 pub use tcp::{TcpEndpoint, TcpTransport};
 
 use astro_types::ReplicaId;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A received message body.
+///
+/// Shared, immutable bytes: a broadcast is encoded **once** and fanned out
+/// by reference-count bump (`InProcTransport`), and received TCP frames
+/// are handed to the caller without a mandatory copy. Derefs to `&[u8]`
+/// wherever a slice is expected.
+pub type Payload = Arc<[u8]>;
 
 /// Errors produced by transports.
 #[derive(Debug)]
@@ -149,7 +158,31 @@ pub trait Endpoint: Send + 'static {
     /// Fails only on unrecoverable local errors; a quiet or disconnected
     /// mesh is `Ok(None)`.
     fn recv_timeout(&mut self, timeout: Duration)
-        -> Result<Option<(ReplicaId, Vec<u8>)>, NetError>;
+        -> Result<Option<(ReplicaId, Payload)>, NetError>;
+
+    /// Starts coalescing outbound traffic: frames from subsequent `send` /
+    /// `broadcast` calls may be buffered per link until [`uncork`] — a
+    /// burst of k messages to one peer then costs O(1) writes instead of
+    /// O(k). Drivers cork around each batch of protocol output; plain
+    /// `send` outside a cork window keeps immediate, unbuffered delivery.
+    ///
+    /// Default: no-op (transports without syscall cost have nothing to
+    /// coalesce).
+    ///
+    /// [`uncork`]: Endpoint::uncork
+    fn cork(&mut self) {}
+
+    /// Flushes everything buffered since [`cork`](Endpoint::cork) and
+    /// returns to immediate-delivery mode.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first link that failed during the flush after
+    /// attempting every link (the per-link traffic is lost, as with any
+    /// link drop; quorums mask a disconnected minority).
+    fn uncork(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
 }
 
 /// A bundle of [`Endpoint`]s, one per replica of a cluster.

@@ -288,7 +288,9 @@ pub fn session_pair(
 }
 
 fn message_tag(key: &MacKey, seq: u64, payload: &[u8]) -> Tag {
-    key.tag(&[b"astro-msg-v1" as &[u8], &seq.to_be_bytes(), payload].concat())
+    // `tag_parts` hashes the concatenation without materializing it — no
+    // per-frame allocation on the transport hot path.
+    key.tag_parts(&[b"astro-msg-v1", &seq.to_be_bytes(), payload])
 }
 
 /// The sending half of an authenticated session (one direction of a link).
@@ -299,15 +301,29 @@ pub struct SendSession {
 }
 
 impl SendSession {
-    /// Wraps `payload` as `seq || payload || tag`, advancing the counter.
-    pub fn seal(&mut self, payload: &[u8]) -> Vec<u8> {
+    /// Exact size of the sealed form of a `payload_len`-byte payload.
+    pub fn sealed_len(payload_len: usize) -> usize {
+        8 + payload_len + TAG_LEN
+    }
+
+    /// Appends `seq || payload || tag` to `out` without an intermediate
+    /// allocation, advancing the counter. The hot-path variant: callers
+    /// reuse one scratch/coalescing buffer per link instead of allocating
+    /// a fresh `Vec` per frame.
+    pub fn seal_into(&mut self, payload: &[u8], out: &mut Vec<u8>) {
         let seq = self.seq;
         self.seq += 1;
         let tag = message_tag(&self.key, seq, payload);
-        let mut out = Vec::with_capacity(8 + payload.len() + TAG_LEN);
+        out.reserve(Self::sealed_len(payload.len()));
         out.extend_from_slice(&seq.to_be_bytes());
         out.extend_from_slice(payload);
         out.extend_from_slice(&tag);
+    }
+
+    /// Wraps `payload` as `seq || payload || tag`, advancing the counter.
+    pub fn seal(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::sealed_len(payload.len()));
+        self.seal_into(payload, &mut out);
         out
     }
 }
@@ -320,13 +336,16 @@ pub struct RecvSession {
 }
 
 impl RecvSession {
-    /// Verifies and unwraps a sealed message, enforcing strict ordering.
+    /// Verifies a sealed message and returns the payload as a borrow of
+    /// `sealed`, enforcing strict ordering. The hot-path variant: the
+    /// caller decides how to own the bytes (e.g. one `Arc<[u8]>` per
+    /// message) instead of paying a mandatory `Vec` copy.
     ///
     /// # Errors
     ///
     /// [`AuthError`] on any tampering, replay, reorder, or truncation; the
     /// caller must drop the connection.
-    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, AuthError> {
+    pub fn open_ref<'a>(&mut self, sealed: &'a [u8]) -> Result<&'a [u8], AuthError> {
         if sealed.len() < 8 + TAG_LEN {
             return Err(AuthError::Truncated);
         }
@@ -341,7 +360,17 @@ impl RecvSession {
             return Err(AuthError::BadSequence);
         }
         self.seq += 1;
-        Ok(payload.to_vec())
+        Ok(payload)
+    }
+
+    /// Verifies and unwraps a sealed message into an owned buffer. See
+    /// [`RecvSession::open_ref`].
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError`] on any tampering, replay, reorder, or truncation.
+    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, AuthError> {
+        self.open_ref(sealed).map(<[u8]>::to_vec)
     }
 }
 

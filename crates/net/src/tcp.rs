@@ -18,8 +18,8 @@ use crate::session::{
     make_ack, make_confirm, make_hello, session_pair, verify_ack, verify_confirm, verify_hello,
     RecvSession, SendSession, ACK_LEN, CONFIRM_LEN, HELLO_LEN,
 };
-use crate::{Endpoint, NetError, Transport};
-use astro_types::wire::{peek_frame_len, put_frame, MAX_FRAME_LEN};
+use crate::{Endpoint, NetError, Payload, Transport};
+use astro_types::wire::{peek_frame_len, put_frame, Wire, MAX_FRAME_LEN};
 use astro_types::{Keychain, ReplicaId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-type Packet = (ReplicaId, Vec<u8>);
+type Packet = (ReplicaId, Payload);
 
 /// How long a handshake leg may block before the connection is dropped.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
@@ -54,6 +54,10 @@ const REDIAL_BACKOFF: Duration = Duration::from_millis(25);
 /// errors (e.g. fd exhaustion) must degrade into a slow retry loop, not a
 /// busy spin pinning a core.
 const ACCEPT_RETRY_DELAY: Duration = Duration::from_millis(50);
+
+/// When a per-link coalescing buffer grows past this while corked, it is
+/// flushed inline — bounds memory under pathological bursts.
+const CORK_FLUSH_THRESHOLD: usize = 256 << 10;
 
 /// One live, authenticated connection's write half.
 struct LinkWriter {
@@ -176,9 +180,9 @@ fn reader_main(
         if stream.read_exact(&mut sealed).is_err() {
             break;
         }
-        match session.open(&sealed) {
+        match session.open_ref(&sealed) {
             Ok(payload) => {
-                if inbox.send((peer, payload)).is_err() {
+                if inbox.send((peer, Payload::from(payload))).is_err() {
                     break; // endpoint dropped
                 }
             }
@@ -296,6 +300,22 @@ pub struct TcpEndpoint {
     shared: Arc<Shared>,
     inbox: Receiver<Packet>,
     listen_addr: SocketAddr,
+    /// Reusable frame buffer for immediate (uncorked) sends — one
+    /// allocation per link lifetime instead of one per frame.
+    scratch: Vec<u8>,
+    /// When set, sends append frames to `pending` per link; `uncork`
+    /// writes each link's run of frames with one syscall.
+    corked: bool,
+    pending: Vec<PendingBuf>,
+}
+
+/// Frames coalesced for one link while corked. `generation` records the
+/// link incarnation the frames were sealed under: if the connection was
+/// replaced in between, the frames carry a dead session's MACs and are
+/// dropped instead of poisoning the new session (fair-loss link).
+struct PendingBuf {
+    buf: Vec<u8>,
+    generation: u64,
 }
 
 impl std::fmt::Debug for TcpEndpoint {
@@ -386,7 +406,8 @@ impl TcpEndpoint {
             }
         }
 
-        Ok(TcpEndpoint { shared, inbox, listen_addr })
+        let pending = (0..n).map(|_| PendingBuf { buf: Vec::new(), generation: 0 }).collect();
+        Ok(TcpEndpoint { shared, inbox, listen_addr, scratch: Vec::new(), corked: false, pending })
     }
 
     /// The address the endpoint's listener is bound to.
@@ -428,26 +449,60 @@ impl TcpEndpoint {
         }
     }
 
-    fn send_now(&self, to: ReplicaId, payload: &[u8]) -> Result<bool, NetError> {
+    /// Attempts to hand `payload` to the link — immediately (one write
+    /// from the reusable scratch buffer) or, while corked, by appending
+    /// the sealed frame to the link's coalescing buffer. Returns `false`
+    /// if the link is down.
+    fn try_send(&mut self, to: ReplicaId, payload: &[u8]) -> Result<bool, NetError> {
         let slot = &self.shared.links[to.0 as usize];
         let mut state = slot.state.lock();
+        let generation = state.generation;
         let Some(writer) = state.writer.as_mut() else {
             return Ok(false);
         };
-        let sealed = writer.session.seal(payload);
-        let mut buf = Vec::with_capacity(4 + sealed.len());
-        put_frame(&mut buf, &sealed);
-        match writer.stream.write_all(&buf) {
-            Ok(()) => Ok(true),
-            Err(_) => {
-                // Broken pipe: tear down and let the caller retry.
-                if let Some(w) = state.writer.take() {
-                    let _ = w.stream.shutdown(Shutdown::Both);
-                }
-                Ok(false)
+        if self.corked {
+            let pending = &mut self.pending[to.0 as usize];
+            if pending.generation != generation {
+                // Sealed under a session that no longer exists: drop.
+                pending.buf.clear();
+                pending.generation = generation;
+            }
+            append_frame(&mut writer.session, payload, &mut pending.buf);
+            if pending.buf.len() < CORK_FLUSH_THRESHOLD {
+                return Ok(true);
+            }
+            // Oversized burst: flush inline to bound memory, and give the
+            // excess capacity back (one 16 MiB frame must not pin 16 MiB
+            // per link for the endpoint's lifetime).
+            let ok = writer.stream.write_all(&pending.buf).is_ok();
+            pending.buf.clear();
+            pending.buf.shrink_to(CORK_FLUSH_THRESHOLD);
+            if ok {
+                return Ok(true);
+            }
+        } else {
+            self.scratch.clear();
+            self.scratch.shrink_to(CORK_FLUSH_THRESHOLD);
+            append_frame(&mut writer.session, payload, &mut self.scratch);
+            if writer.stream.write_all(&self.scratch).is_ok() {
+                return Ok(true);
             }
         }
+        // Broken pipe: tear down and let the caller retry.
+        if let Some(w) = state.writer.take() {
+            let _ = w.stream.shutdown(Shutdown::Both);
+        }
+        Ok(false)
     }
+}
+
+/// Appends `len || seq || payload || tag` to `out` with no intermediate
+/// allocation (the frame header is written from the known sealed length).
+fn append_frame(session: &mut SendSession, payload: &[u8], out: &mut Vec<u8>) {
+    let sealed_len = SendSession::sealed_len(payload.len());
+    assert!(sealed_len <= MAX_FRAME_LEN, "frame payload too large");
+    (sealed_len as u32).encode(out);
+    session.seal_into(payload, out);
 }
 
 impl Endpoint for TcpEndpoint {
@@ -466,10 +521,10 @@ impl Endpoint for TcpEndpoint {
         if to == self.shared.me() {
             // Self-delivery short-circuits the socket layer.
             let tx = self.shared.inbox_tx.lock().clone();
-            let _ = tx.send((to, payload.to_vec()));
+            let _ = tx.send((to, Payload::from(payload)));
             return Ok(());
         }
-        if self.send_now(to, payload)? {
+        if self.try_send(to, payload)? {
             return Ok(());
         }
         // Link down. Never stall the caller waiting for it: a crashed peer
@@ -490,7 +545,7 @@ impl Endpoint for TcpEndpoint {
                 Some(Instant::now() + REDIAL_COOLDOWN);
             if let Ok((writer, rx)) = attempt {
                 self.shared.install_link(&self.shared, to, writer, rx);
-                if self.send_now(to, payload)? {
+                if self.try_send(to, payload)? {
                     return Ok(());
                 }
             }
@@ -515,6 +570,40 @@ impl Endpoint for TcpEndpoint {
         match self.inbox.recv_timeout(timeout) {
             Ok(packet) => Ok(Some(packet)),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn cork(&mut self) {
+        self.corked = true;
+    }
+
+    fn uncork(&mut self) -> Result<(), NetError> {
+        self.corked = false;
+        let mut first_err = None;
+        for i in 0..self.shared.n {
+            if self.pending[i].buf.is_empty() {
+                continue;
+            }
+            let mut state = self.shared.links[i].state.lock();
+            let pending = &mut self.pending[i];
+            // A replaced (or vanished) link invalidates the sealed frames;
+            // drop them — in-flight loss on a broken link, as ever.
+            if state.generation == pending.generation {
+                if let Some(writer) = state.writer.as_mut() {
+                    if writer.stream.write_all(&pending.buf).is_err() {
+                        if let Some(w) = state.writer.take() {
+                            let _ = w.stream.shutdown(Shutdown::Both);
+                        }
+                        first_err.get_or_insert(NetError::LinkDown(ReplicaId(i as u32)));
+                    }
+                }
+            }
+            pending.buf.clear();
+            pending.buf.shrink_to(CORK_FLUSH_THRESHOLD);
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 }

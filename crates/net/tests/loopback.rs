@@ -25,14 +25,14 @@ fn four_replica_mesh_carries_unicast_and_broadcast() {
         left[1].send(ReplicaId(3), &payload).unwrap();
         let (from, bytes) = right[0].recv_timeout(RECV).unwrap().expect("delivered");
         assert_eq!(from, ReplicaId(1));
-        assert_eq!(bytes, payload);
+        assert_eq!(&bytes[..], &payload[..]);
     }
     // Broadcast from 0 reaches everyone including the sender.
     eps[0].broadcast(b"batch").unwrap();
     for ep in &mut eps {
         let (from, bytes) = ep.recv_timeout(RECV).unwrap().expect("broadcast delivered");
         assert_eq!(from, ReplicaId(0));
-        assert_eq!(bytes, b"batch");
+        assert_eq!(&bytes[..], b"batch");
     }
 }
 
@@ -46,7 +46,7 @@ fn many_messages_arrive_in_order_per_link() {
     for expected in 0..count {
         let (from, bytes) = eps[0].recv_timeout(RECV).unwrap().expect("message arrives");
         assert_eq!(from, ReplicaId(2));
-        assert_eq!(u64::from_be_bytes(bytes.try_into().unwrap()), expected);
+        assert_eq!(u64::from_be_bytes(bytes[..].try_into().unwrap()), expected);
     }
 }
 
@@ -79,7 +79,7 @@ fn raw_garbage_connection_is_ignored() {
     // The mesh still works afterwards.
     eps[0].send(ReplicaId(3), b"still alive").unwrap();
     let (from, bytes) = eps[3].recv_timeout(RECV).unwrap().expect("delivered");
-    assert_eq!((from, bytes.as_slice()), (ReplicaId(0), &b"still alive"[..]));
+    assert_eq!((from, &bytes[..]), (ReplicaId(0), &b"still alive"[..]));
 }
 
 #[test]
@@ -93,12 +93,12 @@ fn severed_links_reconnect_and_traffic_resumes() {
     for ep in &mut eps {
         let (from, bytes) = ep.recv_timeout(RECV).unwrap().expect("reconnect restores delivery");
         assert_eq!(from, ReplicaId(0));
-        assert_eq!(bytes, b"after the storm");
+        assert_eq!(&bytes[..], b"after the storm");
     }
     // Acceptor side: peers re-dial 0 when *their* sends find the link down.
     eps[2].send(ReplicaId(0), b"reverse direction").unwrap();
     let (from, bytes) = eps[0].recv_timeout(RECV).unwrap().expect("delivered");
-    assert_eq!((from, bytes.as_slice()), (ReplicaId(2), &b"reverse direction"[..]));
+    assert_eq!((from, &bytes[..]), (ReplicaId(2), &b"reverse direction"[..]));
 }
 
 #[test]
@@ -125,7 +125,60 @@ fn crashed_peer_does_not_stall_broadcasts_to_the_live_quorum() {
         for expected in 0..20u64 {
             let (from, bytes) = ep.recv_timeout(RECV).unwrap().expect("live delivery");
             assert_eq!(from, ReplicaId(0));
-            assert_eq!(u64::from_be_bytes(bytes.try_into().unwrap()), expected);
+            assert_eq!(u64::from_be_bytes(bytes[..].try_into().unwrap()), expected);
+        }
+    }
+}
+
+#[test]
+fn corked_frames_coalesce_and_flush_in_order() {
+    let mut eps = mesh(b"tcp-cork", 4);
+    // A corked burst: many frames to the same links, one write per link
+    // at uncork. Interleave unicast and broadcast to cross links.
+    eps[0].cork();
+    for i in 0..50u64 {
+        eps[0].send(ReplicaId(1), &i.to_be_bytes()).unwrap();
+        eps[0].broadcast(&(1000 + i).to_be_bytes()).unwrap();
+    }
+    eps[0].uncork().unwrap();
+    // Replica 1 sees the full interleaving in order.
+    for i in 0..50u64 {
+        for expected in [i, 1000 + i] {
+            let (from, bytes) = eps[1].recv_timeout(RECV).unwrap().expect("delivered");
+            assert_eq!(from, ReplicaId(0));
+            assert_eq!(u64::from_be_bytes(bytes[..].try_into().unwrap()), expected);
+        }
+    }
+    // Replicas 2, 3 (and 0 via self-delivery) see the broadcasts in order.
+    let (_, tail) = eps.split_at_mut(2);
+    for ep in tail {
+        for i in 0..50u64 {
+            let (_, bytes) = ep.recv_timeout(RECV).unwrap().expect("delivered");
+            assert_eq!(u64::from_be_bytes(bytes[..].try_into().unwrap()), 1000 + i);
+        }
+    }
+    // Uncork with nothing pending is a no-op.
+    eps[0].cork();
+    eps[0].uncork().unwrap();
+}
+
+#[test]
+fn corked_traffic_to_a_crashed_peer_is_dropped_not_wedged() {
+    let mut eps = mesh(b"tcp-cork-crash", 4);
+    let dead = eps.pop().unwrap();
+    drop(dead);
+    std::thread::sleep(Duration::from_millis(50));
+    eps[0].cork();
+    for i in 0..10u64 {
+        let _ = eps[0].broadcast(&i.to_be_bytes()); // LinkDown(3) tolerated
+    }
+    // Uncork must not error on the already-torn-down link (its frames
+    // never buffered) and live peers get everything.
+    eps[0].uncork().unwrap();
+    for ep in &mut eps {
+        for expected in 0..10u64 {
+            let (_, bytes) = ep.recv_timeout(RECV).unwrap().expect("live delivery");
+            assert_eq!(u64::from_be_bytes(bytes[..].try_into().unwrap()), expected);
         }
     }
 }
@@ -147,5 +200,5 @@ fn empty_payloads_and_large_payloads_round_trip() {
     let (_, first) = eps[2].recv_timeout(RECV).unwrap().expect("empty arrives");
     assert!(first.is_empty());
     let (_, second) = eps[2].recv_timeout(RECV).unwrap().expect("1 MiB arrives");
-    assert_eq!(second, big);
+    assert_eq!(&second[..], &big[..]);
 }

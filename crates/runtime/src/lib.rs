@@ -55,7 +55,7 @@ use astro_types::{
     Amount, ClientId, ConfigError, Keychain, Payment, ReplicaId, SchnorrAuthenticator, ShardLayout,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -65,6 +65,31 @@ use std::time::{Duration, Instant};
 /// submissions, shutdown) are picked up promptly even under long flush
 /// intervals.
 const POLL_SLICE: Duration = Duration::from_millis(1);
+
+/// Maximum inbound messages processed per cork window. Bounds how long a
+/// replica defers its flush timer under sustained inbound pressure.
+const BURST: usize = 128;
+
+/// The cross-thread settlement board: per-replica settled logs plus a
+/// condvar so waiters ([`Cluster::wait_settled`]) block on progress
+/// notifications instead of sleep-polling.
+struct SettledBoard {
+    logs: Mutex<Vec<Vec<Payment>>>,
+    progress: Condvar,
+}
+
+impl SettledBoard {
+    fn new(n: usize) -> Self {
+        SettledBoard { logs: Mutex::new(vec![Vec::new(); n]), progress: Condvar::new() }
+    }
+
+    fn extend(&self, replica: ReplicaId, settled: Vec<Payment>) {
+        let mut logs = self.logs.lock();
+        logs[replica.0 as usize].extend(settled);
+        drop(logs);
+        self.progress.notify_all();
+    }
+}
 
 /// Errors starting or driving a cluster.
 #[derive(Debug)]
@@ -238,7 +263,7 @@ enum Ctrl {
 pub struct Cluster {
     ctrl: Vec<Sender<Ctrl>>,
     handles: Vec<JoinHandle<(HashMap<ClientId, Amount>, usize)>>,
-    settled: Arc<Mutex<Vec<Vec<Payment>>>>,
+    settled: Arc<SettledBoard>,
     layout: ShardLayout,
 }
 
@@ -264,7 +289,7 @@ impl Cluster {
         if endpoints.len() != n {
             return Err(ClusterError::EndpointMismatch { expected: n, got: endpoints.len() });
         }
-        let settled = Arc::new(Mutex::new(vec![Vec::new(); n]));
+        let settled = Arc::new(SettledBoard::new(n));
         let mut ctrl = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (mut node, endpoint) in nodes.into_iter().zip(endpoints) {
@@ -297,25 +322,24 @@ impl Cluster {
 
     /// Blocks until every replica has settled at least `count` payments or
     /// the timeout elapses; returns replica 0's settled log.
+    ///
+    /// Waiters park on a condition variable that replica threads notify as
+    /// settlements land — wake-up is immediate, not quantized by a poll
+    /// interval.
     pub fn wait_settled(&self, count: usize, timeout: Duration) -> Vec<Payment> {
         let deadline = Instant::now() + timeout;
-        loop {
-            {
-                let logs = self.settled.lock();
-                if logs.iter().all(|l| l.len() >= count) {
-                    return logs[0].clone();
-                }
-            }
-            if Instant::now() >= deadline {
-                return self.settled.lock()[0].clone();
-            }
-            std::thread::sleep(Duration::from_millis(2));
+        let mut logs = self.settled.logs.lock();
+        while !logs.iter().all(|l| l.len() >= count) {
+            // Spurious wakeups and partial progress re-check the predicate.
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else { break };
+            let _ = self.settled.progress.wait_for(&mut logs, remaining);
         }
+        logs[0].clone()
     }
 
     /// Settled payments as observed by replica `i` so far.
     pub fn settled_at(&self, i: usize) -> Vec<Payment> {
-        self.settled.lock()[i].clone()
+        self.settled.logs.lock()[i].clone()
     }
 
     /// Stops all replicas and returns each replica's final balance map and
@@ -332,16 +356,23 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
     node: &mut N,
     mut endpoint: E,
     ctrl: &Receiver<Ctrl>,
-    settled: &Arc<Mutex<Vec<Vec<Payment>>>>,
+    settled: &Arc<SettledBoard>,
     flush_every: Duration,
 ) -> (HashMap<ClientId, Amount>, usize) {
     let me = node.id();
     let mut next_flush = Instant::now() + flush_every;
     'run: loop {
+        // Work generated in this window is corked: the transport coalesces
+        // the frames per link and writes each link once at uncork, so a
+        // burst of k messages costs O(1) syscalls per link, not O(k).
+        endpoint.cork();
         // Drain control traffic first: client submissions and shutdown.
         loop {
             match ctrl.try_recv() {
-                Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => break 'run,
+                Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => {
+                    let _ = endpoint.uncork();
+                    break 'run;
+                }
                 Ok(Ctrl::Client(p)) => {
                     if let Ok(step) = node.submit(p) {
                         dispatch(me, step, &mut endpoint, settled);
@@ -350,20 +381,36 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
                 Err(TryRecvError::Empty) => break,
             }
         }
-        // Peer traffic, waiting at most until the next flush deadline.
+        if Instant::now() >= next_flush {
+            let step = node.flush();
+            dispatch(me, step, &mut endpoint, settled);
+            next_flush = Instant::now() + flush_every;
+        }
+        let _ = endpoint.uncork();
+        // Peer traffic, waiting at most until the next flush deadline for
+        // the first message, then draining the burst that is already
+        // queued (bounded, so the flush timer cannot starve).
         let wait = next_flush.saturating_duration_since(Instant::now()).min(POLL_SLICE);
         if let Ok(Some((from, bytes))) = endpoint.recv_timeout(wait) {
+            endpoint.cork();
             // Malformed bytes from a Byzantine peer are dropped here; the
             // wire codec is total, so this is the only failure mode.
             if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
                 let step = node.handle(from, msg);
                 dispatch(me, step, &mut endpoint, settled);
             }
-        }
-        if Instant::now() >= next_flush {
-            let step = node.flush();
-            dispatch(me, step, &mut endpoint, settled);
-            next_flush = Instant::now() + flush_every;
+            for _ in 1..BURST {
+                match endpoint.recv_timeout(Duration::ZERO) {
+                    Ok(Some((from, bytes))) => {
+                        if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
+                            let step = node.handle(from, msg);
+                            dispatch(me, step, &mut endpoint, settled);
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let _ = endpoint.uncork();
         }
     }
     (node.final_balances(), node.total_settled())
@@ -373,10 +420,10 @@ fn dispatch<M: Wire, E: Endpoint>(
     me: ReplicaId,
     step: ReplicaStep<M>,
     endpoint: &mut E,
-    settled: &Arc<Mutex<Vec<Vec<Payment>>>>,
+    settled: &Arc<SettledBoard>,
 ) {
     if !step.settled.is_empty() {
-        settled.lock()[me.0 as usize].extend(step.settled);
+        settled.extend(me, step.settled);
     }
     for env in step.outbound {
         let bytes = env.msg.to_wire_bytes();

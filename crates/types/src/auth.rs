@@ -34,6 +34,60 @@ pub trait Authenticator: Clone + Send + 'static {
 
     /// Verifies that `sig` is `peer`'s signature over `message`.
     fn verify(&self, peer: ReplicaId, message: &[u8], sig: &Self::Sig) -> bool;
+
+    /// Verifies that every `(peer, sig)` pair is a valid signature over the
+    /// *same* `message` — the shape of BRB commit proofs, dependency
+    /// certificates, and accumulated ACK checks.
+    ///
+    /// Returns `true` iff **all** signatures verify; on `false` the caller
+    /// falls back to [`verify_each`](Authenticator::verify_each) to locate
+    /// the forgeries. The default checks serially; implementations with a
+    /// cheaper combined check (Schnorr batch verification) override it.
+    fn verify_all(&self, message: &[u8], sigs: &[(ReplicaId, &Self::Sig)]) -> bool {
+        sigs.iter().all(|(peer, sig)| self.verify(*peer, message, sig))
+    }
+
+    /// Classifies every `(peer, sig)` pair over the same `message`:
+    /// `result[i]` is whether entry `i` verifies. The forgery-location
+    /// fallback after a failed [`verify_all`](Authenticator::verify_all).
+    /// The default checks serially; Schnorr bisects with batch checks
+    /// (`O(bad · log n)` instead of `n` verifications).
+    fn verify_each(&self, message: &[u8], sigs: &[(ReplicaId, &Self::Sig)]) -> Vec<bool> {
+        sigs.iter().map(|(peer, sig)| self.verify(*peer, message, sig)).collect()
+    }
+}
+
+/// Counts the distinct member replicas with a valid signature in a
+/// same-message quorum proof — the shared engine behind BRB `Commit`
+/// proofs and dependency-certificate verification.
+///
+/// Fast path: the first signature of each distinct member is verified as
+/// one batch ([`Authenticator::verify_all`]). On failure the **full**
+/// membership-filtered proof (duplicates included, so a forged duplicate
+/// cannot shadow a genuine entry) goes through
+/// [`Authenticator::verify_each`], which locates forgeries by bisection
+/// under Schnorr.
+pub fn count_valid_signers<A: Authenticator>(
+    auth: &A,
+    message: &[u8],
+    proof: &[(ReplicaId, A::Sig)],
+    mut is_member: impl FnMut(ReplicaId) -> bool,
+) -> usize {
+    let entries: Vec<(ReplicaId, &A::Sig)> =
+        proof.iter().filter(|(r, _)| is_member(*r)).map(|(r, s)| (*r, s)).collect();
+    let mut seen = std::collections::HashSet::new();
+    let firsts: Vec<(ReplicaId, &A::Sig)> =
+        entries.iter().filter(|(r, _)| seen.insert(*r)).copied().collect();
+    if auth.verify_all(message, &firsts) {
+        return firsts.len();
+    }
+    let valid = auth.verify_each(message, &entries);
+    entries
+        .iter()
+        .zip(valid)
+        .filter_map(|((r, _), ok)| ok.then_some(*r))
+        .collect::<std::collections::HashSet<_>>()
+        .len()
 }
 
 /// Real Schnorr signatures backed by a [`Keychain`].
@@ -67,6 +121,38 @@ impl Authenticator for SchnorrAuthenticator {
 
     fn verify(&self, peer: ReplicaId, message: &[u8], sig: &Self::Sig) -> bool {
         self.keychain.verify(peer, message, sig)
+    }
+
+    fn verify_all(&self, message: &[u8], sigs: &[(ReplicaId, &Self::Sig)]) -> bool {
+        // One multi-scalar multiplication for the whole set (~3× cheaper
+        // per signature than serial at quorum sizes, see micro_crypto).
+        let mut items = Vec::with_capacity(sigs.len());
+        for (peer, sig) in sigs {
+            let Some(pk) = self.keychain.book().key_of(*peer) else { return false };
+            items.push((message, *pk, **sig));
+        }
+        astro_crypto::schnorr::batch_verify(&items)
+    }
+
+    fn verify_each(&self, message: &[u8], sigs: &[(ReplicaId, &Self::Sig)]) -> Vec<bool> {
+        // Bisection over batch checks: a proof with `b` forgeries costs
+        // O(b · log n) batch verifications instead of n serial ones.
+        let mut ok = vec![true; sigs.len()];
+        let mut items = Vec::with_capacity(sigs.len());
+        let mut item_index = Vec::with_capacity(sigs.len());
+        for (i, (peer, sig)) in sigs.iter().enumerate() {
+            match self.keychain.book().key_of(*peer) {
+                Some(pk) => {
+                    items.push((message, *pk, **sig));
+                    item_index.push(i);
+                }
+                None => ok[i] = false,
+            }
+        }
+        for bad in astro_crypto::schnorr::find_invalid(&items) {
+            ok[item_index[bad]] = false;
+        }
+        ok
     }
 }
 
@@ -146,6 +232,68 @@ mod tests {
         assert!(auth1.verify(ReplicaId(0), b"m", &sig));
         assert!(!auth1.verify(ReplicaId(0), b"m2", &sig));
         assert!(!auth1.verify(ReplicaId(1), b"m", &sig));
+    }
+
+    fn by_ref(
+        sigs: &[(ReplicaId, astro_crypto::Signature)],
+    ) -> Vec<(ReplicaId, &astro_crypto::Signature)> {
+        sigs.iter().map(|(r, s)| (*r, s)).collect()
+    }
+
+    #[test]
+    fn schnorr_verify_all_matches_serial_verification() {
+        let chains = Keychain::deterministic_system(b"auth-batch", 4);
+        let auths: Vec<SchnorrAuthenticator> =
+            chains.iter().map(|kc| SchnorrAuthenticator::new(kc.clone())).collect();
+        let msg = b"commit proof context";
+        let sigs: Vec<(ReplicaId, astro_crypto::Signature)> =
+            auths.iter().map(|a| (a.me(), a.sign(msg))).collect();
+        assert!(auths[0].verify_all(msg, &by_ref(&sigs)));
+        // One forged entry fails the whole batch.
+        let mut forged = sigs.clone();
+        forged[2].1 = auths[3].sign(msg); // signature by 3, claimed as 2
+        assert!(!auths[0].verify_all(msg, &by_ref(&forged)));
+        // A signer outside the key book fails the batch.
+        let mut unknown = sigs;
+        unknown[1].0 = ReplicaId(99);
+        assert!(!auths[0].verify_all(msg, &by_ref(&unknown)));
+        // The empty set is vacuously valid.
+        assert!(auths[0].verify_all(msg, &[]));
+    }
+
+    #[test]
+    fn schnorr_verify_each_pinpoints_forgeries_and_unknown_signers() {
+        let chains = Keychain::deterministic_system(b"auth-each", 4);
+        let auths: Vec<SchnorrAuthenticator> =
+            chains.iter().map(|kc| SchnorrAuthenticator::new(kc.clone())).collect();
+        let msg = b"ack context";
+        let mut sigs: Vec<(ReplicaId, astro_crypto::Signature)> =
+            auths.iter().map(|a| (a.me(), a.sign(msg))).collect();
+        sigs[1].1 = auths[1].sign(b"wrong message");
+        sigs.push((ReplicaId(77), auths[0].sign(msg))); // not in the key book
+        assert_eq!(auths[0].verify_each(msg, &by_ref(&sigs)), [true, false, true, true, false]);
+    }
+
+    #[test]
+    fn count_valid_signers_handles_duplicates_and_forgeries() {
+        let chains = Keychain::deterministic_system(b"auth-quorum", 4);
+        let auths: Vec<SchnorrAuthenticator> =
+            chains.iter().map(|kc| SchnorrAuthenticator::new(kc.clone())).collect();
+        let msg = b"quorum context";
+        let good: Vec<(ReplicaId, astro_crypto::Signature)> =
+            auths.iter().map(|a| (a.me(), a.sign(msg))).collect();
+        assert_eq!(count_valid_signers(&auths[0], msg, &good, |_| true), 4);
+        // Membership filter excludes signers.
+        assert_eq!(count_valid_signers(&auths[0], msg, &good, |r| r.0 < 2), 2);
+        // A forged duplicate listed before the genuine signature must not
+        // shadow it: the fallback scans the full proof.
+        let mut tricky = vec![(ReplicaId(0), auths[0].sign(b"decoy"))];
+        tricky.extend(good.clone());
+        assert_eq!(count_valid_signers(&auths[0], msg, &tricky, |_| true), 4);
+        // Duplicate genuine entries count once.
+        let mut dup = good.clone();
+        dup.push(good[0]);
+        assert_eq!(count_valid_signers(&auths[0], msg, &dup, |_| true), 4);
     }
 
     #[test]

@@ -113,6 +113,77 @@ fn byzantine_representative_equivocation_cannot_split_the_shard() {
 }
 
 #[test]
+fn forged_certificate_is_rejected_and_never_cached() {
+    // The verified-certificate cache must only ever hold certificates
+    // whose signatures actually verified: an attacker-crafted certificate
+    // (outsider keys signing an inflated bundle) is rejected on every
+    // settle attempt, never admitted, and does not poison later lookups —
+    // while the genuine certificate for the same funds still works.
+    use astro_core::batch::DependencyCertificate;
+    let (mut cluster, layout) = schnorr_cluster(4, cfg());
+    // A real payment 0 → 1 produces a genuine certificate at 1's rep.
+    let p = Payment::new(0u64, 0u64, 1u64, 30u64);
+    let rep = layout.representative_of(p.spender);
+    let step = cluster.node_mut(rep.0 as usize).submit(p).unwrap();
+    cluster.submit_step(rep, step);
+    cluster.run_to_quiescence();
+
+    // Forge a certificate over invented money with outsider keys claiming
+    // in-group replica ids.
+    let fake_bundle = vec![Payment::new(9u64, 0u64, 1u64, 1_000_000u64)];
+    let ctx = credit_context(&fake_bundle);
+    let outsiders = Keychain::deterministic_system(b"cert-forger", 4);
+    let forged = DependencyCertificate {
+        bundle: fake_bundle,
+        proofs: (0..2u32)
+            .map(|i| {
+                (ReplicaId(i), SchnorrAuthenticator::new(outsiders[i as usize].clone()).sign(&ctx))
+            })
+            .collect(),
+    };
+
+    // A throwaway client (5, same representative as 1) attaches the
+    // forged certificate to two consecutive overdrafts: the second
+    // attempt exercises the cache-lookup path for a cert that already
+    // failed once (a poisoned cache would admit it then).
+    let rep5 = layout.representative_of(ClientId(5));
+    for seq in [0u64, 1] {
+        let node = cluster.node_mut(rep5.0 as usize);
+        let step = node.debug_submit_with_deps(
+            Payment::new(5u64, seq, 2u64, 500_000u64),
+            vec![forged.clone()],
+        );
+        cluster.submit_step(rep5, step);
+        cluster.run_to_quiescence();
+        for i in 0..4 {
+            assert!(
+                cluster.node(i).cert_cache().is_empty(),
+                "replica {i}: forged cert entered the verified cache"
+            );
+        }
+    }
+    for i in 0..4 {
+        assert_eq!(cluster.settled(i).len(), 1, "replica {i}: only the honest payment settled");
+    }
+
+    // The genuine certificate still verifies, settles client 1's spend,
+    // and lands in the cache.
+    let p2 = Payment::new(1u64, 0u64, 3u64, 120u64); // needs the 30 credit
+    let rep1 = layout.representative_of(ClientId(1));
+    let step = cluster.node_mut(rep1.0 as usize).submit(p2).unwrap();
+    cluster.submit_step(rep1, step);
+    cluster.run_to_quiescence();
+    for i in 0..4 {
+        assert_eq!(cluster.settled(i).len(), 2, "replica {i}");
+        assert_eq!(
+            cluster.node(i).cert_cache().len(),
+            1,
+            "replica {i}: the genuine cert is cached"
+        );
+    }
+}
+
+#[test]
 fn stolen_certificate_cannot_be_spent_by_another_client() {
     // Client 0 pays client 1; client 2's representative grabs the CREDIT
     // bundle traffic but must not be able to credit client 2 with it:
