@@ -122,6 +122,38 @@ fn bench_msm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ledger_settle(c: &mut Criterion) {
+    // The settle hot path (PR 3 ledger overhaul): dense-ClientId-indexed
+    // account table vs the hash-map fallback the sparse id range uses —
+    // the delta between the two series is what the dense table buys.
+    use astro_core::Ledger;
+    use astro_types::{Amount, Payment};
+
+    let n: u64 = 4096;
+    let mut g = c.benchmark_group("ledger_settle_4096");
+    g.throughput(Throughput::Elements(n));
+    let run = |base: u64| {
+        move |b: &mut criterion::Bencher| {
+            b.iter_batched(
+                || Ledger::new(Amount(u64::MAX / 2)),
+                |mut ledger| {
+                    for i in 0..n {
+                        let spender = base + (i % 64);
+                        let beneficiary = base + ((i + 1) % 64);
+                        let p = Payment::new(spender, i / 64, beneficiary, 1u64);
+                        black_box(ledger.settle(&p, true));
+                    }
+                    ledger.total_settled()
+                },
+                BatchSize::PerIteration,
+            );
+        }
+    };
+    g.bench_function("dense_ids", run(0));
+    g.bench_function("sparse_ids", run(1 << 21));
+    g.finish();
+}
+
 fn main() {
     let samples = if astro_bench::smoke() { 5 } else { 20 };
     let mut c = Criterion::default().sample_size(samples);
@@ -131,6 +163,7 @@ fn main() {
     bench_batch_verify(&mut c);
     bench_scalar_mul(&mut c);
     bench_msm(&mut c);
+    bench_ledger_settle(&mut c);
 
     // Machine-readable export: every benchmark, plus the derived
     // batch-vs-serial per-signature speedup the acceptance gate tracks.

@@ -17,12 +17,12 @@
 //! replica delivers, every correct replica eventually does.
 
 use crate::{
-    payload_digest, BrbConfig, Delivery, DeliveryOrder, Dest, Envelope, InstanceId, Payload,
-    Source, Step, Tag,
+    payload_digest, BrbConfig, Delivery, Dest, Envelope, FifoDelivery, InstanceId, Payload, Source,
+    Step, Tag,
 };
 use astro_types::wire::{Wire, WireError};
 use astro_types::{Group, ReplicaId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Protocol messages of the echo-based BRB.
 ///
@@ -136,13 +136,9 @@ impl<P> Default for Instance<P> {
 pub struct BrachaBrb<P> {
     me: ReplicaId,
     cfg: Group,
-    order: DeliveryOrder,
     bind_source: bool,
     instances: HashMap<InstanceId, Instance<P>>,
-    /// Next deliverable tag per source (FIFO mode).
-    next_tag: HashMap<Source, Tag>,
-    /// Completed-but-not-yet-deliverable payloads per source (FIFO mode).
-    buffered: HashMap<Source, BTreeMap<Tag, P>>,
+    fifo: FifoDelivery<P>,
 }
 
 impl<P: Payload> BrachaBrb<P> {
@@ -151,11 +147,9 @@ impl<P: Payload> BrachaBrb<P> {
         BrachaBrb {
             me,
             cfg,
-            order: brb.order,
             bind_source: brb.bind_source,
             instances: HashMap::new(),
-            next_tag: HashMap::new(),
-            buffered: HashMap::new(),
+            fifo: FifoDelivery::new(brb.order),
         }
     }
 
@@ -272,23 +266,19 @@ impl<P: Payload> BrachaBrb<P> {
 
     /// Applies the delivery-order discipline to a completed instance.
     fn enqueue_delivery(&mut self, id: InstanceId, payload: P) -> Vec<Delivery<P>> {
-        match self.order {
-            DeliveryOrder::Unordered => vec![Delivery { id, payload }],
-            DeliveryOrder::FifoPerSource => {
-                self.buffered.entry(id.source).or_default().insert(id.tag, payload);
-                let next = self.next_tag.entry(id.source).or_insert(0);
-                let buffered = self.buffered.get_mut(&id.source).expect("just inserted");
-                let mut out = Vec::new();
-                while let Some(payload) = buffered.remove(next) {
-                    out.push(Delivery {
-                        id: InstanceId { source: id.source, tag: *next },
-                        payload,
-                    });
-                    *next += 1;
-                }
-                out
-            }
-        }
+        self.fifo.enqueue(id, payload)
+    }
+
+    /// The FIFO delivery cursors (durable-state export); see
+    /// [`FifoDelivery::cursors`].
+    pub fn delivery_cursors(&self) -> Vec<(Source, Tag)> {
+        self.fifo.cursors()
+    }
+
+    /// Advances the FIFO cursor of `source` to at least `next`
+    /// (recovery); see [`FifoDelivery::advance`].
+    pub fn advance_cursor(&mut self, source: Source, next: Tag) {
+        self.fifo.advance(source, next);
     }
 
     /// Drops state for all instances of `source` with `tag < up_to`.
@@ -306,6 +296,7 @@ impl<P: Payload> BrachaBrb<P> {
 mod tests {
     use super::*;
     use crate::testkit::Cluster;
+    use crate::DeliveryOrder;
 
     fn cluster(n: usize) -> Cluster<BrachaBrb<u64>> {
         let cfg = Group::of_size(n).unwrap();

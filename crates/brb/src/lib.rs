@@ -182,6 +182,79 @@ pub struct BrbConfig {
     pub bind_source: bool,
 }
 
+/// Per-source delivery state shared by both protocol cores: the
+/// next-deliverable FIFO cursor and the completed-but-undeliverable
+/// buffer. In unordered mode it is a transparent pass-through that keeps
+/// no state.
+#[derive(Debug)]
+pub struct FifoDelivery<P> {
+    order: DeliveryOrder,
+    /// Next deliverable tag per source (FIFO mode).
+    next_tag: std::collections::HashMap<Source, Tag>,
+    /// Completed-but-not-yet-deliverable payloads per source (FIFO mode).
+    buffered: std::collections::HashMap<Source, std::collections::BTreeMap<Tag, P>>,
+}
+
+impl<P> FifoDelivery<P> {
+    /// Creates the delivery state for `order`.
+    pub fn new(order: DeliveryOrder) -> Self {
+        FifoDelivery {
+            order,
+            next_tag: std::collections::HashMap::new(),
+            buffered: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Applies the delivery-order discipline to a completed instance:
+    /// immediate in unordered mode, cursor-gated (possibly releasing a
+    /// buffered run) in FIFO mode.
+    pub fn enqueue(&mut self, id: InstanceId, payload: P) -> Vec<Delivery<P>> {
+        match self.order {
+            DeliveryOrder::Unordered => vec![Delivery { id, payload }],
+            DeliveryOrder::FifoPerSource => {
+                self.buffered.entry(id.source).or_default().insert(id.tag, payload);
+                let next = self.next_tag.entry(id.source).or_insert(0);
+                let buffered = self.buffered.get_mut(&id.source).expect("just inserted");
+                let mut out = Vec::new();
+                while let Some(payload) = buffered.remove(next) {
+                    out.push(Delivery {
+                        id: InstanceId { source: id.source, tag: *next },
+                        payload,
+                    });
+                    *next += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// The FIFO cursors: next deliverable tag per source, ascending by
+    /// source (durable-state export; empty in unordered mode).
+    pub fn cursors(&self) -> Vec<(Source, Tag)> {
+        let mut cursors: Vec<(Source, Tag)> = self.next_tag.iter().map(|(s, t)| (*s, *t)).collect();
+        cursors.sort_unstable();
+        cursors
+    }
+
+    /// Advances the FIFO cursor of `source` to at least `next` (recovery:
+    /// instances below the cursor were durably applied before a restart
+    /// and must not be re-delivered, while later instances stay
+    /// deliverable). Completed-but-buffered payloads below the cursor are
+    /// discarded. No-op in unordered mode, which keeps no cursors.
+    pub fn advance(&mut self, source: Source, next: Tag) {
+        if self.order == DeliveryOrder::Unordered {
+            return;
+        }
+        let cursor = self.next_tag.entry(source).or_insert(0);
+        if next > *cursor {
+            *cursor = next;
+            if let Some(buffered) = self.buffered.get_mut(&source) {
+                buffered.retain(|tag, _| *tag >= next);
+            }
+        }
+    }
+}
+
 /// The payload contract: broadcast payloads must be cloneable, comparable
 /// and wire-encodable (the protocols hash the canonical encoding to detect
 /// equivocation).

@@ -20,12 +20,12 @@
 //! attack this enables when uncompensated.
 
 use crate::{
-    payload_digest, BrbConfig, Delivery, DeliveryOrder, Dest, Envelope, InstanceId, Payload,
-    Source, Step, Tag,
+    payload_digest, BrbConfig, Delivery, Dest, Envelope, FifoDelivery, InstanceId, Payload, Source,
+    Step, Tag,
 };
 use astro_types::wire::{Wire, WireError};
 use astro_types::{count_valid_signers, Authenticator, Group, ReplicaId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 type PayloadDigest = [u8; 32];
 
@@ -153,12 +153,10 @@ struct Outgoing<P, S> {
 pub struct SignedBrb<P, A: Authenticator> {
     auth: A,
     cfg: Group,
-    order: DeliveryOrder,
     bind_source: bool,
     instances: HashMap<InstanceId, RecvInstance>,
     outgoing: HashMap<InstanceId, Outgoing<P, A::Sig>>,
-    next_tag: HashMap<Source, Tag>,
-    buffered: HashMap<Source, BTreeMap<Tag, P>>,
+    fifo: FifoDelivery<P>,
 }
 
 impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
@@ -168,12 +166,10 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         SignedBrb {
             auth,
             cfg,
-            order: brb.order,
             bind_source: brb.bind_source,
             instances: HashMap::new(),
             outgoing: HashMap::new(),
-            next_tag: HashMap::new(),
-            buffered: HashMap::new(),
+            fifo: FifoDelivery::new(brb.order),
         }
     }
 
@@ -342,23 +338,20 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
     }
 
     fn enqueue_delivery(&mut self, id: InstanceId, payload: P) -> Vec<Delivery<P>> {
-        match self.order {
-            DeliveryOrder::Unordered => vec![Delivery { id, payload }],
-            DeliveryOrder::FifoPerSource => {
-                self.buffered.entry(id.source).or_default().insert(id.tag, payload);
-                let next = self.next_tag.entry(id.source).or_insert(0);
-                let buffered = self.buffered.get_mut(&id.source).expect("just inserted");
-                let mut out = Vec::new();
-                while let Some(payload) = buffered.remove(next) {
-                    out.push(Delivery {
-                        id: InstanceId { source: id.source, tag: *next },
-                        payload,
-                    });
-                    *next += 1;
-                }
-                out
-            }
-        }
+        self.fifo.enqueue(id, payload)
+    }
+
+    /// The FIFO delivery cursors (durable-state export; empty in
+    /// unordered mode, where re-deliveries are the payment layer's
+    /// problem); see [`FifoDelivery::cursors`].
+    pub fn delivery_cursors(&self) -> Vec<(Source, Tag)> {
+        self.fifo.cursors()
+    }
+
+    /// Advances the FIFO cursor of `source` to at least `next`
+    /// (recovery); see [`FifoDelivery::advance`].
+    pub fn advance_cursor(&mut self, source: Source, next: Tag) {
+        self.fifo.advance(source, next);
     }
 
     /// Drops receiver and broadcaster state for instances of `source` with
@@ -373,6 +366,7 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
 mod tests {
     use super::*;
     use crate::testkit::Cluster;
+    use crate::DeliveryOrder;
     use astro_types::{Keychain, MacAuthenticator, SchnorrAuthenticator};
     use std::collections::HashSet;
 

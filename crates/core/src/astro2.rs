@@ -16,12 +16,14 @@
 use crate::batch::{
     credit_context, verify_certificate, CreditBundle, DepBatch, DepPayment, DependencyCertificate,
 };
+use crate::journal::{Astro2State, Journal, JournalSlot, WalRecord};
 use crate::ledger::{Ledger, SettleOutcome};
 use crate::pending::PendingQueue;
+use crate::xlog::XLogError;
 use crate::{ReplicaStep, SubmitError};
 use astro_brb::signed::{SignedBrb, SignedMsg};
 use astro_brb::{BrbConfig, DeliveryOrder, Envelope, InstanceId};
-use astro_types::wire::{Wire, WireError};
+use astro_types::wire::{decode_exact, Wire, WireError};
 use astro_types::{
     Amount, Authenticator, ClientId, Group, Payment, PaymentId, ReplicaId, ShardId, ShardLayout,
 };
@@ -225,6 +227,10 @@ pub struct AstroTwoReplica<A: Authenticator> {
     /// Representative state: funds already promised to in-flight payments
     /// (submitted, not yet observed settled), per client.
     reserved: HashMap<ClientId, u64>,
+    journal: JournalSlot,
+    /// Certificate consumptions awaiting the flush that makes their
+    /// carrying payments durable (see [`WalRecord::CertsTaken`]).
+    pending_cert_takes: Vec<(ClientId, Vec<[u8; 32]>)>,
 }
 
 impl<A: Authenticator> AstroTwoReplica<A> {
@@ -265,7 +271,15 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             mode: cfg.credit_mode,
             dep_policy: cfg.dep_policy,
             reserved: HashMap::new(),
+            journal: JournalSlot::none(),
+            pending_cert_takes: Vec::new(),
         }
+    }
+
+    /// Attaches a journal: every subsequent state-machine effect is
+    /// recorded (see [`crate::journal::WalRecord`]).
+    pub fn set_journal(&mut self, journal: Box<dyn Journal>) {
+        self.journal.set(journal);
     }
 
     /// This replica's id.
@@ -307,7 +321,17 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         };
         *reserved = need;
         let deps = if attach {
-            self.rep_deps.remove(&payment.spender).unwrap_or_default()
+            let taken = self.rep_deps.remove(&payment.spender).unwrap_or_default();
+            if !taken.is_empty() {
+                // Consumption is journaled at the *flush* that broadcasts
+                // the carrying payment, not here: a crash before the
+                // broadcast must restore the certificates (the batch is
+                // lost with them), and re-attachment after recovery is
+                // idempotent at verifiers via `usedDeps`.
+                self.pending_cert_takes
+                    .push((payment.spender, taken.iter().map(cert_digest).collect()));
+            }
+            taken
         } else {
             Vec::new()
         };
@@ -341,6 +365,16 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         let entries = std::mem::take(&mut self.batch);
         let id = InstanceId { source: u64::from(self.me.0), tag: self.next_tag };
         self.next_tag += 1;
+        // The batch becomes durable now: certificate consumption first,
+        // then the tag reservation — a restarted replica must never reuse
+        // a tag it already broadcast under (peers ack at most one payload
+        // per instance, so a reused tag wedges the stream). Journaled
+        // before the PREPARE leaves; against *power loss* the window is
+        // bounded by group commit unless `sync_on_broadcast` is set.
+        for (client, digests) in std::mem::take(&mut self.pending_cert_takes) {
+            self.journal.rec(&WalRecord::CertsTaken { client, digests });
+        }
+        self.journal.rec(&WalRecord::OwnTag { tag: id.tag });
         let step = self.brb.broadcast(id, DepBatch { entries });
         ReplicaStep {
             outbound: step
@@ -416,6 +450,14 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                     // InsufficientFunds only surfaces in DirectIntraShard
                     // mode (certificate mode converts it into a permanent
                     // drop); queue until a credit arrives, as in Astro I.
+                    // The attached certificates ride into the record: a
+                    // future-sequence payment queues *before* the
+                    // dependency step, so its credits are not yet in the
+                    // ledger and must survive a restart with it.
+                    self.journal.rec(&WalRecord::Queued {
+                        payment: p,
+                        deps: entry.deps.iter().map(Wire::to_wire_bytes).collect(),
+                    });
                     self.pending.push(p, entry.deps);
                     touched.push(p.spender);
                 }
@@ -435,15 +477,22 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             stuck,
             mode,
             my_shard,
+            journal,
             ..
         } = self;
         let cascaded = pending.drain_cascade(touched, ledger, |ledger, p, deps| {
             attempt_settle_inner(
-                ledger, auth, layout, groups, used_deps, cert_cache, stuck, *mode, *my_shard, p,
-                deps,
+                ledger, auth, layout, groups, used_deps, cert_cache, stuck, journal, *mode,
+                *my_shard, p, deps,
             )
         });
         settled.extend(cascaded.into_iter().map(|e| e.payment));
+
+        // The delivery record *terminates* the batch's effects in the log:
+        // a torn tail that cuts before it replays a (harmless, idempotent)
+        // effect prefix with the cursor still behind — never a cursor that
+        // has advanced past effects that were lost.
+        self.journal.rec(&WalRecord::Delivered { source: id.source, tag: id.tag });
 
         // Emit CREDIT sub-batches grouped by beneficiary representative
         // (paper §VI-A's second batching level: one signature per group).
@@ -473,10 +522,21 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         deps: &[DependencyCertificate<A::Sig>],
     ) -> SettleOutcome {
         let Self {
-            ledger, auth, layout, groups, used_deps, cert_cache, stuck, mode, my_shard, ..
+            ledger,
+            auth,
+            layout,
+            groups,
+            used_deps,
+            cert_cache,
+            stuck,
+            mode,
+            my_shard,
+            journal,
+            ..
         } = self;
         attempt_settle_inner(
-            ledger, auth, layout, groups, used_deps, cert_cache, stuck, *mode, *my_shard, p, deps,
+            ledger, auth, layout, groups, used_deps, cert_cache, stuck, journal, *mode, *my_shard,
+            p, deps,
         )
     }
 
@@ -519,10 +579,13 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             return empty;
         }
         partial.certified = true;
-        let cert = DependencyCertificate {
-            bundle: partial.bundle.clone(),
-            proofs: partial.proofs.iter().map(|(r, s)| (*r, s.clone())).collect(),
-        };
+        let mut proofs: Vec<(ReplicaId, A::Sig)> =
+            partial.proofs.iter().map(|(r, s)| (*r, s.clone())).collect();
+        // Canonical proof order, so the journaled bytes (and any re-export)
+        // are independent of CREDIT arrival order.
+        proofs.sort_unstable_by_key(|(r, _)| *r);
+        let cert = DependencyCertificate { bundle: partial.bundle.clone(), proofs };
+        self.journal.rec(&WalRecord::Cert { bytes: cert.to_wire_bytes() });
         // Store the certificate for every beneficiary we represent.
         let mut beneficiaries: Vec<ClientId> = cert.bundle.iter().map(|p| p.beneficiary).collect();
         beneficiaries.sort_unstable();
@@ -581,6 +644,159 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     pub fn cert_cache(&self) -> &CertCache {
         &self.cert_cache
     }
+
+    /// Exports the durable state (snapshot): settlement state, approval
+    /// queue, dependency replay-protection, stuck set, held certificates,
+    /// broadcast tag counter, and BRB cursors. The shared settlement
+    /// state is canonical; the certificate section is representative-local
+    /// by construction.
+    pub fn export_state(&self) -> Astro2State {
+        let mut used_deps: Vec<PaymentId> = self.used_deps.iter().copied().collect();
+        used_deps.sort_unstable();
+        let mut stuck: Vec<ClientId> = self.stuck.iter().copied().collect();
+        stuck.sort_unstable();
+        // Certificates attached to the *unflushed* batch are not durably
+        // consumed yet — `CertsTaken` is journaled at flush. Export them
+        // as still held: a crash before the flush then restores them
+        // instead of destroying them with the lost batch, and a
+        // `CertsTaken` that post-dates this snapshot removes exactly them
+        // on replay (consumption is by content digest).
+        let mut certs_map: HashMap<ClientId, Vec<Vec<u8>>> = HashMap::new();
+        for entry in &self.batch {
+            if !entry.deps.is_empty() {
+                certs_map
+                    .entry(entry.payment.spender)
+                    .or_default()
+                    .extend(entry.deps.iter().map(Wire::to_wire_bytes));
+            }
+        }
+        for (client, held) in &self.rep_deps {
+            certs_map.entry(*client).or_default().extend(held.iter().map(Wire::to_wire_bytes));
+        }
+        let mut certs: Vec<(ClientId, Vec<Vec<u8>>)> = certs_map.into_iter().collect();
+        certs.sort_unstable_by_key(|(c, _)| *c);
+        Astro2State {
+            ledger: self.ledger.export(),
+            pending: self
+                .pending
+                .entries()
+                .into_iter()
+                .map(|(p, deps)| (*p, deps.iter().map(Wire::to_wire_bytes).collect()))
+                .collect(),
+            used_deps,
+            stuck,
+            certs,
+            next_tag: self.next_tag,
+            cursors: self.brb.delivery_cursors(),
+        }
+    }
+
+    /// Reconstructs a replica from a recovered snapshot state. `auth`,
+    /// `layout` and `cfg` must match the crashed incarnation. In-flight
+    /// state that is deliberately not durable — the unflushed client
+    /// batch, partial CREDIT proof sets below the certificate threshold,
+    /// and in-flight balance reservations — restarts empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot's xlogs violate the owner/sequence
+    /// invariants. Certificates that fail to decode under this signature
+    /// scheme are dropped (they could never verify either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is not a member of the layout (as
+    /// [`Self::new`]).
+    pub fn restore(
+        auth: A,
+        layout: ShardLayout,
+        cfg: Astro2Config,
+        state: &Astro2State,
+    ) -> Result<Self, XLogError> {
+        let mut replica = AstroTwoReplica::new(auth, layout, cfg);
+        replica.ledger = Ledger::import(&state.ledger)?;
+        for (payment, deps) in &state.pending {
+            let decoded: Vec<DependencyCertificate<A::Sig>> =
+                deps.iter().filter_map(|bytes| decode_exact(bytes).ok()).collect();
+            replica.pending.push(*payment, decoded);
+        }
+        replica.used_deps = state.used_deps.iter().copied().collect();
+        replica.stuck = state.stuck.iter().copied().collect();
+        for (client, certs) in &state.certs {
+            let decoded: Vec<DependencyCertificate<A::Sig>> =
+                certs.iter().filter_map(|bytes| decode_exact(bytes).ok()).collect();
+            if !decoded.is_empty() {
+                replica.rep_deps.insert(*client, decoded);
+            }
+        }
+        replica.next_tag = state.next_tag;
+        for (source, next) in &state.cursors {
+            replica.brb.advance_cursor(*source, *next);
+        }
+        Ok(replica)
+    }
+
+    /// Re-applies one WAL record on top of a restored snapshot. Records
+    /// must be fed in log order; records already reflected in the
+    /// snapshot re-apply as no-ops. Call [`Self::finish_recovery`] after
+    /// the last record.
+    pub fn replay(&mut self, record: &WalRecord) {
+        match record {
+            WalRecord::Delivered { source, tag } => self.brb.advance_cursor(*source, tag + 1),
+            WalRecord::Settle { payment, credit_beneficiary } => {
+                let _ = self.ledger.settle(payment, *credit_beneficiary);
+            }
+            WalRecord::DepUsed { dep } => {
+                if self.used_deps.insert(dep.id()) {
+                    self.ledger.credit(dep.beneficiary, dep.amount);
+                }
+            }
+            WalRecord::Queued { payment, deps } => {
+                let decoded: Vec<DependencyCertificate<A::Sig>> =
+                    deps.iter().filter_map(|bytes| decode_exact(bytes).ok()).collect();
+                self.pending.push(*payment, decoded);
+            }
+            WalRecord::Stuck { client } => {
+                self.stuck.insert(*client);
+            }
+            WalRecord::OwnTag { tag } => self.next_tag = self.next_tag.max(tag + 1),
+            WalRecord::CertsTaken { client, digests } => {
+                // Consumption by content digest: removal of an absent
+                // certificate is a no-op, so any replay interleaving with
+                // Cert records (the snapshot-overlap window) converges.
+                if let Some(held) = self.rep_deps.get_mut(client) {
+                    held.retain(|cert| !digests.contains(&cert_digest(cert)));
+                    if held.is_empty() {
+                        self.rep_deps.remove(client);
+                    }
+                }
+            }
+            WalRecord::Cert { bytes } => {
+                let Ok(cert) = decode_exact::<DependencyCertificate<A::Sig>>(bytes) else {
+                    return;
+                };
+                let mut beneficiaries: Vec<ClientId> =
+                    cert.bundle.iter().map(|p| p.beneficiary).collect();
+                beneficiaries.sort_unstable();
+                beneficiaries.dedup();
+                for b in beneficiaries {
+                    if self.layout.is_representative(self.me, b) {
+                        let held = self.rep_deps.entry(b).or_default();
+                        // Idempotent over the snapshot-overlap window.
+                        if !held.contains(&cert) {
+                            held.push(cert.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes recovery: queue entries superseded by replayed settles
+    /// are pruned.
+    pub fn finish_recovery(&mut self) {
+        self.pending.prune_stale(&self.ledger);
+    }
 }
 
 /// The settle attempt, free of `self` so the pending-queue cascade can call
@@ -594,6 +810,7 @@ fn attempt_settle_inner<A: Authenticator>(
     used_deps: &mut HashSet<PaymentId>,
     cert_cache: &mut CertCache,
     stuck: &mut HashSet<ClientId>,
+    journal: &mut JournalSlot,
     mode: CreditMode,
     my_shard: ShardId,
     p: &Payment,
@@ -633,6 +850,7 @@ fn attempt_settle_inner<A: Authenticator>(
         }
         for d in cert.credits_for(p.spender) {
             if used_deps.insert(d.id()) {
+                journal.rec(&WalRecord::DepUsed { dep: *d });
                 ledger.credit(p.spender, d.amount);
             }
         }
@@ -644,8 +862,13 @@ fn attempt_settle_inner<A: Authenticator>(
             // Listing 9's `if bal[Alice] < x: return` — the payment is
             // dropped at every correct replica identically, and the xlog
             // can never advance past this gap.
+            journal.rec(&WalRecord::Stuck { client: p.spender });
             stuck.insert(p.spender);
             SettleOutcome::StaleSeq
+        }
+        SettleOutcome::Applied => {
+            journal.rec(&WalRecord::Settle { payment: *p, credit_beneficiary: direct_credit });
+            SettleOutcome::Applied
         }
         outcome => outcome,
     }
@@ -954,6 +1177,135 @@ mod tests {
                 c.node(i).cert_cache().is_empty(),
                 "replica {i}: a failing cert must never enter the cache"
             );
+        }
+    }
+
+    #[test]
+    fn export_restore_round_trips_state_with_certificates() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        // Client 1 spends over genesis, consuming the certificate.
+        pay(&mut c, &layout, Payment::new(1u64, 0u64, 2u64, 120u64));
+        c.run_to_quiescence();
+        let rep2 = layout.representative_of(ClientId(2));
+        let node = c.node(rep2.0 as usize);
+        let state = node.export_state();
+        let restored = AstroTwoReplica::restore(
+            MacAuthenticator::new(rep2, b"astro2".to_vec()),
+            layout.clone(),
+            cfg(CreditMode::Certificates),
+            &state,
+        )
+        .unwrap();
+        assert_eq!(restored.export_state(), state, "restore→export is the identity");
+        assert_eq!(restored.balance(ClientId(0)), node.balance(ClientId(0)));
+        assert_eq!(restored.balance(ClientId(1)), node.balance(ClientId(1)));
+        assert_eq!(
+            restored.held_certificates(ClientId(2)),
+            node.held_certificates(ClientId(2)),
+            "held certificates survive restore"
+        );
+        assert_eq!(restored.available_balance(ClientId(2)), node.available_balance(ClientId(2)));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_state() {
+        use crate::journal::{Journal, WalRecord};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Sink(Arc<Mutex<Vec<WalRecord>>>);
+        impl Journal for Sink {
+            fn record(&mut self, r: &WalRecord) {
+                self.0.lock().unwrap().push(r.clone());
+            }
+        }
+
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        c.node_mut(1).set_journal(Box::new(sink.clone()));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        pay(&mut c, &layout, Payment::new(1u64, 0u64, 2u64, 120u64)); // consumes the cert
+        c.run_to_quiescence();
+        pay(&mut c, &layout, Payment::new(3u64, 0u64, 1u64, 200u64)); // sticks client 3
+        c.run_to_quiescence();
+
+        let mut recovered = AstroTwoReplica::new(
+            MacAuthenticator::new(ReplicaId(1), b"astro2".to_vec()),
+            layout,
+            cfg(CreditMode::Certificates),
+        );
+        for rec in sink.0.lock().unwrap().iter() {
+            recovered.replay(rec);
+        }
+        recovered.finish_recovery();
+        assert_eq!(recovered.export_state(), c.node(1).export_state());
+        assert_eq!(recovered.stuck_clients().count(), 1);
+    }
+
+    #[test]
+    fn queued_payment_keeps_its_certificates_across_recovery() {
+        use crate::journal::{Journal, WalRecord};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Sink(Arc<Mutex<Vec<WalRecord>>>);
+        impl Journal for Sink {
+            fn record(&mut self, r: &WalRecord) {
+                self.0.lock().unwrap().push(r.clone());
+            }
+        }
+
+        // Client 0 pays client 1; client 1's *second* payment (future
+        // seq) arrives carrying the certificate before her first — it
+        // queues with the certificate attached and unmaterialized.
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        c.node_mut(2).set_journal(Box::new(sink.clone()));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        let rep1 = layout.representative_of(ClientId(1));
+        let cert = c.node(rep1.0 as usize).rep_deps.get(&ClientId(1)).unwrap()[0].clone();
+        // Future-sequence payment (seq 1 before seq 0) with the cert: it
+        // must queue, deps unconsumed, at every replica.
+        let node = c.node_mut(rep1.0 as usize);
+        let step =
+            node.debug_submit_with_deps(Payment::new(1u64, 1u64, 2u64, 120u64), vec![cert.clone()]);
+        c.submit_step(rep1, step);
+        c.run_to_quiescence();
+        assert_eq!(c.node(2).pending_len(), 1, "future-seq payment queues");
+
+        // Crash replica 2 here: replay the journal into a fresh replica.
+        let mut recovered = AstroTwoReplica::new(
+            MacAuthenticator::new(ReplicaId(2), b"astro2".to_vec()),
+            layout.clone(),
+            cfg(CreditMode::Certificates),
+        );
+        for rec in sink.0.lock().unwrap().iter() {
+            recovered.replay(rec);
+        }
+        recovered.finish_recovery();
+        assert_eq!(recovered.export_state(), c.node(2).export_state());
+
+        // Swap the recovered replica in for the crashed one, then fill
+        // the sequence gap: seq 0 settles and the cascade must settle
+        // the queued seq 1 from its *recovered* certificate (120 > 100
+        // genesis — only the certificate credits cover it).
+        *c.node_mut(2) = recovered;
+        pay(&mut c, &layout, Payment::new(1u64, 0u64, 3u64, 5u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(
+                c.node(i).balance(ClientId(1)),
+                Amount(5),
+                "replica {i}: 100 + 30 - 5 - 120 = 5"
+            );
+            assert_eq!(c.node(i).stuck_clients().count(), 0, "replica {i} must not stick");
         }
     }
 

@@ -1,0 +1,446 @@
+//! Durability hooks: the write-ahead-log record vocabulary and the
+//! snapshot state types replicas export and restore.
+//!
+//! The paper's replicas are in-memory state machines; what makes them
+//! *recoverable* is that every state transition is driven by a small set
+//! of effects (a BRB delivery advanced a cursor, a payment settled, a
+//! dependency credit materialized, …). This module names those effects as
+//! [`WalRecord`]s. A replica with a [`Journal`] attached emits one record
+//! per effect, in effect order; replaying the same records into a freshly
+//! constructed replica reproduces the exact settlement state — that is
+//! the recovery path of the `astro-store` subsystem.
+//!
+//! Replay is **idempotent**: records that are already reflected in a
+//! snapshot (a crash can land between snapshot install and WAL
+//! truncation) re-apply as no-ops — stale-sequence settles are dropped by
+//! the ledger, dependency credits are guarded by `usedDeps`, cursors and
+//! tag counters only move forward.
+//!
+//! The snapshot types ([`LedgerState`], [`Astro1State`], [`Astro2State`])
+//! reuse the wire codec, so a snapshot is byte-identical across replicas
+//! holding the same state — which is exactly the paper's convergence
+//! claim made checkable on disk.
+
+use astro_types::wire::{Wire, WireError};
+use astro_types::{Amount, ClientId, Payment, PaymentId};
+
+/// One durably-logged state-machine effect.
+///
+/// Records are protocol-agnostic: Astro I emits `Delivered` / `Settle` /
+/// `Queued` / `OwnTag`; Astro II additionally emits `DepUsed` / `Stuck` /
+/// `Cert`. A replica replays only the records it understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A BRB instance `(source, tag)` was delivered and applied.
+    Delivered {
+        /// The instance's source stream.
+        source: u64,
+        /// The instance's position in the stream.
+        tag: u64,
+    },
+    /// A payment settled against the ledger.
+    Settle {
+        /// The settled payment.
+        payment: Payment,
+        /// Whether the beneficiary was credited in the same step (Astro I
+        /// / direct intra-shard mode) or left to the CREDIT mechanism.
+        credit_beneficiary: bool,
+    },
+    /// A dependency credit was materialized into the spender's balance
+    /// (Astro II, Listing 9's `newDeps`).
+    DepUsed {
+        /// The certified payment whose beneficiary was credited.
+        dep: Payment,
+    },
+    /// A payment was queued awaiting approval (future sequence number or
+    /// insufficient funds). The dependency certificates that arrived
+    /// attached to it ride along (Astro II; empty for Astro I): their
+    /// credits have not been materialized yet — a future-sequence payment
+    /// queues *before* the dependency step — so losing them across a
+    /// restart would stick the spender while every other replica settles.
+    Queued {
+        /// The queued payment.
+        payment: Payment,
+        /// Attached certificates, as opaque `DependencyCertificate` wire
+        /// bytes.
+        deps: Vec<Vec<u8>>,
+    },
+    /// A spender's xlog became permanently stuck (Astro II certificate
+    /// mode dropped an under-funded payment).
+    Stuck {
+        /// The stuck client.
+        client: ClientId,
+    },
+    /// The replica reserved broadcast tag `tag` on its own stream. Logged
+    /// before the PREPARE leaves, so a restarted replica never reuses a
+    /// tag it already broadcast under (which would deadlock its stream:
+    /// peers echo at most once per instance).
+    OwnTag {
+        /// The reserved tag.
+        tag: u64,
+    },
+    /// A dependency certificate completed at this representative
+    /// (wire-encoded `DependencyCertificate`, kept opaque so the record
+    /// set is independent of the signature scheme).
+    Cert {
+        /// `DependencyCertificate::to_wire_bytes()`.
+        bytes: Vec<u8>,
+    },
+    /// The representative attached (and thereby consumed) the identified
+    /// certificates held for `client` to an outgoing payment (Listing 7).
+    /// Logged at the *flush* that broadcasts the carrying payment — never
+    /// earlier: a crash before the broadcast must restore the
+    /// certificates (destroying them would wedge the client's funds), and
+    /// re-attaching an already-spent certificate is idempotent at
+    /// verifiers via `usedDeps`. Consumption is by content digest, not
+    /// position, so replaying any interleaving of `Cert`/`CertsTaken`
+    /// records over a snapshot converges to the same held set.
+    CertsTaken {
+        /// The spending client whose held certificates were consumed.
+        client: ClientId,
+        /// Content digests of the consumed certificates.
+        digests: Vec<[u8; 32]>,
+    },
+}
+
+impl Wire for WalRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::Delivered { source, tag } => {
+                buf.push(0);
+                source.encode(buf);
+                tag.encode(buf);
+            }
+            WalRecord::Settle { payment, credit_beneficiary } => {
+                buf.push(1);
+                payment.encode(buf);
+                credit_beneficiary.encode(buf);
+            }
+            WalRecord::DepUsed { dep } => {
+                buf.push(2);
+                dep.encode(buf);
+            }
+            WalRecord::Queued { payment, deps } => {
+                buf.push(3);
+                payment.encode(buf);
+                deps.encode(buf);
+            }
+            WalRecord::Stuck { client } => {
+                buf.push(4);
+                client.encode(buf);
+            }
+            WalRecord::OwnTag { tag } => {
+                buf.push(5);
+                tag.encode(buf);
+            }
+            WalRecord::Cert { bytes } => {
+                buf.push(6);
+                bytes.encode(buf);
+            }
+            WalRecord::CertsTaken { client, digests } => {
+                buf.push(7);
+                client.encode(buf);
+                digests.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(WalRecord::Delivered { source: Wire::decode(buf)?, tag: Wire::decode(buf)? }),
+            1 => Ok(WalRecord::Settle {
+                payment: Wire::decode(buf)?,
+                credit_beneficiary: Wire::decode(buf)?,
+            }),
+            2 => Ok(WalRecord::DepUsed { dep: Wire::decode(buf)? }),
+            3 => Ok(WalRecord::Queued { payment: Wire::decode(buf)?, deps: Wire::decode(buf)? }),
+            4 => Ok(WalRecord::Stuck { client: Wire::decode(buf)? }),
+            5 => Ok(WalRecord::OwnTag { tag: Wire::decode(buf)? }),
+            6 => Ok(WalRecord::Cert { bytes: Wire::decode(buf)? }),
+            7 => Ok(WalRecord::CertsTaken {
+                client: Wire::decode(buf)?,
+                digests: Wire::decode(buf)?,
+            }),
+            _ => Err(WireError::InvalidValue("wal record tag")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WalRecord::Delivered { source, tag } => source.encoded_len() + tag.encoded_len(),
+            WalRecord::Settle { payment, credit_beneficiary } => {
+                payment.encoded_len() + credit_beneficiary.encoded_len()
+            }
+            WalRecord::DepUsed { dep } => dep.encoded_len(),
+            WalRecord::Queued { payment, deps } => payment.encoded_len() + deps.encoded_len(),
+            WalRecord::Stuck { client } => client.encoded_len(),
+            WalRecord::OwnTag { tag } => tag.encoded_len(),
+            WalRecord::Cert { bytes } => bytes.encoded_len(),
+            WalRecord::CertsTaken { client, digests } => {
+                client.encoded_len() + digests.encoded_len()
+            }
+        }
+    }
+}
+
+/// A sink for [`WalRecord`]s, attached to a replica with `set_journal`.
+///
+/// Implementations (the `astro-store` WAL) must preserve record order;
+/// durability policy (group commit) is theirs. Recording must not fail
+/// into the caller — a storage implementation degrades internally and
+/// reports health out of band.
+pub trait Journal: Send {
+    /// Appends one record.
+    fn record(&mut self, record: &WalRecord);
+}
+
+/// An optional journal slot: replicas without durability pay one branch
+/// per effect and nothing else.
+pub struct JournalSlot(Option<Box<dyn Journal>>);
+
+impl JournalSlot {
+    /// An empty slot (no journaling).
+    pub fn none() -> Self {
+        JournalSlot(None)
+    }
+
+    /// Installs a journal.
+    pub fn set(&mut self, journal: Box<dyn Journal>) {
+        self.0 = Some(journal);
+    }
+
+    /// True if a journal is attached.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records `record` if a journal is attached.
+    #[inline]
+    pub fn rec(&mut self, record: &WalRecord) {
+        if let Some(j) = self.0.as_mut() {
+            j.record(record);
+        }
+    }
+}
+
+impl core::fmt::Debug for JournalSlot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("JournalSlot").field(&self.0.is_some()).finish()
+    }
+}
+
+impl Default for JournalSlot {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Snapshot of a [`Ledger`](crate::Ledger): balances and xlogs, sorted by
+/// client id for a canonical (replica-comparable) encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerState {
+    /// Genesis balance of unknown clients.
+    pub initial_balance: Amount,
+    /// Explicitly tracked balances, ascending by client id.
+    pub accounts: Vec<(ClientId, Amount)>,
+    /// Xlogs as `(owner, entries)`, ascending by owner id.
+    pub xlogs: Vec<(ClientId, Vec<Payment>)>,
+}
+
+impl Wire for LedgerState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.initial_balance.encode(buf);
+        self.accounts.encode(buf);
+        self.xlogs.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(LedgerState {
+            initial_balance: Wire::decode(buf)?,
+            accounts: Wire::decode(buf)?,
+            xlogs: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.initial_balance.encoded_len() + self.accounts.encoded_len() + self.xlogs.encoded_len()
+    }
+}
+
+/// Snapshot of an [`AstroOneReplica`](crate::astro1::AstroOneReplica).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Astro1State {
+    /// The settlement state.
+    pub ledger: LedgerState,
+    /// Payments queued awaiting approval, `(spender, seq)` ascending.
+    pub pending: Vec<Payment>,
+    /// The replica's own next broadcast tag.
+    pub next_tag: u64,
+    /// BRB delivery cursors: next deliverable tag per source, ascending
+    /// by source.
+    pub cursors: Vec<(u64, u64)>,
+}
+
+impl Wire for Astro1State {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.ledger.encode(buf);
+        self.pending.encode(buf);
+        self.next_tag.encode(buf);
+        self.cursors.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Astro1State {
+            ledger: Wire::decode(buf)?,
+            pending: Wire::decode(buf)?,
+            next_tag: Wire::decode(buf)?,
+            cursors: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.ledger.encoded_len()
+            + self.pending.encoded_len()
+            + self.next_tag.encoded_len()
+            + self.cursors.encoded_len()
+    }
+}
+
+/// Snapshot of an [`AstroTwoReplica`](crate::astro2::AstroTwoReplica).
+///
+/// Certificates are carried as opaque wire bytes so the snapshot type is
+/// independent of the signature scheme; they are decoded against the
+/// concrete scheme on restore (a certificate that fails to decode is
+/// dropped — it could never verify either).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Astro2State {
+    /// The settlement state.
+    pub ledger: LedgerState,
+    /// Payments queued awaiting approval with their attached (not yet
+    /// materialized) certificates, `(spender, seq)` ascending.
+    pub pending: Vec<(Payment, Vec<Vec<u8>>)>,
+    /// Dependency credits already materialized (replay protection),
+    /// ascending.
+    pub used_deps: Vec<PaymentId>,
+    /// Clients with permanently stuck xlogs, ascending.
+    pub stuck: Vec<ClientId>,
+    /// Held dependency certificates per represented client, ascending by
+    /// client id; each certificate is `DependencyCertificate` wire bytes.
+    pub certs: Vec<(ClientId, Vec<Vec<u8>>)>,
+    /// The replica's own next broadcast tag.
+    pub next_tag: u64,
+    /// BRB delivery cursors (FIFO mode), ascending by source.
+    pub cursors: Vec<(u64, u64)>,
+}
+
+impl Wire for Astro2State {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.ledger.encode(buf);
+        self.pending.encode(buf);
+        self.used_deps.encode(buf);
+        self.stuck.encode(buf);
+        self.certs.encode(buf);
+        self.next_tag.encode(buf);
+        self.cursors.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Astro2State {
+            ledger: Wire::decode(buf)?,
+            pending: Wire::decode(buf)?,
+            used_deps: Wire::decode(buf)?,
+            stuck: Wire::decode(buf)?,
+            certs: Wire::decode(buf)?,
+            next_tag: Wire::decode(buf)?,
+            cursors: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.ledger.encoded_len()
+            + self.pending.encoded_len()
+            + self.used_deps.encoded_len()
+            + self.stuck.encoded_len()
+            + self.certs.encoded_len()
+            + self.next_tag.encoded_len()
+            + self.cursors.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_types::wire::decode_exact;
+
+    fn p(s: u64, n: u64, b: u64, x: u64) -> Payment {
+        Payment::new(s, n, b, x)
+    }
+
+    #[test]
+    fn wal_record_wire_round_trips() {
+        let records = [
+            WalRecord::Delivered { source: 3, tag: 9 },
+            WalRecord::Settle { payment: p(1, 0, 2, 5), credit_beneficiary: true },
+            WalRecord::Settle { payment: p(1, 1, 2, 5), credit_beneficiary: false },
+            WalRecord::DepUsed { dep: p(4, 2, 1, 7) },
+            WalRecord::Queued { payment: p(9, 3, 1, 1), deps: vec![vec![7, 8]] },
+            WalRecord::Stuck { client: ClientId(77) },
+            WalRecord::OwnTag { tag: 12 },
+            WalRecord::Cert { bytes: vec![1, 2, 3, 4] },
+            WalRecord::CertsTaken { client: ClientId(5), digests: vec![[9u8; 32], [4u8; 32]] },
+        ];
+        for rec in records {
+            let bytes = rec.to_wire_bytes();
+            assert_eq!(bytes.len(), rec.encoded_len());
+            assert_eq!(decode_exact::<WalRecord>(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn wal_record_rejects_bad_tag() {
+        assert!(decode_exact::<WalRecord>(&[9u8]).is_err());
+    }
+
+    #[test]
+    fn astro1_state_wire_round_trips() {
+        let state = Astro1State {
+            ledger: LedgerState {
+                initial_balance: Amount(100),
+                accounts: vec![(ClientId(1), Amount(70)), (ClientId(2), Amount(130))],
+                xlogs: vec![(ClientId(1), vec![p(1, 0, 2, 30)])],
+            },
+            pending: vec![p(3, 1, 4, 9)],
+            next_tag: 5,
+            cursors: vec![(0, 2), (1, 7)],
+        };
+        let bytes = state.to_wire_bytes();
+        assert_eq!(bytes.len(), state.encoded_len());
+        assert_eq!(decode_exact::<Astro1State>(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn astro2_state_wire_round_trips() {
+        let state = Astro2State {
+            ledger: LedgerState { initial_balance: Amount(9), accounts: vec![], xlogs: vec![] },
+            pending: vec![],
+            used_deps: vec![p(1, 0, 2, 5).id()],
+            stuck: vec![ClientId(8)],
+            certs: vec![(ClientId(2), vec![vec![0xab, 0xcd]])],
+            next_tag: 1,
+            cursors: vec![],
+        };
+        let bytes = state.to_wire_bytes();
+        assert_eq!(bytes.len(), state.encoded_len());
+        assert_eq!(decode_exact::<Astro2State>(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn journal_slot_is_inert_when_empty() {
+        let mut slot = JournalSlot::none();
+        assert!(!slot.is_set());
+        slot.rec(&WalRecord::OwnTag { tag: 0 }); // must not panic
+        struct Sink(Vec<WalRecord>);
+        impl Journal for Sink {
+            fn record(&mut self, r: &WalRecord) {
+                self.0.push(r.clone());
+            }
+        }
+        slot.set(Box::new(Sink(Vec::new())));
+        assert!(slot.is_set());
+        slot.rec(&WalRecord::OwnTag { tag: 1 });
+    }
+}

@@ -1,9 +1,22 @@
 //! Replica-local system state: balances, sequence numbers, and xlogs —
 //! the `sn[..]`, `bal[..]`, `xlogs[..]` of the paper's Listing 2.
+//!
+//! Account storage is a dense, `ClientId`-indexed table for the id range
+//! real workloads use (the paper's experiments number clients from 0), so
+//! the per-payment balance/sequence/xlog lookups on the settle path are
+//! two array index operations instead of three hash-map probes. Ids above
+//! [`DENSE_LIMIT`] fall back to a hash map, so the id space stays the
+//! full `u64` without unbounded memory.
 
-use crate::xlog::XLog;
+use crate::journal::LedgerState;
+use crate::xlog::{XLog, XLogError};
 use astro_types::{Amount, ClientId, Payment, SeqNo};
 use std::collections::HashMap;
+
+/// Client ids below this index into the dense account table; ids at or
+/// above it live in the sparse fallback map. The dense table grows on
+/// demand up to this bound, amortized-doubling.
+pub const DENSE_LIMIT: u64 = 1 << 20;
 
 /// Outcome of attempting to settle a payment against the ledger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +35,20 @@ pub enum SettleOutcome {
     InsufficientFunds,
 }
 
+/// One client's tracked state. `balance: None` means the client still
+/// holds the untouched genesis endowment.
+#[derive(Debug, Clone, Default)]
+struct Account {
+    balance: Option<Amount>,
+    xlog: Option<XLog>,
+}
+
+impl Account {
+    fn is_vacant(&self) -> bool {
+        self.balance.is_none() && self.xlog.is_none()
+    }
+}
+
 /// The state a replica maintains for its shard's clients.
 ///
 /// Unknown clients implicitly start with `initial_balance` — the genesis
@@ -30,49 +57,86 @@ pub enum SettleOutcome {
 #[derive(Debug, Clone)]
 pub struct Ledger {
     initial_balance: Amount,
-    balances: HashMap<ClientId, Amount>,
-    xlogs: HashMap<ClientId, XLog>,
+    /// Accounts for ids below [`DENSE_LIMIT`], indexed by id.
+    dense: Vec<Account>,
+    /// Accounts for ids at or above [`DENSE_LIMIT`].
+    sparse: HashMap<ClientId, Account>,
+    /// Payments settled across all xlogs (maintained incrementally).
+    settled: usize,
 }
 
 impl Ledger {
     /// Creates a ledger where every client starts with `initial_balance`.
     pub fn new(initial_balance: Amount) -> Self {
-        Ledger { initial_balance, balances: HashMap::new(), xlogs: HashMap::new() }
+        Ledger { initial_balance, dense: Vec::new(), sparse: HashMap::new(), settled: 0 }
+    }
+
+    #[inline]
+    fn account(&self, client: ClientId) -> Option<&Account> {
+        if client.0 < DENSE_LIMIT {
+            self.dense.get(client.0 as usize)
+        } else {
+            self.sparse.get(&client)
+        }
+    }
+
+    #[inline]
+    fn account_mut(&mut self, client: ClientId) -> &mut Account {
+        if client.0 < DENSE_LIMIT {
+            let idx = client.0 as usize;
+            if idx >= self.dense.len() {
+                // Amortized doubling keeps a sweep over ascending ids
+                // linear instead of quadratic in re-initialization work.
+                let target = (idx + 1).max(self.dense.len() * 2).min(DENSE_LIMIT as usize);
+                self.dense.resize_with(target, Account::default);
+            }
+            &mut self.dense[idx]
+        } else {
+            self.sparse.entry(client).or_default()
+        }
     }
 
     /// The spendable balance of `client` as currently settled.
+    #[inline]
     pub fn balance(&self, client: ClientId) -> Amount {
-        *self.balances.get(&client).unwrap_or(&self.initial_balance)
+        self.account(client).and_then(|a| a.balance).unwrap_or(self.initial_balance)
     }
 
     /// The next expected sequence number of `client`'s xlog (the paper's
     /// `sn[client] + 1` with 0-based numbering).
+    #[inline]
     pub fn next_seq(&self, client: ClientId) -> SeqNo {
-        self.xlogs.get(&client).map_or(SeqNo::FIRST, XLog::next_seq)
+        self.account(client).and_then(|a| a.xlog.as_ref()).map_or(SeqNo::FIRST, XLog::next_seq)
     }
 
     /// The xlog of `client`, if any payment has been recorded.
     pub fn xlog(&self, client: ClientId) -> Option<&XLog> {
-        self.xlogs.get(&client)
+        self.account(client).and_then(|a| a.xlog.as_ref())
     }
 
-    /// Iterates over all xlogs (state transfer / audit).
+    /// Iterates over all xlogs (state transfer / audit). Dense-id logs
+    /// come first in id order, sparse-id logs follow in arbitrary order.
     pub fn xlogs(&self) -> impl Iterator<Item = &XLog> {
-        self.xlogs.values()
+        self.dense
+            .iter()
+            .filter_map(|a| a.xlog.as_ref())
+            .chain(self.sparse.values().filter_map(|a| a.xlog.as_ref()))
     }
 
     /// Number of payments settled across all xlogs.
     pub fn total_settled(&self) -> usize {
-        self.xlogs.values().map(XLog::len).sum()
+        self.settled
     }
 
     /// Credits `amount` to `client` (beneficiary side of settlement, or a
     /// materialized dependency certificate).
     pub fn credit(&mut self, client: ClientId, amount: Amount) {
-        let balance = self.balance(client);
+        let initial = self.initial_balance;
+        let account = self.account_mut(client);
+        let balance = account.balance.unwrap_or(initial);
         let new =
             balance.checked_add(amount).expect("balance overflow: total money supply exceeds u64");
-        self.balances.insert(client, new);
+        account.balance = Some(new);
     }
 
     /// Attempts to settle `payment` atomically: both approval criteria of
@@ -82,46 +146,101 @@ impl Ledger {
     /// updated in the same step (Astro I / intra-shard direct mode) or left
     /// to the CREDIT-certificate mechanism (Astro II, Listing 9).
     pub fn settle(&mut self, payment: &Payment, credit_beneficiary: bool) -> SettleOutcome {
-        let next = self.next_seq(payment.spender);
+        let initial = self.initial_balance;
+        let spender = self.account_mut(payment.spender);
+        let next = spender.xlog.as_ref().map_or(SeqNo::FIRST, XLog::next_seq);
         if payment.seq > next {
             return SettleOutcome::FutureSeq;
         }
         if payment.seq < next {
             return SettleOutcome::StaleSeq;
         }
-        let balance = self.balance(payment.spender);
+        let balance = spender.balance.unwrap_or(initial);
         let Some(remaining) = balance.checked_sub(payment.amount) else {
             return SettleOutcome::InsufficientFunds;
         };
         // Apply (Listing 4).
-        self.balances.insert(payment.spender, remaining);
+        spender.balance = Some(remaining);
+        spender
+            .xlog
+            .get_or_insert_with(|| XLog::new(payment.spender))
+            .append(*payment)
+            .expect("sequence checked above");
+        self.settled += 1;
         if credit_beneficiary {
             self.credit(payment.beneficiary, payment.amount);
         }
-        self.xlogs
-            .entry(payment.spender)
-            .or_insert_with(|| XLog::new(payment.spender))
-            .append(*payment)
-            .expect("sequence checked above");
         SettleOutcome::Applied
     }
 
     /// Installs a transferred xlog and balance during reconfiguration
     /// state transfer (Appendix A). Overwrites local state for the owner.
     pub fn install(&mut self, xlog: XLog, balance: Amount) {
-        self.balances.insert(xlog.owner(), balance);
-        self.xlogs.insert(xlog.owner(), xlog);
+        let new_len = xlog.len();
+        let account = self.account_mut(xlog.owner());
+        let old_len = account.xlog.as_ref().map_or(0, XLog::len);
+        account.balance = Some(balance);
+        account.xlog = Some(xlog);
+        self.settled = self.settled - old_len + new_len;
     }
 
-    /// Audit: every xlog internally consistent.
+    /// Audit: every xlog internally consistent, and the settled counter in
+    /// agreement with the logs.
     pub fn audit(&self) -> bool {
-        self.xlogs.values().all(XLog::audit)
+        self.xlogs().all(XLog::audit) && self.xlogs().map(XLog::len).sum::<usize>() == self.settled
+    }
+
+    /// Exports the full settlement state in canonical (id-ascending)
+    /// order; two replicas holding identical state export identical bytes.
+    pub fn export(&self) -> LedgerState {
+        let mut accounts: Vec<(ClientId, Amount)> = Vec::new();
+        let mut xlogs: Vec<(ClientId, Vec<Payment>)> = Vec::new();
+        let mut visit = |client: ClientId, account: &Account| {
+            if let Some(balance) = account.balance {
+                accounts.push((client, balance));
+            }
+            if let Some(xlog) = &account.xlog {
+                xlogs.push((client, xlog.iter().copied().collect()));
+            }
+        };
+        for (i, account) in self.dense.iter().enumerate() {
+            if !account.is_vacant() {
+                visit(ClientId(i as u64), account);
+            }
+        }
+        let mut sparse: Vec<(&ClientId, &Account)> = self.sparse.iter().collect();
+        sparse.sort_unstable_by_key(|(c, _)| **c);
+        for (client, account) in sparse {
+            visit(*client, account);
+        }
+        LedgerState { initial_balance: self.initial_balance, accounts, xlogs }
+    }
+
+    /// Reconstructs a ledger from an exported state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any xlog's entries violate the owner/sequence invariants
+    /// (a snapshot that passed its integrity check can still be rejected
+    /// here if it was produced by corrupt software).
+    pub fn import(state: &LedgerState) -> Result<Ledger, XLogError> {
+        let mut ledger = Ledger::new(state.initial_balance);
+        for (client, balance) in &state.accounts {
+            ledger.account_mut(*client).balance = Some(*balance);
+        }
+        for (owner, entries) in &state.xlogs {
+            let xlog = XLog::from_entries(*owner, entries.clone())?;
+            ledger.settled += xlog.len();
+            ledger.account_mut(*owner).xlog = Some(xlog);
+        }
+        Ok(ledger)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use astro_types::wire::Wire;
 
     fn ledger() -> Ledger {
         Ledger::new(Amount(100))
@@ -210,6 +329,77 @@ mod tests {
         l.install(xlog.clone(), Amount(77));
         assert_eq!(l.balance(ClientId(9)), Amount(77));
         assert_eq!(l.next_seq(ClientId(9)), SeqNo(1));
+        assert_eq!(l.total_settled(), 1);
+        // Reinstalling replaces, not double-counts.
+        l.install(xlog, Amount(76));
+        assert_eq!(l.total_settled(), 1);
         assert!(l.audit());
+    }
+
+    #[test]
+    fn sparse_ids_fall_back_to_the_map() {
+        let mut l = ledger();
+        let far = ClientId(DENSE_LIMIT + 17);
+        assert_eq!(l.balance(far), Amount(100));
+        let p = Payment::new(far.0, 0u64, 2u64, 30u64);
+        assert_eq!(l.settle(&p, true), SettleOutcome::Applied);
+        assert_eq!(l.balance(far), Amount(70));
+        assert_eq!(l.next_seq(far), SeqNo(1));
+        assert!(l.dense.len() <= DENSE_LIMIT as usize, "sparse id must not grow dense table");
+        assert!(l.audit());
+    }
+
+    #[test]
+    fn dense_table_grows_on_demand_only() {
+        let mut l = ledger();
+        assert_eq!(l.settle(&Payment::new(3u64, 0u64, 1u64, 1u64), true), SettleOutcome::Applied);
+        assert!(l.dense.len() >= 4);
+        assert!(l.dense.len() < 1024, "table tracks the touched range, not DENSE_LIMIT");
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut l = Ledger::new(Amount(500));
+        for seq in 0..5u64 {
+            assert_eq!(
+                l.settle(&Payment::new(1u64, seq, 2u64, 10u64), true),
+                SettleOutcome::Applied
+            );
+        }
+        l.settle(&Payment::new(DENSE_LIMIT + 3, 0u64, 1u64, 7u64), true);
+        l.credit(ClientId(42), Amount(9));
+        let state = l.export();
+        let back = Ledger::import(&state).unwrap();
+        assert_eq!(back.export(), state, "round trip is lossless");
+        assert_eq!(back.total_settled(), l.total_settled());
+        assert_eq!(back.balance(ClientId(1)), l.balance(ClientId(1)));
+        assert_eq!(back.balance(ClientId(2)), l.balance(ClientId(2)));
+        assert_eq!(back.balance(ClientId(42)), l.balance(ClientId(42)));
+        assert_eq!(back.next_seq(ClientId(1)), SeqNo(5));
+        assert!(back.audit());
+    }
+
+    #[test]
+    fn export_is_canonical_across_construction_orders() {
+        let build = |order: &[u64]| {
+            let mut l = Ledger::new(Amount(100));
+            for &c in order {
+                l.credit(ClientId(c), Amount(c));
+            }
+            l
+        };
+        let a = build(&[5, DENSE_LIMIT + 9, 1, DENSE_LIMIT + 2, 3]);
+        let b = build(&[DENSE_LIMIT + 2, 3, 5, 1, DENSE_LIMIT + 9]);
+        assert_eq!(a.export().to_wire_bytes(), b.export().to_wire_bytes());
+    }
+
+    #[test]
+    fn import_rejects_invalid_xlog() {
+        let state = LedgerState {
+            initial_balance: Amount(10),
+            accounts: vec![],
+            xlogs: vec![(ClientId(1), vec![Payment::new(2u64, 0u64, 3u64, 1u64)])],
+        };
+        assert!(Ledger::import(&state).is_err(), "wrong-owner entries must be rejected");
     }
 }

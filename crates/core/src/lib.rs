@@ -60,6 +60,7 @@ pub mod astro1;
 pub mod astro2;
 pub mod batch;
 pub mod client;
+pub mod journal;
 pub mod ledger;
 pub mod pending;
 pub mod reconfig;

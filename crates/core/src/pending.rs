@@ -70,6 +70,38 @@ impl<C> PendingQueue<C> {
         self.by_spender.get(&spender).map_or(0, BTreeMap::len)
     }
 
+    /// All queued payments in canonical `(spender, seq)` order (snapshot
+    /// export).
+    pub fn payments(&self) -> Vec<Payment> {
+        self.entries().into_iter().map(|(p, _)| *p).collect()
+    }
+
+    /// All queued entries with their context in canonical `(spender,
+    /// seq)` order (snapshot export for protocols with per-entry state).
+    pub fn entries(&self) -> Vec<(&Payment, &C)> {
+        let mut spenders: Vec<ClientId> = self.by_spender.keys().copied().collect();
+        spenders.sort_unstable();
+        spenders
+            .into_iter()
+            .flat_map(|s| self.by_spender[&s].values().map(|e| (&e.payment, &e.context)))
+            .collect()
+    }
+
+    /// Drops every entry whose sequence number the ledger has already
+    /// moved past (recovery: a replayed settle supersedes its queue
+    /// entry). Entries at or beyond the next expected sequence stay.
+    pub fn prune_stale(&mut self, ledger: &Ledger) {
+        let mut dropped = 0usize;
+        self.by_spender.retain(|spender, queue| {
+            let next = ledger.next_seq(*spender).0;
+            let before = queue.len();
+            queue.retain(|seq, _| *seq >= next);
+            dropped += before - queue.len();
+            !queue.is_empty()
+        });
+        self.len -= dropped;
+    }
+
     /// Attempts to settle everything unblocked by a state change affecting
     /// `seed` clients, cascading transitively. Calls `settle` for each
     /// eligible head-of-queue payment; `settle` returns the outcome and the

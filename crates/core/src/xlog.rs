@@ -74,6 +74,30 @@ impl XLog {
         XLog { owner, entries: Vec::new() }
     }
 
+    /// Reconstructs a log from recovered entries (snapshot import).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any entry violates the owner or gap-free-sequence
+    /// invariants — recovered state is re-validated, never trusted.
+    pub fn from_entries(owner: ClientId, entries: Vec<Payment>) -> Result<Self, XLogError> {
+        let candidate = XLog { owner, entries };
+        if !candidate.audit() {
+            let bad = candidate
+                .entries
+                .iter()
+                .enumerate()
+                .find(|(i, p)| p.spender != owner || p.seq != SeqNo(*i as u64))
+                .expect("audit failed, so a bad entry exists");
+            return if bad.1.spender != owner {
+                Err(XLogError::WrongOwner { owner, spender: bad.1.spender })
+            } else {
+                Err(XLogError::SequenceGap { expected: SeqNo(bad.0 as u64), got: bad.1.seq })
+            };
+        }
+        Ok(candidate)
+    }
+
     /// The owning client.
     pub fn owner(&self) -> ClientId {
         self.owner

@@ -313,7 +313,7 @@ impl Jacobian {
 /// sweet spot when the table is built per call: halving the table cost
 /// (7 vs 15 additions) outweighs the slightly higher digit density.
 const WNAF_WIDTH: u32 = 4;
-/// Odd multiples stored per arbitrary base: 1P, 3P, …, 31P.
+/// Odd multiples stored per arbitrary base: 1P, 3P, …, 15P (width 4).
 const WNAF_TABLE_LEN: usize = 1 << (WNAF_WIDTH - 1);
 /// Wider window for the generator — its table is built once per process.
 const G_WNAF_WIDTH: u32 = 7;
@@ -449,8 +449,8 @@ fn generator_wnaf_table() -> &'static [Affine] {
 
 /// Multi-scalar multiplication `Σ kᵢ·Pᵢ` with shared doublings (windowed
 /// Straus/wNAF): one doubling chain serves every term, and each term costs
-/// ~43 mixed additions (signed 5-bit digits) instead of the ~128 of
-/// bit-at-a-time evaluation. Generator terms use a process-wide
+/// ~51 mixed additions (signed width-4 digits, density ≈ 1/5) instead of
+/// the ~128 of bit-at-a-time evaluation. Generator terms use a process-wide
 /// precomputed 7-bit table; the per-call tables of the remaining terms are
 /// normalized to affine with a single shared field inversion. This is what
 /// makes Schnorr batch verification several times cheaper per signature

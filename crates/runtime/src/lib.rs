@@ -45,6 +45,10 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
+
+pub use durable::{demo_keychains, DurableNode, PersistentNode};
+
 use astro_brb::Dest;
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, Astro2Msg, AstroTwoReplica};
@@ -112,6 +116,23 @@ pub enum ClusterError {
     },
     /// The cluster is shutting down and no longer accepts payments.
     ShuttingDown,
+    /// Durable storage failed.
+    Storage(std::io::Error),
+    /// Recovered on-disk state failed validation.
+    Recovery(&'static str),
+    /// A durable-only operation was called on a non-durable cluster.
+    NotDurable,
+    /// The replica is still running (restart requires a prior kill).
+    ReplicaRunning(usize),
+    /// The replica is not running (kill requires a live replica).
+    ReplicaStopped(usize),
+    /// Transport and signing keychain counts differ.
+    KeychainMismatch {
+        /// Transport keychains provided.
+        transport: usize,
+        /// Signing keychains provided.
+        signing: usize,
+    },
 }
 
 impl core::fmt::Display for ClusterError {
@@ -126,6 +147,14 @@ impl core::fmt::Display for ClusterError {
                 write!(f, "transport has {got} endpoints for {expected} replicas")
             }
             ClusterError::ShuttingDown => f.write_str("cluster is shut down"),
+            ClusterError::Storage(e) => write!(f, "durable storage failed: {e}"),
+            ClusterError::Recovery(what) => write!(f, "recovered state invalid: {what}"),
+            ClusterError::NotDurable => f.write_str("cluster was not started durably"),
+            ClusterError::ReplicaRunning(i) => write!(f, "replica {i} is still running"),
+            ClusterError::ReplicaStopped(i) => write!(f, "replica {i} is not running"),
+            ClusterError::KeychainMismatch { transport, signing } => {
+                write!(f, "{transport} transport keychains but {signing} signing keychains")
+            }
         }
     }
 }
@@ -135,6 +164,7 @@ impl std::error::Error for ClusterError {
         match self {
             ClusterError::Config(e) => Some(e),
             ClusterError::Net(e) => Some(e),
+            ClusterError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -149,6 +179,12 @@ impl From<ConfigError> for ClusterError {
 impl From<NetError> for ClusterError {
     fn from(e: NetError) -> Self {
         ClusterError::Net(e)
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Storage(e)
     }
 }
 
@@ -182,6 +218,12 @@ pub trait RuntimeNode: Send + 'static {
 
     /// Total payments settled.
     fn total_settled(&self) -> usize;
+
+    /// Called once on a *clean* stop, before the thread exits — durable
+    /// nodes flush their group commit here. Not called on a simulated
+    /// crash ([`Cluster::kill_replica`]), which is the point of the
+    /// simulation. Default: nothing.
+    fn stopping(&mut self) {}
 }
 
 fn ledger_balances(ledger: &astro_core::Ledger) -> HashMap<ClientId, Amount> {
@@ -253,16 +295,33 @@ impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
 enum Ctrl {
     Client(Payment),
     Stop,
+    /// Simulated power loss: exit immediately — no final flush, no
+    /// storage sync. What the replica finds on disk afterwards is exactly
+    /// what group commit had pushed out.
+    Crash,
+}
+
+/// What a replica thread leaves behind when it exits.
+type ReplicaResult = (HashMap<ClientId, Amount>, usize);
+
+/// One replica's slot in the driver: its control channel, its thread (if
+/// running), and — after a kill — the state it reported on exit.
+struct Seat {
+    ctrl: Sender<Ctrl>,
+    handle: Option<JoinHandle<ReplicaResult>>,
+    last_result: Option<ReplicaResult>,
 }
 
 /// The transport-generic threaded cluster driver.
 ///
 /// Owns one OS thread per replica; each thread multiplexes its control
 /// channel (client traffic, shutdown) with its transport endpoint (peer
-/// traffic) and flushes batches on a wall-clock timer.
+/// traffic) and flushes batches on a wall-clock timer. Individual
+/// replicas can be killed (simulated crash) and respawned with a
+/// recovered node and a fresh endpoint — the durable cluster entry points
+/// build their restart path on this.
 pub struct Cluster {
-    ctrl: Vec<Sender<Ctrl>>,
-    handles: Vec<JoinHandle<(HashMap<ClientId, Amount>, usize)>>,
+    seats: Vec<Seat>,
     settled: Arc<SettledBoard>,
     layout: ShardLayout,
 }
@@ -284,23 +343,41 @@ impl Cluster {
         N: RuntimeNode,
         T: Transport,
     {
+        Self::start_endpoints(nodes, transport.into_endpoints(), layout, flush_every)
+    }
+
+    /// Starts `nodes` over pre-built endpoints (`endpoints[i]` carries
+    /// `ReplicaId(i)`), for callers that need the endpoints' addresses
+    /// before handing them over (the durable TCP path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a node/endpoint count mismatch.
+    pub fn start_endpoints<N, E>(
+        nodes: Vec<N>,
+        endpoints: Vec<E>,
+        layout: ShardLayout,
+        flush_every: Duration,
+    ) -> Result<Cluster, ClusterError>
+    where
+        N: RuntimeNode,
+        E: Endpoint,
+    {
         let n = nodes.len();
-        let endpoints = transport.into_endpoints();
         if endpoints.len() != n {
             return Err(ClusterError::EndpointMismatch { expected: n, got: endpoints.len() });
         }
         let settled = Arc::new(SettledBoard::new(n));
-        let mut ctrl = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
+        let mut seats = Vec::with_capacity(n);
         for (mut node, endpoint) in nodes.into_iter().zip(endpoints) {
             let (tx, rx) = unbounded();
-            ctrl.push(tx);
-            let settled = Arc::clone(&settled);
-            handles.push(std::thread::spawn(move || {
-                replica_main(&mut node, endpoint, &rx, &settled, flush_every)
-            }));
+            let settled_board = Arc::clone(&settled);
+            let handle = std::thread::spawn(move || {
+                replica_main(&mut node, endpoint, &rx, &settled_board, flush_every)
+            });
+            seats.push(Seat { ctrl: tx, handle: Some(handle), last_result: None });
         }
-        Ok(Cluster { ctrl, handles, settled, layout })
+        Ok(Cluster { seats, settled, layout })
     }
 
     /// The client → representative mapping in use.
@@ -308,14 +385,68 @@ impl Cluster {
         &self.layout
     }
 
+    /// True if replica `i`'s thread is (still) attached.
+    pub fn is_running(&self, i: usize) -> bool {
+        self.seats[i].handle.is_some()
+    }
+
+    /// Kills replica `i` the unclean way: the thread exits immediately,
+    /// without the final flush/sync a clean stop performs — in-memory
+    /// replica state is gone, and durable state is whatever group commit
+    /// already pushed out. The transport endpoint drops with the thread,
+    /// severing the replica's links.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is not running.
+    pub fn kill_replica(&mut self, i: usize) -> Result<(), ClusterError> {
+        let seat = &mut self.seats[i];
+        let Some(handle) = seat.handle.take() else {
+            return Err(ClusterError::ReplicaStopped(i));
+        };
+        let _ = seat.ctrl.send(Ctrl::Crash);
+        seat.last_result = Some(handle.join().expect("replica thread panicked"));
+        Ok(())
+    }
+
+    /// Respawns seat `i` with a (recovered) node and a fresh endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is still running.
+    pub fn respawn<N, E>(
+        &mut self,
+        i: usize,
+        mut node: N,
+        endpoint: E,
+        flush_every: Duration,
+    ) -> Result<(), ClusterError>
+    where
+        N: RuntimeNode,
+        E: Endpoint,
+    {
+        if self.seats[i].handle.is_some() {
+            return Err(ClusterError::ReplicaRunning(i));
+        }
+        let (tx, rx) = unbounded();
+        let settled_board = Arc::clone(&self.settled);
+        let handle = std::thread::spawn(move || {
+            replica_main(&mut node, endpoint, &rx, &settled_board, flush_every)
+        });
+        self.seats[i] = Seat { ctrl: tx, handle: Some(handle), last_result: None };
+        Ok(())
+    }
+
     /// Submits a payment to the spender's representative.
     ///
     /// # Errors
     ///
-    /// Fails if the cluster is shutting down.
+    /// Fails if the representative is down or the cluster is shutting
+    /// down.
     pub fn submit(&self, payment: Payment) -> Result<(), ClusterError> {
         let rep = self.layout.representative_of(payment.spender);
-        self.ctrl[rep.0 as usize]
+        self.seats[rep.0 as usize]
+            .ctrl
             .send(Ctrl::Client(payment))
             .map_err(|_| ClusterError::ShuttingDown)
     }
@@ -343,12 +474,19 @@ impl Cluster {
     }
 
     /// Stops all replicas and returns each replica's final balance map and
-    /// total settled count.
+    /// total settled count. A replica that was killed and never restarted
+    /// reports the state it had at the kill.
     pub fn shutdown(self) -> Vec<(HashMap<ClientId, Amount>, usize)> {
-        for s in &self.ctrl {
-            let _ = s.send(Ctrl::Stop);
+        for seat in &self.seats {
+            let _ = seat.ctrl.send(Ctrl::Stop);
         }
-        self.handles.into_iter().map(|h| h.join().expect("replica thread panicked")).collect()
+        self.seats
+            .into_iter()
+            .map(|seat| match seat.handle {
+                Some(h) => h.join().expect("replica thread panicked"),
+                None => seat.last_result.unwrap_or_default(),
+            })
+            .collect()
     }
 }
 
@@ -371,7 +509,13 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
             match ctrl.try_recv() {
                 Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => {
                     let _ = endpoint.uncork();
+                    node.stopping();
                     break 'run;
+                }
+                Ok(Ctrl::Crash) => {
+                    // Simulated power loss: no uncork, no stopping() — the
+                    // thread vanishes mid-step, like the machine did.
+                    return (node.final_balances(), node.total_settled());
                 }
                 Ok(Ctrl::Client(p)) => {
                     if let Ok(step) = node.submit(p) {
@@ -440,7 +584,7 @@ fn dispatch<M: Wire, E: Endpoint>(
     }
 }
 
-fn single_layout(n: usize) -> Result<ShardLayout, ClusterError> {
+pub(crate) fn single_layout(n: usize) -> Result<ShardLayout, ClusterError> {
     if n < 4 {
         return Err(ClusterError::TooSmall { n });
     }
@@ -450,7 +594,8 @@ fn single_layout(n: usize) -> Result<ShardLayout, ClusterError> {
 /// A running threaded Astro I cluster (Bracha BRB, MAC-authenticated
 /// links).
 pub struct AstroOneCluster {
-    inner: Cluster,
+    pub(crate) inner: Cluster,
+    pub(crate) durable: Option<durable::DurableMeta<Astro1Config>>,
 }
 
 impl AstroOneCluster {
@@ -464,12 +609,11 @@ impl AstroOneCluster {
     }
 
     /// Starts `n` replica threads over loopback TCP with HMAC-authenticated
-    /// sessions, key material drawn from a deterministic keychain set.
+    /// sessions, key material drawn from [`demo_keychains`].
     ///
-    /// **Demo/test only.** The keychains derive from a fixed, public seed,
-    /// so any local process that can reach the loopback ports holds the
-    /// same key material and could join or impersonate replicas. A real
-    /// deployment distributes key pairs in advance (§III) and calls
+    /// **Demo/test only.** See [`demo_keychains`] for why this must never
+    /// carry real funds. A real deployment distributes key pairs in
+    /// advance (§III) and calls
     /// [`start_tcp_with_keychains`](Self::start_tcp_with_keychains).
     ///
     /// # Errors
@@ -480,11 +624,7 @@ impl AstroOneCluster {
         cfg: Astro1Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
-        Self::start_tcp_with_keychains(
-            Keychain::deterministic_system(b"astro-runtime-tcp", n),
-            cfg,
-            flush_every,
-        )
+        Self::start_tcp_with_keychains(demo_keychains(n), cfg, flush_every)
     }
 
     /// Starts one replica thread per keychain over loopback TCP with
@@ -523,7 +663,10 @@ impl AstroOneCluster {
         let nodes: Vec<AstroOneReplica> = (0..n)
             .map(|i| AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone()))
             .collect();
-        Ok(AstroOneCluster { inner: Cluster::start(nodes, transport, layout, flush_every)? })
+        Ok(AstroOneCluster {
+            inner: Cluster::start(nodes, transport, layout, flush_every)?,
+            durable: None,
+        })
     }
 
     /// The client → representative mapping in use.
@@ -561,7 +704,8 @@ impl AstroOneCluster {
 /// A running threaded Astro II cluster (signature-based BRB with CREDIT
 /// certificates) under real Schnorr signatures.
 pub struct AstroTwoCluster {
-    inner: Cluster,
+    pub(crate) inner: Cluster,
+    pub(crate) durable: Option<durable::DurableMeta<Astro2Config>>,
 }
 
 impl AstroTwoCluster {
@@ -577,8 +721,8 @@ impl AstroTwoCluster {
     /// Starts `n` replica threads over loopback TCP with HMAC-authenticated
     /// sessions.
     ///
-    /// **Demo/test only.** The transport keychains derive from a fixed,
-    /// public seed — see [`AstroOneCluster::start_tcp`] for the caveats.
+    /// **Demo/test only.** The transport keychains come from
+    /// [`demo_keychains`] — fixed, public seed; see there for the caveats.
     /// Deployments should use
     /// [`start_tcp_with_keychains`](Self::start_tcp_with_keychains).
     ///
@@ -590,11 +734,7 @@ impl AstroTwoCluster {
         cfg: Astro2Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
-        Self::start_tcp_with_keychains(
-            Keychain::deterministic_system(b"astro-runtime-tcp", n),
-            cfg,
-            flush_every,
-        )
+        Self::start_tcp_with_keychains(demo_keychains(n), cfg, flush_every)
     }
 
     /// Starts one replica thread per keychain over loopback TCP with
@@ -639,7 +779,10 @@ impl AstroTwoCluster {
                 AstroTwoReplica::new(SchnorrAuthenticator::new(kc), layout.clone(), cfg.clone())
             })
             .collect();
-        Ok(AstroTwoCluster { inner: Cluster::start(nodes, transport, layout, flush_every)? })
+        Ok(AstroTwoCluster {
+            inner: Cluster::start(nodes, transport, layout, flush_every)?,
+            durable: None,
+        })
     }
 
     /// The client → representative mapping in use.

@@ -136,6 +136,15 @@ impl Network {
         self.nodes[node.0 as usize].crashed
     }
 
+    /// Brings a crashed `node` back: it sends and receives again from now
+    /// on. Packets that were in flight (or dropped) during the outage
+    /// stay lost — the restarted node resumes from its retained state,
+    /// which models a replica recovering from durable storage
+    /// (`astro-store`) and rejoining the broadcast flow.
+    pub fn restore(&mut self, node: ReplicaId) {
+        self.nodes[node.0 as usize].crashed = false;
+    }
+
     /// Adds `extra` delay to all packets leaving `node` (the `tc netem`
     /// experiment of §VI-D).
     pub fn add_delay(&mut self, node: ReplicaId, extra: Nanos) {

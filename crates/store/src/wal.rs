@@ -1,0 +1,439 @@
+//! The append-only write-ahead log: CRC-framed, length-prefixed records
+//! with group commit.
+//!
+//! # File format
+//!
+//! ```text
+//! ┌──────────────┬─────────────┬──────────────────────────────────┐
+//! │ magic (8 B)  │ version (4) │ records …                        │
+//! │ "ASTROWAL"   │ 1 (LE)      │                                  │
+//! └──────────────┴─────────────┴──────────────────────────────────┘
+//! record := len (u32 LE) ‖ crc32(payload) (u32 LE) ‖ payload
+//! ```
+//!
+//! Recovery reads the **longest valid prefix**: the scan stops at the
+//! first incomplete header, oversized length, truncated payload, or CRC
+//! mismatch — a torn tail from a crash mid-write, or a bit flip anywhere
+//! in a frame, cuts the log there and never panics. (A flipped *length*
+//! makes the scanner read the wrong byte span, whose CRC then fails with
+//! probability `1 − 2⁻³²` — the same cut.) The writer truncates the file
+//! to the valid prefix before appending.
+//!
+//! # Group commit
+//!
+//! Every append issues its `write(2)` immediately — an in-process crash
+//! loses nothing the OS already holds — but the expensive `fsync(2)` is
+//! amortized: once per [`GroupCommit::sync_every_records`] records or
+//! once per [`GroupCommit::sync_interval`], whichever comes first. The
+//! power-loss durability window is bounded by that policy, and the
+//! recovery scan handles whatever a lost tail leaves behind.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Leading magic of every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"ASTROWAL";
+
+/// Current format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Header length: magic plus version.
+pub const WAL_HEADER_LEN: u64 = 12;
+
+/// Upper bound on one record's payload; a larger advertised length is
+/// treated as corruption (the scan cuts there).
+pub const MAX_RECORD_LEN: usize = 16 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-at-a-time table: 16 entries, no build-time codegen, ~4 ops
+    // per byte — plenty for WAL framing (the payloads are small records).
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
+    ];
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        crc = (crc >> 4) ^ TABLE[(crc & 0xf) as usize];
+        crc = (crc >> 4) ^ TABLE[(crc & 0xf) as usize];
+    }
+    !crc
+}
+
+/// The amortized-fsync policy.
+#[derive(Debug, Clone)]
+pub struct GroupCommit {
+    /// Force an fsync after this many appended records.
+    pub sync_every_records: usize,
+    /// Force an fsync when this much time has passed since the last one
+    /// and a record arrives.
+    pub sync_interval: Duration,
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        GroupCommit { sync_every_records: 1024, sync_interval: Duration::from_millis(25) }
+    }
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub struct RecoveredWal {
+    /// Record payloads of the longest valid prefix, in log order.
+    pub payloads: Vec<Vec<u8>>,
+    /// File offset just past each corresponding record.
+    pub offsets: Vec<u64>,
+    /// Byte length of the valid prefix (`WAL_HEADER_LEN` for an empty or
+    /// headerless log).
+    pub valid_len: u64,
+}
+
+/// Scans `path` and returns the longest valid record prefix.
+///
+/// A missing file, a truncated or alien header, and any torn/corrupt tail
+/// all degrade gracefully to a shorter (possibly empty) prefix.
+///
+/// # Errors
+///
+/// Only genuine IO errors (permissions, device failure) surface; corrupt
+/// content never does.
+pub fn read_wal(path: &Path) -> std::io::Result<RecoveredWal> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut recovered =
+        RecoveredWal { payloads: Vec::new(), offsets: Vec::new(), valid_len: WAL_HEADER_LEN };
+    if bytes.len() < WAL_HEADER_LEN as usize
+        || bytes[..8] != WAL_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) != WAL_VERSION
+    {
+        // No (or foreign) header: the whole file is invalid prefix.
+        return Ok(recovered);
+    }
+    let mut offset = WAL_HEADER_LEN as usize;
+    while bytes.len() - offset >= 8 {
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || bytes.len() - offset - 8 < len {
+            break;
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        offset += 8 + len;
+        recovered.payloads.push(payload.to_vec());
+        recovered.offsets.push(offset as u64);
+        recovered.valid_len = offset as u64;
+    }
+    Ok(recovered)
+}
+
+/// When the user-space frame buffer grows past this, it is flushed to
+/// the OS inline — bounds the step-local buffering window.
+const FLUSH_THRESHOLD: usize = 256 << 10;
+
+/// The append half of a WAL.
+///
+/// Appends frame into a user-space buffer; [`WalWriter::flush_writes`]
+/// hands the buffered run to the OS with one `write(2)` — callers flush
+/// at their step boundary, so a burst of records costs one syscall, not
+/// one per record, and an in-process crash (which can only interleave
+/// *between* steps) still finds every completed step's records in the
+/// OS. `fsync(2)` is amortized separately by the [`GroupCommit`] policy.
+///
+/// IO failures after open do not propagate into the append path (a
+/// replica must not crash because its disk hiccuped); instead the writer
+/// goes *degraded* — the error is retained, later appends are dropped,
+/// and [`WalWriter::health`] reports it for the operator.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    len: u64,
+    buffer: Vec<u8>,
+    records_since_sync: usize,
+    last_sync: Instant,
+    policy: GroupCommit,
+    degraded: Option<std::io::Error>,
+}
+
+impl WalWriter {
+    /// Opens `path` for appending after `valid_len` bytes (from
+    /// [`read_wal`]): the invalid tail is truncated off, a fresh header
+    /// is written if the file was empty or headerless, and the result is
+    /// synced before the writer accepts records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors; this is the one moment durability problems
+    /// should abort startup rather than degrade.
+    pub fn open_at(path: &Path, valid_len: u64, policy: GroupCommit) -> std::io::Result<WalWriter> {
+        // truncate(false): the valid prefix must survive; set_len below
+        // trims exactly the invalid tail.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let valid_len = valid_len.max(WAL_HEADER_LEN);
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
+        let have_header = file.read_exact(&mut header).is_ok()
+            && header[..8] == WAL_MAGIC
+            && u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) == WAL_VERSION;
+        if !have_header {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&WAL_MAGIC)?;
+            file.write_all(&WAL_VERSION.to_le_bytes())?;
+        } else {
+            file.seek(SeekFrom::Start(valid_len))?;
+        }
+        file.sync_all()?;
+        let len = if have_header { valid_len } else { WAL_HEADER_LEN };
+        Ok(WalWriter {
+            file,
+            len,
+            buffer: Vec::new(),
+            records_since_sync: 0,
+            last_sync: Instant::now(),
+            policy,
+            degraded: None,
+        })
+    }
+
+    /// Appends one record to the frame buffer; the group-commit policy
+    /// may force an inline flush + fsync.
+    pub fn append(&mut self, payload: &[u8]) {
+        if self.degraded.is_some() {
+            return;
+        }
+        debug_assert!(payload.len() <= MAX_RECORD_LEN, "oversized WAL record");
+        self.buffer.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buffer.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buffer.extend_from_slice(payload);
+        self.records_since_sync += 1;
+        if self.records_since_sync >= self.policy.sync_every_records
+            || self.last_sync.elapsed() >= self.policy.sync_interval
+        {
+            self.sync();
+        } else if self.buffer.len() >= FLUSH_THRESHOLD {
+            self.flush_writes();
+        }
+    }
+
+    /// Hands the buffered frames to the OS (one `write(2)`). Call at the
+    /// step boundary; after this an in-process crash loses nothing.
+    pub fn flush_writes(&mut self) {
+        if self.degraded.is_some() || self.buffer.is_empty() {
+            return;
+        }
+        match self.file.write_all(&self.buffer) {
+            Ok(()) => {
+                self.len += self.buffer.len() as u64;
+                self.buffer.clear();
+                self.buffer.shrink_to(FLUSH_THRESHOLD);
+            }
+            Err(e) => self.degraded = Some(e),
+        }
+    }
+
+    /// Forces the group commit: everything appended so far is written
+    /// out and fsynced.
+    pub fn sync(&mut self) {
+        self.flush_writes();
+        if self.degraded.is_some() || self.records_since_sync == 0 {
+            return;
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.degraded = Some(e);
+            return;
+        }
+        self.records_since_sync = 0;
+        self.last_sync = Instant::now();
+    }
+
+    /// Truncates the log back to its header (after a snapshot install).
+    /// Buffered frames are dropped — their effects are in the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors — a failed truncation after a snapshot would
+    /// otherwise double-apply the log on the next recovery (harmless for
+    /// replay, but the caller should know).
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.buffer.clear();
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.file.sync_all()?;
+        self.len = WAL_HEADER_LEN;
+        self.records_since_sync = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Current log length in bytes (header included, buffered frames
+    /// counted).
+    pub fn len(&self) -> u64 {
+        self.len + self.buffer.len() as u64
+    }
+
+    /// True if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= WAL_HEADER_LEN
+    }
+
+    /// `Err` with the first IO error if the writer went degraded.
+    pub fn health(&self) -> Result<(), &std::io::Error> {
+        match &self.degraded {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("astro-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.bin")
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_recover_round_trips() {
+        let path = tmp("round-trip");
+        let mut w = WalWriter::open_at(&path, 0, GroupCommit::default()).unwrap();
+        for i in 0..10u8 {
+            w.append(&[i; 5]);
+        }
+        w.sync();
+        drop(w);
+        let rec = read_wal(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 10);
+        assert_eq!(rec.payloads[3], vec![3u8; 5]);
+        // Reopen at the recovered length and keep appending.
+        let mut w = WalWriter::open_at(&path, rec.valid_len, GroupCommit::default()).unwrap();
+        w.append(b"more");
+        w.sync();
+        drop(w);
+        let rec = read_wal(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 11);
+        assert_eq!(rec.payloads[10], b"more");
+    }
+
+    #[test]
+    fn torn_tail_is_cut() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open_at(&path, 0, GroupCommit::default()).unwrap();
+        w.append(b"alpha");
+        w.append(b"beta");
+        w.sync();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // Chop mid-record: every truncation point recovers a prefix.
+        for cut in (WAL_HEADER_LEN as usize)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let rec = read_wal(&path).unwrap();
+            assert!(rec.payloads.len() <= 2);
+            assert!(rec.valid_len <= cut as u64);
+            for (i, p) in rec.payloads.iter().enumerate() {
+                assert_eq!(p, [b"alpha".as_slice(), b"beta"][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_cuts_at_the_flip() {
+        let path = tmp("flip");
+        let mut w = WalWriter::open_at(&path, 0, GroupCommit::default()).unwrap();
+        for i in 0..4u8 {
+            w.append(&[i; 8]);
+        }
+        w.sync();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one bit in the third record's payload.
+        let third_payload_start = WAL_HEADER_LEN as usize + 2 * (8 + 8) + 8;
+        let mut damaged = full.clone();
+        damaged[third_payload_start] ^= 0x40;
+        std::fs::write(&path, &damaged).unwrap();
+        let rec = read_wal(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 2, "records before the flip survive");
+        // The writer truncates the invalid tail on reopen.
+        let w = WalWriter::open_at(&path, rec.valid_len, GroupCommit::default()).unwrap();
+        assert_eq!(w.len(), rec.valid_len);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), rec.valid_len);
+    }
+
+    #[test]
+    fn alien_or_missing_header_recovers_empty() {
+        let path = tmp("alien");
+        assert_eq!(read_wal(&path).unwrap().payloads.len(), 0, "missing file");
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        let rec = read_wal(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 0);
+        // Reopen rewrites a fresh header.
+        let mut w = WalWriter::open_at(&path, rec.valid_len, GroupCommit::default()).unwrap();
+        w.append(b"fresh");
+        w.sync();
+        drop(w);
+        assert_eq!(read_wal(&path).unwrap().payloads, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn reset_truncates_to_header() {
+        let path = tmp("reset");
+        let mut w = WalWriter::open_at(&path, 0, GroupCommit::default()).unwrap();
+        w.append(b"gone");
+        w.sync();
+        w.reset().unwrap();
+        assert!(w.is_empty());
+        w.append(b"kept");
+        w.sync();
+        drop(w);
+        assert_eq!(read_wal(&path).unwrap().payloads, vec![b"kept".to_vec()]);
+    }
+
+    #[test]
+    fn group_commit_counts_records() {
+        let path = tmp("group");
+        let policy = GroupCommit { sync_every_records: 4, sync_interval: Duration::from_secs(60) };
+        let mut w = WalWriter::open_at(&path, 0, policy).unwrap();
+        for _ in 0..3 {
+            w.append(b"x");
+        }
+        assert_eq!(w.records_since_sync, 3, "below threshold: no forced sync yet");
+        w.append(b"x");
+        assert_eq!(w.records_since_sync, 0, "threshold crossed: synced");
+    }
+}
