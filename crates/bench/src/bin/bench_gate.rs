@@ -1,0 +1,132 @@
+//! CI perf-regression gate over the checked-in `BENCH_*.json` baselines.
+//!
+//! Usage: `bench_gate <baseline-dir> <fresh-dir>`
+//!
+//! Compares a fresh smoke-bench run against the committed baselines and
+//! fails (exit 1) when a gated metric drops below its floor:
+//!
+//! - `schnorr_batch_verify/speedup_32` (`batch_over_serial`) — the
+//!   batch-verification advantage must hold at ≥ 60% of baseline (the
+//!   ratio is hardware-independent, so a big drop means an algorithmic
+//!   regression, not a slow runner).
+//! - `astro2/clients_512` and `astro2/clients_2048`
+//!   (`payments_per_sec`, fig4) — settled throughput must hold at ≥ 50%
+//!   of baseline (the simulator is deterministic; headroom covers the
+//!   shorter smoke duration and CI-runner timing jitter in the checked-in
+//!   numbers).
+//!
+//! The JSON was written by `astro_bench::json` (flat metric objects), so
+//! a small scanner suffices — the offline toolchain has no serde.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Extracts `field` of the metric named `name` from a bench JSON dump.
+fn metric_field(json: &str, name: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let start = json.find(&needle)? + needle.len();
+    let object = &json[start..json[start..].find('}').map(|e| start + e)?];
+    let fneedle = format!("\"{field}\": ");
+    let fstart = object.find(&fneedle)? + fneedle.len();
+    let rest = &object[fstart..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+struct Gate {
+    file: &'static str,
+    metric: &'static str,
+    field: &'static str,
+    /// Fraction of the baseline value the fresh run must reach.
+    floor_fraction: f64,
+}
+
+const GATES: &[Gate] = &[
+    Gate {
+        file: "BENCH_micro_crypto.json",
+        metric: "schnorr_batch_verify/speedup_32",
+        field: "batch_over_serial",
+        floor_fraction: 0.6,
+    },
+    Gate {
+        file: "BENCH_fig4_latency_throughput.json",
+        metric: "astro2/clients_512",
+        field: "payments_per_sec",
+        floor_fraction: 0.5,
+    },
+    Gate {
+        file: "BENCH_fig4_latency_throughput.json",
+        metric: "astro2/clients_2048",
+        field: "payments_per_sec",
+        floor_fraction: 0.5,
+    },
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_dir, fresh_dir] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline-dir> <fresh-dir>");
+        return ExitCode::FAILURE;
+    };
+    let mut failed = false;
+    for gate in GATES {
+        let read = |dir: &str| std::fs::read_to_string(Path::new(dir).join(gate.file));
+        let (Ok(baseline), Ok(fresh)) = (read(baseline_dir), read(fresh_dir)) else {
+            // A missing file is a hard failure: the gate must never pass
+            // because a bench silently stopped emitting JSON.
+            eprintln!("FAIL {}: missing in baseline or fresh run", gate.file);
+            failed = true;
+            continue;
+        };
+        let base = metric_field(&baseline, gate.metric, gate.field);
+        let now = metric_field(&fresh, gate.metric, gate.field);
+        match (base, now) {
+            (Some(base), Some(now)) => {
+                let floor = base * gate.floor_fraction;
+                let verdict = if now >= floor { "ok  " } else { "FAIL" };
+                println!(
+                    "{verdict} {}/{}: {now:.1} (baseline {base:.1}, floor {floor:.1})",
+                    gate.metric, gate.field
+                );
+                failed |= now < floor;
+            }
+            _ => {
+                eprintln!(
+                    "FAIL {}/{}: metric missing (baseline: {base:?}, fresh: {now:?})",
+                    gate.metric, gate.field
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("all perf gates passed");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::metric_field;
+
+    const SAMPLE: &str = r#"{
+  "bench": "micro_crypto",
+  "metrics": [
+    {"name": "schnorr/verify", "p50_ns": 82000, "iters_per_sec": 12195.1},
+    {"name": "schnorr_batch_verify/speedup_32", "batch_over_serial": 3.53, "per_sig_batched_ns": 47845.7}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_fields() {
+        assert_eq!(metric_field(SAMPLE, "schnorr/verify", "p50_ns"), Some(82000.0));
+        assert_eq!(
+            metric_field(SAMPLE, "schnorr_batch_verify/speedup_32", "batch_over_serial"),
+            Some(3.53)
+        );
+        assert_eq!(metric_field(SAMPLE, "schnorr/verify", "missing"), None);
+        assert_eq!(metric_field(SAMPLE, "missing", "p50_ns"), None);
+    }
+}

@@ -290,6 +290,21 @@ impl<P: Payload> BrachaBrb<P> {
     pub fn gc_source(&mut self, source: Source, up_to: Tag) {
         self.instances.retain(|id, _| id.source != source || id.tag >= up_to);
     }
+
+    /// Prunes every instance below its source's FIFO delivery cursor —
+    /// those instances were delivered (the cursor only advances past
+    /// deliveries), and FIFO gating already drops any replayed duplicate
+    /// of them, so their echo/ready bookkeeping is dead weight. Called
+    /// from the durable runtime's snapshot-install point to keep BRB
+    /// memory bounded by the in-flight window. Returns the number of
+    /// instances pruned.
+    pub fn gc_delivered(&mut self) -> usize {
+        let before = self.instances.len();
+        for (source, next) in self.delivery_cursors() {
+            self.gc_source(source, next);
+        }
+        before - self.instances.len()
+    }
 }
 
 #[cfg(test)]

@@ -212,6 +212,12 @@ impl<P> FifoDelivery<P> {
         match self.order {
             DeliveryOrder::Unordered => vec![Delivery { id, payload }],
             DeliveryOrder::FifoPerSource => {
+                if id.tag < *self.next_tag.get(&id.source).unwrap_or(&0) {
+                    // Already delivered (or durably applied before a
+                    // restart): a replayed duplicate must neither
+                    // re-deliver nor sit in the buffer forever.
+                    return Vec::new();
+                }
                 self.buffered.entry(id.source).or_default().insert(id.tag, payload);
                 let next = self.next_tag.entry(id.source).or_insert(0);
                 let buffered = self.buffered.get_mut(&id.source).expect("just inserted");

@@ -157,6 +157,11 @@ pub struct SignedBrb<P, A: Authenticator> {
     instances: HashMap<InstanceId, RecvInstance>,
     outgoing: HashMap<InstanceId, Outgoing<P, A::Sig>>,
     fifo: FifoDelivery<P>,
+    /// Per-source garbage-collection watermark: every instance with
+    /// `tag < floor` was delivered and pruned by [`Self::gc_delivered`].
+    /// Messages for pruned instances are dropped outright, so pruning
+    /// never re-opens (or re-delivers) an instance.
+    gc_floor: HashMap<Source, Tag>,
 }
 
 impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
@@ -170,7 +175,13 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
             instances: HashMap::new(),
             outgoing: HashMap::new(),
             fifo: FifoDelivery::new(brb.order),
+            gc_floor: HashMap::new(),
         }
+    }
+
+    /// True if `id` names an instance already delivered and pruned.
+    fn pruned(&self, id: InstanceId) -> bool {
+        id.tag < *self.gc_floor.get(&id.source).unwrap_or(&0)
     }
 
     /// The local replica id.
@@ -218,10 +229,18 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
                 if self.bind_source && u64::from(from.0) != id.source {
                     return Step::empty();
                 }
+                if self.pruned(id) {
+                    return Step::empty();
+                }
                 self.on_prepare(from, id, payload)
             }
             SignedMsg::Ack { id, digest, sig } => self.on_ack(from, id, digest, sig),
-            SignedMsg::Commit { id, payload, proof } => self.on_commit(id, payload, proof),
+            SignedMsg::Commit { id, payload, proof } => {
+                if self.pruned(id) {
+                    return Step::empty();
+                }
+                self.on_commit(id, payload, proof)
+            }
         }
     }
 
@@ -359,6 +378,42 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
     pub fn gc_source(&mut self, source: Source, up_to: Tag) {
         self.instances.retain(|id, _| id.source != source || id.tag >= up_to);
         self.outgoing.retain(|id, _| id.source != source || id.tag >= up_to);
+    }
+
+    /// Prunes the contiguous *delivered* prefix of every source's
+    /// instance stream and advances the per-source watermark, so a
+    /// long-running replica's BRB memory stays bounded by the in-flight
+    /// window instead of growing with history. Duplicate messages for a
+    /// pruned instance are dropped at [`Self::handle`] (the watermark
+    /// remembers delivery so pruning cannot re-open an instance).
+    ///
+    /// Called from the durable runtime's snapshot-install point: once a
+    /// snapshot holds an instance's effects, its BRB state is dead
+    /// weight. Returns the number of instances pruned.
+    pub fn gc_delivered(&mut self) -> usize {
+        let mut delivered: HashMap<Source, Vec<Tag>> = HashMap::new();
+        for (id, inst) in &self.instances {
+            if inst.delivered {
+                delivered.entry(id.source).or_default().push(id.tag);
+            }
+        }
+        let before = self.instances.len();
+        for (source, mut tags) in delivered {
+            tags.sort_unstable();
+            let mut floor = *self.gc_floor.get(&source).unwrap_or(&0);
+            for tag in tags {
+                if tag == floor {
+                    floor += 1;
+                } else if tag > floor {
+                    break; // gap: everything above stays.
+                }
+            }
+            if floor > 0 {
+                self.gc_source(source, floor);
+                self.gc_floor.insert(source, floor);
+            }
+        }
+        before - self.instances.len()
     }
 }
 
@@ -680,5 +735,57 @@ mod tests {
         assert!(c.node_mut(0).tracked_instances() >= 3);
         c.node_mut(0).gc_source(1, 3);
         assert_eq!(c.node_mut(0).tracked_instances(), 0);
+    }
+
+    #[test]
+    fn gc_delivered_prunes_contiguous_prefix_only() {
+        let mut c = mac_cluster(4);
+        // Deliver tags 0..4 of source 0 at every replica.
+        for tag in 0..4 {
+            let step = c.node_mut(0).broadcast(iid(0, tag), tag);
+            c.submit(ReplicaId(0), step);
+        }
+        c.run_to_quiescence();
+        let node1 = c.node_mut(1);
+        assert_eq!(node1.tracked_instances(), 4);
+        let pruned = node1.gc_delivered();
+        assert_eq!(pruned, 4, "whole delivered prefix pruned");
+        assert_eq!(node1.tracked_instances(), 0);
+        // A gap stops the watermark: deliver tag 6 (not 4/5) next.
+        let step = c.node_mut(0).broadcast(iid(0, 6), 6);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        let node1 = c.node_mut(1);
+        assert_eq!(node1.tracked_instances(), 1);
+        assert_eq!(node1.gc_delivered(), 0, "tag 6 sits past the gap at 4");
+        assert_eq!(node1.tracked_instances(), 1);
+    }
+
+    #[test]
+    fn pruned_instances_do_not_redeliver() {
+        // After gc, a replayed COMMIT for a pruned instance must be
+        // dropped — the watermark remembers delivery, so pruning cannot
+        // reset the delivered flag.
+        let mut c = mac_cluster(4);
+        let id = iid(0, 0);
+        let payload = 42u64;
+        let step = c.node_mut(0).broadcast(id, payload);
+        c.submit(ReplicaId(0), step);
+        c.run_to_quiescence();
+        assert_eq!(c.deliveries(1).len(), 1);
+        assert_eq!(c.node_mut(1).gc_delivered(), 1);
+        // Replay a fully valid commit for the pruned instance.
+        let digest = payload_digest(id, &payload);
+        let ctx = ack_context(id, &digest);
+        let proof: Vec<(ReplicaId, _)> = (0..3u32)
+            .map(|i| {
+                let a = MacAuthenticator::new(ReplicaId(i), b"cluster".to_vec());
+                (ReplicaId(i), a.sign(&ctx))
+            })
+            .collect();
+        c.inject(ReplicaId(0), ReplicaId(1), SignedMsg::Commit { id, payload, proof });
+        c.run_to_quiescence();
+        assert_eq!(c.deliveries(1).len(), 1, "replayed commit must not re-deliver");
+        assert_eq!(c.node_mut(1).tracked_instances(), 0, "and must not re-open state");
     }
 }

@@ -279,6 +279,22 @@ impl AstroOneReplica {
         &self.ledger
     }
 
+    /// Prunes BRB state for delivered broadcast instances (everything
+    /// below the per-source FIFO cursors) — see
+    /// [`BrachaBrb::gc_delivered`]. The durable runtime calls this at its
+    /// snapshot-install point: once a snapshot holds the deliveries'
+    /// effects, their echo/ready bookkeeping only costs memory. Returns
+    /// the number of instances pruned.
+    pub fn prune_delivered(&mut self) -> usize {
+        self.brb.gc_delivered()
+    }
+
+    /// Number of receiver-side BRB instances currently tracked
+    /// (observability for the GC tests).
+    pub fn tracked_instances(&self) -> usize {
+        self.brb.tracked_instances()
+    }
+
     /// Number of payments queued awaiting approval.
     pub fn pending_len(&self) -> usize {
         self.pending.len()

@@ -123,6 +123,86 @@ impl<S: Wire> Wire for Astro2Msg<S> {
     }
 }
 
+/// Enumerates every Schnorr signature check that handling `msg` can
+/// trigger at a receiving replica — the runtime verify pool's work list.
+///
+/// The pool pre-verifies these off the replica thread into the shared
+/// [`astro_types::VerdictCache`]; by the time the state machine reaches
+/// its `verify_all` / [`astro_types::count_valid_signers`] calls, the
+/// verdicts are cache hits and the event loop never blocks on curve
+/// arithmetic. Enumerating is sound because verification is a pure
+/// function of `(signer, context, signature)`: pre-verifying a check the
+/// state machine never consults wastes pool cycles but cannot change any
+/// transition.
+///
+/// - `Ack` — the accumulated-ACK batch check ([`SignedBrb`]'s quorum
+///   path) covers the ack context.
+/// - `Commit` — the `2f+1` quorum proof covers the ack context; attached
+///   dependency certificates are checked at settlement.
+/// - `Prepare` — the attached dependency certificates again: they will be
+///   checked when the instance *commits*, so pre-verifying at PREPARE
+///   hides the certificate work behind the ACK round-trip.
+/// - `Credit` — one signature over the sub-batch digest.
+pub fn sig_checks(
+    from: ReplicaId,
+    msg: &Astro2Msg<astro_crypto::Signature>,
+) -> Vec<astro_types::SigCheck> {
+    use astro_brb::payload_digest;
+    use astro_brb::signed::ack_context;
+    use astro_types::SigCheck;
+
+    let mut out = Vec::new();
+    let push_certs = |out: &mut Vec<SigCheck>, batch: &DepBatch<astro_crypto::Signature>| {
+        for entry in &batch.entries {
+            for cert in &entry.deps {
+                if cert.bundle.is_empty() {
+                    continue;
+                }
+                // One shared context per certificate; every proof entry
+                // takes a refcount bump, not a buffer clone.
+                let context: std::sync::Arc<[u8]> = credit_context(&cert.bundle).into();
+                for (signer, sig) in &cert.proofs {
+                    out.push(SigCheck {
+                        signer: *signer,
+                        context: std::sync::Arc::clone(&context),
+                        sig: *sig,
+                    });
+                }
+            }
+        }
+    };
+    match msg {
+        Astro2Msg::Brb(SignedMsg::Prepare { payload, .. }) => push_certs(&mut out, payload),
+        Astro2Msg::Brb(SignedMsg::Ack { id, digest, sig }) => {
+            out.push(SigCheck {
+                signer: from,
+                context: ack_context(*id, digest).into(),
+                sig: *sig,
+            });
+        }
+        Astro2Msg::Brb(SignedMsg::Commit { id, payload, proof }) => {
+            let context: std::sync::Arc<[u8]> =
+                ack_context(*id, &payload_digest(*id, payload)).into();
+            for (signer, sig) in proof {
+                out.push(SigCheck {
+                    signer: *signer,
+                    context: std::sync::Arc::clone(&context),
+                    sig: *sig,
+                });
+            }
+            push_certs(&mut out, payload);
+        }
+        Astro2Msg::Credit(cb) => {
+            out.push(SigCheck {
+                signer: from,
+                context: credit_context(&cb.bundle).into(),
+                sig: cb.sig,
+            });
+        }
+    }
+    out
+}
+
 /// CREDIT proofs gathered for one sub-batch (Listing 10's `partialDeps`).
 #[derive(Debug)]
 struct PartialBundle<S> {
@@ -643,6 +723,21 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// The verified-certificate cache (observability and tests).
     pub fn cert_cache(&self) -> &CertCache {
         &self.cert_cache
+    }
+
+    /// Prunes BRB state for delivered broadcast instances (the contiguous
+    /// delivered prefix of every source's stream) — see
+    /// [`SignedBrb::gc_delivered`]. The durable runtime calls this at its
+    /// snapshot-install point so BRB memory stays bounded by the
+    /// in-flight window. Returns the number of instances pruned.
+    pub fn prune_delivered(&mut self) -> usize {
+        self.brb.gc_delivered()
+    }
+
+    /// Number of receiver-side BRB instances currently tracked
+    /// (observability for the GC tests).
+    pub fn tracked_instances(&self) -> usize {
+        self.brb.tracked_instances()
     }
 
     /// Exports the durable state (snapshot): settlement state, approval

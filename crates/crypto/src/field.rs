@@ -1,10 +1,82 @@
 //! The secp256k1 base field GF(p), p = 2^256 − 2^32 − 977.
+//!
+//! Multiplication, squaring, and the Fermat exponentiations route through
+//! [`reduce_wide`], a reduction specialized to this modulus: since
+//! `2^256 ≡ 2^32 + 977 (mod p)` and that constant fits 33 bits, folding
+//! the high half of a 512-bit product costs four 64×33-bit multiplications
+//! instead of the generic fold's full 256×256 schoolbook pass. The generic
+//! [`Modulus`] path is kept as the reference implementation and
+//! cross-checked by property tests (`tests/reduction_properties.rs`).
 
-use crate::u256::{self, Limbs, Modulus};
+use crate::u256::{self, Limbs, Modulus, Wide};
 
 /// secp256k1 field modulus p = 2^256 − 2^32 − 977.
 pub const P: Modulus =
     Modulus::new([0xFFFFFFFEFFFFFC2F, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF]);
+
+/// `2^256 mod p = 2^32 + 977` — the fold constant of the specialized
+/// reduction. 33 bits, so `limb · C` fits comfortably in a `u128`.
+const C: u128 = 0x1_0000_03D1;
+
+/// Reduces a 512-bit value modulo p, exploiting `2^256 ≡ C (mod p)`.
+///
+/// Two folds: the high 256 bits contribute `hi·C` (≤ 290 bits), whose own
+/// overflow (≤ 34 bits) contributes `top·C` (≤ 68 bits); a final carry
+/// fold and at most one conditional subtraction leave the canonical
+/// representative.
+#[inline]
+pub fn reduce_wide(w: &Wide) -> Limbs {
+    // Fold 1: t = lo + hi·C. Each step is lo[i] + hi[i]·C + carry
+    // < 2^64 + 2^97 + 2^34, well inside u128.
+    let mut t = [0u64; 4];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let v = w[i] as u128 + w[i + 4] as u128 * C + carry;
+        t[i] = v as u64;
+        carry = v >> 64;
+    }
+    // Fold 2: the ≤ 34-bit overflow folds to `carry·C` ≤ 68 bits.
+    let mut r = [0u64; 4];
+    let mut v = t[0] as u128 + carry * C;
+    r[0] = v as u64;
+    for i in 1..4 {
+        v = t[i] as u128 + (v >> 64);
+        r[i] = v as u64;
+    }
+    if (v >> 64) != 0 {
+        // A carry out of 2^256 ≡ one more C. It cannot cascade: the wrap
+        // left r tiny (< 2^69), so adding C (< 2^34) stays far below 2^64
+        // in every limb above the first.
+        let mut v = r[0] as u128 + C;
+        r[0] = v as u64;
+        let mut i = 1;
+        while (v >> 64) != 0 && i < 4 {
+            v = r[i] as u128 + (v >> 64);
+            r[i] = v as u64;
+            i += 1;
+        }
+        debug_assert_eq!(v >> 64, 0, "second fold cannot overflow");
+    }
+    // r < 2^256 and p > 2^256 − 2^33: at most one subtraction.
+    while !u256::lt(&r, &P.m) {
+        let (d, _) = u256::sub(&r, &P.m);
+        r = d;
+    }
+    r
+}
+
+/// `a · b mod p` through the specialized reduction.
+#[inline]
+fn mul_reduce(a: &Limbs, b: &Limbs) -> Limbs {
+    reduce_wide(&u256::mul_wide(a, b))
+}
+
+/// `a² mod p`: symmetric schoolbook squaring plus the specialized
+/// reduction.
+#[inline]
+fn sqr_reduce(a: &Limbs) -> Limbs {
+    reduce_wide(&u256::sqr_wide(a))
+}
 
 /// An element of GF(p), kept fully reduced (`0 <= value < p`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,14 +141,15 @@ impl Fe {
         Fe(P.sub_mod(&self.0, &other.0))
     }
 
-    /// Field multiplication.
+    /// Field multiplication (specialized secp256k1 reduction).
     pub fn mul(&self, other: &Fe) -> Fe {
-        Fe(P.mul_mod(&self.0, &other.0))
+        Fe(mul_reduce(&self.0, &other.0))
     }
 
-    /// Field squaring.
+    /// Field squaring: symmetric limb products (10 wide multiplications
+    /// instead of 16) plus the specialized reduction.
     pub fn square(&self) -> Fe {
-        self.mul(self)
+        Fe(sqr_reduce(&self.0))
     }
 
     /// Additive inverse.
@@ -102,7 +175,13 @@ impl Fe {
     pub fn invert(&self) -> Fe {
         assert!(!self.is_zero(), "inverse of zero field element");
         let (p_minus_2, _) = u256::sub(&P.m, &[2, 0, 0, 0]);
-        Fe(P.pow_mod(&self.0, &p_minus_2))
+        self.pow(&p_minus_2)
+    }
+
+    /// `self^exp` over the specialized multiplication/squaring (the
+    /// generic `Modulus::pow_mod` stays as the cross-checked reference).
+    fn pow(&self, exp: &Limbs) -> Fe {
+        u256::pow_ladder(self, exp, Fe::ONE, Fe::square, Fe::mul)
     }
 
     /// Square root, if one exists. Since p ≡ 3 (mod 4) this is
@@ -121,7 +200,7 @@ impl Fe {
                 prev = cur & 1;
             }
         }
-        let root = Fe(P.pow_mod(&self.0, &exp));
+        let root = self.pow(&exp);
         if root.square() == *self {
             Some(root)
         } else {

@@ -129,8 +129,23 @@ impl SecretKey {
     }
 
     /// Signs `message` with a deterministic nonce.
+    ///
+    /// Recomputes the public key (one fixed-base multiplication); callers
+    /// holding a [`Keypair`] go through [`Keypair::sign`], which passes the
+    /// cached key and pays for only the nonce commitment.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        let pk = self.public();
+        self.sign_with_public(&self.public(), message)
+    }
+
+    /// Signs `message`, reusing an already-computed public key.
+    ///
+    /// The nonce commitment `R = k·G` goes through the cached fixed-base
+    /// comb table ([`crate::point::mul_generator`]), so with `pk` cached a
+    /// signature costs exactly one comb multiplication plus hashing —
+    /// signing used to pay a second comb multiplication re-deriving `pk`
+    /// on every call.
+    pub fn sign_with_public(&self, pk: &PublicKey, message: &[u8]) -> Signature {
+        debug_assert_eq!(*pk, self.public(), "public key must match the secret");
         let mut counter: u32 = 0;
         loop {
             let k = derive_nonce(&self.scalar, message, counter);
@@ -142,7 +157,7 @@ impl SecretKey {
             if r.is_infinity() {
                 continue;
             }
-            let e = challenge(&r, &pk, message);
+            let e = challenge(&r, pk, message);
             let s = k.add(&e.mul(&self.scalar));
             if s.is_zero() {
                 continue;
@@ -236,9 +251,10 @@ impl Keypair {
         &self.secret
     }
 
-    /// Signs a message. See [`SecretKey::sign`].
+    /// Signs a message with the cached public key — one fixed-base comb
+    /// multiplication per signature. See [`SecretKey::sign_with_public`].
     pub fn sign(&self, message: &[u8]) -> Signature {
-        self.secret.sign(message)
+        self.secret.sign_with_public(&self.public, message)
     }
 
     /// Static Diffie–Hellman agreement. See [`SecretKey::agree`].

@@ -62,6 +62,76 @@ pub fn mul_wide(a: &Limbs, b: &Limbs) -> Wide {
     out
 }
 
+/// Full 256-bit squaring → 512 bits. Exploits the symmetry of the
+/// product: the 6 off-diagonal limb products are computed once and
+/// doubled instead of twice, so a squaring costs 10 wide multiplications
+/// where [`mul_wide`] costs 16 — and squarings dominate the doubling
+/// chains of point arithmetic and Fermat inversions.
+#[inline]
+pub fn sqr_wide(a: &Limbs) -> Wide {
+    // Off-diagonal products a[i]·a[j] (i < j), accumulated once.
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in (i + 1)..4 {
+            let cur = out[i + j] as u128 + a[i] as u128 * a[j] as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        out[i + 4] = carry as u64;
+    }
+    // Double them (their sum is < 2^511, so no bit is shifted out).
+    let mut carry = 0u64;
+    for limb in out.iter_mut() {
+        let top = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = top;
+    }
+    debug_assert_eq!(carry, 0);
+    // Add the diagonal squares a[i]² at position 2i.
+    let mut c = 0u128;
+    for i in 0..4 {
+        let sq = a[i] as u128 * a[i] as u128;
+        let lo = out[2 * i] as u128 + (sq as u64) as u128 + c;
+        out[2 * i] = lo as u64;
+        let hi = out[2 * i + 1] as u128 + ((sq >> 64) as u64) as u128 + (lo >> 64);
+        out[2 * i + 1] = hi as u64;
+        c = hi >> 64;
+    }
+    debug_assert_eq!(c, 0, "a² < 2^512");
+    out
+}
+
+/// Square-and-multiply exponentiation (MSB first) over caller-supplied
+/// squaring and multiplication — the one ladder behind `Fe` and `Scalar`
+/// Fermat inversions, so the specialized reductions (and any future
+/// hardening of the ladder itself) live in exactly one place. `base` must
+/// already be reduced; returns `one` when `exp` is zero.
+pub fn pow_ladder<T: Copy>(
+    base: &T,
+    exp: &Limbs,
+    one: T,
+    sqr: impl Fn(&T) -> T,
+    mul: impl Fn(&T, &T) -> T,
+) -> T {
+    let mut result = one;
+    let mut started = false;
+    for i in (0..256).rev() {
+        if started {
+            result = sqr(&result);
+        }
+        if bit(exp, i) {
+            if started {
+                result = mul(&result, base);
+            } else {
+                result = *base;
+                started = true;
+            }
+        }
+    }
+    result
+}
+
 /// Comparison: `a < b`.
 #[inline]
 pub fn lt(a: &Limbs, b: &Limbs) -> bool {
@@ -293,6 +363,20 @@ mod tests {
         let a: Limbs = [0, 1, 0, 0];
         let w = mul_wide(&a, &a);
         assert_eq!(w, [0, 0, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sqr_wide_matches_mul_wide() {
+        let values: [Limbs; 5] = [
+            [0, 0, 0, 0],
+            [7, 0, 0, 0],
+            [u64::MAX, u64::MAX, u64::MAX, u64::MAX],
+            [0x0123456789abcdef, 0xfedcba9876543210, 42, 7],
+            [u64::MAX, 0, u64::MAX, 0],
+        ];
+        for v in values {
+            assert_eq!(sqr_wide(&v), mul_wide(&v, &v), "v={v:?}");
+        }
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub trait PersistentNode: RuntimeNode {
 
     /// The wire-encoded snapshot of the node's durable state.
     fn export_state_bytes(&self) -> Vec<u8>;
+
+    /// Prunes broadcast-layer state for delivered instances. Called right
+    /// after a snapshot install: the snapshot holds those instances'
+    /// effects, so their BRB bookkeeping is dead weight — this is what
+    /// keeps a long-running replica's memory bounded by the in-flight
+    /// window instead of growing with settled history.
+    fn prune_delivered(&mut self);
 }
 
 impl PersistentNode for AstroOneReplica {
@@ -67,6 +74,10 @@ impl PersistentNode for AstroOneReplica {
     fn export_state_bytes(&self) -> Vec<u8> {
         self.export_state().to_wire_bytes()
     }
+
+    fn prune_delivered(&mut self) {
+        AstroOneReplica::prune_delivered(self);
+    }
 }
 
 impl PersistentNode for AstroTwoReplica<SchnorrAuthenticator> {
@@ -76,6 +87,10 @@ impl PersistentNode for AstroTwoReplica<SchnorrAuthenticator> {
 
     fn export_state_bytes(&self) -> Vec<u8> {
         self.export_state().to_wire_bytes()
+    }
+
+    fn prune_delivered(&mut self) {
+        AstroTwoReplica::prune_delivered(self);
     }
 }
 
@@ -116,7 +131,12 @@ impl<N: PersistentNode> DurableNode<N> {
             // An install failure keeps the full WAL — recovery still
             // works, only compaction is lost; the store reports health
             // out of band.
-            let _ = self.storage.install_snapshot(&state);
+            if self.storage.install_snapshot(&state).is_ok() {
+                // The snapshot now holds every delivered instance's
+                // effects: prune their BRB bookkeeping so broadcast-layer
+                // memory stays bounded (ROADMAP's WAL-aware GC item).
+                self.node.prune_delivered();
+            }
         }
     }
 }
@@ -157,6 +177,10 @@ impl<N: PersistentNode> RuntimeNode for DurableNode<N> {
     fn stopping(&mut self) {
         // Clean stop: everything journaled becomes durable now.
         self.storage.sync();
+    }
+
+    fn preverify(&self, from: ReplicaId, msg: &Self::Msg) -> Vec<astro_types::SigCheck> {
+        self.node.preverify(from, msg)
     }
 }
 
@@ -431,21 +455,22 @@ impl crate::AstroTwoCluster {
         let dir = dir.into();
         let endpoints = TcpTransport::loopback(keychains.clone())?.into_endpoints();
         let addrs: Vec<SocketAddr> = endpoints.iter().map(TcpEndpoint::listen_addr).collect();
+        // Durable clusters run the default verify pipeline: signature
+        // super-batches verify on a shared worker pool against the
+        // *signing* key book, overlapping the replicas' event loops.
+        let pool = crate::VerifyMode::auto().build(signing[0].book().clone());
         let nodes = signing
             .iter()
             .enumerate()
             .map(|(i, kc)| {
-                recover_astro2(
-                    &dir,
-                    i,
-                    SchnorrAuthenticator::new(kc.clone()),
-                    layout.clone(),
-                    cfg.clone(),
-                    &store,
-                )
+                let auth = match &pool {
+                    Some(pool) => SchnorrAuthenticator::with_cache(kc.clone(), pool.cache()),
+                    None => SchnorrAuthenticator::new(kc.clone()),
+                };
+                recover_astro2(&dir, i, auth, layout.clone(), cfg.clone(), &store)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let inner = Cluster::start_endpoints(nodes, endpoints, layout, flush_every)?;
+        let inner = Cluster::start_endpoints_pooled(nodes, endpoints, layout, flush_every, pool)?;
         Ok(crate::AstroTwoCluster {
             inner,
             durable: Some(DurableMeta { dir, keychains, signing, addrs, cfg, store, flush_every }),
@@ -473,10 +498,16 @@ impl crate::AstroTwoCluster {
         if self.inner.is_running(i) {
             return Err(ClusterError::ReplicaRunning(i));
         }
+        // Re-attach the restarted replica to the cluster's shared verify
+        // pipeline, so recovered nodes verify exactly like the others.
+        let auth = match self.inner.verify_pool() {
+            Some(pool) => SchnorrAuthenticator::with_cache(meta.signing[i].clone(), pool.cache()),
+            None => SchnorrAuthenticator::new(meta.signing[i].clone()),
+        };
         let node = recover_astro2(
             &meta.dir,
             i,
-            SchnorrAuthenticator::new(meta.signing[i].clone()),
+            auth,
             self.inner.layout().clone(),
             meta.cfg.clone(),
             &meta.store,
@@ -535,6 +566,68 @@ mod tests {
         let node = recover_astro1(&dir, 0, layout, cfg, &store_cfg).unwrap();
         assert_eq!(node.node().ledger().total_settled(), 8);
         assert_eq!(node.node().balance(ClientId(1)), Amount(992));
+    }
+
+    #[test]
+    fn snapshot_install_prunes_delivered_brb_instances() {
+        // The WAL-aware GC satellite: once a snapshot holds the
+        // deliveries' effects, the BRB layer's per-instance bookkeeping
+        // is pruned, so broadcast memory is bounded by the in-flight
+        // window instead of growing with settled history. A manual
+        // message pump (instead of the threaded cluster) keeps the live
+        // nodes observable.
+        use astro_brb::Dest;
+        use astro_core::astro1::Astro1Msg;
+        use astro_core::ReplicaStep;
+        use std::collections::VecDeque;
+
+        let dir = tmp_dir("brb-gc");
+        let store_cfg = StoreConfig { snapshot_every_settled: 4, ..StoreConfig::default() };
+        let layout = ShardLayout::single(4).unwrap();
+        let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(1000) };
+        let mut nodes: Vec<DurableNode<AstroOneReplica>> = (0..4)
+            .map(|i| recover_astro1(&dir, i, layout.clone(), cfg.clone(), &store_cfg).unwrap())
+            .collect();
+        let mut queue: VecDeque<(ReplicaId, ReplicaId, Astro1Msg)> = VecDeque::new();
+        fn route(
+            queue: &mut VecDeque<(ReplicaId, ReplicaId, Astro1Msg)>,
+            from: ReplicaId,
+            step: ReplicaStep<Astro1Msg>,
+        ) {
+            for env in step.outbound {
+                match env.to {
+                    Dest::All => {
+                        for i in 0..4u32 {
+                            queue.push_back((from, ReplicaId(i), env.msg.clone()));
+                        }
+                    }
+                    Dest::One(to) => queue.push_back((from, to, env.msg)),
+                }
+            }
+        }
+        // 32 settles at batch size 1 = 32 broadcast instances; without
+        // snapshot-install GC every one would be tracked forever.
+        let rep = layout.representative_of(astro_types::ClientId(1));
+        for seq in 0..32u64 {
+            let step = RuntimeNode::submit(
+                &mut nodes[rep.0 as usize],
+                Payment::new(1u64, seq, 2u64, 1u64),
+            )
+            .unwrap();
+            route(&mut queue, rep, step);
+            while let Some((from, to, msg)) = queue.pop_front() {
+                let step = RuntimeNode::handle(&mut nodes[to.0 as usize], from, msg);
+                route(&mut queue, to, step);
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.node().ledger().total_settled(), 32, "replica {i}");
+            let tracked = node.node().tracked_instances();
+            assert!(
+                tracked <= 4,
+                "replica {i}: snapshot-install GC must prune history, still tracks {tracked}"
+            );
+        }
     }
 
     #[test]

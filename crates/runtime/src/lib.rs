@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod verify;
 
 pub use durable::{demo_keychains, DurableNode, PersistentNode};
+pub use verify::{Ticket, VerifyMode, VerifyPool};
 
 use astro_brb::Dest;
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
@@ -60,7 +62,7 @@ use astro_types::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -71,8 +73,16 @@ use std::time::{Duration, Instant};
 const POLL_SLICE: Duration = Duration::from_millis(1);
 
 /// Maximum inbound messages processed per cork window. Bounds how long a
-/// replica defers its flush timer under sustained inbound pressure.
+/// replica defers its flush timer under sustained inbound pressure. With
+/// a verify pool attached, one burst is also the scope of a verification
+/// super-batch: every signature the burst carries — ACKs, commit proofs,
+/// certificates, across all BRB instances — verifies as one job.
 const BURST: usize = 128;
+
+/// With a verify pool, how many inbound messages may sit awaiting their
+/// verification ticket before the driver blocks on the oldest one.
+/// Bounds pending-queue memory under sustained overload.
+const PENDING_HIGH_WATER: usize = 8 * BURST;
 
 /// The cross-thread settlement board: per-replica settled logs plus a
 /// condvar so waiters ([`Cluster::wait_settled`]) block on progress
@@ -224,6 +234,15 @@ pub trait RuntimeNode: Send + 'static {
     /// crash ([`Cluster::kill_replica`]), which is the point of the
     /// simulation. Default: nothing.
     fn stopping(&mut self) {}
+
+    /// The Schnorr signature checks handling `msg` would trigger, for
+    /// pre-verification by the cluster's [`VerifyPool`]. A node whose
+    /// messages carry no pool-verifiable signatures (Astro I's
+    /// MAC-authenticated traffic) returns none and the pool is bypassed.
+    fn preverify(&self, from: ReplicaId, msg: &Self::Msg) -> Vec<astro_types::SigCheck> {
+        let _ = (from, msg);
+        Vec::new()
+    }
 }
 
 fn ledger_balances(ledger: &astro_core::Ledger) -> HashMap<ClientId, Amount> {
@@ -288,6 +307,10 @@ impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
     fn total_settled(&self) -> usize {
         self.ledger().total_settled()
     }
+
+    fn preverify(&self, from: ReplicaId, msg: &Self::Msg) -> Vec<astro_types::SigCheck> {
+        astro_core::astro2::sig_checks(from, msg)
+    }
 }
 
 /// Control-channel commands, delivered outside the replica mesh (clients
@@ -324,6 +347,8 @@ pub struct Cluster {
     seats: Vec<Seat>,
     settled: Arc<SettledBoard>,
     layout: ShardLayout,
+    /// The shared verification pipeline, when the cluster runs pooled.
+    pool: Option<Arc<VerifyPool>>,
 }
 
 impl Cluster {
@@ -363,6 +388,30 @@ impl Cluster {
         N: RuntimeNode,
         E: Endpoint,
     {
+        Self::start_endpoints_pooled(nodes, endpoints, layout, flush_every, None)
+    }
+
+    /// Starts `nodes` with an optional shared [`VerifyPool`]: inbound
+    /// message bursts are pre-verified on the pool's worker threads while
+    /// each replica's event loop keeps draining transport, and handled in
+    /// arrival order once their verdicts are cached. The nodes'
+    /// authenticators must share the pool's verdict cache
+    /// ([`VerifyPool::cache`]) for the pre-verification to pay off.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a node/endpoint count mismatch.
+    pub fn start_endpoints_pooled<N, E>(
+        nodes: Vec<N>,
+        endpoints: Vec<E>,
+        layout: ShardLayout,
+        flush_every: Duration,
+        pool: Option<Arc<VerifyPool>>,
+    ) -> Result<Cluster, ClusterError>
+    where
+        N: RuntimeNode,
+        E: Endpoint,
+    {
         let n = nodes.len();
         if endpoints.len() != n {
             return Err(ClusterError::EndpointMismatch { expected: n, got: endpoints.len() });
@@ -372,17 +421,24 @@ impl Cluster {
         for (mut node, endpoint) in nodes.into_iter().zip(endpoints) {
             let (tx, rx) = unbounded();
             let settled_board = Arc::clone(&settled);
+            let pool = pool.clone();
             let handle = std::thread::spawn(move || {
-                replica_main(&mut node, endpoint, &rx, &settled_board, flush_every)
+                replica_main(&mut node, endpoint, &rx, &settled_board, flush_every, pool.as_deref())
             });
             seats.push(Seat { ctrl: tx, handle: Some(handle), last_result: None });
         }
-        Ok(Cluster { seats, settled, layout })
+        Ok(Cluster { seats, settled, layout, pool })
     }
 
     /// The client → representative mapping in use.
     pub fn layout(&self) -> &ShardLayout {
         &self.layout
+    }
+
+    /// The shared verify pool, if the cluster runs pooled (respawned
+    /// replicas re-attach to it).
+    pub fn verify_pool(&self) -> Option<&Arc<VerifyPool>> {
+        self.pool.as_ref()
     }
 
     /// True if replica `i`'s thread is (still) attached.
@@ -430,8 +486,9 @@ impl Cluster {
         }
         let (tx, rx) = unbounded();
         let settled_board = Arc::clone(&self.settled);
+        let pool = self.pool.clone();
         let handle = std::thread::spawn(move || {
-            replica_main(&mut node, endpoint, &rx, &settled_board, flush_every)
+            replica_main(&mut node, endpoint, &rx, &settled_board, flush_every, pool.as_deref())
         });
         self.seats[i] = Seat { ctrl: tx, handle: Some(handle), last_result: None };
         Ok(())
@@ -490,15 +547,51 @@ impl Cluster {
     }
 }
 
+/// An inbound message parked until its verification ticket completes.
+/// Messages of one burst share one ticket (their signatures verified as a
+/// single super-batch).
+type Parked<M> = (ReplicaId, M, Option<verify::Ticket>);
+
+/// Handles every parked message whose verification has completed, in
+/// arrival order; stops at the first still-running ticket (or drains
+/// everything when `block` is set). Must run inside a cork window.
+fn drain_verified<N: RuntimeNode, E: Endpoint>(
+    node: &mut N,
+    pending: &mut VecDeque<Parked<N::Msg>>,
+    endpoint: &mut E,
+    settled: &Arc<SettledBoard>,
+    me: ReplicaId,
+    block: bool,
+) {
+    while let Some((_, _, ticket)) = pending.front() {
+        match ticket {
+            Some(t) if !t.is_done() => {
+                if !block {
+                    return;
+                }
+                t.wait();
+            }
+            _ => {}
+        }
+        let (from, msg, _) = pending.pop_front().expect("checked front");
+        let step = node.handle(from, msg);
+        dispatch(me, step, endpoint, settled);
+    }
+}
+
 fn replica_main<N: RuntimeNode, E: Endpoint>(
     node: &mut N,
     mut endpoint: E,
     ctrl: &Receiver<Ctrl>,
     settled: &Arc<SettledBoard>,
     flush_every: Duration,
+    pool: Option<&VerifyPool>,
 ) -> (HashMap<ClientId, Amount>, usize) {
     let me = node.id();
     let mut next_flush = Instant::now() + flush_every;
+    // Pool mode: messages decoded but awaiting their burst's verification
+    // ticket, in arrival order. Always empty in serial mode.
+    let mut pending: VecDeque<Parked<N::Msg>> = VecDeque::new();
     'run: loop {
         // Work generated in this window is corked: the transport coalesces
         // the frames per link and writes each link once at uncork, so a
@@ -508,13 +601,17 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
         loop {
             match ctrl.try_recv() {
                 Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => {
+                    // A clean stop processes everything already received —
+                    // pooled and serial runs must leave identical state.
+                    drain_verified(node, &mut pending, &mut endpoint, settled, me, true);
                     let _ = endpoint.uncork();
                     node.stopping();
                     break 'run;
                 }
                 Ok(Ctrl::Crash) => {
                     // Simulated power loss: no uncork, no stopping() — the
-                    // thread vanishes mid-step, like the machine did.
+                    // thread vanishes mid-step, like the machine did, and
+                    // parked messages are lost like messages on the wire.
                     return (node.final_balances(), node.total_settled());
                 }
                 Ok(Ctrl::Client(p)) => {
@@ -530,28 +627,69 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
             dispatch(me, step, &mut endpoint, settled);
             next_flush = Instant::now() + flush_every;
         }
+        drain_verified(node, &mut pending, &mut endpoint, settled, me, false);
         let _ = endpoint.uncork();
         // Peer traffic, waiting at most until the next flush deadline for
         // the first message, then draining the burst that is already
         // queued (bounded, so the flush timer cannot starve).
         let wait = next_flush.saturating_duration_since(Instant::now()).min(POLL_SLICE);
-        if let Ok(Some((from, bytes))) = endpoint.recv_timeout(wait) {
+        if let Ok(Some(first)) = endpoint.recv_timeout(wait) {
             endpoint.cork();
-            // Malformed bytes from a Byzantine peer are dropped here; the
-            // wire codec is total, so this is the only failure mode.
-            if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
-                let step = node.handle(from, msg);
-                dispatch(me, step, &mut endpoint, settled);
-            }
-            for _ in 1..BURST {
-                match endpoint.recv_timeout(Duration::ZERO) {
-                    Ok(Some((from, bytes))) => {
-                        if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
-                            let step = node.handle(from, msg);
-                            dispatch(me, step, &mut endpoint, settled);
+            match pool {
+                None => {
+                    // Serial path: verification runs wherever the state
+                    // machine asks, on this thread.
+                    let (from, bytes) = first;
+                    // Malformed bytes from a Byzantine peer are dropped
+                    // here; the wire codec is total, so this is the only
+                    // failure mode.
+                    if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
+                        let step = node.handle(from, msg);
+                        dispatch(me, step, &mut endpoint, settled);
+                    }
+                    for _ in 1..BURST {
+                        match endpoint.recv_timeout(Duration::ZERO) {
+                            Ok(Some((from, bytes))) => {
+                                if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
+                                    let step = node.handle(from, msg);
+                                    dispatch(me, step, &mut endpoint, settled);
+                                }
+                            }
+                            _ => break,
                         }
                     }
-                    _ => break,
+                }
+                Some(pool) => {
+                    // Pipelined path: decode the whole burst, submit every
+                    // signature it carries as ONE super-batch (all pending
+                    // BRB instances amortize into a single multi-scalar
+                    // multiplication on a worker), park the messages, and
+                    // keep draining transport while the pool verifies.
+                    let mut checks: Vec<astro_types::SigCheck> = Vec::new();
+                    let mut burst: Vec<(ReplicaId, N::Msg)> = Vec::new();
+                    let mut take = |from: ReplicaId, bytes: &[u8]| {
+                        if let Ok(msg) = decode_exact::<N::Msg>(bytes) {
+                            checks.extend(node.preverify(from, &msg));
+                            burst.push((from, msg));
+                        }
+                    };
+                    take(first.0, &first.1);
+                    for _ in 1..BURST {
+                        match endpoint.recv_timeout(Duration::ZERO) {
+                            Ok(Some((from, bytes))) => take(from, &bytes),
+                            _ => break,
+                        }
+                    }
+                    let ticket = (!checks.is_empty()).then(|| pool.submit(checks));
+                    for (from, msg) in burst {
+                        pending.push_back((from, msg, ticket.clone()));
+                    }
+                    drain_verified(node, &mut pending, &mut endpoint, settled, me, false);
+                    // Under sustained overload, bound the parked backlog by
+                    // waiting for the oldest super-batch.
+                    if pending.len() > PENDING_HIGH_WATER {
+                        drain_verified(node, &mut pending, &mut endpoint, settled, me, true);
+                    }
                 }
             }
             let _ = endpoint.uncork();
@@ -758,7 +896,9 @@ impl AstroTwoCluster {
         Self::start_with(transport, n, cfg, flush_every)
     }
 
-    /// Starts `n` replica threads over an arbitrary transport.
+    /// Starts `n` replica threads over an arbitrary transport with the
+    /// default verification pipeline ([`VerifyMode::auto`]: a worker pool
+    /// sized to the machine).
     ///
     /// # Errors
     ///
@@ -769,18 +909,49 @@ impl AstroTwoCluster {
         cfg: Astro2Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
+        Self::start_with_verify(transport, n, cfg, flush_every, VerifyMode::auto())
+    }
+
+    /// Starts `n` replica threads over an arbitrary transport with an
+    /// explicit [`VerifyMode`]. `VerifyMode::Serial` verifies on the
+    /// replica threads (the baseline the determinism tests compare
+    /// against); `VerifyMode::Pooled` pre-verifies inbound signature
+    /// super-batches on shared worker threads so curve arithmetic
+    /// overlaps transport I/O and scales with cores.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n < 4` or the transport's endpoint count is not `n`.
+    pub fn start_with_verify<T: Transport>(
+        transport: T,
+        n: usize,
+        cfg: Astro2Config,
+        flush_every: Duration,
+        mode: VerifyMode,
+    ) -> Result<Self, ClusterError> {
         let layout = single_layout(n)?;
         // The signing keys are independent of any transport session keys;
         // deterministic for reproducibility, as everywhere in the repo.
         let keychains = Keychain::deterministic_system(b"astro-runtime-astro2", n);
+        let pool = mode.build(keychains[0].book().clone());
         let nodes: Vec<AstroTwoReplica<SchnorrAuthenticator>> = keychains
             .into_iter()
             .map(|kc| {
-                AstroTwoReplica::new(SchnorrAuthenticator::new(kc), layout.clone(), cfg.clone())
+                let auth = match &pool {
+                    Some(pool) => SchnorrAuthenticator::with_cache(kc, pool.cache()),
+                    None => SchnorrAuthenticator::new(kc),
+                };
+                AstroTwoReplica::new(auth, layout.clone(), cfg.clone())
             })
             .collect();
         Ok(AstroTwoCluster {
-            inner: Cluster::start(nodes, transport, layout, flush_every)?,
+            inner: Cluster::start_endpoints_pooled(
+                nodes,
+                transport.into_endpoints(),
+                layout,
+                flush_every,
+                pool,
+            )?,
             durable: None,
         })
     }

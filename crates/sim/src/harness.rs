@@ -161,6 +161,15 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
     }
 
     let mut cpu_free: Vec<Nanos> = vec![0; system.n()];
+    // Per-replica verifier lanes (the runtime's verify pool in simulated
+    // time): each entry is when that lane next comes free. Empty when the
+    // model runs verification inline.
+    let mut verify_free: Vec<Vec<Nanos>> = vec![vec![0; cfg.cpu.verify_lanes]; system.n()];
+    // When the replica's most recent inbound message took effect. The
+    // runtime handles parked messages strictly in arrival order
+    // (`drain_verified`), so a message's effects can never precede an
+    // earlier message's verification — model that head-of-line ordering.
+    let mut deliver_ready: Vec<Nanos> = vec![0; system.n()];
     let mut next_tick: Vec<Nanos> = vec![Nanos::MAX; system.n()];
     let mut outstanding: HashMap<PaymentId, Outstanding> = HashMap::new();
     let mut entry_override: HashMap<usize, ReplicaId> = HashMap::new();
@@ -260,11 +269,38 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                     continue;
                 }
                 let start = event.time.max(cpu_free[to.0 as usize]);
-                let base_cost = cfg.cpu.overhead_ns + system.deliver_cost(&msg, &cfg.cpu);
-                let step = system.deliver(to, from, msg, start + base_cost);
-                let completion =
-                    start + base_cost + cfg.cpu.settle_ns * step.settled.len() as Nanos;
-                cpu_free[to.0 as usize] = completion;
+                let cost = system.deliver_cost(&msg, &cfg.cpu);
+                // The verification share runs on the earliest-free lane
+                // (the verify pool), overlapping the event loop; with no
+                // lanes it IS event-loop work and counts toward
+                // `inline_done` — the serial baseline charges it even
+                // when the step produces no effects.
+                let (inline_done, ready) = if cost.verify == 0 || cfg.cpu.verify_lanes == 0 {
+                    let done = start + cfg.cpu.overhead_ns + cost.total();
+                    (done, done)
+                } else {
+                    let inline_done = start + cfg.cpu.overhead_ns + cost.inline;
+                    let lanes = &mut verify_free[to.0 as usize];
+                    let lane = (0..lanes.len()).min_by_key(|&l| lanes[l]).expect("lanes > 0");
+                    lanes[lane] = lanes[lane].max(start) + cost.verify;
+                    (inline_done, inline_done.max(lanes[lane]))
+                };
+                // FIFO handling: this message cannot take effect before
+                // its predecessors have (arrival-order pipeline).
+                let ready = ready.max(deliver_ready[to.0 as usize]);
+                deliver_ready[to.0 as usize] = ready;
+                let step = system.deliver(to, from, msg, ready);
+                let completion = ready + cfg.cpu.settle_ns * step.settled.len() as Nanos;
+                // The loop itself is busy only for the inline share — a
+                // message whose step had effects re-occupies it at
+                // `ready` to emit them; one that produced nothing (an ACK
+                // below quorum verifying in the background) frees the
+                // loop at `inline_done`.
+                cpu_free[to.0 as usize] = if step.outbound.is_empty() && step.settled.is_empty() {
+                    inline_done
+                } else {
+                    completion
+                };
                 process_step(
                     &mut system,
                     &mut network,

@@ -7,7 +7,7 @@
 //! protocol logic itself runs with simulation-grade authenticators, so the
 //! *costs* come from the model, not wall-clock crypto.
 
-use crate::cpumodel::CpuModel;
+use crate::cpumodel::{CpuModel, DeliverCost};
 use crate::netmodel::Nanos;
 use astro_brb::bracha::BrachaMsg;
 use astro_brb::signed::SignedMsg;
@@ -74,8 +74,10 @@ pub trait SimSystem {
 
     /// CPU cost of processing `msg` at a receiving replica (crypto +
     /// hashing; generic dispatch overhead and settle costs are charged by
-    /// the harness).
-    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> Nanos;
+    /// the harness), split into the event loop's inline share and the
+    /// signature-verification share a verify pool can run on worker
+    /// lanes ([`CpuModel::verify_lanes`]).
+    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> DeliverCost;
 
     /// CPU cost of *sending one copy* of `msg` (link MAC, per-copy
     /// serialization). Charged per recipient: a broadcast to N replicas
@@ -220,24 +222,25 @@ impl SimSystem for Astro1System {
         (0..self.replicas.len() as u32).map(ReplicaId).collect()
     }
 
-    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> Nanos {
+    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> DeliverCost {
         // MAC-authenticated link + digest of the carried payload (the
         // protocol hashes every payload to track echoes/readies). On first
         // reception (PREPARE) every replica additionally validates the
         // per-payment client authentication data that requests carry
         // (~100 B per payment, §VI-B); ECHO/READY copies pay per-payment
-        // quorum-bookkeeping costs.
+        // quorum-bookkeeping costs. No Schnorr signatures anywhere —
+        // nothing for a verify pool to take.
         const CLIENT_AUTH_NS: Nanos = 12_000;
         const BOOKKEEPING_NS: Nanos = 1_500;
         let size = msg.encoded_len();
-        match msg {
+        DeliverCost::inline(match msg {
             BrachaMsg::Prepare { payload, .. } => {
                 cpu.mac_ns + cpu.hash(size) + payload.payments.len() as Nanos * CLIENT_AUTH_NS
             }
             BrachaMsg::Echo { payload, .. } | BrachaMsg::Ready { payload, .. } => {
                 cpu.mac_ns + cpu.hash(size) + payload.payments.len() as Nanos * BOOKKEEPING_NS
             }
-        }
+        })
     }
 }
 
@@ -346,11 +349,15 @@ impl SimSystem for Astro2System {
         self.groups[shard.0 as usize].members().to_vec()
     }
 
-    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> Nanos {
+    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> DeliverCost {
+        // Signature verification is the offloadable share (the runtime's
+        // verify pool pre-verifies it on worker threads); hashing,
+        // signing replies, and bookkeeping stay on the event loop.
         let size = msg.encoded_len();
         match msg {
             // Receiving a PREPARE: hash the batch and sign one ACK (the
-            // paper's one-signature-per-batch amortization, §VI-A).
+            // paper's one-signature-per-batch amortization, §VI-A);
+            // attached dependency certificates verify off-loop.
             Astro2Msg::Brb(SignedMsg::Prepare { payload, .. }) => {
                 let dep_sigs: usize = payload
                     .entries
@@ -358,10 +365,15 @@ impl SimSystem for Astro2System {
                     .flat_map(|e| e.deps.iter())
                     .map(|cert| cert.proofs.len())
                     .sum();
-                cpu.hash(size) + cpu.sign_ns + cpu.batch_verify(dep_sigs)
+                DeliverCost {
+                    inline: cpu.hash(size) + cpu.sign_ns,
+                    verify: cpu.batch_verify(dep_sigs),
+                }
             }
             // Receiving an ACK: verify one signature.
-            Astro2Msg::Brb(SignedMsg::Ack { .. }) => cpu.verify_ns,
+            Astro2Msg::Brb(SignedMsg::Ack { .. }) => {
+                DeliverCost { inline: 0, verify: cpu.verify_ns }
+            }
             // Receiving a COMMIT: verify the quorum of ACK signatures and
             // any dependency-certificate signatures — as one Schnorr batch
             // verification (shared-doubling multi-scalar mult; see
@@ -373,12 +385,16 @@ impl SimSystem for Astro2System {
                     .flat_map(|e| e.deps.iter())
                     .map(|cert| cert.proofs.len())
                     .sum();
-                cpu.hash(size) + cpu.batch_verify(proof.len() + dep_sigs)
+                DeliverCost {
+                    inline: cpu.hash(size),
+                    verify: cpu.batch_verify(proof.len() + dep_sigs),
+                }
             }
             // Receiving a CREDIT sub-batch: hash + one verification.
-            Astro2Msg::Credit(bundle) => {
-                cpu.hash(size) + cpu.verify_ns + bundle.sig.encoded_len() as Nanos
-            }
+            Astro2Msg::Credit(bundle) => DeliverCost {
+                inline: cpu.hash(size) + bundle.sig.encoded_len() as Nanos,
+                verify: cpu.verify_ns,
+            },
         }
     }
 }
@@ -473,15 +489,17 @@ impl SimSystem for PbftSystem {
         (0..self.replicas.len() as u32).map(ReplicaId).collect()
     }
 
-    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> Nanos {
+    fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> DeliverCost {
+        // BFT-SMaRt authenticates with MAC vectors, not signatures:
+        // everything is event-loop work.
         let size = msg.encoded_len();
-        match msg {
+        DeliverCost::inline(match msg {
             // Request reception: MAC check plus request bookkeeping.
             PbftMsg::Forward(_) => cpu.mac_ns + cpu.consensus_request_ns / 4,
             PbftMsg::PrePrepare { .. } => cpu.mac_ns + cpu.hash(size),
             PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => cpu.mac_ns,
             PbftMsg::ViewChange { .. } | PbftMsg::NewView { .. } => cpu.mac_ns + cpu.hash(size),
-        }
+        })
     }
 
     fn send_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> Nanos {

@@ -19,6 +19,107 @@ use crate::keys::Keychain;
 use crate::wire::{Wire, WireError};
 use astro_crypto::hmac::hmac_sha256;
 use astro_crypto::schnorr::SIGNATURE_LEN;
+use astro_crypto::sha256::Sha256;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// One Schnorr signature check: does `signer` have a valid signature over
+/// `context`? The unit of work a runtime verify pool pre-verifies, and the
+/// key shape of the [`VerdictCache`] the pool shares with
+/// [`SchnorrAuthenticator`].
+#[derive(Debug, Clone)]
+pub struct SigCheck {
+    /// The claimed signer.
+    pub signer: ReplicaId,
+    /// The byte string the signature covers. Shared, because one context
+    /// typically backs a whole quorum proof's worth of checks — a
+    /// refcount bump per signature instead of a buffer clone on the
+    /// replica's event-loop thread.
+    pub context: Arc<[u8]>,
+    /// The signature to check.
+    pub sig: astro_crypto::Signature,
+}
+
+impl SigCheck {
+    /// The verdict-cache key: a domain-separated digest binding signer,
+    /// context, and signature bytes. Verification is a pure function of
+    /// these three (given a fixed key book), so a cached verdict is
+    /// exactly as authoritative as re-running the check.
+    pub fn cache_key(&self) -> [u8; 32] {
+        verdict_key(self.signer, &self.context, &self.sig)
+    }
+}
+
+/// The verdict-cache key of one `(signer, context, signature)` triple.
+fn verdict_key(signer: ReplicaId, context: &[u8], sig: &astro_crypto::Signature) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"astro-verdict-v1");
+    h.update(&signer.0.to_be_bytes());
+    h.update(&(context.len() as u64).to_be_bytes());
+    h.update(context);
+    h.update(&sig.to_bytes());
+    h.finalize()
+}
+
+/// A bounded, thread-safe cache of signature verdicts, shared between a
+/// runtime verify pool (writer, off the replica thread) and the replica's
+/// [`SchnorrAuthenticator`] (reader on the hot path).
+///
+/// Verdicts are keyed by [`SigCheck::cache_key`] — the digest of signer,
+/// context, and signature bytes — so a cached `true`/`false` is the exact
+/// result serial verification would produce, and pooled runs settle
+/// byte-identically to serial ones. FIFO eviction bounds memory; an
+/// evicted verdict is simply recomputed.
+#[derive(Debug)]
+pub struct VerdictCache {
+    inner: Mutex<VerdictInner>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct VerdictInner {
+    map: HashMap<[u8; 32], bool>,
+    order: VecDeque<[u8; 32]>,
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `cap` verdicts.
+    pub fn new(cap: usize) -> Self {
+        VerdictCache {
+            inner: Mutex::new(VerdictInner { map: HashMap::new(), order: VecDeque::new() }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The cached verdict for `key`, if any.
+    pub fn get(&self, key: &[u8; 32]) -> Option<bool> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.get(key).copied()
+    }
+
+    /// Records a verdict (first write wins; verification is deterministic,
+    /// so concurrent writers agree).
+    pub fn insert(&self, key: [u8; 32], ok: bool) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key, ok).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.cap {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Signing/verification capability of one replica, as seen by protocol
 /// state machines.
@@ -91,20 +192,39 @@ pub fn count_valid_signers<A: Authenticator>(
 }
 
 /// Real Schnorr signatures backed by a [`Keychain`].
+///
+/// Optionally consults a shared [`VerdictCache`] before any curve work:
+/// when a runtime verify pool pre-verifies inbound signature batches off
+/// the replica thread, every `verify*` call here becomes a cache lookup
+/// and the replica's event loop never blocks on scalar multiplications
+/// for pre-verified traffic. Cache misses fall back to the normal
+/// (batched) verification paths and backfill the cache.
 #[derive(Debug, Clone)]
 pub struct SchnorrAuthenticator {
     keychain: Keychain,
+    cache: Option<Arc<VerdictCache>>,
 }
 
 impl SchnorrAuthenticator {
-    /// Wraps a keychain.
+    /// Wraps a keychain (no verdict cache; every check does curve work).
     pub fn new(keychain: Keychain) -> Self {
-        Self { keychain }
+        Self { keychain, cache: None }
+    }
+
+    /// Wraps a keychain with a shared verdict cache (the verify-pool
+    /// deployment).
+    pub fn with_cache(keychain: Keychain, cache: Arc<VerdictCache>) -> Self {
+        Self { keychain, cache: Some(cache) }
     }
 
     /// Access to the underlying keychain.
     pub fn keychain(&self) -> &Keychain {
         &self.keychain
+    }
+
+    /// The attached verdict cache, if any.
+    pub fn verdict_cache(&self) -> Option<&Arc<VerdictCache>> {
+        self.cache.as_ref()
     }
 }
 
@@ -120,36 +240,86 @@ impl Authenticator for SchnorrAuthenticator {
     }
 
     fn verify(&self, peer: ReplicaId, message: &[u8], sig: &Self::Sig) -> bool {
-        self.keychain.verify(peer, message, sig)
+        let Some(cache) = &self.cache else {
+            return self.keychain.verify(peer, message, sig);
+        };
+        let key = verdict_key(peer, message, sig);
+        if let Some(verdict) = cache.get(&key) {
+            return verdict;
+        }
+        let ok = self.keychain.verify(peer, message, sig);
+        cache.insert(key, ok);
+        ok
     }
 
     fn verify_all(&self, message: &[u8], sigs: &[(ReplicaId, &Self::Sig)]) -> bool {
         // One multi-scalar multiplication for the whole set (~3× cheaper
-        // per signature than serial at quorum sizes, see micro_crypto).
+        // per signature than serial at quorum sizes, see micro_crypto) —
+        // or, with a verify pool attached, pure cache lookups for
+        // pre-verified entries and one batch over the misses.
         let mut items = Vec::with_capacity(sigs.len());
+        let mut miss_keys = Vec::new();
         for (peer, sig) in sigs {
             let Some(pk) = self.keychain.book().key_of(*peer) else { return false };
+            if let Some(cache) = &self.cache {
+                let key = verdict_key(*peer, message, sig);
+                match cache.get(&key) {
+                    Some(true) => continue,
+                    Some(false) => return false,
+                    None => miss_keys.push(key),
+                }
+            }
             items.push((message, *pk, **sig));
         }
-        astro_crypto::schnorr::batch_verify(&items)
+        if items.is_empty() {
+            return true;
+        }
+        let ok = astro_crypto::schnorr::batch_verify(&items);
+        if ok {
+            // A passing batch proves every member valid; a failing batch
+            // only proves *some* member invalid, so no per-item verdicts
+            // are cached (verify_each pinpoints and caches them).
+            if let Some(cache) = &self.cache {
+                for key in miss_keys {
+                    cache.insert(key, true);
+                }
+            }
+        }
+        ok
     }
 
     fn verify_each(&self, message: &[u8], sigs: &[(ReplicaId, &Self::Sig)]) -> Vec<bool> {
         // Bisection over batch checks: a proof with `b` forgeries costs
         // O(b · log n) batch verifications instead of n serial ones.
+        // Cached verdicts short-circuit their entries entirely.
         let mut ok = vec![true; sigs.len()];
         let mut items = Vec::with_capacity(sigs.len());
         let mut item_index = Vec::with_capacity(sigs.len());
+        let mut item_keys = Vec::with_capacity(sigs.len());
         for (i, (peer, sig)) in sigs.iter().enumerate() {
             match self.keychain.book().key_of(*peer) {
                 Some(pk) => {
+                    if let Some(cache) = &self.cache {
+                        let key = verdict_key(*peer, message, sig);
+                        if let Some(verdict) = cache.get(&key) {
+                            ok[i] = verdict;
+                            continue;
+                        }
+                        item_keys.push(key);
+                    }
                     items.push((message, *pk, **sig));
                     item_index.push(i);
                 }
                 None => ok[i] = false,
             }
         }
-        for bad in astro_crypto::schnorr::find_invalid(&items) {
+        let invalid = astro_crypto::schnorr::find_invalid(&items);
+        if let Some(cache) = &self.cache {
+            for (j, key) in item_keys.into_iter().enumerate() {
+                cache.insert(key, !invalid.contains(&j));
+            }
+        }
+        for bad in invalid {
             ok[item_index[bad]] = false;
         }
         ok

@@ -41,7 +41,10 @@ pub mod money;
 pub mod payment;
 pub mod wire;
 
-pub use auth::{count_valid_signers, Authenticator, MacAuthenticator, SchnorrAuthenticator};
+pub use auth::{
+    count_valid_signers, Authenticator, MacAuthenticator, SchnorrAuthenticator, SigCheck,
+    VerdictCache,
+};
 pub use config::{ConfigError, ShardLayout, ShardSpec, SystemConfig};
 pub use group::Group;
 pub use ids::{ClientId, ReplicaId, ShardId};
