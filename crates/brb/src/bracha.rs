@@ -281,6 +281,28 @@ impl<P: Payload> BrachaBrb<P> {
         self.fifo.advance(source, next);
     }
 
+    /// Advances the FIFO cursor of `source` on a *live* replica (peer
+    /// catch-up) and returns the completed-but-buffered deliveries the
+    /// advance released; see [`FifoDelivery::advance_releasing`].
+    pub fn advance_cursor_releasing(&mut self, source: Source, next: Tag) -> Vec<Delivery<P>> {
+        self.fifo.advance_releasing(source, next)
+    }
+
+    /// One past the highest tag this replica has any evidence of for
+    /// `source`'s stream — tracked instances or the FIFO delivery cursor.
+    /// A peer serving catch-up state reports this so a restarted `source`
+    /// resumes broadcasting above every tag it may already have used.
+    pub fn source_high_water(&self, source: Source) -> Tag {
+        let tracked = self
+            .instances
+            .keys()
+            .filter(|id| id.source == source)
+            .map(|id| id.tag + 1)
+            .max()
+            .unwrap_or(0);
+        tracked.max(self.fifo.cursor(source))
+    }
+
     /// Drops state for all instances of `source` with `tag < up_to`.
     ///
     /// Callers may garbage-collect instances that the application has

@@ -247,17 +247,47 @@ impl<P> FifoDelivery<P> {
     /// and must not be re-delivered, while later instances stay
     /// deliverable). Completed-but-buffered payloads below the cursor are
     /// discarded. No-op in unordered mode, which keeps no cursors.
+    ///
+    /// Use only while (re)constructing a replica, when nothing can be
+    /// buffered at or above the new cursor; a *live* cursor advance (peer
+    /// catch-up installing a transferred state) must use
+    /// [`Self::advance_releasing`] so completed instances the gap was
+    /// holding back are not lost.
     pub fn advance(&mut self, source: Source, next: Tag) {
+        let released = self.advance_releasing(source, next);
+        debug_assert!(released.is_empty(), "buffered deliveries dropped; use advance_releasing");
+    }
+
+    /// Advances the FIFO cursor of `source` to at least `next` and returns
+    /// the contiguous run of completed-but-buffered payloads that became
+    /// deliverable — the catch-up path: a transferred state covers the
+    /// gap instances' effects, so instances completed *behind* the gap
+    /// must deliver now that the cursor has moved past it. Buffered
+    /// payloads below the cursor (their effects are in the transferred
+    /// state) are discarded. No-op in unordered mode.
+    pub fn advance_releasing(&mut self, source: Source, next: Tag) -> Vec<Delivery<P>> {
         if self.order == DeliveryOrder::Unordered {
-            return;
+            return Vec::new();
         }
         let cursor = self.next_tag.entry(source).or_insert(0);
         if next > *cursor {
             *cursor = next;
-            if let Some(buffered) = self.buffered.get_mut(&source) {
-                buffered.retain(|tag, _| *tag >= next);
+        }
+        let mut out = Vec::new();
+        if let Some(buffered) = self.buffered.get_mut(&source) {
+            buffered.retain(|tag, _| *tag >= *cursor);
+            while let Some(payload) = buffered.remove(cursor) {
+                out.push(Delivery { id: InstanceId { source, tag: *cursor }, payload });
+                *cursor += 1;
             }
         }
+        out
+    }
+
+    /// The FIFO cursor of one source (0 if never advanced). Always 0 in
+    /// unordered mode.
+    pub fn cursor(&self, source: Source) -> Tag {
+        *self.next_tag.get(&source).unwrap_or(&0)
     }
 }
 

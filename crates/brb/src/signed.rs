@@ -373,6 +373,32 @@ impl<P: Payload, A: Authenticator> SignedBrb<P, A> {
         self.fifo.advance(source, next);
     }
 
+    /// Advances the FIFO cursor of `source` on a *live* replica (peer
+    /// catch-up) and returns the completed-but-buffered deliveries the
+    /// advance released; see [`FifoDelivery::advance_releasing`]. A
+    /// no-op returning nothing in unordered mode (Astro II's default),
+    /// where nothing is ever gap-blocked.
+    pub fn advance_cursor_releasing(&mut self, source: Source, next: Tag) -> Vec<Delivery<P>> {
+        self.fifo.advance_releasing(source, next)
+    }
+
+    /// One past the highest tag this replica has any evidence of for
+    /// `source`'s stream — tracked receiver instances, the GC watermark,
+    /// or the FIFO cursor. A peer serving catch-up state reports this so
+    /// a restarted `source` resumes broadcasting above every tag it may
+    /// already have used (re-using an acked tag can never commit: peers
+    /// ack at most one payload per instance).
+    pub fn source_high_water(&self, source: Source) -> Tag {
+        let tracked = self
+            .instances
+            .keys()
+            .filter(|id| id.source == source)
+            .map(|id| id.tag + 1)
+            .max()
+            .unwrap_or(0);
+        tracked.max(*self.gc_floor.get(&source).unwrap_or(&0)).max(self.fifo.cursor(source))
+    }
+
     /// Drops receiver and broadcaster state for instances of `source` with
     /// `tag < up_to`.
     pub fn gc_source(&mut self, source: Source, up_to: Tag) {

@@ -11,11 +11,14 @@ use crate::batch::Batch;
 use crate::journal::{Astro1State, Journal, JournalSlot, WalRecord};
 use crate::ledger::{Ledger, SettleOutcome};
 use crate::pending::PendingQueue;
+use crate::reconfig::{CatchUp, ReconfigMsg, SyncError};
 use crate::xlog::XLogError;
 use crate::{ReplicaStep, SubmitError};
 use astro_brb::bracha::{BrachaBrb, BrachaMsg};
-use astro_brb::{BrbConfig, DeliveryOrder, InstanceId};
+use astro_brb::{BrbConfig, DeliveryOrder, Dest, Envelope, InstanceId};
+use astro_types::wire::{decode_exact, Wire, WireError};
 use astro_types::{Amount, ClientId, Group, Payment, ReplicaId, ShardLayout};
+use std::collections::{HashMap, VecDeque};
 
 /// Configuration of an Astro I replica.
 #[derive(Debug, Clone)]
@@ -35,7 +38,106 @@ impl Default for Astro1Config {
 }
 
 /// Wire messages exchanged between Astro I replicas.
-pub type Astro1Msg = BrachaMsg<Batch>;
+///
+/// Astro I carries no signatures — links are MAC-authenticated and the
+/// catch-up state transfer certifies by `f+1` matching digests — so the
+/// reconfiguration messages are instantiated with the unit signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Astro1Msg {
+    /// Broadcast-layer traffic (Bracha's three phases).
+    Brb(BrachaMsg<Batch>),
+    /// Reconfiguration / catch-up traffic (Appendix A).
+    Sync(ReconfigMsg<()>),
+}
+
+impl Wire for Astro1Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Astro1Msg::Brb(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            Astro1Msg::Sync(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Astro1Msg::Brb(Wire::decode(buf)?)),
+            1 => Ok(Astro1Msg::Sync(Wire::decode(buf)?)),
+            _ => Err(WireError::InvalidValue("astro1 message tag")),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Astro1Msg::Brb(m) => m.encoded_len(),
+            Astro1Msg::Sync(m) => m.encoded_len(),
+        }
+    }
+}
+
+/// Broadcast messages a catching-up replica may park before the
+/// transferred cursor is installed. Overflow drops the *oldest* message:
+/// old messages belong to instances the certified state (which keeps
+/// advancing at the donors while we retry) will cover, while the newest
+/// are exactly the ones replay needs after the install — dropping those
+/// would leave an unfillable FIFO gap, since BRB never retransmits.
+pub(crate) const SYNC_BUFFER_CAP: usize = 8192;
+
+/// Flush ticks between catch-up request retries (the driver flushes on
+/// its batch timer, so a retry goes out roughly every
+/// `SYNC_RETRY_TICKS × flush_every`).
+pub(crate) const SYNC_RETRY_TICKS: u32 = 16;
+
+/// Retry rounds after which a catch-up started with a local-state
+/// fallback gives up and resumes from what it recovered on its own
+/// (see [`AstroOneReplica::begin_catchup_with_fallback`]). With the
+/// runtime's millisecond flush timers this is a few seconds.
+pub(crate) const SYNC_FALLBACK_ROUNDS: u32 = 256;
+
+/// An in-progress catch-up: the response collector plus the broadcast
+/// traffic paused until the transferred state is installed. Shared with
+/// the Astro II replica.
+#[derive(Debug)]
+pub(crate) struct SyncSession<M> {
+    pub(crate) votes: CatchUp,
+    pub(crate) buffered: VecDeque<(ReplicaId, M)>,
+    /// Flush ticks until the next request retry (0 = send now).
+    pub(crate) ticks: u32,
+    /// Remaining request rounds before giving up, when the replica has a
+    /// locally recovered state to fall back to. `None` = no fallback:
+    /// the replica must certify before it may participate (a replica
+    /// with no local state cannot safely pick a broadcast tag floor).
+    pub(crate) rounds_left: Option<u32>,
+}
+
+impl<M> SyncSession<M> {
+    pub(crate) fn new(votes: CatchUp, rounds_left: Option<u32>) -> Self {
+        SyncSession { votes, buffered: VecDeque::new(), ticks: 0, rounds_left }
+    }
+
+    pub(crate) fn park(&mut self, from: ReplicaId, msg: M) {
+        if self.buffered.len() >= SYNC_BUFFER_CAP {
+            self.buffered.pop_front();
+        }
+        self.buffered.push_back((from, msg));
+    }
+
+    /// Accounts one request round; true when the fallback budget is
+    /// exhausted and the replica should resume from its local state.
+    pub(crate) fn exhausted(&mut self) -> bool {
+        match &mut self.rounds_left {
+            None => false,
+            Some(0) => true,
+            Some(rounds) => {
+                *rounds -= 1;
+                false
+            }
+        }
+    }
+}
 
 /// One Astro I replica: the Bracha BRB layer plus the payment state machine
 /// of Listings 2–4.
@@ -51,6 +153,13 @@ pub struct AstroOneReplica {
     batch_size: usize,
     next_tag: u64,
     journal: JournalSlot,
+    /// Catch-up in progress: broadcast delivery is paused (messages park)
+    /// until a certified peer state is installed.
+    syncing: Option<SyncSession<BrachaMsg<Batch>>>,
+    /// Set when a sync install made the in-memory state newer than any
+    /// journal replay can reproduce; the durable runtime consumes it and
+    /// snapshots immediately.
+    snapshot_requested: bool,
 }
 
 impl AstroOneReplica {
@@ -81,6 +190,8 @@ impl AstroOneReplica {
             batch_size: cfg.batch_size.max(1),
             next_tag: 0,
             journal: JournalSlot::none(),
+            syncing: None,
+            snapshot_requested: false,
         }
     }
 
@@ -184,7 +295,10 @@ impl AstroOneReplica {
             });
         }
         self.batch.push(payment);
-        if self.batch.len() >= self.batch_size {
+        // While catching up the batch only accumulates: auto-flush would
+        // burn the sync retry pacing (flush doubles as its timer), and
+        // broadcasting must wait for the certified tag floor anyway.
+        if self.syncing.is_none() && self.batch.len() >= self.batch_size {
             Ok(self.flush())
         } else {
             Ok(ReplicaStep::empty())
@@ -193,7 +307,40 @@ impl AstroOneReplica {
 
     /// Broadcasts the accumulated batch, if any (called on a timer by the
     /// driver, and automatically when a batch fills).
+    ///
+    /// While a catch-up is in progress the batch stays parked (the
+    /// replica must not broadcast before it knows a certified tag floor)
+    /// and the flush timer instead paces the periodic re-send of the
+    /// [`ReconfigMsg::SyncRequest`] — or, once a fallback budget runs
+    /// out, abandons the catch-up and resumes from the local state.
     pub fn flush(&mut self) -> ReplicaStep<Astro1Msg> {
+        if let Some(sync) = &mut self.syncing {
+            if sync.ticks == 0 {
+                if sync.exhausted() {
+                    // No f+1 matching donors in time (the rest of the
+                    // cluster may be restarting too). This replica has a
+                    // locally recovered state — resume from it, exactly
+                    // as a pre-catch-up restart did, replaying whatever
+                    // parked meanwhile.
+                    let sync = self.syncing.take().expect("syncing");
+                    let mut out = ReplicaStep::empty();
+                    for (from, m) in sync.buffered {
+                        let step = self.handle(from, Astro1Msg::Brb(m));
+                        out.outbound.extend(step.outbound);
+                        out.settled.extend(step.settled);
+                    }
+                    return out;
+                }
+                sync.ticks = SYNC_RETRY_TICKS;
+                let request = sync.votes.request();
+                return ReplicaStep {
+                    outbound: vec![Envelope { to: Dest::All, msg: Astro1Msg::Sync(request) }],
+                    settled: Vec::new(),
+                };
+            }
+            sync.ticks -= 1;
+            return ReplicaStep::empty();
+        }
         if self.batch.is_empty() {
             return ReplicaStep::empty();
         }
@@ -208,7 +355,7 @@ impl AstroOneReplica {
         self.journal.rec(&WalRecord::OwnTag { tag: id.tag });
         let step = self.brb.broadcast(id, Batch { payments });
         debug_assert!(step.delivered.is_empty());
-        ReplicaStep { outbound: step.outbound, settled: Vec::new() }
+        ReplicaStep { outbound: wrap_brb(step.outbound), settled: Vec::new() }
     }
 
     /// Number of payments waiting in the unflushed batch.
@@ -218,12 +365,96 @@ impl AstroOneReplica {
 
     /// Processes one replica-to-replica message.
     pub fn handle(&mut self, from: ReplicaId, msg: Astro1Msg) -> ReplicaStep<Astro1Msg> {
-        let step = self.brb.handle(from, msg);
-        let mut out = ReplicaStep { outbound: step.outbound, settled: Vec::new() };
-        for delivery in step.delivered {
-            self.apply_batch(delivery.id, &delivery.payload, &mut out);
+        match msg {
+            Astro1Msg::Brb(m) => {
+                if let Some(sync) = &mut self.syncing {
+                    // FIFO delivery is paused until the transferred cursor
+                    // is installed; park the message for replay.
+                    if self.group.contains(from) {
+                        sync.park(from, m);
+                    }
+                    return ReplicaStep::empty();
+                }
+                let step = self.brb.handle(from, m);
+                let mut out =
+                    ReplicaStep { outbound: wrap_brb(step.outbound), settled: Vec::new() };
+                for delivery in step.delivered {
+                    self.apply_batch(delivery.id, &delivery.payload, &mut out);
+                }
+                out
+            }
+            Astro1Msg::Sync(m) => self.on_sync(from, m),
         }
-        out
+    }
+
+    /// Handles reconfiguration traffic: serves catch-up requests from
+    /// group members and, while catching up, folds peer responses into
+    /// the collector until one certifies and installs.
+    fn on_sync(&mut self, from: ReplicaId, msg: ReconfigMsg<()>) -> ReplicaStep<Astro1Msg> {
+        if from == self.me || !self.group.contains(from) {
+            return ReplicaStep::empty();
+        }
+        match msg {
+            ReconfigMsg::SyncRequest { settled } => {
+                // A replica that is itself catching up serves nothing: its
+                // state is behind, and a cluster of simultaneously
+                // restarted replicas must not certify each other's gaps.
+                // A replica behind the requester's own floor stays silent
+                // too — the requester would reject the response anyway,
+                // so serializing a full state for it is pure waste.
+                if self.syncing.is_some() || (self.ledger.total_settled() as u64) < settled {
+                    return ReplicaStep::empty();
+                }
+                let state = self.sync_state(from);
+                let reply = ReconfigMsg::SyncState {
+                    settled: self.ledger.total_settled() as u64,
+                    state: state.to_wire_bytes(),
+                };
+                ReplicaStep {
+                    outbound: vec![Envelope { to: Dest::One(from), msg: Astro1Msg::Sync(reply) }],
+                    settled: Vec::new(),
+                }
+            }
+            ReconfigMsg::SyncState { settled, state } => {
+                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+                let Some(certified) = sync.votes.offer(from, settled, state) else {
+                    return ReplicaStep::empty();
+                };
+                let Ok(decoded) = decode_exact::<Astro1State>(&certified) else {
+                    // f+1 matching copies of undecodable bytes cannot come
+                    // from an honest majority; drop them and re-collect.
+                    sync.votes.clear();
+                    return ReplicaStep::empty();
+                };
+                match self.install_sync(&decoded) {
+                    Ok(mut out) => {
+                        // Caught up: replay the parked broadcast traffic
+                        // through the normal path (messages at or below
+                        // the installed cursor are dropped by FIFO
+                        // gating, later ones proceed).
+                        let sync = self.syncing.take().expect("syncing");
+                        for (from, m) in sync.buffered {
+                            let step = self.handle(from, Astro1Msg::Brb(m));
+                            out.outbound.extend(step.outbound);
+                            out.settled.extend(step.settled);
+                        }
+                        out
+                    }
+                    Err(_) => {
+                        // The certified state is behind this replica (the
+                        // donors lag) — discard and retry.
+                        if let Some(sync) = &mut self.syncing {
+                            sync.votes.clear();
+                        }
+                        ReplicaStep::empty()
+                    }
+                }
+            }
+            // The join protocol (Join / ViewProposal / StateTransfer) is
+            // driven by `ReconfigReplica` deployments, not by the payment
+            // replica itself.
+            _ => ReplicaStep::empty(),
+        }
     }
 
     /// Applies a BRB-delivered batch: approve (queue if blocked) and settle
@@ -299,6 +530,135 @@ impl AstroOneReplica {
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
+
+    /// Starts peer catch-up (the restart path): broadcast delivery pauses
+    /// and the next [`Self::flush`] tick broadcasts a
+    /// [`ReconfigMsg::SyncRequest`]; peers answer with their canonical
+    /// settlement state and `f+1` byte-identical copies install. Until
+    /// then the client batch stays parked (no broadcast may leave before
+    /// the certified tag floor is known) and inbound BRB messages buffer
+    /// for replay.
+    ///
+    /// This variant retries **forever**: a replica with no locally
+    /// recovered state must not participate (or pick a broadcast tag)
+    /// until a certified state tells it where the quorum stands. Durable
+    /// restarts use [`Self::begin_catchup_with_fallback`].
+    pub fn begin_catchup(&mut self) {
+        let floor = self.ledger.total_settled() as u64;
+        self.syncing = Some(SyncSession::new(CatchUp::new(&self.group, self.me, floor), None));
+    }
+
+    /// Like [`Self::begin_catchup`], but gives up after a bounded number
+    /// of request rounds and resumes from the locally recovered state —
+    /// for replicas restored from durable storage, whose local state is
+    /// safe to run on (it merely lacks the downtime delta). This keeps a
+    /// cluster whose replicas restart *concurrently* live: with fewer
+    /// than `f+1` serving donors nothing can certify, and without the
+    /// fallback every restarted replica would pause forever.
+    pub fn begin_catchup_with_fallback(&mut self) {
+        let floor = self.ledger.total_settled() as u64;
+        self.syncing = Some(SyncSession::new(
+            CatchUp::new(&self.group, self.me, floor),
+            Some(SYNC_FALLBACK_ROUNDS),
+        ));
+    }
+
+    /// True while peer catch-up is in progress.
+    pub fn is_syncing(&self) -> bool {
+        self.syncing.is_some()
+    }
+
+    /// True once after a sync install: the in-memory state is newer than
+    /// any journal replay can reproduce, so a durable deployment must
+    /// snapshot now. Consuming resets the flag.
+    pub fn take_snapshot_request(&mut self) -> bool {
+        std::mem::take(&mut self.snapshot_requested)
+    }
+
+    /// The canonical state served to a catching-up peer. Identical to
+    /// [`Self::export_state`] except for the replica-local broadcast tag
+    /// counter: `next_tag` is reinterpreted as *the requester's* stream
+    /// high-water mark, so the certified copy tells the restarted replica
+    /// the first tag that is safe to broadcast under.
+    pub fn sync_state(&self, requester: ReplicaId) -> Astro1State {
+        let mut state = self.export_state();
+        state.next_tag = self.brb.source_high_water(u64::from(requester.0));
+        state
+    }
+
+    /// Installs a certified peer state over the locally recovered one:
+    /// the settled delta (xlogs, balances, approval queue) replaces local
+    /// settlement state, delivery cursors advance (releasing any
+    /// completed instances the gap was holding back), and the broadcast
+    /// tag counter rises to the certified floor. Returns the step whose
+    /// `settled` is exactly the payments this replica learned through the
+    /// transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::Stale`] if the transferred state is behind this
+    /// replica in any xlog or delivery cursor (installing it would lose
+    /// settled effects — the donors lag; retry), [`SyncError::Invalid`]
+    /// if it fails structural validation.
+    pub fn install_sync(
+        &mut self,
+        state: &Astro1State,
+    ) -> Result<ReplicaStep<Astro1Msg>, SyncError> {
+        let certified = Ledger::import(&state.ledger).map_err(|_| SyncError::Invalid)?;
+        // Never regress: every local xlog must be a prefix of (or equal
+        // to) its certified counterpart, and no certified cursor may sit
+        // below a local one — otherwise effects this replica already
+        // applied would vanish with no re-delivery to restore them.
+        for xlog in self.ledger.xlogs() {
+            if certified.next_seq(xlog.owner()) < xlog.next_seq() {
+                return Err(SyncError::Stale);
+            }
+        }
+        let certified_cursors: HashMap<u64, u64> = state.cursors.iter().copied().collect();
+        for (source, next) in self.brb.delivery_cursors() {
+            if certified_cursors.get(&source).copied().unwrap_or(0) < next {
+                return Err(SyncError::Stale);
+            }
+        }
+        // The settled delta — everything the quorum settled while this
+        // replica was down — reported exactly once, in xlog order.
+        let mut installed: Vec<Payment> = Vec::new();
+        for xlog in certified.xlogs() {
+            let have = self.ledger.xlog(xlog.owner()).map_or(0, crate::xlog::XLog::len);
+            installed.extend(xlog.iter().skip(have).copied());
+        }
+        self.ledger = certified;
+        self.pending = PendingQueue::new();
+        for payment in &state.pending {
+            self.pending.push(*payment, ());
+        }
+        if state.next_tag > self.next_tag {
+            // Journaled even though a snapshot follows: tag reuse is the
+            // one recovery error a later catch-up cannot repair.
+            self.journal.rec(&WalRecord::OwnTag { tag: state.next_tag - 1 });
+            self.next_tag = state.next_tag;
+        }
+        let mut out = ReplicaStep { outbound: Vec::new(), settled: installed };
+        // Advance cursors past the caught-up instances; instances that
+        // completed *behind* a gap are released and applied now. Their
+        // effects are already part of the certified state, so the ledger
+        // drops them as stale — but a gap-blocked instance *beyond* the
+        // certified cursor settles normally here.
+        for (source, next) in &state.cursors {
+            for delivery in self.brb.advance_cursor_releasing(*source, *next) {
+                self.apply_batch(delivery.id, &delivery.payload, &mut out);
+            }
+        }
+        // The caught-up prefix is dead weight in the broadcast layer now.
+        self.brb.gc_delivered();
+        self.snapshot_requested = true;
+        Ok(out)
+    }
+}
+
+/// Wraps broadcast-layer envelopes into the top-level message type.
+fn wrap_brb(outbound: Vec<Envelope<BrachaMsg<Batch>>>) -> Vec<Envelope<Astro1Msg>> {
+    outbound.into_iter().map(|e| Envelope { to: e.to, msg: Astro1Msg::Brb(e.msg) }).collect()
 }
 
 #[cfg(test)]

@@ -13,12 +13,14 @@
 //! same single message step implements cross-shard payments (§V): no 2PC,
 //! no coordination on the critical path.
 
+use crate::astro1::SyncSession;
 use crate::batch::{
     credit_context, verify_certificate, CreditBundle, DepBatch, DepPayment, DependencyCertificate,
 };
 use crate::journal::{Astro2State, Journal, JournalSlot, WalRecord};
 use crate::ledger::{Ledger, SettleOutcome};
 use crate::pending::PendingQueue;
+use crate::reconfig::{CatchUp, ReconfigMsg, SyncError};
 use crate::xlog::XLogError;
 use crate::{ReplicaStep, SubmitError};
 use astro_brb::signed::{SignedBrb, SignedMsg};
@@ -93,6 +95,8 @@ pub enum Astro2Msg<S> {
     /// A CREDIT sub-batch, unicast to a beneficiary representative
     /// (possibly across shards).
     Credit(CreditBundle<S>),
+    /// Reconfiguration / catch-up traffic within a shard (Appendix A).
+    Sync(ReconfigMsg<S>),
 }
 
 impl<S: Wire> Wire for Astro2Msg<S> {
@@ -106,12 +110,17 @@ impl<S: Wire> Wire for Astro2Msg<S> {
                 buf.push(1);
                 c.encode(buf);
             }
+            Astro2Msg::Sync(m) => {
+                buf.push(2);
+                m.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         match u8::decode(buf)? {
             0 => Ok(Astro2Msg::Brb(Wire::decode(buf)?)),
             1 => Ok(Astro2Msg::Credit(Wire::decode(buf)?)),
+            2 => Ok(Astro2Msg::Sync(Wire::decode(buf)?)),
             _ => Err(WireError::InvalidValue("astro2 message tag")),
         }
     }
@@ -119,6 +128,7 @@ impl<S: Wire> Wire for Astro2Msg<S> {
         1 + match self {
             Astro2Msg::Brb(m) => m.encoded_len(),
             Astro2Msg::Credit(c) => c.encoded_len(),
+            Astro2Msg::Sync(m) => m.encoded_len(),
         }
     }
 }
@@ -199,9 +209,15 @@ pub fn sig_checks(
                 sig: cb.sig,
             });
         }
+        // Catch-up traffic certifies by f+1 matching digests over the
+        // authenticated links — nothing for the verify pool.
+        Astro2Msg::Sync(_) => {}
     }
     out
 }
+
+/// The broadcast-layer message an in-progress catch-up parks for replay.
+type ParkedBrb<A> = SignedMsg<DepBatch<<A as Authenticator>::Sig>, <A as Authenticator>::Sig>;
 
 /// CREDIT proofs gathered for one sub-batch (Listing 10's `partialDeps`).
 #[derive(Debug)]
@@ -311,6 +327,14 @@ pub struct AstroTwoReplica<A: Authenticator> {
     /// Certificate consumptions awaiting the flush that makes their
     /// carrying payments durable (see [`WalRecord::CertsTaken`]).
     pending_cert_takes: Vec<(ClientId, Vec<[u8; 32]>)>,
+    /// Catch-up in progress: broadcast delivery is paused (messages park)
+    /// until a certified peer state is installed. CREDIT traffic keeps
+    /// flowing — certificates accumulate independently of the ledger.
+    syncing: Option<SyncSession<ParkedBrb<A>>>,
+    /// Set when a sync install made the in-memory state newer than any
+    /// journal replay can reproduce; the durable runtime consumes it and
+    /// snapshots immediately.
+    snapshot_requested: bool,
 }
 
 impl<A: Authenticator> AstroTwoReplica<A> {
@@ -353,6 +377,8 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             reserved: HashMap::new(),
             journal: JournalSlot::none(),
             pending_cert_takes: Vec::new(),
+            syncing: None,
+            snapshot_requested: false,
         }
     }
 
@@ -416,7 +442,10 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             Vec::new()
         };
         self.batch.push(DepPayment { payment, deps });
-        if self.batch.len() >= self.batch_size {
+        // While catching up the batch only accumulates: auto-flush would
+        // burn the sync retry pacing (flush doubles as its timer), and
+        // broadcasting must wait for the certified tag floor anyway.
+        if self.syncing.is_none() && self.batch.len() >= self.batch_size {
             Ok(self.flush())
         } else {
             Ok(ReplicaStep::empty())
@@ -438,7 +467,41 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     }
 
     /// Broadcasts the accumulated batch within the shard, if any.
+    ///
+    /// While a catch-up is in progress the batch stays parked (no
+    /// broadcast may leave before the certified tag floor is known) and
+    /// the flush timer paces the periodic catch-up request retry — or,
+    /// once a fallback budget runs out, abandons the catch-up and
+    /// resumes from the local state.
     pub fn flush(&mut self) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        if let Some(sync) = &mut self.syncing {
+            if sync.ticks == 0 {
+                if sync.exhausted() {
+                    // No f+1 matching donors in time; resume from the
+                    // locally recovered state, replaying whatever parked
+                    // (see the Astro I flush for the rationale).
+                    let sync = self.syncing.take().expect("syncing");
+                    let mut out = ReplicaStep::empty();
+                    for (from, m) in sync.buffered {
+                        let step = self.handle(from, Astro2Msg::Brb(m));
+                        out.outbound.extend(step.outbound);
+                        out.settled.extend(step.settled);
+                    }
+                    return out;
+                }
+                sync.ticks = crate::astro1::SYNC_RETRY_TICKS;
+                let request = sync.votes.request();
+                return ReplicaStep {
+                    outbound: vec![Envelope {
+                        to: astro_brb::Dest::All,
+                        msg: Astro2Msg::Sync(request),
+                    }],
+                    settled: Vec::new(),
+                };
+            }
+            sync.ticks -= 1;
+            return ReplicaStep::empty();
+        }
         if self.batch.is_empty() {
             return ReplicaStep::empty();
         }
@@ -479,6 +542,15 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     ) -> ReplicaStep<Astro2Msg<A::Sig>> {
         match msg {
             Astro2Msg::Brb(m) => {
+                let member = self.group().contains(from);
+                if let Some(sync) = &mut self.syncing {
+                    // Settlement is paused until the transferred state is
+                    // installed; park the message for replay.
+                    if member {
+                        sync.park(from, m);
+                    }
+                    return ReplicaStep::empty();
+                }
                 let step = self.brb.handle(from, m);
                 let mut out = ReplicaStep {
                     outbound: step
@@ -494,6 +566,72 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                 out
             }
             Astro2Msg::Credit(cb) => self.on_credit(from, cb),
+            Astro2Msg::Sync(m) => self.on_sync(from, m),
+        }
+    }
+
+    /// Handles reconfiguration traffic: serves catch-up requests from
+    /// shard members and, while catching up, folds peer responses into
+    /// the collector until one certifies and installs.
+    fn on_sync(
+        &mut self,
+        from: ReplicaId,
+        msg: ReconfigMsg<A::Sig>,
+    ) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        if from == self.me || !self.group().contains(from) {
+            return ReplicaStep::empty();
+        }
+        match msg {
+            ReconfigMsg::SyncRequest { settled } => {
+                // A replica that is itself catching up serves nothing,
+                // and one behind the requester's floor stays silent (its
+                // response would be rejected on arrival anyway).
+                if self.syncing.is_some() || (self.ledger.total_settled() as u64) < settled {
+                    return ReplicaStep::empty();
+                }
+                let state = self.sync_state(from);
+                let reply = ReconfigMsg::SyncState {
+                    settled: self.ledger.total_settled() as u64,
+                    state: state.to_wire_bytes(),
+                };
+                ReplicaStep {
+                    outbound: vec![Envelope {
+                        to: astro_brb::Dest::One(from),
+                        msg: Astro2Msg::Sync(reply),
+                    }],
+                    settled: Vec::new(),
+                }
+            }
+            ReconfigMsg::SyncState { settled, state } => {
+                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+                let Some(certified) = sync.votes.offer(from, settled, state) else {
+                    return ReplicaStep::empty();
+                };
+                let Ok(decoded) = decode_exact::<Astro2State>(&certified) else {
+                    sync.votes.clear();
+                    return ReplicaStep::empty();
+                };
+                match self.install_sync(&decoded) {
+                    Ok(mut out) => {
+                        let sync = self.syncing.take().expect("syncing");
+                        for (from, m) in sync.buffered {
+                            let step = self.handle(from, Astro2Msg::Brb(m));
+                            out.outbound.extend(step.outbound);
+                            out.settled.extend(step.settled);
+                        }
+                        out
+                    }
+                    Err(_) => {
+                        if let Some(sync) = &mut self.syncing {
+                            sync.votes.clear();
+                        }
+                        ReplicaStep::empty()
+                    }
+                }
+            }
+            // The join protocol is driven by `ReconfigReplica`
+            // deployments, not by the payment replica itself.
+            _ => ReplicaStep::empty(),
         }
     }
 
@@ -891,6 +1029,126 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// are pruned.
     pub fn finish_recovery(&mut self) {
         self.pending.prune_stale(&self.ledger);
+    }
+
+    /// Starts peer catch-up (the restart path); see
+    /// [`crate::astro1::AstroOneReplica::begin_catchup`] — the Astro II
+    /// flow is identical, with the shard as the donor group. Retries
+    /// forever: for replicas with a safe local state to fall back to,
+    /// use [`Self::begin_catchup_with_fallback`].
+    pub fn begin_catchup(&mut self) {
+        let floor = self.ledger.total_settled() as u64;
+        let group = self.group().clone();
+        self.syncing = Some(SyncSession::new(CatchUp::new(&group, self.me, floor), None));
+    }
+
+    /// Like [`Self::begin_catchup`], but gives up after a bounded number
+    /// of request rounds and resumes from the locally recovered state;
+    /// see [`crate::astro1::AstroOneReplica::begin_catchup_with_fallback`].
+    pub fn begin_catchup_with_fallback(&mut self) {
+        let floor = self.ledger.total_settled() as u64;
+        let group = self.group().clone();
+        self.syncing = Some(SyncSession::new(
+            CatchUp::new(&group, self.me, floor),
+            Some(crate::astro1::SYNC_FALLBACK_ROUNDS),
+        ));
+    }
+
+    /// True while peer catch-up is in progress.
+    pub fn is_syncing(&self) -> bool {
+        self.syncing.is_some()
+    }
+
+    /// True once after a sync install (the durable runtime must snapshot
+    /// now); consuming resets the flag.
+    pub fn take_snapshot_request(&mut self) -> bool {
+        std::mem::take(&mut self.snapshot_requested)
+    }
+
+    /// The canonical state served to a catching-up peer: the shared
+    /// settlement state (ledger, approval queue, dependency
+    /// replay-protection, stuck set) with the representative-local
+    /// certificate store cleared — donors do not hold the requester's
+    /// clients' certificates, and leaving local data in would break the
+    /// byte-identical `f+1` match. `next_tag` is reinterpreted as the
+    /// *requester's* stream high-water mark (see
+    /// [`astro_brb::signed::SignedBrb::source_high_water`]).
+    pub fn sync_state(&self, requester: ReplicaId) -> Astro2State {
+        let mut state = self.export_state();
+        state.certs = Vec::new();
+        state.next_tag = self.brb.source_high_water(u64::from(requester.0));
+        state
+    }
+
+    /// Installs a certified peer state over the locally recovered one;
+    /// the Astro II analogue of
+    /// [`crate::astro1::AstroOneReplica::install_sync`]. The
+    /// representative-local certificate store is untouched (certificates
+    /// unicast while the replica was down are lost with the CREDIT
+    /// messages that carried them — re-certification is the beneficiary
+    /// representative's CREDIT-replay story, not state transfer's).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::Stale`] if the transferred state is behind this
+    /// replica in any xlog, used dependency, or stuck mark;
+    /// [`SyncError::Invalid`] if it fails structural validation.
+    pub fn install_sync(
+        &mut self,
+        state: &Astro2State,
+    ) -> Result<ReplicaStep<Astro2Msg<A::Sig>>, SyncError> {
+        let certified = Ledger::import(&state.ledger).map_err(|_| SyncError::Invalid)?;
+        // Never regress: xlogs, materialized dependencies, and stuck
+        // marks must all be supersets of the local state, or effects this
+        // replica already applied would vanish (and a dependency could
+        // re-materialize — a double credit).
+        for xlog in self.ledger.xlogs() {
+            if certified.next_seq(xlog.owner()) < xlog.next_seq() {
+                return Err(SyncError::Stale);
+            }
+        }
+        let certified_deps: HashSet<PaymentId> = state.used_deps.iter().copied().collect();
+        if !self.used_deps.is_subset(&certified_deps) {
+            return Err(SyncError::Stale);
+        }
+        let certified_stuck: HashSet<ClientId> = state.stuck.iter().copied().collect();
+        if !self.stuck.is_subset(&certified_stuck) {
+            return Err(SyncError::Stale);
+        }
+        let mut installed: Vec<Payment> = Vec::new();
+        for xlog in certified.xlogs() {
+            let have = self.ledger.xlog(xlog.owner()).map_or(0, crate::xlog::XLog::len);
+            installed.extend(xlog.iter().skip(have).copied());
+        }
+        self.ledger = certified;
+        self.used_deps = certified_deps;
+        self.stuck = certified_stuck;
+        self.pending = PendingQueue::new();
+        for (payment, deps) in &state.pending {
+            let decoded: Vec<DependencyCertificate<A::Sig>> =
+                deps.iter().filter_map(|bytes| decode_exact(bytes).ok()).collect();
+            self.pending.push(*payment, decoded);
+        }
+        if state.next_tag > self.next_tag {
+            // Journaled even though a snapshot follows: tag reuse is the
+            // one recovery error a later catch-up cannot repair.
+            self.journal.rec(&WalRecord::OwnTag { tag: state.next_tag - 1 });
+            self.next_tag = state.next_tag;
+        }
+        let mut out = ReplicaStep { outbound: Vec::new(), settled: installed };
+        // Astro II's broadcast delivers unordered, so `cursors` is empty
+        // and nothing is ever gap-blocked — but mirror the Astro I flow
+        // (advance-and-release, then apply) so a FIFO-configured
+        // deployment would stay correct too.
+        for (source, next) in &state.cursors {
+            for delivery in self.brb.advance_cursor_releasing(*source, *next) {
+                self.apply_batch(delivery.id, delivery.payload, &mut out);
+            }
+        }
+        // The caught-up prefix is dead weight in the broadcast layer now.
+        self.brb.gc_delivered();
+        self.snapshot_requested = true;
+        Ok(out)
     }
 }
 

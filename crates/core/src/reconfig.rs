@@ -116,6 +116,14 @@ impl Wire for ClientRecord {
 }
 
 /// Reconfiguration protocol messages.
+///
+/// `Join` / `ViewProposal` / `StateTransfer` implement the membership
+/// change of Appendix A ([`ReconfigReplica`]); `SyncRequest` /
+/// `SyncState` are the same state-transfer machinery specialised for a
+/// *member that restarts*: the member set is unchanged, so no view change
+/// runs — the returning replica only needs the settled delta, certified
+/// by `f+1` byte-identical copies over the authenticated links (exactly
+/// how the joiner certifies its transferred state).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReconfigMsg<S> {
     /// A replica asks to join the system.
@@ -134,6 +142,23 @@ pub enum ReconfigMsg<S> {
         /// Every client's xlog and balance.
         records: Vec<ClientRecord>,
     },
+    /// A restarted member asks the group for the settled delta (catch-up
+    /// after downtime). Peers answer with [`ReconfigMsg::SyncState`].
+    SyncRequest {
+        /// The requester's settled-payment count — peers and the
+        /// requester's own collector use it as a freshness floor.
+        settled: u64,
+    },
+    /// A peer serves its canonical settlement state in reply to a
+    /// [`ReconfigMsg::SyncRequest`].
+    SyncState {
+        /// The responder's settled-payment count at capture time.
+        settled: u64,
+        /// The canonical snapshot encoding (`Astro1State` /
+        /// `Astro2State` wire bytes, see `crate::journal`), kept opaque
+        /// so the message is shared by both protocols.
+        state: Vec<u8>,
+    },
 }
 
 impl<S: Wire> Wire for ReconfigMsg<S> {
@@ -150,6 +175,15 @@ impl<S: Wire> Wire for ReconfigMsg<S> {
                 view_number.encode(buf);
                 records.encode(buf);
             }
+            ReconfigMsg::SyncRequest { settled } => {
+                buf.push(3);
+                settled.encode(buf);
+            }
+            ReconfigMsg::SyncState { settled, state } => {
+                buf.push(4);
+                settled.encode(buf);
+                state.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -160,6 +194,10 @@ impl<S: Wire> Wire for ReconfigMsg<S> {
                 view_number: u64::decode(buf)?,
                 records: Wire::decode(buf)?,
             }),
+            3 => Ok(ReconfigMsg::SyncRequest { settled: u64::decode(buf)? }),
+            4 => {
+                Ok(ReconfigMsg::SyncState { settled: u64::decode(buf)?, state: Wire::decode(buf)? })
+            }
             _ => Err(WireError::InvalidValue("reconfig message tag")),
         }
     }
@@ -170,7 +208,116 @@ impl<S: Wire> Wire for ReconfigMsg<S> {
             ReconfigMsg::StateTransfer { view_number, records } => {
                 view_number.encoded_len() + records.encoded_len()
             }
+            ReconfigMsg::SyncRequest { settled } => settled.encoded_len(),
+            ReconfigMsg::SyncState { settled, state } => {
+                settled.encoded_len() + state.encoded_len()
+            }
         }
+    }
+}
+
+/// Why a certified (or offered) sync state could not be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncError {
+    /// The transferred state failed structural validation (invalid xlogs).
+    Invalid,
+    /// The transferred state is *behind* this replica in some component
+    /// (xlog, delivery cursor, used dependency, stuck mark) — installing
+    /// it would lose settled effects. The donors are lagging; retry.
+    Stale,
+}
+
+impl core::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SyncError::Invalid => f.write_str("transferred state failed validation"),
+            SyncError::Stale => f.write_str("transferred state is behind local state"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// The requester side of the catch-up state transfer: collects
+/// [`ReconfigMsg::SyncState`] responses and certifies one once `f+1`
+/// group members served byte-identical copies (at least one of them is
+/// honest, so the state is a real settled state of the system — the same
+/// argument that activates a joiner in Appendix A).
+///
+/// Responses are keyed per sender (a retry replaces the sender's earlier
+/// vote, it never double-counts), and responses whose settled count is
+/// below the local floor are rejected outright — a Byzantine peer cannot
+/// roll a restarted replica back by serving a stale state.
+#[derive(Debug)]
+pub struct CatchUp {
+    me: ReplicaId,
+    members: Vec<ReplicaId>,
+    small_quorum: usize,
+    floor: u64,
+    /// Votes per response digest: the bytes and who served them.
+    votes: HashMap<[u8; 32], (Vec<u8>, HashSet<ReplicaId>)>,
+    /// Latest response digest per sender.
+    by_sender: HashMap<ReplicaId, [u8; 32]>,
+    rejected: usize,
+}
+
+impl CatchUp {
+    /// A collector for replica `me` of `group`, rejecting responses with
+    /// fewer than `floor` settled payments (the local count at restart).
+    pub fn new(group: &Group, me: ReplicaId, floor: u64) -> Self {
+        CatchUp {
+            me,
+            members: group.members().to_vec(),
+            small_quorum: group.small_quorum(),
+            floor,
+            votes: HashMap::new(),
+            by_sender: HashMap::new(),
+            rejected: 0,
+        }
+    }
+
+    /// The request this collector is gathering responses for.
+    pub fn request<S>(&self) -> ReconfigMsg<S> {
+        ReconfigMsg::SyncRequest { settled: self.floor }
+    }
+
+    /// Offers one response. Returns the certified state bytes once `f+1`
+    /// distinct members have served byte-identical copies.
+    pub fn offer(&mut self, from: ReplicaId, settled: u64, state: Vec<u8>) -> Option<Vec<u8>> {
+        if from == self.me || !self.members.contains(&from) || settled < self.floor {
+            self.rejected += 1;
+            return None;
+        }
+        let mut h = astro_crypto::sha256::Sha256::new();
+        h.update(b"astro-sync-state-v1");
+        h.update(&state);
+        let digest = h.finalize();
+        if let Some(old) = self.by_sender.insert(from, digest) {
+            if old != digest {
+                if let Some((_, senders)) = self.votes.get_mut(&old) {
+                    senders.remove(&from);
+                    if senders.is_empty() {
+                        self.votes.remove(&old);
+                    }
+                }
+            }
+        }
+        let entry = self.votes.entry(digest).or_insert_with(|| (state, HashSet::new()));
+        entry.1.insert(from);
+        (entry.1.len() >= self.small_quorum).then(|| entry.0.clone())
+    }
+
+    /// Discards all gathered votes (a certified state failed to install —
+    /// e.g. lagging donors — and the next retry starts fresh).
+    pub fn clear(&mut self) {
+        self.votes.clear();
+        self.by_sender.clear();
+    }
+
+    /// Responses rejected so far (non-members, self, stale floors) —
+    /// observability for the adversarial tests.
+    pub fn rejected(&self) -> usize {
+        self.rejected
     }
 }
 
@@ -282,6 +429,11 @@ impl<A: Authenticator> ReconfigReplica<A> {
             ReconfigMsg::ViewProposal { view, sig } => self.on_proposal(from, view, sig, ledger),
             ReconfigMsg::StateTransfer { view_number, records } => {
                 self.on_state(from, view_number, records, ledger)
+            }
+            // Catch-up traffic is handled by the payment replicas (the
+            // member set is unchanged, no view transition runs).
+            ReconfigMsg::SyncRequest { .. } | ReconfigMsg::SyncState { .. } => {
+                ReconfigStep::empty()
             }
         }
     }
@@ -590,6 +742,70 @@ mod tests {
         assert!(step.activated);
         assert!(joiner.is_active());
         assert_eq!(ledger.balance(ClientId(1)), Amount(95));
+    }
+
+    #[test]
+    fn catch_up_certifies_on_f_plus_1_matching_responses() {
+        let group = Group::of_size(4).unwrap();
+        let mut cu = CatchUp::new(&group, ReplicaId(3), 5);
+        let honest = vec![1u8, 2, 3];
+        assert!(cu.offer(ReplicaId(0), 9, honest.clone()).is_none(), "one copy is below f+1");
+        assert_eq!(cu.offer(ReplicaId(1), 9, honest.clone()), Some(honest));
+    }
+
+    #[test]
+    fn catch_up_rejects_stale_self_and_foreign_responses() {
+        let group = Group::of_size(4).unwrap();
+        let mut cu = CatchUp::new(&group, ReplicaId(3), 10);
+        assert!(cu.offer(ReplicaId(0), 9, vec![1]).is_none(), "below the floor");
+        assert!(cu.offer(ReplicaId(3), 99, vec![1]).is_none(), "own responses do not count");
+        assert!(cu.offer(ReplicaId(9), 99, vec![1]).is_none(), "non-members do not count");
+        assert_eq!(cu.rejected(), 3);
+        // None of those contributed a vote: one honest copy still waits.
+        assert!(cu.offer(ReplicaId(0), 10, vec![1]).is_none());
+        assert!(cu.offer(ReplicaId(1), 10, vec![1]).is_some());
+    }
+
+    #[test]
+    fn catch_up_counts_each_sender_once() {
+        let group = Group::of_size(4).unwrap();
+        let mut cu = CatchUp::new(&group, ReplicaId(3), 0);
+        // A Byzantine peer repeating (or varying) its response never
+        // certifies alone.
+        assert!(cu.offer(ReplicaId(0), 5, vec![7]).is_none());
+        assert!(cu.offer(ReplicaId(0), 5, vec![7]).is_none());
+        assert!(cu.offer(ReplicaId(0), 6, vec![8]).is_none());
+        // Its latest vote (for [8]) is the only one it holds: an honest
+        // [7] response still needs a second member.
+        assert!(cu.offer(ReplicaId(1), 5, vec![7]).is_none());
+        assert_eq!(cu.offer(ReplicaId(2), 5, vec![7]), Some(vec![7]));
+    }
+
+    #[test]
+    fn catch_up_clear_restarts_collection() {
+        let group = Group::of_size(4).unwrap();
+        let mut cu = CatchUp::new(&group, ReplicaId(3), 0);
+        assert!(cu.offer(ReplicaId(0), 1, vec![1]).is_none());
+        cu.clear();
+        assert!(cu.offer(ReplicaId(1), 1, vec![1]).is_none(), "votes were discarded");
+        assert!(cu.offer(ReplicaId(0), 1, vec![1]).is_some());
+    }
+
+    #[test]
+    fn sync_messages_wire_round_trip() {
+        use astro_types::wire::decode_exact;
+        let msgs: Vec<ReconfigMsg<astro_types::auth::SimSig>> = vec![
+            ReconfigMsg::SyncRequest { settled: 42 },
+            ReconfigMsg::SyncState { settled: 43, state: vec![1, 2, 3, 4] },
+        ];
+        for msg in msgs {
+            let bytes = msg.to_wire_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(
+                decode_exact::<ReconfigMsg<astro_types::auth::SimSig>>(&bytes).unwrap(),
+                msg
+            );
+        }
     }
 
     #[test]

@@ -267,6 +267,50 @@ fn accept_handshake(
     Ok((from, LinkWriter { stream, session: tx }, rx))
 }
 
+/// How often the maintenance pass re-dials dead links this endpoint is
+/// the dialer for. Send-triggered redial only heals a link when traffic
+/// happens to flow toward the dead peer; the periodic pass also heals it
+/// while the mesh is quiet — which is what lets a *restarted* replica's
+/// catch-up requests reach peers that have nothing to say to it yet (the
+/// mesh convention is lower-id-dials, so the returning replica cannot
+/// initiate those connections itself).
+const MAINTENANCE_PERIOD: Duration = Duration::from_millis(50);
+
+/// Periodically re-establishes dead dialer-side links; see
+/// [`MAINTENANCE_PERIOD`]. Respects the same per-link dial cooldown as
+/// the send path, so a genuinely dead peer costs one paced connect
+/// attempt per cooldown, not one per period.
+fn maintenance_main(shared: Arc<Shared>) {
+    loop {
+        std::thread::sleep(MAINTENANCE_PERIOD);
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        for i in 0..shared.n {
+            let peer = ReplicaId(i as u32);
+            if !shared.is_dialer_for(peer) || shared.peer_addrs[i].is_none() {
+                continue;
+            }
+            {
+                let state = shared.links[i].state.lock();
+                if state.writer.is_some()
+                    || state.next_dial_at.is_some_and(|at| Instant::now() < at)
+                {
+                    continue;
+                }
+            }
+            let attempt = dial(&shared, peer);
+            shared.links[i].state.lock().next_dial_at = Some(Instant::now() + REDIAL_COOLDOWN);
+            if let Ok((writer, rx)) = attempt {
+                shared.install_link(&shared, peer, writer, rx);
+            }
+            if shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+    }
+}
+
 fn acceptor_main(shared: Arc<Shared>, listener: TcpListener) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
@@ -378,9 +422,16 @@ impl TcpEndpoint {
 
         let acceptor_shared = Arc::clone(&shared);
         std::thread::spawn(move || acceptor_main(acceptor_shared, listener));
+        let maintenance_shared = Arc::clone(&shared);
+        std::thread::spawn(move || maintenance_main(maintenance_shared));
 
         // Dial my share of the mesh: every higher-id peer with a known
-        // address. Tolerate a briefly absent listener (process start skew).
+        // address. Tolerate a briefly absent listener (process start
+        // skew) — and a peer that stays *unreachable* (it may be down and
+        // restarting itself): its link is left for the maintenance pass
+        // to establish once it returns. Only an authentication failure is
+        // fatal — a reachable peer holding different key material will
+        // never accept this endpoint, so coming up would be a lie.
         for i in (me.0 as usize + 1)..n {
             let peer = ReplicaId(i as u32);
             if shared.peer_addrs[i].is_none() {
@@ -400,7 +451,7 @@ impl TcpEndpoint {
                     }
                 }
             }
-            if let Some(e) = last {
+            if let Some(e @ NetError::Handshake { .. }) = last {
                 shared.shut_down(listen_addr);
                 return Err(e);
             }

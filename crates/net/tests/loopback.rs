@@ -102,6 +102,62 @@ fn severed_links_reconnect_and_traffic_resumes() {
 }
 
 #[test]
+fn quiet_mesh_heals_without_traffic_toward_the_dead_peer() {
+    // The catch-up scenario: the highest-id replica's endpoint dies and a
+    // replacement rebinds the same address. The mesh convention is
+    // lower-id-dials, so the replacement cannot initiate its own links —
+    // and its peers have nothing to send it. The background maintenance
+    // pass must re-dial anyway, so the replacement's first *outbound*
+    // message (a catch-up request) can leave.
+    let keychains = Keychain::deterministic_system(b"tcp-maintenance", 4);
+    let mut eps = mesh_with(&keychains);
+    let addrs: Vec<_> = eps.iter().map(TcpEndpoint::listen_addr).collect();
+    // Kill replica 3's endpoint (drop severs links and frees its port).
+    let dead = eps.pop().expect("four endpoints");
+    drop(dead);
+    // A replacement rebinds the same address (retrying while the old
+    // acceptor releases the port) — exactly what the runtime's
+    // restart path does.
+    let listener = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpListener::bind(addrs[3]) {
+                Ok(l) => break l,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("rebind failed: {e}"),
+            }
+        }
+    };
+    let peer_addrs = addrs.iter().enumerate().map(|(j, a)| (j != 3).then_some(*a)).collect();
+    let mut replacement = TcpEndpoint::establish(keychains[3].clone(), listener, peer_addrs)
+        .expect("replacement comes up");
+    // No live replica sends anything. The maintenance re-dial must still
+    // complete the mesh from the peers' side.
+    replacement.wait_connected(Duration::from_secs(5)).expect("maintenance pass heals the mesh");
+    // And the replacement's broadcast (the catch-up request) reaches all.
+    replacement.broadcast(b"sync-request").unwrap();
+    for ep in &mut eps {
+        let (from, bytes) = ep.recv_timeout(RECV).unwrap().expect("request arrives");
+        assert_eq!(from, ReplicaId(3));
+        assert_eq!(&bytes[..], b"sync-request");
+    }
+    // (Broadcast self-delivers too; drain the loopback copy.)
+    let (own, _) = replacement.recv_timeout(RECV).unwrap().expect("self copy");
+    assert_eq!(own, ReplicaId(3));
+    // The reply path works too.
+    eps[0].send(ReplicaId(3), b"sync-state").unwrap();
+    let (from, bytes) = replacement.recv_timeout(RECV).unwrap().expect("reply arrives");
+    assert_eq!(from, ReplicaId(0));
+    assert_eq!(&bytes[..], b"sync-state");
+}
+
+fn mesh_with(keychains: &[Keychain]) -> Vec<TcpEndpoint> {
+    TcpTransport::loopback(keychains.to_vec()).expect("loopback mesh comes up").into_endpoints()
+}
+
+#[test]
 fn crashed_peer_does_not_stall_broadcasts_to_the_live_quorum() {
     let mut eps = mesh(b"tcp-crash", 4);
     // Replica 3 crashes (endpoint dropped: listener closed, sockets shut).

@@ -64,6 +64,23 @@ pub trait PersistentNode: RuntimeNode {
     /// keeps a long-running replica's memory bounded by the in-flight
     /// window instead of growing with settled history.
     fn prune_delivered(&mut self);
+
+    /// Starts the peer catch-up handshake (the restart path): the node
+    /// pauses broadcast delivery, requests the settled delta from its
+    /// peers on its flush timer, and installs once `f+1` byte-identical
+    /// copies certify. Durable nodes have a safe local state, so their
+    /// implementations use the bounded-retry fallback variant: if no
+    /// donor quorum certifies (the rest of the cluster may be restarting
+    /// too), the node resumes from what it recovered on its own instead
+    /// of pausing forever.
+    fn begin_catchup(&mut self);
+
+    /// True once after a catch-up install made the in-memory state newer
+    /// than any journal replay can reproduce — the wrapper must snapshot
+    /// immediately. Consuming resets the flag.
+    fn take_snapshot_request(&mut self) -> bool {
+        false
+    }
 }
 
 impl PersistentNode for AstroOneReplica {
@@ -78,6 +95,14 @@ impl PersistentNode for AstroOneReplica {
     fn prune_delivered(&mut self) {
         AstroOneReplica::prune_delivered(self);
     }
+
+    fn begin_catchup(&mut self) {
+        AstroOneReplica::begin_catchup_with_fallback(self);
+    }
+
+    fn take_snapshot_request(&mut self) -> bool {
+        AstroOneReplica::take_snapshot_request(self)
+    }
 }
 
 impl PersistentNode for AstroTwoReplica<SchnorrAuthenticator> {
@@ -91,6 +116,14 @@ impl PersistentNode for AstroTwoReplica<SchnorrAuthenticator> {
 
     fn prune_delivered(&mut self) {
         AstroTwoReplica::prune_delivered(self);
+    }
+
+    fn begin_catchup(&mut self) {
+        AstroTwoReplica::begin_catchup_with_fallback(self);
+    }
+
+    fn take_snapshot_request(&mut self) -> bool {
+        AstroTwoReplica::take_snapshot_request(self)
     }
 }
 
@@ -119,12 +152,24 @@ impl<N: PersistentNode> DurableNode<N> {
         &self.node
     }
 
+    /// Starts the peer catch-up handshake on the wrapped node (the
+    /// durable restart path).
+    pub fn begin_catchup(&mut self) {
+        self.node.begin_catchup();
+    }
+
     fn after_step(&mut self, settled: usize) {
         // Step boundary: the step's journal records reach the OS with one
         // write(2), so a kill between steps loses nothing (fsync stays
         // amortized by group commit).
         self.storage.flush_writes();
         self.settled_since_snapshot += settled;
+        if self.node.take_snapshot_request() {
+            // A catch-up install put state in memory that no journal
+            // replay can reproduce — snapshot now, not at the next
+            // settled-count threshold.
+            self.settled_since_snapshot = self.snapshot_every;
+        }
         if self.settled_since_snapshot >= self.snapshot_every {
             self.settled_since_snapshot = 0;
             let state = self.node.export_state_bytes();
@@ -184,23 +229,26 @@ impl<N: PersistentNode> RuntimeNode for DurableNode<N> {
     }
 }
 
-/// Everything a durable TCP cluster needs to bring one replica back:
-/// storage root, per-replica key material (transport and, for Astro II,
-/// signing), the fixed listen addresses, the replica config, and the
-/// timing knobs.
+/// Everything a TCP cluster needs to bring one replica back: per-replica
+/// key material (transport and, for Astro II, signing), the fixed listen
+/// addresses, the replica config, the timing knobs, and — on durable
+/// clusters — the storage root. A replica restarted without storage
+/// returns empty and recovers the full ledger from its peers through the
+/// catch-up state transfer; with storage it recovers `snapshot + WAL`
+/// locally first and fetches only the settled delta.
 #[derive(Debug)]
-pub(crate) struct DurableMeta<C> {
-    pub dir: PathBuf,
+pub(crate) struct RestartMeta<C> {
     pub keychains: Vec<Keychain>,
     /// Signing keychains (Astro II; empty for Astro I).
     pub signing: Vec<Keychain>,
     pub addrs: Vec<SocketAddr>,
     pub cfg: C,
-    pub store: StoreConfig,
     pub flush_every: Duration,
+    /// `Some(root, policy)` when the cluster journals to disk.
+    pub storage: Option<(PathBuf, StoreConfig)>,
 }
 
-impl<C> DurableMeta<C> {
+impl<C> RestartMeta<C> {
     /// Rebinds replica `i`'s listener and re-establishes its endpoint.
     /// The old endpoint's acceptor releases the port asynchronously after
     /// a kill, so binding retries briefly.
@@ -288,7 +336,7 @@ fn recover_astro2(
 
 /// The deterministic seed Astro II signing keys derive from in durable
 /// (and demo) clusters; independent of the transport keychains.
-const ASTRO2_SIGNING_SEED: &[u8] = b"astro-runtime-astro2";
+pub(crate) const ASTRO2_SIGNING_SEED: &[u8] = b"astro-runtime-astro2";
 
 impl crate::AstroOneCluster {
     /// Starts a durable Astro I cluster over loopback TCP: one storage
@@ -350,14 +398,13 @@ impl crate::AstroOneCluster {
         let inner = Cluster::start_endpoints(nodes, endpoints, layout, flush_every)?;
         Ok(crate::AstroOneCluster {
             inner,
-            durable: Some(DurableMeta {
-                dir,
+            meta: Some(RestartMeta {
                 keychains,
                 signing: Vec::new(),
                 addrs,
                 cfg,
-                store,
                 flush_every,
+                storage: Some((dir, store)),
             }),
         })
     }
@@ -372,30 +419,42 @@ impl crate::AstroOneCluster {
         self.inner.kill_replica(i)
     }
 
-    /// Restarts a killed replica from its on-disk state: recovers
-    /// `snapshot + longest valid WAL prefix`, rebinds the replica's
-    /// listen address, and rejoins the mesh (surviving replicas redial on
-    /// their next send).
+    /// Restarts a killed replica and rejoins it to the live quorum:
+    /// recover `snapshot + longest valid WAL prefix` locally (durable
+    /// clusters; non-durable TCP clusters restart empty), rebind the
+    /// replica's listen address (surviving replicas redial on their next
+    /// send), then run the peer catch-up handshake — the returning
+    /// replica requests the settled delta from its peers, installs it
+    /// once `f+1` byte-identical copies certify, and only then resumes
+    /// broadcast delivery. Payments the quorum settled *during the
+    /// downtime* are therefore recovered without any client
+    /// resubmission.
     ///
     /// # Errors
     ///
-    /// Fails on non-durable clusters, if the replica is still running,
-    /// or if storage/recovery fails.
+    /// Fails on in-process clusters ([`ClusterError::NotRestartable`]),
+    /// if the replica is still running, or if storage/recovery fails.
     pub fn restart_replica(&mut self, i: usize) -> Result<(), ClusterError> {
-        let meta = self.durable.as_ref().ok_or(ClusterError::NotDurable)?;
+        let meta = self.meta.as_ref().ok_or(ClusterError::NotRestartable)?;
         if self.inner.is_running(i) {
             return Err(ClusterError::ReplicaRunning(i));
         }
-        let node = recover_astro1(
-            &meta.dir,
-            i,
-            self.inner.layout().clone(),
-            meta.cfg.clone(),
-            &meta.store,
-        )?;
-        let endpoint = meta.establish_endpoint(i)?;
+        let layout = self.inner.layout().clone();
         let flush_every = meta.flush_every;
-        self.inner.respawn(i, node, endpoint, flush_every)
+        match &meta.storage {
+            Some((dir, store)) => {
+                let mut node = recover_astro1(dir, i, layout, meta.cfg.clone(), store)?;
+                node.begin_catchup();
+                let endpoint = meta.establish_endpoint(i)?;
+                self.inner.respawn(i, node, endpoint, flush_every)
+            }
+            None => {
+                let mut node = AstroOneReplica::new(ReplicaId(i as u32), layout, meta.cfg.clone());
+                node.begin_catchup();
+                let endpoint = meta.establish_endpoint(i)?;
+                self.inner.respawn(i, node, endpoint, flush_every)
+            }
+        }
     }
 }
 
@@ -473,7 +532,14 @@ impl crate::AstroTwoCluster {
         let inner = Cluster::start_endpoints_pooled(nodes, endpoints, layout, flush_every, pool)?;
         Ok(crate::AstroTwoCluster {
             inner,
-            durable: Some(DurableMeta { dir, keychains, signing, addrs, cfg, store, flush_every }),
+            meta: Some(RestartMeta {
+                keychains,
+                signing,
+                addrs,
+                cfg,
+                flush_every,
+                storage: Some((dir, store)),
+            }),
         })
     }
 
@@ -487,14 +553,16 @@ impl crate::AstroTwoCluster {
         self.inner.kill_replica(i)
     }
 
-    /// Restarts a killed replica from its on-disk state; see
-    /// [`AstroOneCluster::restart_replica`].
+    /// Restarts a killed replica and rejoins it to the live quorum; see
+    /// [`AstroOneCluster::restart_replica`] — recovery from disk where
+    /// the cluster is durable, then the peer catch-up handshake either
+    /// way.
     ///
     /// # Errors
     ///
     /// As [`AstroOneCluster::restart_replica`].
     pub fn restart_replica(&mut self, i: usize) -> Result<(), ClusterError> {
-        let meta = self.durable.as_ref().ok_or(ClusterError::NotDurable)?;
+        let meta = self.meta.as_ref().ok_or(ClusterError::NotRestartable)?;
         if self.inner.is_running(i) {
             return Err(ClusterError::ReplicaRunning(i));
         }
@@ -504,17 +572,22 @@ impl crate::AstroTwoCluster {
             Some(pool) => SchnorrAuthenticator::with_cache(meta.signing[i].clone(), pool.cache()),
             None => SchnorrAuthenticator::new(meta.signing[i].clone()),
         };
-        let node = recover_astro2(
-            &meta.dir,
-            i,
-            auth,
-            self.inner.layout().clone(),
-            meta.cfg.clone(),
-            &meta.store,
-        )?;
-        let endpoint = meta.establish_endpoint(i)?;
+        let layout = self.inner.layout().clone();
         let flush_every = meta.flush_every;
-        self.inner.respawn(i, node, endpoint, flush_every)
+        match &meta.storage {
+            Some((dir, store)) => {
+                let mut node = recover_astro2(dir, i, auth, layout, meta.cfg.clone(), store)?;
+                node.begin_catchup();
+                let endpoint = meta.establish_endpoint(i)?;
+                self.inner.respawn(i, node, endpoint, flush_every)
+            }
+            None => {
+                let mut node = AstroTwoReplica::new(auth, layout, meta.cfg.clone());
+                node.begin_catchup();
+                let endpoint = meta.establish_endpoint(i)?;
+                self.inner.respawn(i, node, endpoint, flush_every)
+            }
+        }
     }
 }
 
@@ -650,7 +723,10 @@ mod tests {
             crate::AstroOneCluster::start(4, Astro1Config::default(), Duration::from_millis(1))
                 .unwrap();
         plain.kill_replica(1).unwrap();
-        assert!(matches!(plain.restart_replica(1), Err(ClusterError::NotDurable)));
+        assert!(
+            matches!(plain.restart_replica(1), Err(ClusterError::NotRestartable)),
+            "in-process endpoints cannot be re-established"
+        );
         plain.shutdown();
     }
 }

@@ -84,6 +84,14 @@ const BURST: usize = 128;
 /// Bounds pending-queue memory under sustained overload.
 const PENDING_HIGH_WATER: usize = 8 * BURST;
 
+/// Tracked-BRB-instance count at which a replica prunes its delivered
+/// instances after handling a message. Durable clusters additionally GC
+/// at every snapshot install; this size-based trigger is what bounds
+/// broadcast-layer memory on clusters that never snapshot (ROADMAP's
+/// non-durable GC follow-up). 256 comfortably exceeds any in-flight
+/// window the drivers produce, so the prune only ever removes history.
+const BRB_GC_HIGH_WATER: usize = 256;
+
 /// The cross-thread settlement board: per-replica settled logs plus a
 /// condvar so waiters ([`Cluster::wait_settled`]) block on progress
 /// notifications instead of sleep-polling.
@@ -130,8 +138,9 @@ pub enum ClusterError {
     Storage(std::io::Error),
     /// Recovered on-disk state failed validation.
     Recovery(&'static str),
-    /// A durable-only operation was called on a non-durable cluster.
-    NotDurable,
+    /// Restart was requested on a cluster without restart metadata (an
+    /// in-process cluster, whose endpoints cannot be re-established).
+    NotRestartable,
     /// The replica is still running (restart requires a prior kill).
     ReplicaRunning(usize),
     /// The replica is not running (kill requires a live replica).
@@ -159,7 +168,9 @@ impl core::fmt::Display for ClusterError {
             ClusterError::ShuttingDown => f.write_str("cluster is shut down"),
             ClusterError::Storage(e) => write!(f, "durable storage failed: {e}"),
             ClusterError::Recovery(what) => write!(f, "recovered state invalid: {what}"),
-            ClusterError::NotDurable => f.write_str("cluster was not started durably"),
+            ClusterError::NotRestartable => {
+                f.write_str("cluster has no restartable transport (in-process endpoints)")
+            }
             ClusterError::ReplicaRunning(i) => write!(f, "replica {i} is still running"),
             ClusterError::ReplicaStopped(i) => write!(f, "replica {i} is not running"),
             ClusterError::KeychainMismatch { transport, signing } => {
@@ -265,7 +276,11 @@ impl RuntimeNode for AstroOneReplica {
     }
 
     fn handle(&mut self, from: ReplicaId, msg: Self::Msg) -> ReplicaStep<Self::Msg> {
-        AstroOneReplica::handle(self, from, msg)
+        let step = AstroOneReplica::handle(self, from, msg);
+        if self.tracked_instances() >= BRB_GC_HIGH_WATER {
+            self.prune_delivered();
+        }
+        step
     }
 
     fn flush(&mut self) -> ReplicaStep<Self::Msg> {
@@ -293,7 +308,11 @@ impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
     }
 
     fn handle(&mut self, from: ReplicaId, msg: Self::Msg) -> ReplicaStep<Self::Msg> {
-        AstroTwoReplica::handle(self, from, msg)
+        let step = AstroTwoReplica::handle(self, from, msg);
+        if self.tracked_instances() >= BRB_GC_HIGH_WATER {
+            self.prune_delivered();
+        }
+        step
     }
 
     fn flush(&mut self) -> ReplicaStep<Self::Msg> {
@@ -530,6 +549,24 @@ impl Cluster {
         self.settled.logs.lock()[i].clone()
     }
 
+    /// Like [`Self::wait_settled`], but only waits on the listed
+    /// replicas — what a test with a deliberately killed replica uses to
+    /// wait on the live quorum. Returns true if every listed replica
+    /// reached `count` before the timeout.
+    pub fn wait_settled_among(&self, replicas: &[usize], count: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut logs = self.settled.logs.lock();
+        loop {
+            if replicas.iter().all(|&i| logs[i].len() >= count) {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let _ = self.settled.progress.wait_for(&mut logs, remaining);
+        }
+    }
+
     /// Stops all replicas and returns each replica's final balance map and
     /// total settled count. A replica that was killed and never restarted
     /// reports the state it had at the kill.
@@ -733,7 +770,10 @@ pub(crate) fn single_layout(n: usize) -> Result<ShardLayout, ClusterError> {
 /// links).
 pub struct AstroOneCluster {
     pub(crate) inner: Cluster,
-    pub(crate) durable: Option<durable::DurableMeta<Astro1Config>>,
+    /// Restart metadata: key material, listen addresses, and (for durable
+    /// clusters) the storage root. `None` for in-process clusters, whose
+    /// endpoints cannot be re-established.
+    pub(crate) meta: Option<durable::RestartMeta<Astro1Config>>,
 }
 
 impl AstroOneCluster {
@@ -769,6 +809,12 @@ impl AstroOneCluster {
     /// HMAC-authenticated sessions, using caller-provided key material
     /// (pre-distributed key pairs, §III).
     ///
+    /// TCP clusters retain their key material and listen addresses, so a
+    /// killed replica can be brought back with
+    /// [`restart_replica`](Self::restart_replica) — without durable
+    /// storage it returns empty and recovers the *entire* ledger from its
+    /// peers through the catch-up state transfer.
+    ///
     /// # Errors
     ///
     /// Fails if fewer than 4 keychains are given or the TCP mesh cannot be
@@ -782,8 +828,23 @@ impl AstroOneCluster {
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
         }
-        let transport = TcpTransport::loopback(keychains)?;
-        Self::start_with(transport, n, cfg, flush_every)
+        let layout = single_layout(n)?;
+        let endpoints = TcpTransport::loopback(keychains.clone())?.into_endpoints();
+        let addrs = endpoints.iter().map(astro_net::TcpEndpoint::listen_addr).collect();
+        let nodes: Vec<AstroOneReplica> = (0..n)
+            .map(|i| AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone()))
+            .collect();
+        Ok(AstroOneCluster {
+            inner: Cluster::start_endpoints(nodes, endpoints, layout, flush_every)?,
+            meta: Some(durable::RestartMeta {
+                keychains,
+                signing: Vec::new(),
+                addrs,
+                cfg,
+                flush_every,
+                storage: None,
+            }),
+        })
     }
 
     /// Starts `n` replica threads over an arbitrary transport.
@@ -803,7 +864,7 @@ impl AstroOneCluster {
             .collect();
         Ok(AstroOneCluster {
             inner: Cluster::start(nodes, transport, layout, flush_every)?,
-            durable: None,
+            meta: None,
         })
     }
 
@@ -832,6 +893,12 @@ impl AstroOneCluster {
         self.inner.settled_at(i)
     }
 
+    /// Waits until each listed replica has settled at least `count`
+    /// payments; see [`Cluster::wait_settled_among`].
+    pub fn wait_settled_among(&self, replicas: &[usize], count: usize, timeout: Duration) -> bool {
+        self.inner.wait_settled_among(replicas, count, timeout)
+    }
+
     /// Stops all replicas and returns each replica's final balance map and
     /// total settled count.
     pub fn shutdown(self) -> Vec<(HashMap<ClientId, Amount>, usize)> {
@@ -843,7 +910,10 @@ impl AstroOneCluster {
 /// certificates) under real Schnorr signatures.
 pub struct AstroTwoCluster {
     pub(crate) inner: Cluster,
-    pub(crate) durable: Option<durable::DurableMeta<Astro2Config>>,
+    /// Restart metadata; see [`AstroOneCluster`]. For Astro II it also
+    /// carries the protocol signing keychains, so a restarted replica
+    /// signs under the same identity.
+    pub(crate) meta: Option<durable::RestartMeta<Astro2Config>>,
 }
 
 impl AstroTwoCluster {
@@ -877,7 +947,14 @@ impl AstroTwoCluster {
 
     /// Starts one replica thread per keychain over loopback TCP with
     /// HMAC-authenticated sessions, using caller-provided transport key
-    /// material (pre-distributed key pairs, §III).
+    /// material (pre-distributed key pairs, §III). Protocol signing keys
+    /// derive from the fixed runtime seed, as in [`Self::start_with`].
+    ///
+    /// TCP clusters retain their key material and listen addresses, so a
+    /// killed replica can be brought back with
+    /// [`restart_replica`](Self::restart_replica) — without durable
+    /// storage it returns empty and recovers the ledger from its peers
+    /// through the catch-up state transfer.
     ///
     /// # Errors
     ///
@@ -892,8 +969,32 @@ impl AstroTwoCluster {
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
         }
-        let transport = TcpTransport::loopback(keychains)?;
-        Self::start_with(transport, n, cfg, flush_every)
+        let layout = single_layout(n)?;
+        let endpoints = TcpTransport::loopback(keychains.clone())?.into_endpoints();
+        let addrs = endpoints.iter().map(astro_net::TcpEndpoint::listen_addr).collect();
+        let signing = Keychain::deterministic_system(durable::ASTRO2_SIGNING_SEED, n);
+        let pool = VerifyMode::auto().build(signing[0].book().clone());
+        let nodes: Vec<AstroTwoReplica<SchnorrAuthenticator>> = signing
+            .iter()
+            .map(|kc| {
+                let auth = match &pool {
+                    Some(pool) => SchnorrAuthenticator::with_cache(kc.clone(), pool.cache()),
+                    None => SchnorrAuthenticator::new(kc.clone()),
+                };
+                AstroTwoReplica::new(auth, layout.clone(), cfg.clone())
+            })
+            .collect();
+        Ok(AstroTwoCluster {
+            inner: Cluster::start_endpoints_pooled(nodes, endpoints, layout, flush_every, pool)?,
+            meta: Some(durable::RestartMeta {
+                keychains,
+                signing,
+                addrs,
+                cfg,
+                flush_every,
+                storage: None,
+            }),
+        })
     }
 
     /// Starts `n` replica threads over an arbitrary transport with the
@@ -952,7 +1053,7 @@ impl AstroTwoCluster {
                 flush_every,
                 pool,
             )?,
-            durable: None,
+            meta: None,
         })
     }
 
@@ -979,6 +1080,12 @@ impl AstroTwoCluster {
     /// Settled payments as observed by replica `i` so far.
     pub fn settled_at(&self, i: usize) -> Vec<Payment> {
         self.inner.settled_at(i)
+    }
+
+    /// Waits until each listed replica has settled at least `count`
+    /// payments; see [`Cluster::wait_settled_among`].
+    pub fn wait_settled_among(&self, replicas: &[usize], count: usize, timeout: Duration) -> bool {
+        self.inner.wait_settled_among(replicas, count, timeout)
     }
 
     /// Stops all replicas and returns each replica's final balance map and
@@ -1065,6 +1172,62 @@ mod tests {
         for log in &logs {
             let seqs: Vec<u64> = log.iter().map(|p| p.seq.0).collect();
             assert_eq!(seqs, (0..30u64).collect::<Vec<_>>(), "xlog order must hold");
+        }
+    }
+
+    #[test]
+    fn non_durable_nodes_gc_brb_instances_by_size() {
+        // The size-based trigger (satellite of the catch-up PR): clusters
+        // that never snapshot must still bound broadcast-layer memory. A
+        // manual pump over the RuntimeNode impl (the exact path
+        // `replica_main` drives) settles far more instances than
+        // BRB_GC_HIGH_WATER; tracked state must stay at the threshold,
+        // not grow with history.
+        use astro_brb::Dest;
+        use astro_core::astro1::Astro1Msg;
+        use std::collections::VecDeque;
+
+        let layout = ShardLayout::single(4).unwrap();
+        let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(10_000) };
+        let mut nodes: Vec<AstroOneReplica> = (0..4)
+            .map(|i| AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone()))
+            .collect();
+        let mut queue: VecDeque<(ReplicaId, ReplicaId, Astro1Msg)> = VecDeque::new();
+        let route = |queue: &mut VecDeque<(ReplicaId, ReplicaId, Astro1Msg)>,
+                     from: ReplicaId,
+                     step: astro_core::ReplicaStep<Astro1Msg>| {
+            for env in step.outbound {
+                match env.to {
+                    Dest::All => {
+                        for i in 0..4u32 {
+                            queue.push_back((from, ReplicaId(i), env.msg.clone()));
+                        }
+                    }
+                    Dest::One(to) => queue.push_back((from, to, env.msg)),
+                }
+            }
+        };
+        let settles = 2 * BRB_GC_HIGH_WATER as u64;
+        let rep = layout.representative_of(ClientId(1));
+        for seq in 0..settles {
+            let step = RuntimeNode::submit(
+                &mut nodes[rep.0 as usize],
+                Payment::new(1u64, seq, 2u64, 1u64),
+            )
+            .unwrap();
+            route(&mut queue, rep, step);
+            while let Some((from, to, msg)) = queue.pop_front() {
+                let step = RuntimeNode::handle(&mut nodes[to.0 as usize], from, msg);
+                route(&mut queue, to, step);
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.ledger().total_settled(), settles as usize, "replica {i}");
+            let tracked = node.tracked_instances();
+            assert!(
+                tracked <= BRB_GC_HIGH_WATER,
+                "replica {i}: size-based GC must bound tracked instances, still tracks {tracked}"
+            );
         }
     }
 

@@ -39,6 +39,12 @@ pub enum Fault {
 /// paper §VI-D).
 const CLIENT_RETRY: Nanos = 200_000_000;
 
+/// How long a restarted replica waits before retrying the catch-up
+/// handshake when no `f+1` matching state certified (its donors were
+/// mid-divergence) — the simulated analogue of the runtime's
+/// flush-timer-paced `SyncRequest` retry.
+const CATCH_UP_RETRY: Nanos = 200_000_000;
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -57,6 +63,11 @@ pub struct SimConfig {
     pub faults: Vec<(Nanos, Fault)>,
     /// Throughput timeline bucket width.
     pub timeline_bucket: Nanos,
+    /// Stop drawing fresh client payments after this many (parked
+    /// payments still retry). `None` = the closed loop never stops. A
+    /// finite budget lets a run drain to quiescence before `duration` —
+    /// what the chaos convergence tests need.
+    pub submit_budget: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -69,6 +80,7 @@ impl Default for SimConfig {
             cpu: CpuModel::calibrated(),
             faults: Vec::new(),
             timeline_bucket: 1_000_000_000,
+            submit_budget: None,
         }
     }
 }
@@ -92,10 +104,22 @@ pub struct SimReport {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: ReplicaId, to: ReplicaId, msg: M },
-    Tick { replica: ReplicaId },
-    ClientSubmit { client: usize },
+    Deliver {
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: M,
+    },
+    Tick {
+        replica: ReplicaId,
+    },
+    ClientSubmit {
+        client: usize,
+    },
     Fault(Fault),
+    /// A restarted replica (re)tries the catch-up state transfer.
+    CatchUp {
+        replica: ReplicaId,
+    },
 }
 
 struct Event<M> {
@@ -178,6 +202,8 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
     let mut parked: HashMap<usize, astro_types::Payment> = HashMap::new();
     let mut latency = LatencyRecorder::new();
     let mut timeline = ThroughputTimeline::new(cfg.timeline_bucket);
+    // Fresh payments drawn from the workload (parked retries excluded).
+    let mut drawn = 0usize;
     let mut submitted = 0usize;
     let mut confirmed = 0usize;
     let mut events = 0u64;
@@ -191,16 +217,81 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
         match event.kind {
             EventKind::Fault(f) => match f {
                 Fault::Crash(r) => network.crash(r),
-                Fault::Restart(r) => network.restore(r),
+                Fault::Restart(r) => {
+                    network.restore(r);
+                    // The restarted replica runs the catch-up handshake
+                    // to learn what the quorum settled during its
+                    // downtime (the runtime's `restart_replica` flow).
+                    push(&mut heap, &mut seq, event.time, EventKind::CatchUp { replica: r });
+                }
                 Fault::Delay(r, extra) => network.add_delay(r, extra),
             },
+            EventKind::CatchUp { replica } => {
+                if network.is_crashed(replica) {
+                    continue; // crashed again before catching up
+                }
+                let donors: Vec<ReplicaId> = system
+                    .broadcast_targets(replica)
+                    .into_iter()
+                    .filter(|&d| d != replica && !network.is_crashed(d))
+                    .collect();
+                match system.catch_up(replica, &donors) {
+                    Some((bytes, step)) => {
+                        // Charge the handshake: one request/response round
+                        // trip plus serializing the transferred state.
+                        let tx = (bytes as u64).saturating_mul(1_000_000_000)
+                            / cfg.net.bandwidth_bytes_per_sec.max(1);
+                        let done = event.time + 2 * cfg.net.inter_region_latency + tx;
+                        cpu_free[replica.0 as usize] = cpu_free[replica.0 as usize].max(done);
+                        process_step(
+                            &mut system,
+                            &mut network,
+                            &mut heap,
+                            &mut seq,
+                            &mut rng,
+                            &cfg,
+                            &mut outstanding,
+                            &mut latency,
+                            &mut timeline,
+                            &mut confirmed,
+                            &mut next_tick,
+                            &mut cpu_free,
+                            replica,
+                            step,
+                            done,
+                            confirm_rule,
+                        );
+                    }
+                    // No f+1 matching state yet (donors mid-divergence):
+                    // retry later, as the live protocol does on its flush
+                    // timer. Systems without catch-up machinery (the
+                    // consensus baseline) restart with state intact and
+                    // nothing to fetch.
+                    None if system.has_catch_up() => push(
+                        &mut heap,
+                        &mut seq,
+                        event.time + CATCH_UP_RETRY,
+                        EventKind::CatchUp { replica },
+                    ),
+                    None => {}
+                }
+            }
             EventKind::ClientSubmit { client } => {
                 // A payment parked while its representative was down is
                 // retried as-is: drawing a fresh one would skip a
                 // sequence number and wedge the client's xlog forever.
-                let payment = parked
-                    .remove(&client)
-                    .unwrap_or_else(|| workload.next_payment(client, &mut rng));
+                let payment = match parked.remove(&client) {
+                    Some(p) => p,
+                    None => {
+                        // The budget counts *drawn* payments; once
+                        // exhausted this client's closed loop ends.
+                        if cfg.submit_budget.is_some_and(|b| drawn >= b) {
+                            continue;
+                        }
+                        drawn += 1;
+                        workload.next_payment(client, &mut rng)
+                    }
+                };
                 // Route by the *payment's spender* — a Smallbank owner has
                 // two xlogs (checking, savings) with possibly different
                 // representatives.
@@ -504,6 +595,7 @@ mod tests {
             cpu: CpuModel::calibrated(),
             faults: Vec::new(),
             timeline_bucket: 500_000_000,
+            submit_budget: None,
         }
     }
 

@@ -48,8 +48,8 @@ pub mod systems;
 pub mod workload;
 
 pub use cpumodel::CpuModel;
-pub use harness::{run, Fault, SimConfig, SimReport};
+pub use harness::{run, run_with_system, Fault, SimConfig, SimReport};
 pub use metrics::{LatencyStats, ThroughputTimeline};
 pub use netmodel::{NetParams, Network, Region};
-pub use systems::{Astro1System, Astro2System, ConfirmRule, PbftSystem, SimSystem};
+pub use systems::{Astro1System, Astro2System, ChaosReport, ConfirmRule, PbftSystem, SimSystem};
 pub use workload::{SmallbankWorkload, UniformWorkload, Workload};

@@ -11,13 +11,15 @@ use crate::cpumodel::{CpuModel, DeliverCost};
 use crate::netmodel::Nanos;
 use astro_brb::bracha::BrachaMsg;
 use astro_brb::signed::SignedMsg;
-use astro_brb::Envelope;
+use astro_brb::{Envelope, InstanceId};
 use astro_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, Astro2Msg, AstroTwoReplica};
+use astro_core::reconfig::CatchUp;
 use astro_core::ReplicaStep;
-use astro_types::wire::Wire;
-use astro_types::{ClientId, Group, MacAuthenticator, Payment, ReplicaId, ShardLayout};
+use astro_types::wire::{decode_exact, Wire};
+use astro_types::{ClientId, Group, MacAuthenticator, Payment, PaymentId, ReplicaId, ShardLayout};
+use std::collections::HashSet;
 
 /// How the harness decides a payment is confirmed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +97,150 @@ pub trait SimSystem {
     fn wire_size(&self, msg: &Self::Msg) -> usize {
         msg.encoded_len()
     }
+
+    /// Runs the catch-up state transfer for a replica that just restarted
+    /// (the runtime's `restart_replica` handshake in simulated form):
+    /// `donors` serve their canonical settlement state and the replica
+    /// installs once `f+1` byte-identical copies certify. Returns the
+    /// bytes transferred (so the harness can charge the handshake's
+    /// network and CPU cost) and the install step — its `settled` is the
+    /// delta the replica learned, which the harness feeds through
+    /// confirmation like any other step. `None` when nothing certified
+    /// (donors mid-divergence — the harness retries, as the live
+    /// protocol does on its flush timer). Default: no machinery.
+    fn catch_up(
+        &mut self,
+        replica: ReplicaId,
+        donors: &[ReplicaId],
+    ) -> Option<(usize, ReplicaStep<Self::Msg>)> {
+        let _ = (replica, donors);
+        None
+    }
+
+    /// True if [`Self::catch_up`] can ever succeed (gates the harness's
+    /// retry loop).
+    fn has_catch_up(&self) -> bool {
+        false
+    }
+}
+
+/// Always-on invariants a chaos schedule must never violate, tracked by
+/// the Astro system adapters when enabled: a replica re-broadcasting an
+/// instance id it already used (stream-tag reuse — a restart that lost
+/// its tag counter would wedge or equivocate its stream), and a replica
+/// reporting the same payment settled twice (double settle).
+#[derive(Debug, Default)]
+struct ChaosAudit {
+    /// Every own-stream instance id ever broadcast, cluster-wide.
+    own_prepares: HashSet<InstanceId>,
+    /// Instances broadcast more than once.
+    duplicate_broadcasts: usize,
+    /// Per-replica settled payment ids.
+    settled: Vec<HashSet<PaymentId>>,
+    /// Payments a replica reported settled more than once.
+    double_settles: usize,
+}
+
+impl ChaosAudit {
+    fn new(n: usize) -> Self {
+        ChaosAudit { settled: vec![HashSet::new(); n], ..ChaosAudit::default() }
+    }
+
+    fn observe_settled(&mut self, replica: ReplicaId, payments: &[Payment]) {
+        for p in payments {
+            if !self.settled[replica.0 as usize].insert(p.id()) {
+                self.double_settles += 1;
+            }
+        }
+    }
+
+    fn observe_prepare(&mut self, id: InstanceId) {
+        if !self.own_prepares.insert(id) {
+            self.duplicate_broadcasts += 1;
+        }
+    }
+}
+
+/// The audit counters of a chaos run; see
+/// [`Astro1System::enable_chaos_audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Own-stream instance ids broadcast more than once.
+    pub duplicate_broadcasts: usize,
+    /// Payments a replica reported settled more than once.
+    pub double_settles: usize,
+}
+
+/// What the shared catch-up loop needs from a payment replica — the
+/// serve/install surface both Astro protocols expose.
+trait SyncableReplica {
+    type Msg;
+
+    /// Settled-payment count (the certification floor).
+    fn settled(&self) -> u64;
+
+    /// The canonical sync state served to `requester`, wire-encoded.
+    fn serve(&self, requester: ReplicaId) -> Vec<u8>;
+
+    /// Decodes and installs a certified state; `None` on any rejection.
+    fn install(&mut self, bytes: &[u8]) -> Option<ReplicaStep<Self::Msg>>;
+}
+
+impl SyncableReplica for AstroOneReplica {
+    type Msg = Astro1Msg;
+
+    fn settled(&self) -> u64 {
+        self.ledger().total_settled() as u64
+    }
+
+    fn serve(&self, requester: ReplicaId) -> Vec<u8> {
+        self.sync_state(requester).to_wire_bytes()
+    }
+
+    fn install(&mut self, bytes: &[u8]) -> Option<ReplicaStep<Self::Msg>> {
+        self.install_sync(&decode_exact(bytes).ok()?).ok()
+    }
+}
+
+impl SyncableReplica for AstroTwoReplica<MacAuthenticator> {
+    type Msg = Astro2Msg<astro_types::auth::SimSig>;
+
+    fn settled(&self) -> u64 {
+        self.ledger().total_settled() as u64
+    }
+
+    fn serve(&self, requester: ReplicaId) -> Vec<u8> {
+        self.sync_state(requester).to_wire_bytes()
+    }
+
+    fn install(&mut self, bytes: &[u8]) -> Option<ReplicaStep<Self::Msg>> {
+        self.install_sync(&decode_exact(bytes).ok()?).ok()
+    }
+}
+
+/// The catch-up handshake in simulated form, shared by both Astro
+/// adapters: `donors` serve their canonical state, `f+1` byte-identical
+/// copies certify, the restarted replica installs. Returns the bytes
+/// transferred and the install step, or `None` when nothing certified
+/// or the install was rejected (the harness retries).
+fn run_catch_up<R: SyncableReplica>(
+    replicas: &mut [R],
+    group: &Group,
+    replica: ReplicaId,
+    donors: &[ReplicaId],
+) -> Option<(usize, ReplicaStep<R::Msg>)> {
+    let mut votes = CatchUp::new(group, replica, replicas[replica.0 as usize].settled());
+    let mut bytes = 0usize;
+    for &donor in donors {
+        let state = replicas[donor.0 as usize].serve(replica);
+        let settled = replicas[donor.0 as usize].settled();
+        bytes += state.len();
+        if let Some(certified) = votes.offer(donor, settled, state) {
+            let step = replicas[replica.0 as usize].install(&certified)?;
+            return Some((bytes, step));
+        }
+    }
+    None
 }
 
 /// Tracks Astro-side batch-flush deadlines (the core replicas flush on
@@ -146,7 +292,9 @@ impl FlushTimers {
 pub struct Astro1System {
     replicas: Vec<AstroOneReplica>,
     layout: ShardLayout,
+    group: Group,
     flush: FlushTimers,
+    audit: Option<ChaosAudit>,
 }
 
 impl Astro1System {
@@ -158,13 +306,42 @@ impl Astro1System {
                 .map(|i| AstroOneReplica::new(ReplicaId(i), layout.clone(), cfg.clone()))
                 .collect(),
             layout,
+            group: Group::of_size(n).expect("n >= 4"),
             flush: FlushTimers::new(n, batch_delay),
+            audit: None,
         }
     }
 
     /// Access to a replica (assertions in tests).
     pub fn replica(&self, i: usize) -> &AstroOneReplica {
         &self.replicas[i]
+    }
+
+    /// Turns on the chaos-schedule invariant counters (stream-tag reuse,
+    /// double settles). Off by default — the benchmarks pay nothing.
+    pub fn enable_chaos_audit(&mut self) {
+        self.audit = Some(ChaosAudit::new(self.replicas.len()));
+    }
+
+    /// The audit counters gathered since
+    /// [`Self::enable_chaos_audit`], if enabled.
+    pub fn chaos_report(&self) -> Option<ChaosReport> {
+        self.audit.as_ref().map(|a| ChaosReport {
+            duplicate_broadcasts: a.duplicate_broadcasts,
+            double_settles: a.double_settles,
+        })
+    }
+
+    fn observe(&mut self, replica: ReplicaId, step: &ReplicaStep<Astro1Msg>) {
+        let Some(audit) = &mut self.audit else { return };
+        audit.observe_settled(replica, &step.settled);
+        for env in &step.outbound {
+            if let Astro1Msg::Brb(BrachaMsg::Prepare { id, .. }) = &env.msg {
+                if id.source == u64::from(replica.0) {
+                    audit.observe_prepare(*id);
+                }
+            }
+        }
     }
 }
 
@@ -193,6 +370,7 @@ impl SimSystem for Astro1System {
             .submit(payment)
             .unwrap_or_else(|_| ReplicaStep::empty());
         self.flush.note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
+        self.observe(replica, &step);
         step
     }
 
@@ -203,12 +381,16 @@ impl SimSystem for Astro1System {
         msg: Self::Msg,
         _now: Nanos,
     ) -> ReplicaStep<Self::Msg> {
-        self.replicas[to.0 as usize].handle(from, msg)
+        let step = self.replicas[to.0 as usize].handle(from, msg);
+        self.observe(to, &step);
+        step
     }
 
     fn tick(&mut self, replica: ReplicaId, now: Nanos) -> ReplicaStep<Self::Msg> {
         if self.flush.due(replica, now) {
-            self.replicas[replica.0 as usize].flush()
+            let step = self.replicas[replica.0 as usize].flush();
+            self.observe(replica, &step);
+            step
         } else {
             ReplicaStep::empty()
         }
@@ -234,13 +416,30 @@ impl SimSystem for Astro1System {
         const BOOKKEEPING_NS: Nanos = 1_500;
         let size = msg.encoded_len();
         DeliverCost::inline(match msg {
-            BrachaMsg::Prepare { payload, .. } => {
+            Astro1Msg::Brb(BrachaMsg::Prepare { payload, .. }) => {
                 cpu.mac_ns + cpu.hash(size) + payload.payments.len() as Nanos * CLIENT_AUTH_NS
             }
-            BrachaMsg::Echo { payload, .. } | BrachaMsg::Ready { payload, .. } => {
+            Astro1Msg::Brb(BrachaMsg::Echo { payload, .. })
+            | Astro1Msg::Brb(BrachaMsg::Ready { payload, .. }) => {
                 cpu.mac_ns + cpu.hash(size) + payload.payments.len() as Nanos * BOOKKEEPING_NS
             }
+            // Catch-up traffic: MAC check plus hashing the served state.
+            Astro1Msg::Sync(_) => cpu.mac_ns + cpu.hash(size),
         })
+    }
+
+    fn catch_up(
+        &mut self,
+        replica: ReplicaId,
+        donors: &[ReplicaId],
+    ) -> Option<(usize, ReplicaStep<Self::Msg>)> {
+        let (bytes, step) = run_catch_up(&mut self.replicas, &self.group, replica, donors)?;
+        self.observe(replica, &step);
+        Some((bytes, step))
+    }
+
+    fn has_catch_up(&self) -> bool {
+        true
     }
 }
 
@@ -257,6 +456,7 @@ pub struct Astro2System {
     layout: ShardLayout,
     groups: Vec<Group>,
     flush: FlushTimers,
+    audit: Option<ChaosAudit>,
 }
 
 impl Astro2System {
@@ -280,6 +480,7 @@ impl Astro2System {
             layout,
             groups,
             flush: FlushTimers::new(total, batch_delay),
+            audit: None,
         }
     }
 
@@ -291,6 +492,36 @@ impl Astro2System {
     /// The shard layout.
     pub fn layout(&self) -> &ShardLayout {
         &self.layout
+    }
+
+    /// Turns on the chaos-schedule invariant counters; see
+    /// [`Astro1System::enable_chaos_audit`].
+    pub fn enable_chaos_audit(&mut self) {
+        self.audit = Some(ChaosAudit::new(self.replicas.len()));
+    }
+
+    /// The audit counters gathered since [`Self::enable_chaos_audit`].
+    pub fn chaos_report(&self) -> Option<ChaosReport> {
+        self.audit.as_ref().map(|a| ChaosReport {
+            duplicate_broadcasts: a.duplicate_broadcasts,
+            double_settles: a.double_settles,
+        })
+    }
+
+    fn observe(
+        &mut self,
+        replica: ReplicaId,
+        step: &ReplicaStep<Astro2Msg<astro_types::auth::SimSig>>,
+    ) {
+        let Some(audit) = &mut self.audit else { return };
+        audit.observe_settled(replica, &step.settled);
+        for env in &step.outbound {
+            if let Astro2Msg::Brb(SignedMsg::Prepare { id, .. }) = &env.msg {
+                if id.source == u64::from(replica.0) {
+                    audit.observe_prepare(*id);
+                }
+            }
+        }
     }
 }
 
@@ -319,6 +550,7 @@ impl SimSystem for Astro2System {
             .submit(payment)
             .unwrap_or_else(|_| ReplicaStep::empty());
         self.flush.note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
+        self.observe(replica, &step);
         step
     }
 
@@ -329,12 +561,16 @@ impl SimSystem for Astro2System {
         msg: Self::Msg,
         _now: Nanos,
     ) -> ReplicaStep<Self::Msg> {
-        self.replicas[to.0 as usize].handle(from, msg)
+        let step = self.replicas[to.0 as usize].handle(from, msg);
+        self.observe(to, &step);
+        step
     }
 
     fn tick(&mut self, replica: ReplicaId, now: Nanos) -> ReplicaStep<Self::Msg> {
         if self.flush.due(replica, now) {
-            self.replicas[replica.0 as usize].flush()
+            let step = self.replicas[replica.0 as usize].flush();
+            self.observe(replica, &step);
+            step
         } else {
             ReplicaStep::empty()
         }
@@ -347,6 +583,22 @@ impl SimSystem for Astro2System {
     fn broadcast_targets(&self, sender: ReplicaId) -> Vec<ReplicaId> {
         let shard = self.layout.shard_of_replica(sender).expect("sender in layout");
         self.groups[shard.0 as usize].members().to_vec()
+    }
+
+    fn catch_up(
+        &mut self,
+        replica: ReplicaId,
+        donors: &[ReplicaId],
+    ) -> Option<(usize, ReplicaStep<Self::Msg>)> {
+        let shard = self.layout.shard_of_replica(replica).expect("replica in layout");
+        let group = &self.groups[shard.0 as usize];
+        let (bytes, step) = run_catch_up(&mut self.replicas, group, replica, donors)?;
+        self.observe(replica, &step);
+        Some((bytes, step))
+    }
+
+    fn has_catch_up(&self) -> bool {
+        true
     }
 
     fn deliver_cost(&self, msg: &Self::Msg, cpu: &CpuModel) -> DeliverCost {
@@ -395,6 +647,8 @@ impl SimSystem for Astro2System {
                 inline: cpu.hash(size) + bundle.sig.encoded_len() as Nanos,
                 verify: cpu.verify_ns,
             },
+            // Catch-up traffic: hashing the served state, no signatures.
+            Astro2Msg::Sync(_) => DeliverCost::inline(cpu.hash(size)),
         }
     }
 }

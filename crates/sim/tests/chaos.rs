@@ -1,0 +1,171 @@
+//! Deterministic chaos schedules: random kill/restart sequences over a
+//! payment workload must always converge.
+//!
+//! Each proptest case draws a schedule of crash windows (victim, start
+//! offset, outage length), runs it through the discrete-event harness —
+//! where `Fault::Restart` triggers the real catch-up machinery
+//! (`astro_core::reconfig::CatchUp` + `install_sync`, retried on a timer
+//! exactly like the threaded runtime's flush-paced `SyncRequest`) — and
+//! then asserts the invariants no schedule may violate:
+//!
+//! - **liveness**: every drawn payment confirms (clients never resubmit
+//!   a different payment; parked submissions retry verbatim),
+//! - **convergence**: all replicas end with byte-identical settlement
+//!   state,
+//! - **conservation**: no money is created or destroyed,
+//! - **no stream-tag reuse**: no replica ever broadcasts the same
+//!   `(source, tag)` twice (a catch-up install must never regress the
+//!   tag counter),
+//! - **no double settle**: no replica reports the same payment settled
+//!   twice.
+//!
+//! Cases are generated from a per-test deterministic seed (the offline
+//! proptest engine), so CI runs the exact same schedules every time and
+//! a failure names the reproducing case.
+
+use astro_core::astro1::Astro1Config;
+use astro_core::astro2::{Astro2Config, CreditMode};
+use astro_sim::harness::run_with_system;
+use astro_sim::netmodel::Nanos;
+use astro_sim::{
+    Astro1System, Astro2System, CpuModel, Fault, NetParams, SimConfig, UniformWorkload,
+};
+use astro_types::{Amount, ClientId, ReplicaId};
+use proptest::prelude::*;
+
+const CLIENTS: usize = 6;
+const GENESIS: u64 = 1_000_000;
+const BUDGET: usize = 96;
+const MS: Nanos = 1_000_000;
+
+/// Serializes raw `(victim, gap_ms, outage_ms)` draws into a list of
+/// non-overlapping crash windows (at most one replica down at a time —
+/// `f = 1` for `n = 4`, so the live quorum always makes progress) and
+/// returns the fault list plus a duration with a generous drain tail.
+fn build_schedule(raw: &[(u64, u64, u64)]) -> (Vec<(Nanos, Fault)>, Nanos) {
+    let mut faults = Vec::new();
+    let mut t: Nanos = 300 * MS;
+    for &(victim, gap_ms, outage_ms) in raw {
+        let victim = ReplicaId((victim % 4) as u32);
+        let crash = t + gap_ms * MS;
+        let restart = crash + outage_ms * MS;
+        faults.push((crash, Fault::Crash(victim)));
+        faults.push((restart, Fault::Restart(victim)));
+        t = restart + 50 * MS;
+    }
+    (faults, t + 3_000 * MS)
+}
+
+fn chaos_cfg(seed: u64, raw: &[(u64, u64, u64)]) -> SimConfig {
+    let (faults, duration) = build_schedule(raw);
+    SimConfig {
+        duration,
+        warmup: 0,
+        seed,
+        net: NetParams::lan(),
+        cpu: CpuModel::calibrated(),
+        faults,
+        timeline_bucket: 500 * MS,
+        submit_budget: Some(BUDGET),
+    }
+}
+
+/// The invariants shared by both systems, checked post-run.
+fn assert_invariants(
+    confirmed: usize,
+    ledgers: Vec<Vec<u8>>,
+    balances: Vec<Vec<u64>>,
+    report: astro_sim::ChaosReport,
+) {
+    assert_eq!(
+        confirmed, BUDGET,
+        "every drawn payment must confirm — none may be lost to a crash window"
+    );
+    for (i, bytes) in ledgers.iter().enumerate() {
+        assert_eq!(
+            bytes, &ledgers[0],
+            "replica {i} settlement state diverged from replica 0 after the schedule"
+        );
+    }
+    for (i, per_client) in balances.iter().enumerate() {
+        let total: u64 = per_client.iter().sum();
+        assert_eq!(total, CLIENTS as u64 * GENESIS, "replica {i}: money not conserved");
+    }
+    assert_eq!(report.duplicate_broadcasts, 0, "stream-tag reuse");
+    assert_eq!(report.double_settles, 0, "double settle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Astro I: echo-based broadcast, FIFO delivery — a restarted replica
+    /// must advance its cursors through the transferred state or wedge.
+    #[test]
+    fn astro1_random_crash_restart_schedules_converge(
+        seed in 0u64..u64::MAX / 2,
+        raw in proptest::collection::vec((0u64..4, 50u64..600, 100u64..900), 1..4),
+    ) {
+        let mut system = Astro1System::new(
+            4,
+            Astro1Config { batch_size: 1, initial_balance: Amount(GENESIS) },
+            2 * MS,
+        );
+        system.enable_chaos_audit();
+        let workload = UniformWorkload::new(CLIENTS, 10);
+        let (sim_report, system) = run_with_system(system, workload, chaos_cfg(seed, &raw));
+        let ledgers: Vec<Vec<u8>> = (0..4)
+            .map(|i| astro_types::wire::Wire::to_wire_bytes(&system.replica(i).ledger().export()))
+            .collect();
+        let balances: Vec<Vec<u64>> = (0..4)
+            .map(|i| {
+                assert!(system.replica(i).ledger().audit(), "replica {i} ledger audit");
+                (0..CLIENTS as u64).map(|c| system.replica(i).balance(ClientId(c)).0).collect()
+            })
+            .collect();
+        assert_invariants(
+            sim_report.confirmed,
+            ledgers,
+            balances,
+            system.chaos_report().expect("audit enabled"),
+        );
+    }
+
+    /// Astro II (direct intra-shard credits): unordered signed broadcast —
+    /// a restarted replica must resume its stream above the certified
+    /// high-water mark and never re-materialize a used dependency.
+    #[test]
+    fn astro2_random_crash_restart_schedules_converge(
+        seed in 0u64..u64::MAX / 2,
+        raw in proptest::collection::vec((0u64..4, 50u64..600, 100u64..900), 1..4),
+    ) {
+        let mut system = Astro2System::new(
+            1,
+            4,
+            Astro2Config {
+                batch_size: 1,
+                initial_balance: Amount(GENESIS),
+                credit_mode: CreditMode::DirectIntraShard,
+                ..Astro2Config::default()
+            },
+            2 * MS,
+        );
+        system.enable_chaos_audit();
+        let workload = UniformWorkload::new(CLIENTS, 10);
+        let (sim_report, system) = run_with_system(system, workload, chaos_cfg(seed, &raw));
+        let ledgers: Vec<Vec<u8>> = (0..4)
+            .map(|i| astro_types::wire::Wire::to_wire_bytes(&system.replica(i).ledger().export()))
+            .collect();
+        let balances: Vec<Vec<u64>> = (0..4)
+            .map(|i| {
+                assert!(system.replica(i).ledger().audit(), "replica {i} ledger audit");
+                (0..CLIENTS as u64).map(|c| system.replica(i).balance(ClientId(c)).0).collect()
+            })
+            .collect();
+        assert_invariants(
+            sim_report.confirmed,
+            ledgers,
+            balances,
+            system.chaos_report().expect("audit enabled"),
+        );
+    }
+}

@@ -1,0 +1,550 @@
+//! Peer catch-up after downtime, end to end over real TCP: a replica is
+//! killed, the live quorum settles hundreds of payments it never hears
+//! about, and the restart path's reconfig/state-transfer handshake
+//! brings it back to byte-identical balances — with **zero client
+//! resubmissions**. Covers Astro I and Astro II, durable (recover local
+//! `snapshot + WAL`, fetch only the delta) and non-durable (restart
+//! empty, fetch the full ledger). Plus the adversarial side: a Byzantine
+//! peer serving forged, stale, or regressed state-transfer responses is
+//! rejected and catch-up completes from the honest `2f+1`.
+
+use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
+use astro_core::astro2::{Astro2Config, AstroTwoReplica, CreditMode};
+use astro_core::journal::{Astro1State, Astro2State};
+use astro_core::reconfig::{ReconfigMsg, SyncError};
+use astro_core::testkit::PaymentCluster;
+use astro_core::ReplicaStep;
+use astro_runtime::{demo_keychains, AstroOneCluster, AstroTwoCluster};
+use astro_store::StoreConfig;
+use astro_types::wire::Wire;
+use astro_types::{Amount, ClientId, Keychain, MacAuthenticator, Payment, ReplicaId, ShardLayout};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("astro-catchup-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_cfg() -> StoreConfig {
+    StoreConfig {
+        sync_every_records: 8,
+        sync_interval: Duration::from_millis(2),
+        snapshot_every_settled: 12,
+        sync_on_broadcast: true,
+    }
+}
+
+/// Canonical bytes of a balance map, for the byte-identical comparison.
+fn balance_bytes(balances: &HashMap<ClientId, Amount>) -> Vec<u8> {
+    let mut entries: Vec<(&ClientId, &Amount)> = balances.iter().collect();
+    entries.sort_unstable_by_key(|(c, _)| **c);
+    let mut bytes = Vec::new();
+    for (c, a) in entries {
+        bytes.extend_from_slice(&c.0.to_le_bytes());
+        bytes.extend_from_slice(&a.0.to_le_bytes());
+    }
+    bytes
+}
+
+/// Payments the quorum settles while the victim is down. The acceptance
+/// bar is ≥ 256.
+const DOWNTIME_PAYMENTS: u64 = 256;
+
+/// Polls `log` until it contains every `(spender, seq)` in `expect`.
+///
+/// Count-based waits are not meaningful for a restarted replica: its
+/// settled-board log spans both incarnations (the pre-kill entries plus
+/// the full catch-up delta), so its length over-counts. Waiting on the
+/// concrete payments is exact regardless of incarnations.
+fn wait_for_payments(
+    mut log: impl FnMut() -> Vec<Payment>,
+    expect: &[(u64, u64)],
+    timeout: Duration,
+) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let entries = log();
+        if expect
+            .iter()
+            .all(|(s, q)| entries.iter().any(|p| p.spender == ClientId(*s) && p.seq.0 == *q))
+        {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The `(spender, seq)` pairs of wave 2 (settled during the downtime).
+fn wave2_ids() -> Vec<(u64, u64)> {
+    (16..16 + DOWNTIME_PAYMENTS).map(|seq| (1u64, seq)).collect()
+}
+
+/// The `(spender, seq)` pairs of wave 3 (the victim's post-restart
+/// stream).
+fn wave3_ids() -> Vec<(u64, u64)> {
+    (16..24u64).map(|seq| (3u64, seq)).collect()
+}
+
+/// The shared choreography. `submit`/`wait`/`wait_among`/`kill`/`restart`
+/// close over the concrete cluster type; the client/rep arithmetic
+/// assumes the single-shard 4-replica layout (client c → replica c % 4).
+///
+/// - wave 1 (32): client 1 → 2 and client 3 → 4, so the victim (replica
+///   3, client 3's representative) has its own broadcast stream;
+/// - kill replica 3; wave 2 (256): client 1 → 2 at the live quorum;
+/// - restart; the catch-up handshake must deliver wave 2 to the victim
+///   with no resubmission;
+/// - wave 3 (8): client 3 again — the victim's stream must continue
+///   above its pre-crash tags (a reused or skipped tag would wedge it).
+struct Waves;
+impl Waves {
+    const VICTIM: usize = 3;
+    const TOTAL: usize = 32 + DOWNTIME_PAYMENTS as usize + 8;
+
+    fn wave1(mut submit: impl FnMut(Payment)) {
+        for seq in 0..16u64 {
+            submit(Payment::new(1u64, seq, 2u64, 5u64));
+            submit(Payment::new(3u64, seq, 4u64, 2u64));
+        }
+    }
+
+    fn wave2(mut submit: impl FnMut(Payment)) {
+        for seq in 16..16 + DOWNTIME_PAYMENTS {
+            submit(Payment::new(1u64, seq, 2u64, 1u64));
+        }
+    }
+
+    fn wave3(mut submit: impl FnMut(Payment)) {
+        for seq in 16..24u64 {
+            submit(Payment::new(3u64, seq, 4u64, 3u64));
+        }
+    }
+
+    fn assert_finals(finals: &[(HashMap<ClientId, Amount>, usize)]) {
+        let reference = balance_bytes(&finals[0].0);
+        for (i, (balances, count)) in finals.iter().enumerate() {
+            assert_eq!(
+                *count,
+                Self::TOTAL,
+                "replica {i} must settle every payment, downtime included"
+            );
+            assert_eq!(
+                balance_bytes(balances),
+                reference,
+                "replica {i} final balances must be byte-identical"
+            );
+        }
+        assert_eq!(finals[0].0[&ClientId(1)], Amount(1_000 - 80 - DOWNTIME_PAYMENTS));
+        assert_eq!(finals[0].0[&ClientId(2)], Amount(1_000 + 80 + DOWNTIME_PAYMENTS));
+        assert_eq!(finals[0].0[&ClientId(3)], Amount(1_000 - 32 - 24));
+        assert_eq!(finals[0].0[&ClientId(4)], Amount(1_000 + 32 + 24));
+    }
+}
+
+fn run_astro1(durable: bool, dir_name: &str) {
+    let cfg = Astro1Config { batch_size: 4, initial_balance: Amount(1_000) };
+    let flush = Duration::from_millis(1);
+    let mut cluster = if durable {
+        AstroOneCluster::start_tcp_durable_with_keychains(
+            demo_keychains(4),
+            tmp_dir(dir_name),
+            cfg,
+            flush,
+            store_cfg(),
+        )
+        .expect("durable cluster starts")
+    } else {
+        AstroOneCluster::start_tcp_with_keychains(demo_keychains(4), cfg, flush)
+            .expect("cluster starts")
+    };
+
+    Waves::wave1(|p| cluster.submit(p).unwrap());
+    assert_eq!(cluster.wait_settled(32, Duration::from_secs(20)).len(), 32);
+
+    cluster.kill_replica(Waves::VICTIM).unwrap();
+    Waves::wave2(|p| cluster.submit(p).unwrap());
+    let live = [0, 1, 2];
+    assert!(
+        cluster.wait_settled_among(&live, 32 + DOWNTIME_PAYMENTS as usize, Duration::from_secs(30)),
+        "live quorum settles the downtime wave"
+    );
+
+    // Restart: local recovery (durable) or empty (non-durable), then the
+    // catch-up handshake. NO payment is resubmitted.
+    cluster.restart_replica(Waves::VICTIM).expect("restart");
+    assert!(
+        wait_for_payments(
+            || cluster.settled_at(Waves::VICTIM),
+            &wave2_ids(),
+            Duration::from_secs(30)
+        ),
+        "restarted replica learns the downtime settlements from its peers"
+    );
+
+    // The victim's own stream must continue cleanly above its old tags.
+    Waves::wave3(|p| cluster.submit(p).unwrap());
+    for i in 0..4 {
+        assert!(
+            wait_for_payments(|| cluster.settled_at(i), &wave3_ids(), Duration::from_secs(30)),
+            "replica {i}: post-restart broadcasts from the victim must settle everywhere"
+        );
+    }
+
+    Waves::assert_finals(&cluster.shutdown());
+}
+
+fn run_astro2(durable: bool, dir_name: &str) {
+    let cfg = Astro2Config {
+        batch_size: 4,
+        initial_balance: Amount(1_000),
+        credit_mode: CreditMode::DirectIntraShard,
+        ..Astro2Config::default()
+    };
+    let flush = Duration::from_millis(1);
+    let mut cluster = if durable {
+        AstroTwoCluster::start_tcp_durable_with_keychains(
+            demo_keychains(4),
+            Keychain::deterministic_system(b"catchup-test-signing", 4),
+            tmp_dir(dir_name),
+            cfg,
+            flush,
+            store_cfg(),
+        )
+        .expect("durable cluster starts")
+    } else {
+        AstroTwoCluster::start_tcp_with_keychains(demo_keychains(4), cfg, flush)
+            .expect("cluster starts")
+    };
+
+    Waves::wave1(|p| cluster.submit(p).unwrap());
+    assert_eq!(cluster.wait_settled(32, Duration::from_secs(20)).len(), 32);
+
+    cluster.kill_replica(Waves::VICTIM).unwrap();
+    Waves::wave2(|p| cluster.submit(p).unwrap());
+    assert!(
+        cluster.wait_settled_among(
+            &[0, 1, 2],
+            32 + DOWNTIME_PAYMENTS as usize,
+            Duration::from_secs(30)
+        ),
+        "live quorum settles the downtime wave"
+    );
+
+    cluster.restart_replica(Waves::VICTIM).expect("restart");
+    assert!(
+        wait_for_payments(
+            || cluster.settled_at(Waves::VICTIM),
+            &wave2_ids(),
+            Duration::from_secs(30)
+        ),
+        "restarted replica learns the downtime settlements from its peers"
+    );
+
+    Waves::wave3(|p| cluster.submit(p).unwrap());
+    for i in 0..4 {
+        assert!(
+            wait_for_payments(|| cluster.settled_at(i), &wave3_ids(), Duration::from_secs(30)),
+            "replica {i}: post-restart broadcasts from the victim must settle everywhere"
+        );
+    }
+
+    Waves::assert_finals(&cluster.shutdown());
+}
+
+#[test]
+fn astro1_durable_replica_catches_up_after_downtime() {
+    run_astro1(true, "astro1-durable");
+}
+
+#[test]
+fn astro1_non_durable_replica_catches_up_from_peers_alone() {
+    run_astro1(false, "astro1-plain");
+}
+
+#[test]
+fn astro2_durable_replica_catches_up_after_downtime() {
+    run_astro2(true, "astro2-durable");
+}
+
+#[test]
+fn astro2_non_durable_replica_catches_up_from_peers_alone() {
+    run_astro2(false, "astro2-plain");
+}
+
+#[test]
+fn concurrent_restarts_fall_back_to_local_state_and_stay_live() {
+    // Kill 3 of 4 replicas (beyond 2f) and restart them together: fewer
+    // than f+1 donors can serve, so no transfer certifies. Durable
+    // replicas have a safe local state — after the bounded retry budget
+    // they must resume from it (the pre-catch-up restart semantics)
+    // instead of pausing the cluster forever.
+    let dir = tmp_dir("concurrent-restarts");
+    let cfg = Astro1Config { batch_size: 4, initial_balance: Amount(1_000) };
+    let mut cluster = AstroOneCluster::start_tcp_durable_with_keychains(
+        demo_keychains(4),
+        dir,
+        cfg,
+        Duration::from_millis(1),
+        store_cfg(),
+    )
+    .unwrap();
+    for seq in 0..8u64 {
+        cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).unwrap();
+    }
+    assert_eq!(cluster.wait_settled(8, Duration::from_secs(20)).len(), 8);
+
+    for i in 1..4 {
+        cluster.kill_replica(i).unwrap();
+    }
+    for i in 1..4 {
+        cluster.restart_replica(i).expect("restart");
+    }
+    // Submissions to a catching-up representative park in its batch; the
+    // fallback must release them. (Well within the fallback budget plus
+    // settle time.)
+    for seq in 8..16u64 {
+        cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).unwrap();
+    }
+    assert_eq!(
+        cluster.wait_settled(16, Duration::from_secs(30)).len(),
+        16,
+        "cluster must come back live after a concurrent-restart storm"
+    );
+    let finals = cluster.shutdown();
+    let reference = balance_bytes(&finals[0].0);
+    for (i, (balances, count)) in finals.iter().enumerate() {
+        assert_eq!(*count, 16, "replica {i}");
+        assert_eq!(balance_bytes(balances), reference, "replica {i} diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial state transfer
+// ---------------------------------------------------------------------------
+
+/// Builds a settled 4-replica Astro I cluster plus the early state the
+/// victim (replica 3) will be restored from: 3 of client 3's payments
+/// settle before the capture, 5 of client 1's after it — the delta the
+/// catch-up must transfer.
+fn settled_cluster() -> (PaymentCluster<AstroOneReplica>, Astro1State) {
+    let layout = ShardLayout::single(4).unwrap();
+    let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(100) };
+    let mut c = PaymentCluster::new(
+        (0..4).map(|i| AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone())),
+    );
+    let pay = |c: &mut PaymentCluster<AstroOneReplica>, p: Payment| {
+        let rep = layout.representative_of(p.spender);
+        let step = c.node_mut(rep.0 as usize).submit(p).expect("representative accepts");
+        c.submit_step(rep, step);
+    };
+    for seq in 0..3u64 {
+        pay(&mut c, Payment::new(3u64, seq, 4u64, 2u64));
+    }
+    c.run_to_quiescence();
+    let early = c.node(3).export_state();
+    for seq in 0..5u64 {
+        pay(&mut c, Payment::new(1u64, seq, 2u64, 4u64));
+    }
+    c.run_to_quiescence();
+    (c, early)
+}
+
+/// A `SyncState` response as replica `from` would serve it.
+fn response_from(c: &PaymentCluster<AstroOneReplica>, from: usize) -> Astro1Msg {
+    Astro1Msg::Sync(ReconfigMsg::SyncState {
+        settled: c.node(from).ledger().total_settled() as u64,
+        state: c.node(from).sync_state(ReplicaId(3)).to_wire_bytes(),
+    })
+}
+
+#[test]
+fn byzantine_forged_or_tampered_state_transfer_is_rejected() {
+    let (c, early) = settled_cluster();
+    let layout = ShardLayout::single(4).unwrap();
+    let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(100) };
+    let mut victim = AstroOneReplica::restore(ReplicaId(3), layout, cfg, &early).unwrap();
+    victim.begin_catchup();
+
+    // Replica 0 is Byzantine. Variant 1: inflate its own balance.
+    let mut inflated = c.node(0).sync_state(ReplicaId(3));
+    for (client, balance) in &mut inflated.ledger.accounts {
+        if *client == ClientId(4) {
+            *balance = Amount(1_000_000);
+        }
+    }
+    let forged = Astro1Msg::Sync(ReconfigMsg::SyncState {
+        settled: c.node(0).ledger().total_settled() as u64,
+        state: inflated.to_wire_bytes(),
+    });
+    // Variant 2: truncate client 1's xlog (drop the last settle).
+    let mut truncated = c.node(0).sync_state(ReplicaId(3));
+    for (client, entries) in &mut truncated.ledger.xlogs {
+        if *client == ClientId(1) {
+            entries.pop();
+        }
+    }
+    let truncated = Astro1Msg::Sync(ReconfigMsg::SyncState {
+        settled: c.node(0).ledger().total_settled() as u64,
+        state: truncated.to_wire_bytes(),
+    });
+    // Variant 3: a stale state (below the victim's own settled floor).
+    let stale =
+        Astro1Msg::Sync(ReconfigMsg::SyncState { settled: 1, state: early.to_wire_bytes() });
+
+    // The Byzantine replica spams every variant; none certifies (each
+    // needs f+1 = 2 matching members) and nothing installs.
+    for msg in [forged.clone(), truncated, stale, forged] {
+        let step = victim.handle(ReplicaId(0), msg);
+        assert!(step.settled.is_empty());
+        assert!(victim.is_syncing(), "forged responses must not install");
+    }
+    assert_eq!(victim.balance(ClientId(4)), Amount(106), "pre-transfer state untouched");
+
+    // One honest response joins: still only one member per digest.
+    let step = victim.handle(ReplicaId(1), response_from(&c, 1));
+    assert!(step.settled.is_empty());
+    assert!(victim.is_syncing());
+
+    // The second honest response certifies and installs the delta —
+    // catch-up completes from the honest 2f+1 despite the adversary.
+    let step = victim.handle(ReplicaId(2), response_from(&c, 2));
+    assert!(!victim.is_syncing(), "honest quorum must install");
+    assert_eq!(step.settled.len(), 5, "exactly the missed settlements are reported");
+    for client in 1..5u64 {
+        assert_eq!(
+            victim.balance(ClientId(client)),
+            c.node(0).balance(ClientId(client)),
+            "client {client}"
+        );
+    }
+    assert!(victim.ledger().audit());
+
+    // And the victim's own stream resumes above its pre-crash tags: the
+    // next broadcast must not reuse instance (3, 0..3).
+    let step = victim.submit(Payment::new(3u64, 3u64, 4u64, 1u64)).unwrap();
+    let tags: Vec<u64> = step
+        .outbound
+        .iter()
+        .filter_map(|env| match &env.msg {
+            Astro1Msg::Brb(astro_brb::bracha::BrachaMsg::Prepare { id, .. }) => Some(id.tag),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tags.len(), 1, "batch size 1 flushes immediately");
+    assert!(tags[0] >= 3, "tag {} would reuse a pre-crash instance", tags[0]);
+}
+
+#[test]
+fn regressed_cursor_or_ledger_is_rejected_by_the_install_guards() {
+    let (c, early) = settled_cluster();
+    let layout = ShardLayout::single(4).unwrap();
+    let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(100) };
+    // The victim restores from the *current* state: any transfer that is
+    // behind it in any component must be rejected even if it certified
+    // (defense in depth below the f+1 vote).
+    let current = c.node(3).export_state();
+    let mut victim = AstroOneReplica::restore(ReplicaId(3), layout, cfg, &current).unwrap();
+
+    // A state with a truncated xlog regresses the ledger.
+    let mut behind = c.node(0).sync_state(ReplicaId(3));
+    for (client, entries) in &mut behind.ledger.xlogs {
+        if *client == ClientId(1) {
+            entries.pop();
+        }
+    }
+    assert!(matches!(victim.install_sync(&behind), Err(SyncError::Stale)));
+
+    // A state whose delivery cursors sit below the victim's wedges FIFO
+    // delivery if installed — rejected.
+    let mut regressed = c.node(0).sync_state(ReplicaId(3));
+    for (_, next) in &mut regressed.cursors {
+        *next = next.saturating_sub(1);
+    }
+    assert!(matches!(victim.install_sync(&regressed), Err(SyncError::Stale)));
+
+    // The early snapshot itself (a stale donor) is likewise rejected.
+    assert!(matches!(victim.install_sync(&early), Err(SyncError::Stale)));
+
+    // The genuine current state installs as a no-op delta.
+    let fresh = c.node(0).sync_state(ReplicaId(3));
+    let step = victim.install_sync(&fresh).expect("current state installs");
+    assert!(step.settled.is_empty(), "no delta: nothing newly settled");
+}
+
+#[test]
+fn undecodable_certified_bytes_restart_collection() {
+    // Two colluding peers (beyond the f = 1 fault assumption — this
+    // exercises the defensive path) serve identical garbage: it
+    // certifies, fails to decode, and the collector restarts cleanly so
+    // honest responses can still install.
+    let (c, early) = settled_cluster();
+    let layout = ShardLayout::single(4).unwrap();
+    let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(100) };
+    let mut victim = AstroOneReplica::restore(ReplicaId(3), layout, cfg, &early).unwrap();
+    victim.begin_catchup();
+
+    let garbage = Astro1Msg::Sync(ReconfigMsg::SyncState {
+        settled: 99,
+        state: vec![0xde, 0xad, 0xbe, 0xef],
+    });
+    victim.handle(ReplicaId(0), garbage.clone());
+    victim.handle(ReplicaId(1), garbage);
+    assert!(victim.is_syncing(), "undecodable bytes must not activate the replica");
+
+    victim.handle(ReplicaId(1), response_from(&c, 1));
+    let step = victim.handle(ReplicaId(2), response_from(&c, 2));
+    assert!(!victim.is_syncing());
+    assert_eq!(step.settled.len(), 5);
+}
+
+#[test]
+fn astro2_sync_state_drops_garbage_certificates_and_guards_used_deps() {
+    // Astro II's install guards: pending entries carrying undecodable
+    // certificate bytes ("bad proof set" wire data) are dropped, and a
+    // transfer missing a locally-used dependency is rejected — replaying
+    // it would re-materialize the credit (a double deposit).
+    let layout = ShardLayout::single(4).unwrap();
+    let cfg = Astro2Config {
+        batch_size: 1,
+        initial_balance: Amount(100),
+        credit_mode: CreditMode::DirectIntraShard,
+        ..Astro2Config::default()
+    };
+    let auth = |i: u32| MacAuthenticator::new(ReplicaId(i), b"catchup-astro2".to_vec());
+    let mut c = PaymentCluster::new(
+        (0..4u32).map(|i| AstroTwoReplica::new(auth(i), layout.clone(), cfg.clone())),
+    );
+    let pay = |c: &mut PaymentCluster<AstroTwoReplica<MacAuthenticator>>, p: Payment| {
+        let rep = layout.representative_of(p.spender);
+        let step = c.node_mut(rep.0 as usize).submit(p).expect("representative accepts");
+        c.submit_step(rep, step);
+    };
+    for seq in 0..4u64 {
+        pay(&mut c, Payment::new(1u64, seq, 2u64, 3u64));
+    }
+    c.run_to_quiescence();
+
+    let mut victim = AstroTwoReplica::new(auth(3), layout.clone(), cfg.clone());
+    let mut state: Astro2State = c.node(0).sync_state(ReplicaId(3));
+    // "Bad proof set": a queued payment dragging garbage cert bytes.
+    state.pending = vec![(Payment::new(9u64, 1u64, 1u64, 1u64), vec![vec![0xff, 0x00, 0xff]])];
+    let step: ReplicaStep<_> = victim.install_sync(&state).expect("honest ledger installs");
+    assert_eq!(step.settled.len(), 4);
+    assert_eq!(victim.pending_len(), 1, "payment queued, garbage certificate dropped");
+    assert!(victim.ledger().audit());
+
+    // Regression guard: a second transfer that lost a used dependency
+    // (or a stuck mark) must be rejected outright.
+    let mut regressed = state.clone();
+    regressed.used_deps = Vec::new();
+    victim.replay(&astro_core::journal::WalRecord::DepUsed {
+        dep: Payment::new(5u64, 0u64, 3u64, 7u64),
+    });
+    assert!(matches!(victim.install_sync(&regressed), Err(SyncError::Stale)));
+}

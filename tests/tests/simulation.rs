@@ -19,6 +19,7 @@ fn cfg(secs: u64) -> SimConfig {
         cpu: CpuModel::calibrated(),
         faults: Vec::new(),
         timeline_bucket: 500_000_000,
+        submit_budget: None,
     }
 }
 

@@ -7,8 +7,11 @@ use astro_brb::bracha::BrachaMsg;
 use astro_brb::signed::SignedMsg;
 use astro_brb::InstanceId;
 use astro_consensus::pbft::PbftMsg;
+use astro_core::astro1::Astro1Msg;
 use astro_core::astro2::Astro2Msg;
 use astro_core::batch::{Batch, CreditBundle, DepBatch, DepPayment, DependencyCertificate};
+use astro_core::journal::Astro1State;
+use astro_core::reconfig::{ClientRecord, ReconfigMsg, View};
 use astro_types::auth::SimSig;
 use astro_types::wire::{
     decode_exact, peek_frame_len, put_frame, take_frame, Wire, WireError, MAX_FRAME_LEN,
@@ -82,6 +85,104 @@ fn astro2_messages_round_trip() {
         bundle: vec![Payment::new(1u64, 0u64, 2u64, 3u64)],
         sig: sig(0),
     }));
+    round_trip(&Astro2Msg::<SimSig>::Sync(ReconfigMsg::SyncRequest { settled: 7 }));
+}
+
+/// A realistic catch-up payload: the canonical snapshot encoding of a
+/// settled ledger, as served over the wire.
+fn sync_state_bytes() -> Vec<u8> {
+    use astro_core::journal::LedgerState;
+    Astro1State {
+        ledger: LedgerState {
+            initial_balance: astro_types::Amount(100),
+            accounts: vec![
+                (astro_types::ClientId(1), astro_types::Amount(70)),
+                (astro_types::ClientId(2), astro_types::Amount(130)),
+            ],
+            xlogs: vec![(astro_types::ClientId(1), vec![Payment::new(1u64, 0u64, 2u64, 30u64)])],
+        },
+        pending: vec![Payment::new(5u64, 2u64, 1u64, 9u64)],
+        next_tag: 4,
+        cursors: vec![(0, 2), (3, 4)],
+    }
+    .to_wire_bytes()
+}
+
+#[test]
+fn reconfig_messages_round_trip_every_variant() {
+    let view = View { number: 3, members: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)] };
+    let msgs: Vec<ReconfigMsg<SimSig>> = vec![
+        ReconfigMsg::Join,
+        ReconfigMsg::ViewProposal { view: view.clone(), sig: sig(1) },
+        ReconfigMsg::StateTransfer {
+            view_number: 3,
+            records: vec![ClientRecord {
+                payments: vec![Payment::new(1u64, 0u64, 2u64, 30u64)],
+                balance: astro_types::Amount(70),
+                owner: astro_types::ClientId(1),
+            }],
+        },
+        ReconfigMsg::SyncRequest { settled: 42 },
+        ReconfigMsg::SyncState { settled: 99, state: sync_state_bytes() },
+    ];
+    for msg in &msgs {
+        round_trip(msg);
+    }
+    // The Astro I instantiation (unit signature) and its top-level enum.
+    round_trip(&Astro1Msg::Sync(ReconfigMsg::SyncRequest { settled: 7 }));
+    round_trip(&Astro1Msg::Sync(ReconfigMsg::SyncState { settled: 9, state: sync_state_bytes() }));
+    round_trip(&Astro1Msg::Brb(BrachaMsg::Prepare {
+        id: InstanceId { source: 1, tag: 2 },
+        payload: batch(),
+    }));
+}
+
+#[test]
+fn sync_messages_survive_framing_and_reject_truncation() {
+    let msg = Astro1Msg::Sync(ReconfigMsg::SyncState { settled: 8, state: sync_state_bytes() });
+    let payload = msg.to_wire_bytes();
+    // Through the transport framing intact.
+    let mut framed = Vec::new();
+    put_frame(&mut framed, &payload);
+    let mut slice = framed.as_slice();
+    let inner = take_frame(&mut slice).unwrap();
+    assert_eq!(decode_exact::<Astro1Msg>(inner).unwrap(), msg);
+    // Every strict prefix errors (or at worst yields a shorter valid
+    // value for container types) — never a panic.
+    for cut in 0..payload.len() {
+        let mut slice = &payload[..cut];
+        let _ = Astro1Msg::decode(&mut slice);
+        let mut slice = &payload[..cut];
+        let _ = Astro2Msg::<SimSig>::decode(&mut slice);
+        let mut slice = &payload[..cut];
+        let _ = ReconfigMsg::<SimSig>::decode(&mut slice);
+    }
+    // A trailing byte is rejected outright.
+    let mut padded = payload.clone();
+    padded.push(0);
+    assert!(decode_exact::<Astro1Msg>(&padded).is_err());
+    // Unknown tags at both enum levels.
+    let mut bad_outer = payload.clone();
+    bad_outer[0] = 0x66;
+    assert!(matches!(decode_exact::<Astro1Msg>(&bad_outer), Err(WireError::InvalidValue(_))));
+    let mut bad_inner = payload;
+    bad_inner[1] = 0x77;
+    assert!(matches!(decode_exact::<Astro1Msg>(&bad_inner), Err(WireError::InvalidValue(_))));
+}
+
+#[test]
+fn oversized_sync_state_is_rejected_before_allocation() {
+    // A Byzantine peer advertising a sync state larger than the sequence
+    // bound must be rejected at the length prefix, before any allocation
+    // proportional to the claim. Tag 4 = SyncState, settled, then the
+    // Vec<u8> length prefix.
+    let mut bytes = Vec::new();
+    bytes.push(1u8); // Astro1Msg::Sync
+    bytes.push(4u8); // ReconfigMsg::SyncState
+    0u64.encode(&mut bytes); // settled
+    u32::MAX.encode(&mut bytes); // absurd state length
+    bytes.extend_from_slice(&[0u8; 64]);
+    assert!(matches!(decode_exact::<Astro1Msg>(&bytes), Err(WireError::InvalidValue(_))));
 }
 
 #[test]
