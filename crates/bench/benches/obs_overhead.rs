@@ -1,0 +1,197 @@
+//! Observability overhead: end-to-end settlement throughput of a
+//! 4-replica Astro I cluster over loopback TCP, with and without a
+//! metric [`Registry`](astro_obs::Registry) attached.
+//!
+//! An attached registry turns on every layer's instrumentation — link
+//! byte/frame counters, write-latency histograms, the payment-lifecycle
+//! tracer, settle counters, flight recorders. The acceptance gate is
+//! instrumented ≥ 0.95× the unattached throughput (enforced by
+//! `bench_gate` against `BENCH_obs.json`).
+//!
+//! Unlike the other benches this one is *paired*: each round starts a
+//! fresh cluster per side, runs an untimed warm-up settle on it, then
+//! times a 256-payment settle (alternating which side goes first). The
+//! gated ratio is the middle-half trimmed mean of the per-pair time
+//! ratios. The structure is doing three jobs: pairing cancels
+//! machine-load drift (independently-sampled groups drift apart by
+//! ±5–10% on a small box — more than the effect measured), fresh
+//! clusters and registries each round average out per-instance
+//! placement luck (a single unlucky allocation otherwise skews every
+//! pair the same way), and the in-round warm-up keeps one-time
+//! cold-table costs out of what is meant to be a steady-state ratio.
+
+use astro_bench::json::Metric;
+use astro_core::astro1::Astro1Config;
+use astro_obs::Registry;
+use astro_runtime::AstroOneCluster;
+use astro_types::{Amount, Payment};
+use std::time::{Duration, Instant};
+
+const PAYMENTS: u64 = 256;
+const REPLICAS: &[usize] = &[0, 1, 2, 3];
+
+fn pairs() -> usize {
+    // Odd counts keep the reported medians real samples. Rounds are
+    // cheap (single-digit milliseconds each), so even smoke affords
+    // enough pairs for a stable trimmed mean.
+    if astro_bench::smoke() {
+        61
+    } else {
+        121
+    }
+}
+
+fn cfg() -> Astro1Config {
+    Astro1Config { batch_size: 32, initial_balance: Amount(u64::MAX / 2) }
+}
+
+/// Payments in the untimed warm-up settle that precedes each timed
+/// round: enough to fault in the cluster's buffers and (instrumented
+/// side) the registry's tracer slots and histogram stripes.
+const WARMUP: u64 = 64;
+
+/// Timed repetitions of the 256-payment settle per round. The settle
+/// series has millisecond-scale scheduler outliers on BOTH sides —
+/// large against one ~2 ms settle — so each round times several
+/// back-to-back settles and reports the per-settle average, shrinking
+/// the outliers' relative weight without changing what one settle is.
+const REPS: u32 = 6;
+
+/// Runs one warm-up settle plus `REPS` timed settles on `cluster` and
+/// returns the average wall time of one timed settle.
+fn settle_round(cluster: &AstroOneCluster) -> Duration {
+    let mut seq = 0;
+    let mut submit = |n: u64| {
+        for _ in 0..n {
+            cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).expect("cluster accepts payments");
+            seq += 1;
+        }
+    };
+    // The bool-returning wait: no clone of the settled log inside the
+    // timed region.
+    let wait = |settled: u64| {
+        assert!(cluster.wait_settled_among(REPLICAS, settled as usize, Duration::from_secs(60)));
+    };
+    submit(WARMUP);
+    wait(WARMUP);
+    let t = Instant::now();
+    for rep in 0..REPS {
+        submit(PAYMENTS);
+        wait(WARMUP + (rep as u64 + 1) * PAYMENTS);
+    }
+    t.elapsed() / REPS
+}
+
+/// Heap-layout jitter: a padding allocation held for the round, sized
+/// by round index. Within one process the allocator hands freed chunks
+/// back deterministically, so without this every round's cluster (and
+/// registry) lands at the same addresses and one unlucky cache-set
+/// placement becomes a run-wide systematic instead of averaging out.
+fn pad(round: usize) -> Vec<u8> {
+    vec![0u8; (round % 16) * 4160]
+}
+
+/// One unattached round on a fresh cluster.
+fn run_unattached(flush: Duration, round: usize) -> Duration {
+    let _pad = pad(round);
+    let cluster = AstroOneCluster::start_tcp(4, cfg(), flush).unwrap();
+    let dt = settle_round(&cluster);
+    cluster.shutdown();
+    dt
+}
+
+/// One instrumented round on a fresh cluster and fresh registry, with a
+/// liveness check that the instrumentation actually ran (a handle
+/// lookup plus an atomic load, outside the timed region).
+fn run_instrumented(flush: Duration, round: usize) -> Duration {
+    let _pad = pad(round);
+    let registry = Registry::new();
+    let cluster = AstroOneCluster::start_tcp_observed(4, cfg(), flush, registry.clone()).unwrap();
+    let dt = settle_round(&cluster);
+    cluster.shutdown();
+    assert_eq!(registry.counter("lifecycle.confirmed").get(), WARMUP + REPS as u64 * PAYMENTS);
+    dt
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    sorted[sorted.len() / 2]
+}
+
+/// Mean of the middle half of a sorted sample. The settle series is
+/// occasionally bimodal (scheduler interference), which makes a raw
+/// median of few-dozen pair ratios jumpy; trimming the quartiles and
+/// averaging what's left is stable run-to-run.
+fn trimmed_mean(sorted: &[f64]) -> f64 {
+    let (lo, hi) = (sorted.len() / 4, sorted.len() * 3 / 4);
+    let mid = &sorted[lo..hi.max(lo + 1)];
+    mid.iter().sum::<f64>() / mid.len() as f64
+}
+
+fn main() {
+    let rounds = pairs();
+    let flush = Duration::from_millis(1);
+
+    // Process-wide warm-up (page tables, loopback stack, allocator)
+    // before the first timed pair.
+    run_unattached(flush, 0);
+    run_instrumented(flush, 0);
+
+    let mut plain_s = Vec::with_capacity(rounds);
+    let mut observed_s = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate the in-pair order so slow drift within a pair biases
+        // neither side.
+        let (p, o) = if round % 2 == 0 {
+            let p = run_unattached(flush, round);
+            let o = run_instrumented(flush, round);
+            (p, o)
+        } else {
+            let o = run_instrumented(flush, round);
+            let p = run_unattached(flush, round);
+            (p, o)
+        };
+        plain_s.push(p.as_secs_f64());
+        observed_s.push(o.as_secs_f64());
+        // Throughput ratio instrumented/unattached == time ratio
+        // unattached/instrumented.
+        ratios.push(p.as_secs_f64() / o.as_secs_f64());
+    }
+    if std::env::var("OBS_BENCH_DEBUG").is_ok() {
+        for (i, r) in ratios.iter().enumerate() {
+            println!(
+                "pair {i:>3}: plain {:>8.0}us observed {:>8.0}us ratio {r:.3}",
+                plain_s[i] * 1e6,
+                observed_s[i] * 1e6
+            );
+        }
+    }
+    plain_s.sort_by(f64::total_cmp);
+    observed_s.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+
+    let p99 = |sorted: &[f64]| sorted[(sorted.len() - 1) * 99 / 100];
+    let report = |id: &str, sorted: &[f64]| {
+        let med = median(sorted);
+        println!("{id:<52} {:>9.3} ms {:>11.0} elem/s", med * 1e3, PAYMENTS as f64 / med);
+        Metric::new(
+            id.to_string(),
+            [
+                ("elem/s", PAYMENTS as f64 / med),
+                ("p50_ms", med * 1e3),
+                ("p99_ms", p99(sorted) * 1e3),
+            ],
+        )
+    };
+
+    let mut metrics = vec![
+        report("settle_256_n4/unattached", &plain_s),
+        report("settle_256_n4/instrumented", &observed_s),
+    ];
+    let ratio = trimmed_mean(&ratios);
+    println!("{:<52} {ratio:>12.4}", "settle_256_n4/obs_overhead (trimmed mean of pairs)");
+    metrics
+        .push(Metric::new("settle_256_n4/obs_overhead", [("instrumented_over_unattached", ratio)]));
+    let path = astro_bench::json::write("obs", &metrics).expect("write bench json");
+    println!("\nwrote {}", path.display());
+}

@@ -10,6 +10,7 @@
 use crate::batch::Batch;
 use crate::journal::{Astro1State, Journal, JournalSlot, WalRecord};
 use crate::ledger::{Ledger, SettleOutcome};
+use crate::obs::CoreObs;
 use crate::pending::PendingQueue;
 use crate::reconfig::{CatchUp, ReconfigMsg, SyncError};
 use crate::xlog::XLogError;
@@ -106,6 +107,8 @@ pub(crate) struct SyncSession<M> {
     pub(crate) buffered: VecDeque<(ReplicaId, M)>,
     /// Flush ticks until the next request retry (0 = send now).
     pub(crate) ticks: u32,
+    /// Requests sent so far this session (`requests - 1` = retries).
+    pub(crate) requests: u32,
     /// Remaining request rounds before giving up, when the replica has a
     /// locally recovered state to fall back to. `None` = no fallback:
     /// the replica must certify before it may participate (a replica
@@ -115,7 +118,7 @@ pub(crate) struct SyncSession<M> {
 
 impl<M> SyncSession<M> {
     pub(crate) fn new(votes: CatchUp, rounds_left: Option<u32>) -> Self {
-        SyncSession { votes, buffered: VecDeque::new(), ticks: 0, rounds_left }
+        SyncSession { votes, buffered: VecDeque::new(), ticks: 0, requests: 0, rounds_left }
     }
 
     pub(crate) fn park(&mut self, from: ReplicaId, msg: M) {
@@ -156,6 +159,8 @@ pub struct AstroOneReplica {
     /// Catch-up in progress: broadcast delivery is paused (messages park)
     /// until a certified peer state is installed.
     syncing: Option<SyncSession<BrachaMsg<Batch>>>,
+    /// Metric handles, when a registry is attached (None = unobserved).
+    obs: Option<CoreObs>,
     /// Set when a sync install made the in-memory state newer than any
     /// journal replay can reproduce; the durable runtime consumes it and
     /// snapshots immediately.
@@ -191,6 +196,7 @@ impl AstroOneReplica {
             next_tag: 0,
             journal: JournalSlot::none(),
             syncing: None,
+            obs: None,
             snapshot_requested: false,
         }
     }
@@ -271,6 +277,12 @@ impl AstroOneReplica {
         self.journal.set(journal);
     }
 
+    /// Attaches metric handles: settles, catch-up progress, and payment
+    /// lifecycle stamps report into them from here on.
+    pub fn set_obs(&mut self, obs: CoreObs) {
+        self.obs = Some(obs);
+    }
+
     /// This replica's id.
     pub fn id(&self) -> ReplicaId {
         self.me
@@ -332,6 +344,13 @@ impl AstroOneReplica {
                     return out;
                 }
                 sync.ticks = SYNC_RETRY_TICKS;
+                sync.requests += 1;
+                if let Some(obs) = &self.obs {
+                    if sync.requests > 1 {
+                        obs.sync_retries.inc();
+                    }
+                    obs.flight.event("core.sync.request", u64::from(sync.requests), 0);
+                }
                 let request = sync.votes.request();
                 return ReplicaStep {
                     outbound: vec![Envelope { to: Dest::All, msg: Astro1Msg::Sync(request) }],
@@ -345,6 +364,10 @@ impl AstroOneReplica {
             return ReplicaStep::empty();
         }
         let payments = std::mem::take(&mut self.batch);
+        if let Some(obs) = &self.obs {
+            obs.stage_batch(&payments, astro_obs::Stage::Prepare);
+            obs.pending_depth.set(self.pending.len() as u64);
+        }
         let id = InstanceId { source: u64::from(self.me.0), tag: self.next_tag };
         self.next_tag += 1;
         // Journaled before the PREPARE leaves: a restarted replica must
@@ -372,6 +395,10 @@ impl AstroOneReplica {
                     // is installed; park the message for replay.
                     if self.group.contains(from) {
                         sync.park(from, m);
+                        if let Some(obs) = &self.obs {
+                            obs.parked.inc();
+                            obs.parked_depth.set(sync.buffered.len() as u64);
+                        }
                     }
                     return ReplicaStep::empty();
                 }
@@ -417,7 +444,11 @@ impl AstroOneReplica {
             }
             ReconfigMsg::SyncState { settled, state } => {
                 let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
-                let Some(certified) = sync.votes.offer(from, settled, state) else {
+                let certified = sync.votes.offer(from, settled, state);
+                if let Some(obs) = &self.obs {
+                    obs.sync_rejected.set(sync.votes.rejected() as u64);
+                }
+                let Some(certified) = certified else {
                     return ReplicaStep::empty();
                 };
                 let Ok(decoded) = decode_exact::<Astro1State>(&certified) else {
@@ -461,6 +492,17 @@ impl AstroOneReplica {
     /// each payment, then cascade the approval queue.
     fn apply_batch(&mut self, id: InstanceId, batch: &Batch, out: &mut ReplicaStep<Astro1Msg>) {
         let broadcaster = ReplicaId(id.source as u32);
+        let settled_before = out.settled.len();
+        if let Some(obs) = &self.obs {
+            // Bracha delivery *is* the quorum event: 2f+1 READYs arrived.
+            // Only the broadcaster stamps its own delivery: every correct
+            // replica delivers the batch at roughly the same instant, and
+            // one stamp per payment keeps the other replicas' settle loops
+            // off the tracer's shard locks entirely.
+            if broadcaster == self.me {
+                obs.stage_batch(&batch.payments, astro_obs::Stage::AckQuorum);
+            }
+        }
         let mut touched: Vec<ClientId> = Vec::new();
         for payment in &batch.payments {
             // Only a client's designated representative may broker her
@@ -497,6 +539,18 @@ impl AstroOneReplica {
         // has advanced past effects that were lost.
         self.journal.rec(&WalRecord::Delivered { source: id.source, tag: id.tag });
         out.settled.extend(settled.into_iter().map(|e| e.payment));
+        if let Some(obs) = &self.obs {
+            let settled = &out.settled[settled_before..];
+            obs.settles.add(settled.len() as u64);
+            // One settle stamp per payment, by the spender's
+            // representative: the lifecycle timeline reads as one
+            // replica's view, and the other replicas never contend on the
+            // payment's tracer slot.
+            obs.stage_batch(
+                settled.iter().filter(|p| self.layout.representative_of(p.spender) == self.me),
+                astro_obs::Stage::Settle,
+            );
+        }
     }
 
     /// The settled balance of a client (Listing 2's `bal`); any replica can

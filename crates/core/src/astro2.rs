@@ -19,6 +19,7 @@ use crate::batch::{
 };
 use crate::journal::{Astro2State, Journal, JournalSlot, WalRecord};
 use crate::ledger::{Ledger, SettleOutcome};
+use crate::obs::CoreObs;
 use crate::pending::PendingQueue;
 use crate::reconfig::{CatchUp, ReconfigMsg, SyncError};
 use crate::xlog::XLogError;
@@ -244,12 +245,30 @@ pub struct CertCache {
     verified: HashSet<[u8; 32]>,
     order: std::collections::VecDeque<[u8; 32]>,
     cap: usize,
+    hits: u64,
+    misses: u64,
 }
 
 impl CertCache {
     /// Creates a cache holding at most `cap` digests.
     pub fn new(cap: usize) -> Self {
-        CertCache { verified: HashSet::new(), order: std::collections::VecDeque::new(), cap }
+        CertCache {
+            verified: HashSet::new(),
+            order: std::collections::VecDeque::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Lookups that skipped re-verification.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to full signature verification.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// True if `digest` names a certificate that already verified.
@@ -331,6 +350,8 @@ pub struct AstroTwoReplica<A: Authenticator> {
     /// until a certified peer state is installed. CREDIT traffic keeps
     /// flowing — certificates accumulate independently of the ledger.
     syncing: Option<SyncSession<ParkedBrb<A>>>,
+    /// Metric handles, when a registry is attached (None = unobserved).
+    obs: Option<CoreObs>,
     /// Set when a sync install made the in-memory state newer than any
     /// journal replay can reproduce; the durable runtime consumes it and
     /// snapshots immediately.
@@ -378,6 +399,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             journal: JournalSlot::none(),
             pending_cert_takes: Vec::new(),
             syncing: None,
+            obs: None,
             snapshot_requested: false,
         }
     }
@@ -386,6 +408,13 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// recorded (see [`crate::journal::WalRecord`]).
     pub fn set_journal(&mut self, journal: Box<dyn Journal>) {
         self.journal.set(journal);
+    }
+
+    /// Attaches metric handles: settles, catch-up progress, certificate
+    /// cache effectiveness, and payment lifecycle stamps report into them
+    /// from here on.
+    pub fn set_obs(&mut self, obs: CoreObs) {
+        self.obs = Some(obs);
     }
 
     /// This replica's id.
@@ -490,6 +519,13 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                     return out;
                 }
                 sync.ticks = crate::astro1::SYNC_RETRY_TICKS;
+                sync.requests += 1;
+                if let Some(obs) = &self.obs {
+                    if sync.requests > 1 {
+                        obs.sync_retries.inc();
+                    }
+                    obs.flight.event("core.sync.request", u64::from(sync.requests), 0);
+                }
                 let request = sync.votes.request();
                 return ReplicaStep {
                     outbound: vec![Envelope {
@@ -506,6 +542,12 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             return ReplicaStep::empty();
         }
         let entries = std::mem::take(&mut self.batch);
+        if let Some(obs) = &self.obs {
+            obs.stage_batch(entries.iter().map(|e| &e.payment), astro_obs::Stage::Prepare);
+            obs.pending_depth.set(self.pending.len() as u64);
+            obs.cert_cache_hits.set(self.cert_cache.hits());
+            obs.cert_cache_misses.set(self.cert_cache.misses());
+        }
         let id = InstanceId { source: u64::from(self.me.0), tag: self.next_tag };
         self.next_tag += 1;
         // The batch becomes durable now: certificate consumption first,
@@ -548,6 +590,10 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                     // installed; park the message for replay.
                     if member {
                         sync.park(from, m);
+                        if let Some(obs) = &self.obs {
+                            obs.parked.inc();
+                            obs.parked_depth.set(sync.buffered.len() as u64);
+                        }
                     }
                     return ReplicaStep::empty();
                 }
@@ -562,6 +608,18 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                 };
                 for delivery in step.delivered {
                     self.apply_batch(delivery.id, delivery.payload, &mut out);
+                }
+                if let Some(obs) = &self.obs {
+                    // An outbound COMMIT means this replica just assembled
+                    // the 2f+1 ack quorum proof for its payload.
+                    for env in &out.outbound {
+                        if let Astro2Msg::Brb(SignedMsg::Commit { payload, .. }) = &env.msg {
+                            obs.stage_batch(
+                                payload.entries.iter().map(|e| &e.payment),
+                                astro_obs::Stage::AckQuorum,
+                            );
+                        }
+                    }
                 }
                 out
             }
@@ -604,7 +662,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             }
             ReconfigMsg::SyncState { settled, state } => {
                 let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
-                let Some(certified) = sync.votes.offer(from, settled, state) else {
+                let certified = sync.votes.offer(from, settled, state);
+                if let Some(obs) = &self.obs {
+                    obs.sync_rejected.set(sync.votes.rejected() as u64);
+                }
+                let Some(certified) = certified else {
                     return ReplicaStep::empty();
                 };
                 let Ok(decoded) = decode_exact::<Astro2State>(&certified) else {
@@ -729,6 +791,15 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                 to: astro_brb::Dest::One(rep),
                 msg: Astro2Msg::Credit(CreditBundle { bundle, sig }),
             });
+        }
+        if let Some(obs) = &self.obs {
+            obs.settles.add(settled.len() as u64);
+            // Representative-only, as in Astro I: one stamp per payment
+            // keeps the rest of the shard off the tracer.
+            obs.stage_batch(
+                settled.iter().filter(|p| self.layout.representative_of(p.spender) == self.me),
+                astro_obs::Stage::Settle,
+            );
         }
         out.settled.extend(settled);
     }
@@ -1195,7 +1266,10 @@ fn attempt_settle_inner<A: Authenticator>(
         // cache hit (content digest over bundle *and* proofs) skips the
         // f+1 signature checks; only fully verified certs are admitted.
         let digest = cert_digest(cert);
-        if !cert_cache.contains(&digest) {
+        if cert_cache.contains(&digest) {
+            cert_cache.hits += 1;
+        } else {
+            cert_cache.misses += 1;
             if !verify_certificate(cert, group, auth) {
                 continue;
             }

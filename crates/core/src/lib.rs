@@ -19,6 +19,8 @@
 //! - [`client`]: client-side sequence-number assignment (Listing 1).
 //! - [`reconfig`]: consensusless replica join with views and xlog state
 //!   transfer (Appendix A).
+//! - [`obs`]: per-replica metric handles ([`CoreObs`]) reporting into an
+//!   attached [`astro_obs::Registry`].
 //! - [`testkit`]: an in-memory sharding-aware router for deterministic
 //!   tests.
 //!
@@ -62,6 +64,7 @@ pub mod batch;
 pub mod client;
 pub mod journal;
 pub mod ledger;
+pub mod obs;
 pub mod pending;
 pub mod reconfig;
 pub mod testkit;
@@ -73,6 +76,7 @@ use astro_types::{ClientId, Payment, ReplicaId};
 pub use astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 pub use astro2::{Astro2Config, Astro2Msg, AstroTwoReplica, CreditMode};
 pub use ledger::{Ledger, SettleOutcome};
+pub use obs::CoreObs;
 pub use xlog::XLog;
 
 /// The observable result of one replica transition: messages to send and

@@ -183,6 +183,12 @@ pub trait Endpoint: Send + 'static {
     fn uncork(&mut self) -> Result<(), NetError> {
         Ok(())
     }
+
+    /// Attaches an observability registry: per-link byte/frame counters,
+    /// write-syscall latency, cork flush sizes, redials, and handshake
+    /// failures report into it from here on. Default: no-op (a transport
+    /// without syscall cost has nothing worth attributing).
+    fn attach_registry(&mut self, _registry: &Arc<astro_obs::Registry>) {}
 }
 
 /// A bundle of [`Endpoint`]s, one per replica of a cluster.

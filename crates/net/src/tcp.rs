@@ -19,14 +19,15 @@ use crate::session::{
     RecvSession, SendSession, ACK_LEN, CONFIRM_LEN, HELLO_LEN,
 };
 use crate::{Endpoint, NetError, Payload, Transport};
+use astro_obs::{Counter, FlightRecorder, Histogram, Registry};
 use astro_types::wire::{peek_frame_len, put_frame, Wire, MAX_FRAME_LEN};
 use astro_types::{Keychain, ReplicaId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 type Packet = (ReplicaId, Payload);
@@ -59,6 +60,79 @@ const ACCEPT_RETRY_DELAY: Duration = Duration::from_millis(50);
 /// flushed inline — bounds memory under pathological bursts.
 const CORK_FLUSH_THRESHOLD: usize = 256 << 10;
 
+/// Per-ordered-link traffic counters (`net.r{me}.to_r{peer}.*` /
+/// `net.r{me}.from_r{peer}.*`).
+struct LinkMetrics {
+    tx_bytes: Counter,
+    tx_frames: Counter,
+    rx_bytes: Counter,
+    rx_frames: Counter,
+}
+
+/// Metric handles one TCP endpoint records into once a registry is
+/// attached. Resolved eagerly for every peer so the hot paths index an
+/// array; reader threads observe the attach through a `OnceLock`.
+struct NetMetrics {
+    links: Vec<LinkMetrics>,
+    /// Latency of one `write(2)` on the send path (direct or flush).
+    write_nanos: Histogram,
+    /// Bytes per coalesced cork flush.
+    flush_bytes: Histogram,
+    /// Reconnection attempts after the initial mesh came up.
+    redials: Counter,
+    /// Dial or accept handshakes that failed authentication or framing.
+    handshake_failures: Counter,
+    flight: FlightRecorder,
+    /// Write counter driving the 1-in-[`WRITE_SAMPLE`] `write_nanos`
+    /// sampling.
+    writes: AtomicU64,
+}
+
+/// Sampling interval for `write_nanos`: timing every write costs two
+/// clock reads plus a histogram feed on the flush path, which is serial
+/// critical-path time on small machines. One in eight keeps the
+/// distribution honest at a fraction of the cost.
+const WRITE_SAMPLE: u64 = 8;
+
+impl NetMetrics {
+    fn new(registry: &Registry, me: u32, n: usize) -> NetMetrics {
+        let links = (0..n)
+            .map(|peer| LinkMetrics {
+                tx_bytes: registry.counter(&format!("net.r{me}.to_r{peer}.tx_bytes")),
+                tx_frames: registry.counter(&format!("net.r{me}.to_r{peer}.tx_frames")),
+                rx_bytes: registry.counter(&format!("net.r{me}.from_r{peer}.rx_bytes")),
+                rx_frames: registry.counter(&format!("net.r{me}.from_r{peer}.rx_frames")),
+            })
+            .collect();
+        NetMetrics {
+            links,
+            write_nanos: registry.histogram(&format!("net.r{me}.write_nanos")),
+            flush_bytes: registry.histogram(&format!("net.r{me}.flush_bytes")),
+            redials: registry.counter(&format!("net.r{me}.redials")),
+            handshake_failures: registry.counter(&format!("net.r{me}.handshake_failures")),
+            flight: registry.flight(me),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Times every [`WRITE_SAMPLE`]th `write` when metrics are attached;
+    /// plain call otherwise.
+    fn timed_write<R>(metrics: Option<&NetMetrics>, write: impl FnOnce() -> R) -> R {
+        match metrics {
+            None => write(),
+            Some(m) => {
+                if m.writes.fetch_add(1, Ordering::Relaxed) % WRITE_SAMPLE != 0 {
+                    return write();
+                }
+                let started = Instant::now();
+                let result = write();
+                m.write_nanos.record(started.elapsed().as_nanos() as u64);
+                result
+            }
+        }
+    }
+}
+
 /// One live, authenticated connection's write half.
 struct LinkWriter {
     stream: TcpStream,
@@ -86,6 +160,9 @@ struct Shared {
     // `Sender` is Send but not Sync; reader threads clone one out.
     inbox_tx: Mutex<Sender<Packet>>,
     shutdown: AtomicBool,
+    /// Set once by `attach_registry`; reader/maintenance threads observe
+    /// it lock-free mid-flight.
+    metrics: OnceLock<NetMetrics>,
 }
 
 impl Shared {
@@ -182,6 +259,10 @@ fn reader_main(
         }
         match session.open_ref(&sealed) {
             Ok(payload) => {
+                if let Some(m) = shared.metrics.get() {
+                    m.links[peer.0 as usize].rx_bytes.add(4 + len as u64);
+                    m.links[peer.0 as usize].rx_frames.inc();
+                }
                 if inbox.send((peer, Payload::from(payload))).is_err() {
                     break; // endpoint dropped
                 }
@@ -301,6 +382,18 @@ fn maintenance_main(shared: Arc<Shared>) {
             }
             let attempt = dial(&shared, peer);
             shared.links[i].state.lock().next_dial_at = Some(Instant::now() + REDIAL_COOLDOWN);
+            if let Some(m) = shared.metrics.get() {
+                m.redials.inc();
+                match &attempt {
+                    Ok(_) => m.flight.event("net.redial.ok", peer.0 as u64, 0),
+                    Err(e) => {
+                        if matches!(e, NetError::Handshake { .. }) {
+                            m.handshake_failures.inc();
+                        }
+                        m.flight.event("net.redial.err", peer.0 as u64, 0);
+                    }
+                }
+            }
             if let Ok((writer, rx)) = attempt {
                 shared.install_link(&shared, peer, writer, rx);
             }
@@ -327,9 +420,13 @@ fn acceptor_main(shared: Arc<Shared>, listener: TcpListener) {
         // stalls mid-handshake burns its own thread until the read
         // timeout fires, never the accept loop.
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || {
-            if let Ok((from, writer, rx)) = accept_handshake(&shared, stream) {
-                shared.install_link(&shared, from, writer, rx);
+        std::thread::spawn(move || match accept_handshake(&shared, stream) {
+            Ok((from, writer, rx)) => shared.install_link(&shared, from, writer, rx),
+            Err(_) => {
+                if let Some(m) = shared.metrics.get() {
+                    m.handshake_failures.inc();
+                    m.flight.event("net.accept_handshake.err", 0, 0);
+                }
             }
         });
     }
@@ -418,6 +515,7 @@ impl TcpEndpoint {
                 .collect(),
             inbox_tx: Mutex::new(inbox_tx),
             shutdown: AtomicBool::new(false),
+            metrics: OnceLock::new(),
         });
 
         let acceptor_shared = Arc::clone(&shared);
@@ -505,6 +603,7 @@ impl TcpEndpoint {
     /// the sealed frame to the link's coalescing buffer. Returns `false`
     /// if the link is down.
     fn try_send(&mut self, to: ReplicaId, payload: &[u8]) -> Result<bool, NetError> {
+        let metrics = self.shared.metrics.get();
         let slot = &self.shared.links[to.0 as usize];
         let mut state = slot.state.lock();
         let generation = state.generation;
@@ -518,14 +617,24 @@ impl TcpEndpoint {
                 pending.buf.clear();
                 pending.generation = generation;
             }
+            let before = pending.buf.len();
             append_frame(&mut writer.session, payload, &mut pending.buf);
+            if let Some(m) = metrics {
+                let link = &m.links[to.0 as usize];
+                link.tx_bytes.add((pending.buf.len() - before) as u64);
+                link.tx_frames.inc();
+            }
             if pending.buf.len() < CORK_FLUSH_THRESHOLD {
                 return Ok(true);
             }
             // Oversized burst: flush inline to bound memory, and give the
             // excess capacity back (one 16 MiB frame must not pin 16 MiB
             // per link for the endpoint's lifetime).
-            let ok = writer.stream.write_all(&pending.buf).is_ok();
+            if let Some(m) = metrics {
+                m.flush_bytes.record(pending.buf.len() as u64);
+            }
+            let ok =
+                NetMetrics::timed_write(metrics, || writer.stream.write_all(&pending.buf).is_ok());
             pending.buf.clear();
             pending.buf.shrink_to(CORK_FLUSH_THRESHOLD);
             if ok {
@@ -535,7 +644,12 @@ impl TcpEndpoint {
             self.scratch.clear();
             self.scratch.shrink_to(CORK_FLUSH_THRESHOLD);
             append_frame(&mut writer.session, payload, &mut self.scratch);
-            if writer.stream.write_all(&self.scratch).is_ok() {
+            if let Some(m) = metrics {
+                let link = &m.links[to.0 as usize];
+                link.tx_bytes.add(self.scratch.len() as u64);
+                link.tx_frames.inc();
+            }
+            if NetMetrics::timed_write(metrics, || writer.stream.write_all(&self.scratch).is_ok()) {
                 return Ok(true);
             }
         }
@@ -594,6 +708,13 @@ impl Endpoint for TcpEndpoint {
             // blackholed peer must not make every subsequent send redial.
             self.shared.links[to.0 as usize].state.lock().next_dial_at =
                 Some(Instant::now() + REDIAL_COOLDOWN);
+            if let Some(m) = self.shared.metrics.get() {
+                m.redials.inc();
+                if matches!(&attempt, Err(NetError::Handshake { .. })) {
+                    m.handshake_failures.inc();
+                }
+                m.flight.event("net.send.redial", to.0 as u64, attempt.is_ok() as u64);
+            }
             if let Ok((writer, rx)) = attempt {
                 self.shared.install_link(&self.shared, to, writer, rx);
                 if self.try_send(to, payload)? {
@@ -628,6 +749,13 @@ impl Endpoint for TcpEndpoint {
         self.corked = true;
     }
 
+    fn attach_registry(&mut self, registry: &Arc<Registry>) {
+        // First attach wins; a second registry for the same endpoint is
+        // ignored rather than double-counted.
+        let _ =
+            self.shared.metrics.set(NetMetrics::new(registry, self.shared.me().0, self.shared.n));
+    }
+
     fn uncork(&mut self) -> Result<(), NetError> {
         self.corked = false;
         let mut first_err = None;
@@ -641,7 +769,13 @@ impl Endpoint for TcpEndpoint {
             // drop them — in-flight loss on a broken link, as ever.
             if state.generation == pending.generation {
                 if let Some(writer) = state.writer.as_mut() {
-                    if writer.stream.write_all(&pending.buf).is_err() {
+                    let metrics = self.shared.metrics.get();
+                    if let Some(m) = metrics {
+                        m.flush_bytes.record(pending.buf.len() as u64);
+                    }
+                    if NetMetrics::timed_write(metrics, || {
+                        writer.stream.write_all(&pending.buf).is_err()
+                    }) {
                         if let Some(w) = state.writer.take() {
                             let _ = w.stream.shutdown(Shutdown::Both);
                         }

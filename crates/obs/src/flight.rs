@@ -1,0 +1,130 @@
+//! The flight recorder: a fixed-size, drop-oldest ring of structured
+//! events per replica, cheap enough to leave on in production and dumped
+//! as text on test failure or on demand.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Events one replica's ring retains. Old events are dropped, never the
+/// recording thread blocked.
+pub const FLIGHT_CAPACITY: usize = 1024;
+
+/// One recorded event: a static label plus two free-form operands
+/// (counts, byte sizes, peer ids — whatever the site finds useful).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Nanoseconds since the registry was created.
+    pub at_nanos: u64,
+    /// What happened (`"redial"`, `"catchup.begin"`, ...).
+    pub what: &'static str,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// A handle to one replica's event ring. Clones share the ring; a replica
+/// thread records into it without coordination with readers beyond a
+/// short mutex hold.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    start: Instant,
+    ring: Arc<Mutex<Ring>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        f.debug_struct("FlightRecorder")
+            .field("events", &ring.events.len())
+            .field("dropped", &ring.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(start: Instant) -> Self {
+        FlightRecorder {
+            start,
+            ring: Arc::new(Mutex::new(Ring {
+                events: VecDeque::with_capacity(FLIGHT_CAPACITY),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Records one event, dropping the oldest when the ring is full.
+    pub fn event(&self, what: &'static str, a: u64, b: u64) {
+        let at_nanos = self.start.elapsed().as_nanos() as u64;
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.events.len() == FLIGHT_CAPACITY {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(Event { at_nanos, what, a, b });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().expect("flight ring poisoned").events.iter().copied().collect()
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("flight ring poisoned").dropped
+    }
+
+    /// Renders the ring as one line per event, oldest first.
+    pub fn dump(&self, replica: u32) -> String {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        let mut out = String::new();
+        if ring.dropped > 0 {
+            out.push_str(&format!("r{replica}: ({} older events dropped)\n", ring.dropped));
+        }
+        for e in &ring.events {
+            out.push_str(&format!(
+                "[{:>12.3}ms] r{replica} {} a={} b={}\n",
+                e.at_nanos as f64 / 1e6,
+                e.what,
+                e.a,
+                e.b
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let fr = FlightRecorder::new(Instant::now());
+        for i in 0..(FLIGHT_CAPACITY as u64 + 10) {
+            fr.event("tick", i, 0);
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), FLIGHT_CAPACITY);
+        assert_eq!(events[0].a, 10, "oldest ten evicted");
+        assert_eq!(fr.dropped(), 10);
+        let dump = fr.dump(3);
+        assert!(dump.starts_with("r3: (10 older events dropped)"));
+        assert!(dump.contains("r3 tick"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let fr = FlightRecorder::new(Instant::now());
+        fr.event("a", 0, 0);
+        fr.event("b", 0, 0);
+        let ev = fr.events();
+        assert!(ev[0].at_nanos <= ev[1].at_nanos);
+    }
+}

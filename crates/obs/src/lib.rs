@@ -1,0 +1,37 @@
+//! `astro-obs` — flight-recorder observability for the Astro runtime.
+//!
+//! The paper's headline claims are tail-latency claims; this crate is the
+//! instrumentation substrate that makes those tails attributable in the
+//! live system. It is **zero-dependency** (std only, same offline
+//! discipline as `crates/compat`) and built so that a cluster started
+//! *without* a registry pays nothing: every call site guards on an
+//! `Option` that is `None` by default.
+//!
+//! Pieces:
+//!
+//! - [`Registry`] — process-wide named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s (per-thread striped, merged at
+//!   [`Registry::snapshot`]), plus per-replica [`FlightRecorder`] rings
+//!   and the [`PaymentTracer`].
+//! - [`Histogram`] / [`Summary`] — nearest-rank p50/p95/p99 over
+//!   logarithmic buckets (8 sub-buckets per octave, ≤ 12.5% bucket
+//!   width), exact max. The same [`Summary`] shape is what
+//!   `astro_sim`'s exact-sample recorder reports, so the simulator and
+//!   the runtime speak one percentile convention.
+//! - [`FlightRecorder`] — a fixed-size, drop-oldest ring of structured
+//!   events per replica, dumpable on test failure or on demand.
+//! - [`PaymentTracer`] — timestamps each payment at
+//!   submit → PREPARE → ACK quorum → settle → confirmation ([`Stage`])
+//!   and feeds per-span histograms (`lifecycle.*`).
+
+#![warn(missing_docs)]
+
+mod flight;
+mod metric;
+mod registry;
+mod trace;
+
+pub use flight::{Event, FlightRecorder, FLIGHT_CAPACITY};
+pub use metric::{Counter, Gauge, Histogram, Summary};
+pub use registry::{Registry, Snapshot};
+pub use trace::{PaymentTracer, Stage};

@@ -1,0 +1,339 @@
+//! Lock-free metric primitives: counters, gauges, and log-bucketed
+//! histograms with per-thread stripes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An atomic cell padded out to two cache lines. Metric cells for
+/// different replicas are resolved back-to-back, so unpadded they land on
+/// shared lines and the replica threads' relaxed ops degrade into
+/// coherence traffic on each other's critical paths (measurably: several
+/// percent of settle throughput on a 4-replica loopback cluster).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedCell(AtomicU64);
+
+/// A monotonically increasing event count. Cloning shares the cell, so a
+/// handle can be resolved once at startup and bumped from the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<PaddedCell>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0 .0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0 .0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value cell (queue depths, cache sizes, high-water
+/// marks). Shares the cell across clones like [`Counter`].
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<PaddedCell>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0 .0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (e.g. an enqueue).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0 .0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (e.g. a dequeue).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under contention; depth gauges are
+        // bumped from one thread per queue end.
+        let _ = self
+            .0
+             .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_sub(n)));
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water tracking).
+    #[inline]
+    pub fn max_of(&self, v: u64) {
+        self.0 .0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0 .0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two, so a
+/// recorded value is attributed to a bucket whose lower bound is within
+/// 12.5% of it.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values 0..2^SUB_BITS get exact unit buckets; each octave above
+/// contributes SUBS buckets up to exponent 63 (whose group index is
+/// 63 - SUB_BITS + 1), so the table holds (64 - SUB_BITS + 1) groups.
+pub(crate) const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// Recording threads are spread over independent stripes; a snapshot
+/// merges them. Keeps the hot `fetch_add` off shared cache lines without
+/// any registration protocol. Stripes only pay off across CPUs, so the
+/// count follows the machine (capped at 8): on a single-core box one
+/// stripe serves every thread, and each histogram's footprint (~4 KB of
+/// buckets per stripe) stays out of the settle path's cache.
+fn stripe_count() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map_or(8, |n| n.get()).clamp(1, 8))
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static MY_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % stripe_count();
+}
+
+/// Maps a value to its bucket index. Monotone non-decreasing, so bucketed
+/// nearest-rank percentiles land in exactly the bucket holding the exact
+/// nearest-rank sample.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUBS - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUBS + sub
+    }
+}
+
+/// Lower bound of bucket `idx` — the value reported for a percentile that
+/// falls in it. Maps back into the same bucket by construction.
+pub(crate) fn bucket_floor(idx: usize) -> u64 {
+    if idx < 2 * SUBS {
+        idx as u64
+    } else {
+        let exp = (idx / SUBS) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUBS) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+}
+
+/// Padded like [`PaddedCell`]: the stripes sit in one contiguous `Vec`,
+/// and each is owned by a different set of recording threads.
+#[repr(align(128))]
+struct Stripe {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// sizes in bytes). Recording is a couple of relaxed atomic adds on a
+/// per-thread stripe; [`Histogram::summary`] merges the stripes.
+#[derive(Clone)]
+pub struct Histogram {
+    stripes: Arc<Vec<Stripe>>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram { stripes: Arc::new((0..stripe_count()).map(|_| Stripe::new()).collect()) }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let stripe = &self.stripes[MY_STRIPE.with(|s| *s)];
+        stripe.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(v, Ordering::Relaxed);
+        stripe.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.count.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Merges the stripes into a percentile summary; `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        let mut merged = [0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u128;
+        let mut max = 0u64;
+        for stripe in self.stripes.iter() {
+            for (m, b) in merged.iter_mut().zip(&stripe.buckets) {
+                *m += b.load(Ordering::Relaxed);
+            }
+            count += stripe.count.load(Ordering::Relaxed);
+            sum += stripe.sum.load(Ordering::Relaxed) as u128;
+            max = max.max(stripe.max.load(Ordering::Relaxed));
+        }
+        if count == 0 {
+            return None;
+        }
+        // Nearest-rank percentile over bucket counts: the p-th percentile
+        // is the floor of the first bucket whose cumulative count reaches
+        // ceil(p·n) — the same convention `astro_sim` uses over exact
+        // samples.
+        let pct = |p: f64| -> u64 {
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (idx, c) in merged.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_floor(idx);
+                }
+            }
+            max
+        };
+        Some(Summary {
+            count,
+            mean: sum as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max,
+        })
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish()
+    }
+}
+
+/// Percentile summary of a distribution. The shared shape for obs
+/// histograms and `astro_sim`'s exact-sample recorder, so every layer
+/// reports the same convention: nearest-rank percentiles, exact max.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile (the paper's headline tail metric).
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum observed (exact, not bucketed).
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(2);
+        assert_eq!(g.get(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+        g.max_of(5);
+        g.max_of(3);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_consistent() {
+        let mut last = 0;
+        for v in (0..4096u64).chain((0..54).map(|e| (1u64 << (e + 10)) + e)) {
+            let idx = bucket_index(v);
+            assert!(idx >= last || v < 4096, "monotone over the dense range");
+            if v >= 4096 {
+                assert!(idx < BUCKETS);
+            }
+            last = idx;
+            let floor = bucket_floor(idx);
+            assert_eq!(bucket_index(floor), idx, "floor of bucket {idx} maps back");
+            assert!(floor <= v, "floor {floor} must not exceed the value {v}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn summary_of_uniform_ramp_matches_exact_percentiles_to_a_bucket() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1_000);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1_000_000);
+        // Exact nearest-rank values, compared at bucket granularity.
+        assert_eq!(bucket_index(s.p50), bucket_index(500_000));
+        assert_eq!(bucket_index(s.p95), bucket_index(950_000));
+        assert_eq!(bucket_index(s.p99), bucket_index(990_000));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!((s.mean - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_summary() {
+        assert!(Histogram::new().summary().is_none());
+        assert_eq!(Histogram::new().count(), 0);
+    }
+
+    #[test]
+    fn zero_and_small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 7] {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.p50, 2);
+        assert_eq!(s.max, 7);
+    }
+}

@@ -1,0 +1,229 @@
+//! The process-wide metric registry: named counters/gauges/histograms
+//! created on demand, per-replica flight recorders, the payment tracer,
+//! and snapshot/dump export.
+
+use crate::flight::FlightRecorder;
+use crate::metric::{Counter, Gauge, Histogram, Summary};
+use crate::trace::{PaymentTracer, SpanHists};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One cluster's metric registry. Components resolve named handles once
+/// at startup (a brief map lock) and record through them lock-free; a
+/// registry is attached to a cluster at construction, and everything is
+/// compiled to a no-op when none is.
+pub struct Registry {
+    start: Instant,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    flights: Mutex<BTreeMap<u32, FlightRecorder>>,
+    tracer: PaymentTracer,
+}
+
+impl Registry {
+    /// A fresh registry; the moment of creation is the zero point of
+    /// every timestamp it hands out.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<Registry> {
+        let start = Instant::now();
+        let mut histograms = BTreeMap::new();
+        let mut hist = |name: &str| -> Histogram {
+            let h = Histogram::new();
+            histograms.insert(name.to_string(), h.clone());
+            h
+        };
+        let spans = SpanHists {
+            submit_to_prepare: hist("lifecycle.submit_to_prepare"),
+            prepare_to_ack: hist("lifecycle.prepare_to_ack_quorum"),
+            ack_to_settle: hist("lifecycle.ack_quorum_to_settle"),
+            prepare_to_settle: hist("lifecycle.prepare_to_settle"),
+            settle_to_confirm: hist("lifecycle.settle_to_confirm"),
+            end_to_end: hist("lifecycle.end_to_end"),
+        };
+        let confirmed = Counter::new();
+        let dropped = Counter::new();
+        let mut counters = BTreeMap::new();
+        counters.insert("lifecycle.confirmed".to_string(), confirmed.clone());
+        counters.insert("lifecycle.dropped".to_string(), dropped.clone());
+        Arc::new(Registry {
+            start,
+            counters: Mutex::new(counters),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(histograms),
+            flights: Mutex::new(BTreeMap::new()),
+            tracer: PaymentTracer::new(start, spans, confirmed, dropped),
+        })
+    }
+
+    /// Nanoseconds since the registry was created.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The named counter, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters.lock().expect("registry").entry(name.to_string()).or_default().clone()
+    }
+
+    /// The named gauge, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges.lock().expect("registry").entry(name.to_string()).or_default().clone()
+    }
+
+    /// The named histogram, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms.lock().expect("registry").entry(name.to_string()).or_default().clone()
+    }
+
+    /// The flight recorder of `replica`, created on first use.
+    pub fn flight(&self, replica: u32) -> FlightRecorder {
+        self.flights
+            .lock()
+            .expect("registry")
+            .entry(replica)
+            .or_insert_with(|| FlightRecorder::new(self.start))
+            .clone()
+    }
+
+    /// The payment-lifecycle tracer.
+    pub fn tracer(&self) -> &PaymentTracer {
+        &self.tracer
+    }
+
+    /// A point-in-time copy of every metric. Counters and gauges carry
+    /// their current value; histograms are summarized (empty ones are
+    /// skipped — a name exists the moment a handle is resolved, but it
+    /// only reports once it has samples).
+    pub fn snapshot(&self) -> Snapshot {
+        // Closed lifecycle records are span-accounted lazily; settle the
+        // books before reading the histograms.
+        self.tracer.drain();
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry")
+            .iter()
+            .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Renders every replica's flight recorder, oldest events first.
+    pub fn flight_dump(&self) -> String {
+        let flights = self.flights.lock().expect("registry");
+        let mut out = String::new();
+        for (replica, fr) in flights.iter() {
+            out.push_str(&fr.dump(*replica));
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, summary)` for every non-empty histogram.
+    pub histograms: Vec<(String, Summary)>,
+}
+
+impl Snapshot {
+    /// The value of the named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The value of the named gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The summary of the named histogram, if it has samples.
+    pub fn histogram(&self, name: &str) -> Option<Summary> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, s)| *s)
+    }
+
+    /// Sums every counter whose name starts with `prefix` — e.g.
+    /// `sum_counters("net.") ` for total bytes across links.
+    pub fn sum_counters(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
+    }
+
+    /// Human-readable dump, one metric per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter   {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {v}\n"));
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_handles_share_state_and_snapshot_reports_them() {
+        let reg = Registry::new();
+        reg.counter("a.hits").inc();
+        reg.counter("a.hits").add(2);
+        reg.gauge("a.depth").set(5);
+        reg.histogram("a.lat").record(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.hits"), Some(3));
+        assert_eq!(snap.gauge("a.depth"), Some(5));
+        assert_eq!(snap.histogram("a.lat").unwrap().count, 1);
+        assert!(snap.histogram("lifecycle.end_to_end").is_none(), "empty hists skipped");
+        let text = snap.to_text();
+        assert!(text.contains("counter   a.hits = 3"));
+        assert!(text.contains("histogram a.lat count=1"));
+    }
+
+    #[test]
+    fn sum_counters_by_prefix() {
+        let reg = Registry::new();
+        reg.counter("net.r0.tx_bytes.to_r1").add(10);
+        reg.counter("net.r1.tx_bytes.to_r0").add(20);
+        reg.counter("core.settles").add(99);
+        assert_eq!(reg.snapshot().sum_counters("net."), 30);
+    }
+
+    #[test]
+    fn flight_dump_collects_every_replica() {
+        let reg = Registry::new();
+        reg.flight(0).event("boot", 0, 0);
+        reg.flight(2).event("boot", 0, 0);
+        let dump = reg.flight_dump();
+        assert!(dump.contains("r0 boot"));
+        assert!(dump.contains("r2 boot"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Histogram correctness: bucketed percentiles against exact
+//! nearest-rank percentiles over the raw samples, and exact counts under
+//! concurrent recording.
+
+use astro_obs::{Histogram, Registry, Stage};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile: smallest sample with at least
+/// `ceil(p·n)` samples at or below it (the `astro_sim` convention).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The relative half-width of one log bucket: 8 sub-buckets per octave
+/// means a bucket spans at most 12.5% of its lower bound (values < 8 are
+/// exact).
+fn same_bucket_or_adjacent(reported: u64, exact: u64) -> bool {
+    if exact < 8 {
+        return reported == exact;
+    }
+    // `reported` is the lower bound of the bucket holding `exact`, so it
+    // can sit below `exact` by at most one bucket width and never above.
+    reported <= exact && (reported as f64) >= (exact as f64) * (1.0 - 0.125) - 1.0
+}
+
+proptest! {
+    #[test]
+    fn bucketed_percentiles_track_exact_nearest_rank(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..600)
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let summary = h.summary().expect("non-empty");
+        prop_assert_eq!(summary.count, samples.len() as u64);
+        prop_assert_eq!(summary.max, *sorted.last().unwrap());
+        for (got, p) in [(summary.p50, 0.50), (summary.p95, 0.95), (summary.p99, 0.99)] {
+            let exact = exact_percentile(&sorted, p);
+            prop_assert!(
+                same_bucket_or_adjacent(got, exact),
+                "p{}: bucketed {} vs exact {}", (p * 100.0) as u32, got, exact
+            );
+        }
+        prop_assert!(summary.p50 <= summary.p95);
+        prop_assert!(summary.p95 <= summary.p99);
+        prop_assert!(summary.p99 <= summary.max);
+        let exact_mean =
+            sorted.iter().map(|&x| x as u128).sum::<u128>() as f64 / sorted.len() as f64;
+        prop_assert!((summary.mean - exact_mean).abs() < 1.0, "mean is exact, not bucketed");
+    }
+}
+
+#[test]
+fn concurrent_recording_merges_to_an_exact_count() {
+    const THREADS: usize = 8;
+    const RECORDS: u64 = 20_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..RECORDS {
+                    // Distinct value mixes per thread so stripes disagree.
+                    h.record((t as u64 + 1) * 1_000 + i % 97);
+                }
+            });
+        }
+    });
+    let s = h.summary().expect("populated");
+    assert_eq!(s.count, (THREADS as u64) * RECORDS, "merged snapshot count is exact");
+    assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    assert!(s.max >= THREADS as u64 * 1_000);
+}
+
+#[test]
+fn concurrent_counters_and_tracer_stay_consistent() {
+    const THREADS: u64 = 4;
+    const PAYMENTS: u64 = 2_000;
+    let reg = Registry::new();
+    let counter = reg.counter("test.settles");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let tracer = reg.tracer().clone();
+            scope.spawn(move || {
+                for seq in 0..PAYMENTS {
+                    counter.inc();
+                    tracer.stage(t, seq, Stage::Submit);
+                    tracer.stage(t, seq, Stage::Settle);
+                    tracer.stage(t, seq, Stage::Confirm);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("test.settles"), Some(THREADS * PAYMENTS));
+    assert_eq!(snap.counter("lifecycle.confirmed"), Some(THREADS * PAYMENTS));
+    assert_eq!(snap.histogram("lifecycle.end_to_end").unwrap().count, THREADS * PAYMENTS);
+    assert_eq!(reg.tracer().in_flight(), 0);
+}

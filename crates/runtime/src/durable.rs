@@ -227,6 +227,14 @@ impl<N: PersistentNode> RuntimeNode for DurableNode<N> {
     fn preverify(&self, from: ReplicaId, msg: &Self::Msg) -> Vec<astro_types::SigCheck> {
         self.node.preverify(from, msg)
     }
+
+    fn attach_registry(&mut self, registry: &std::sync::Arc<astro_obs::Registry>) {
+        // The wrapped node resolves its protocol handles; the storage
+        // resolves the WAL/snapshot ones.
+        self.node.attach_registry(registry);
+        let me = self.node.id().0;
+        self.storage.with(|s| s.attach_obs(astro_store::StoreObs::for_replica(registry, me)));
+    }
 }
 
 /// Everything a TCP cluster needs to bring one replica back: per-replica
@@ -384,6 +392,56 @@ impl crate::AstroOneCluster {
         flush_every: Duration,
         store: StoreConfig,
     ) -> Result<Self, ClusterError> {
+        Self::start_tcp_durable_with_keychains_observed(
+            keychains,
+            dir,
+            cfg,
+            flush_every,
+            store,
+            None,
+        )
+    }
+
+    /// [`start_tcp_durable`](Self::start_tcp_durable) with a metric
+    /// registry attached — on top of the transport/protocol/driver
+    /// instrumentation, each replica's store records WAL append/fsync
+    /// latencies, group-commit batch sizes, and snapshot costs.
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp_durable`](Self::start_tcp_durable).
+    pub fn start_tcp_durable_observed(
+        n: usize,
+        dir: impl Into<PathBuf>,
+        cfg: Astro1Config,
+        flush_every: Duration,
+        registry: std::sync::Arc<astro_obs::Registry>,
+    ) -> Result<Self, ClusterError> {
+        Self::start_tcp_durable_with_keychains_observed(
+            demo_keychains(n),
+            dir,
+            cfg,
+            flush_every,
+            StoreConfig::default(),
+            Some(registry),
+        )
+    }
+
+    /// [`start_tcp_durable_with_keychains`](Self::start_tcp_durable_with_keychains)
+    /// with an optional metric registry; see
+    /// [`start_tcp_durable_observed`](Self::start_tcp_durable_observed).
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp_durable_with_keychains`](Self::start_tcp_durable_with_keychains).
+    pub fn start_tcp_durable_with_keychains_observed(
+        keychains: Vec<Keychain>,
+        dir: impl Into<PathBuf>,
+        cfg: Astro1Config,
+        flush_every: Duration,
+        store: StoreConfig,
+        registry: Option<std::sync::Arc<astro_obs::Registry>>,
+    ) -> Result<Self, ClusterError> {
         let n = keychains.len();
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
@@ -395,7 +453,14 @@ impl crate::AstroOneCluster {
         let nodes = (0..n)
             .map(|i| recover_astro1(&dir, i, layout.clone(), cfg.clone(), &store))
             .collect::<Result<Vec<_>, _>>()?;
-        let inner = Cluster::start_endpoints(nodes, endpoints, layout, flush_every)?;
+        let inner = Cluster::start_endpoints_observed(
+            nodes,
+            endpoints,
+            layout,
+            flush_every,
+            None,
+            registry,
+        )?;
         Ok(crate::AstroOneCluster {
             inner,
             meta: Some(RestartMeta {
@@ -503,6 +568,59 @@ impl crate::AstroTwoCluster {
         flush_every: Duration,
         store: StoreConfig,
     ) -> Result<Self, ClusterError> {
+        Self::start_tcp_durable_with_keychains_observed(
+            keychains,
+            signing,
+            dir,
+            cfg,
+            flush_every,
+            store,
+            None,
+        )
+    }
+
+    /// [`start_tcp_durable`](Self::start_tcp_durable) with a metric
+    /// registry attached; the Astro II analogue of
+    /// [`AstroOneCluster::start_tcp_durable_observed`], additionally
+    /// covering the verify pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp_durable`](Self::start_tcp_durable).
+    pub fn start_tcp_durable_observed(
+        n: usize,
+        dir: impl Into<PathBuf>,
+        cfg: Astro2Config,
+        flush_every: Duration,
+        registry: std::sync::Arc<astro_obs::Registry>,
+    ) -> Result<Self, ClusterError> {
+        Self::start_tcp_durable_with_keychains_observed(
+            demo_keychains(n),
+            Keychain::deterministic_system(ASTRO2_SIGNING_SEED, n),
+            dir,
+            cfg,
+            flush_every,
+            StoreConfig::default(),
+            Some(registry),
+        )
+    }
+
+    /// [`start_tcp_durable_with_keychains`](Self::start_tcp_durable_with_keychains)
+    /// with an optional metric registry; see
+    /// [`start_tcp_durable_observed`](Self::start_tcp_durable_observed).
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp_durable_with_keychains`](Self::start_tcp_durable_with_keychains).
+    pub fn start_tcp_durable_with_keychains_observed(
+        keychains: Vec<Keychain>,
+        signing: Vec<Keychain>,
+        dir: impl Into<PathBuf>,
+        cfg: Astro2Config,
+        flush_every: Duration,
+        store: StoreConfig,
+        registry: Option<std::sync::Arc<astro_obs::Registry>>,
+    ) -> Result<Self, ClusterError> {
         let n = keychains.len();
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
@@ -529,7 +647,14 @@ impl crate::AstroTwoCluster {
                 recover_astro2(&dir, i, auth, layout.clone(), cfg.clone(), &store)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let inner = Cluster::start_endpoints_pooled(nodes, endpoints, layout, flush_every, pool)?;
+        let inner = Cluster::start_endpoints_observed(
+            nodes,
+            endpoints,
+            layout,
+            flush_every,
+            pool,
+            registry,
+        )?;
         Ok(crate::AstroTwoCluster {
             inner,
             meta: Some(RestartMeta {

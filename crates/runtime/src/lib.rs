@@ -54,8 +54,9 @@ pub use verify::{Ticket, VerifyMode, VerifyPool};
 use astro_brb::Dest;
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, Astro2Msg, AstroTwoReplica};
-use astro_core::{ReplicaStep, SubmitError};
+use astro_core::{CoreObs, ReplicaStep, SubmitError};
 use astro_net::{Endpoint, InProcTransport, NetError, TcpTransport, Transport};
+use astro_obs::{Counter, FlightRecorder, Histogram, PaymentTracer, Registry, Stage};
 use astro_types::wire::{decode_exact, Wire};
 use astro_types::{
     Amount, ClientId, ConfigError, Keychain, Payment, ReplicaId, SchnorrAuthenticator, ShardLayout,
@@ -254,6 +255,13 @@ pub trait RuntimeNode: Send + 'static {
         let _ = (from, msg);
         Vec::new()
     }
+
+    /// Resolves this node's metric/trace handles from `registry` — called
+    /// once before the node's thread spawns (and again on respawn), only
+    /// on observed clusters. Default: the node records nothing.
+    fn attach_registry(&mut self, registry: &Arc<Registry>) {
+        let _ = registry;
+    }
 }
 
 fn ledger_balances(ledger: &astro_core::Ledger) -> HashMap<ClientId, Amount> {
@@ -294,6 +302,11 @@ impl RuntimeNode for AstroOneReplica {
     fn total_settled(&self) -> usize {
         self.ledger().total_settled()
     }
+
+    fn attach_registry(&mut self, registry: &Arc<Registry>) {
+        let me = AstroOneReplica::id(self).0;
+        self.set_obs(CoreObs::for_replica(registry, me));
+    }
 }
 
 impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
@@ -329,6 +342,11 @@ impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
 
     fn preverify(&self, from: ReplicaId, msg: &Self::Msg) -> Vec<astro_types::SigCheck> {
         astro_core::astro2::sig_checks(from, msg)
+    }
+
+    fn attach_registry(&mut self, registry: &Arc<Registry>) {
+        let me = AstroTwoReplica::id(self).0;
+        self.set_obs(CoreObs::for_replica(registry, me));
     }
 }
 
@@ -368,6 +386,9 @@ pub struct Cluster {
     layout: ShardLayout,
     /// The shared verification pipeline, when the cluster runs pooled.
     pool: Option<Arc<VerifyPool>>,
+    /// The metric registry, when the cluster runs observed (respawned
+    /// replicas re-attach to it).
+    registry: Option<Arc<Registry>>,
 }
 
 impl Cluster {
@@ -431,22 +452,63 @@ impl Cluster {
         N: RuntimeNode,
         E: Endpoint,
     {
+        Self::start_endpoints_observed(nodes, endpoints, layout, flush_every, pool, None)
+    }
+
+    /// Starts `nodes` with an optional [`VerifyPool`] *and* an optional
+    /// metric [`Registry`]: with a registry attached, every layer records
+    /// into it — transport link counters, the verify pipeline, each
+    /// node's protocol counters and lifecycle stages, and the driver's
+    /// own burst/backlog metrics. Without one, nothing is resolved and
+    /// every instrumentation site is a `None` check.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a node/endpoint count mismatch.
+    pub fn start_endpoints_observed<N, E>(
+        nodes: Vec<N>,
+        endpoints: Vec<E>,
+        layout: ShardLayout,
+        flush_every: Duration,
+        pool: Option<Arc<VerifyPool>>,
+        registry: Option<Arc<Registry>>,
+    ) -> Result<Cluster, ClusterError>
+    where
+        N: RuntimeNode,
+        E: Endpoint,
+    {
         let n = nodes.len();
         if endpoints.len() != n {
             return Err(ClusterError::EndpointMismatch { expected: n, got: endpoints.len() });
         }
+        if let (Some(reg), Some(pool)) = (&registry, &pool) {
+            pool.attach_registry(reg);
+        }
         let settled = Arc::new(SettledBoard::new(n));
         let mut seats = Vec::with_capacity(n);
-        for (mut node, endpoint) in nodes.into_iter().zip(endpoints) {
+        for (mut node, mut endpoint) in nodes.into_iter().zip(endpoints) {
+            let obs = registry.as_ref().map(|reg| {
+                endpoint.attach_registry(reg);
+                node.attach_registry(reg);
+                DriverObs::for_replica(reg, node.id(), &layout)
+            });
             let (tx, rx) = unbounded();
             let settled_board = Arc::clone(&settled);
             let pool = pool.clone();
             let handle = std::thread::spawn(move || {
-                replica_main(&mut node, endpoint, &rx, &settled_board, flush_every, pool.as_deref())
+                replica_main(
+                    &mut node,
+                    endpoint,
+                    &rx,
+                    &settled_board,
+                    flush_every,
+                    pool.as_deref(),
+                    obs.as_ref(),
+                )
             });
             seats.push(Seat { ctrl: tx, handle: Some(handle), last_result: None });
         }
-        Ok(Cluster { seats, settled, layout, pool })
+        Ok(Cluster { seats, settled, layout, pool, registry })
     }
 
     /// The client → representative mapping in use.
@@ -458,6 +520,11 @@ impl Cluster {
     /// replicas re-attach to it).
     pub fn verify_pool(&self) -> Option<&Arc<VerifyPool>> {
         self.pool.as_ref()
+    }
+
+    /// The metric registry, if the cluster runs observed.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
     }
 
     /// True if replica `i`'s thread is (still) attached.
@@ -503,11 +570,27 @@ impl Cluster {
         if self.seats[i].handle.is_some() {
             return Err(ClusterError::ReplicaRunning(i));
         }
+        let mut endpoint = endpoint;
+        // Re-wire the restarted incarnation into the same registry its
+        // predecessor recorded into.
+        let obs = self.registry.as_ref().map(|reg| {
+            endpoint.attach_registry(reg);
+            node.attach_registry(reg);
+            DriverObs::for_replica(reg, node.id(), &self.layout)
+        });
         let (tx, rx) = unbounded();
         let settled_board = Arc::clone(&self.settled);
         let pool = self.pool.clone();
         let handle = std::thread::spawn(move || {
-            replica_main(&mut node, endpoint, &rx, &settled_board, flush_every, pool.as_deref())
+            replica_main(
+                &mut node,
+                endpoint,
+                &rx,
+                &settled_board,
+                flush_every,
+                pool.as_deref(),
+                obs.as_ref(),
+            )
         });
         self.seats[i] = Seat { ctrl: tx, handle: Some(handle), last_result: None };
         Ok(())
@@ -521,6 +604,11 @@ impl Cluster {
     /// down.
     pub fn submit(&self, payment: Payment) -> Result<(), ClusterError> {
         let rep = self.layout.representative_of(payment.spender);
+        // Stamped before the control channel, so the submit→prepare span
+        // includes the queueing delay the client actually pays.
+        if let Some(reg) = &self.registry {
+            reg.tracer().stage(payment.spender.0, payment.seq.0, Stage::Submit);
+        }
         self.seats[rep.0 as usize]
             .ctrl
             .send(Ctrl::Client(payment))
@@ -584,6 +672,47 @@ impl Cluster {
     }
 }
 
+/// Driver-level metric handles of one replica thread, resolved once at
+/// spawn on observed clusters. The driver is where two lifecycle stages
+/// live that the state machine cannot see: nothing (submission is stamped
+/// cluster-side), and *confirmation* — the spender's representative
+/// observing the settle, which is what a closed-loop client measures.
+struct DriverObs {
+    tracer: PaymentTracer,
+    layout: ShardLayout,
+    /// Inbound messages handled per cork window (burst sizes).
+    burst_msgs: Histogram,
+    /// Times the parked backlog crossed [`PENDING_HIGH_WATER`] and the
+    /// driver blocked on the oldest super-batch.
+    pending_high_water: Counter,
+    flight: FlightRecorder,
+}
+
+impl DriverObs {
+    fn for_replica(registry: &Registry, me: ReplicaId, layout: &ShardLayout) -> DriverObs {
+        let name = |suffix: &str| format!("runtime.r{}.{suffix}", me.0);
+        DriverObs {
+            tracer: registry.tracer().clone(),
+            layout: layout.clone(),
+            burst_msgs: registry.histogram(&name("burst_msgs")),
+            pending_high_water: registry.counter(&name("pending_high_water")),
+            flight: registry.flight(me.0),
+        }
+    }
+
+    /// Stamps [`Stage::Confirm`] for every settled payment whose spender
+    /// this replica represents — the point its client would learn the
+    /// payment went through.
+    fn confirm_settled(&self, me: ReplicaId, settled: &[Payment]) {
+        let now = self.tracer.now_nanos();
+        for p in settled {
+            if self.layout.representative_of(p.spender) == me {
+                self.tracer.stage_at(now, p.spender.0, p.seq.0, Stage::Confirm);
+            }
+        }
+    }
+}
+
 /// An inbound message parked until its verification ticket completes.
 /// Messages of one burst share one ticket (their signatures verified as a
 /// single super-batch).
@@ -599,6 +728,7 @@ fn drain_verified<N: RuntimeNode, E: Endpoint>(
     settled: &Arc<SettledBoard>,
     me: ReplicaId,
     block: bool,
+    obs: Option<&DriverObs>,
 ) {
     while let Some((_, _, ticket)) = pending.front() {
         match ticket {
@@ -612,7 +742,7 @@ fn drain_verified<N: RuntimeNode, E: Endpoint>(
         }
         let (from, msg, _) = pending.pop_front().expect("checked front");
         let step = node.handle(from, msg);
-        dispatch(me, step, endpoint, settled);
+        dispatch(me, step, endpoint, settled, obs);
     }
 }
 
@@ -623,6 +753,7 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
     settled: &Arc<SettledBoard>,
     flush_every: Duration,
     pool: Option<&VerifyPool>,
+    obs: Option<&DriverObs>,
 ) -> (HashMap<ClientId, Amount>, usize) {
     let me = node.id();
     let mut next_flush = Instant::now() + flush_every;
@@ -640,20 +771,26 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
                 Ok(Ctrl::Stop) | Err(TryRecvError::Disconnected) => {
                     // A clean stop processes everything already received —
                     // pooled and serial runs must leave identical state.
-                    drain_verified(node, &mut pending, &mut endpoint, settled, me, true);
+                    drain_verified(node, &mut pending, &mut endpoint, settled, me, true, obs);
                     let _ = endpoint.uncork();
                     node.stopping();
+                    if let Some(o) = obs {
+                        o.flight.event("runtime.stop", node.total_settled() as u64, 0);
+                    }
                     break 'run;
                 }
                 Ok(Ctrl::Crash) => {
                     // Simulated power loss: no uncork, no stopping() — the
                     // thread vanishes mid-step, like the machine did, and
                     // parked messages are lost like messages on the wire.
+                    if let Some(o) = obs {
+                        o.flight.event("runtime.crash", pending.len() as u64, 0);
+                    }
                     return (node.final_balances(), node.total_settled());
                 }
                 Ok(Ctrl::Client(p)) => {
                     if let Ok(step) = node.submit(p) {
-                        dispatch(me, step, &mut endpoint, settled);
+                        dispatch(me, step, &mut endpoint, settled, obs);
                     }
                 }
                 Err(TryRecvError::Empty) => break,
@@ -661,10 +798,10 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
         }
         if Instant::now() >= next_flush {
             let step = node.flush();
-            dispatch(me, step, &mut endpoint, settled);
+            dispatch(me, step, &mut endpoint, settled, obs);
             next_flush = Instant::now() + flush_every;
         }
-        drain_verified(node, &mut pending, &mut endpoint, settled, me, false);
+        drain_verified(node, &mut pending, &mut endpoint, settled, me, false, obs);
         let _ = endpoint.uncork();
         // Peer traffic, waiting at most until the next flush deadline for
         // the first message, then draining the burst that is already
@@ -676,24 +813,30 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
                 None => {
                     // Serial path: verification runs wherever the state
                     // machine asks, on this thread.
+                    let mut handled: u64 = 0;
                     let (from, bytes) = first;
                     // Malformed bytes from a Byzantine peer are dropped
                     // here; the wire codec is total, so this is the only
                     // failure mode.
                     if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
                         let step = node.handle(from, msg);
-                        dispatch(me, step, &mut endpoint, settled);
+                        dispatch(me, step, &mut endpoint, settled, obs);
+                        handled += 1;
                     }
                     for _ in 1..BURST {
                         match endpoint.recv_timeout(Duration::ZERO) {
                             Ok(Some((from, bytes))) => {
                                 if let Ok(msg) = decode_exact::<N::Msg>(&bytes) {
                                     let step = node.handle(from, msg);
-                                    dispatch(me, step, &mut endpoint, settled);
+                                    dispatch(me, step, &mut endpoint, settled, obs);
+                                    handled += 1;
                                 }
                             }
                             _ => break,
                         }
+                    }
+                    if let Some(o) = obs {
+                        o.burst_msgs.record(handled);
                     }
                 }
                 Some(pool) => {
@@ -718,14 +861,21 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
                         }
                     }
                     let ticket = (!checks.is_empty()).then(|| pool.submit(checks));
+                    if let Some(o) = obs {
+                        o.burst_msgs.record(burst.len() as u64);
+                    }
                     for (from, msg) in burst {
                         pending.push_back((from, msg, ticket.clone()));
                     }
-                    drain_verified(node, &mut pending, &mut endpoint, settled, me, false);
+                    drain_verified(node, &mut pending, &mut endpoint, settled, me, false, obs);
                     // Under sustained overload, bound the parked backlog by
                     // waiting for the oldest super-batch.
                     if pending.len() > PENDING_HIGH_WATER {
-                        drain_verified(node, &mut pending, &mut endpoint, settled, me, true);
+                        if let Some(o) = obs {
+                            o.pending_high_water.inc();
+                            o.flight.event("runtime.pending_high_water", pending.len() as u64, 0);
+                        }
+                        drain_verified(node, &mut pending, &mut endpoint, settled, me, true, obs);
                     }
                 }
             }
@@ -740,8 +890,12 @@ fn dispatch<M: Wire, E: Endpoint>(
     step: ReplicaStep<M>,
     endpoint: &mut E,
     settled: &Arc<SettledBoard>,
+    obs: Option<&DriverObs>,
 ) {
     if !step.settled.is_empty() {
+        if let Some(o) = obs {
+            o.confirm_settled(me, &step.settled);
+        }
         settled.extend(me, step.settled);
     }
     for env in step.outbound {
@@ -824,6 +978,39 @@ impl AstroOneCluster {
         cfg: Astro1Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
+        Self::start_tcp_with_keychains_observed(keychains, cfg, flush_every, None)
+    }
+
+    /// [`start_tcp`](Self::start_tcp) with a metric [`Registry`]
+    /// attached: the transport, each replica's protocol layer, and the
+    /// driver record into it, and payment lifecycles are traced
+    /// end-to-end. Key material from [`demo_keychains`] — demo/test only.
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp`](Self::start_tcp).
+    pub fn start_tcp_observed(
+        n: usize,
+        cfg: Astro1Config,
+        flush_every: Duration,
+        registry: Arc<Registry>,
+    ) -> Result<Self, ClusterError> {
+        Self::start_tcp_with_keychains_observed(demo_keychains(n), cfg, flush_every, Some(registry))
+    }
+
+    /// [`start_tcp_with_keychains`](Self::start_tcp_with_keychains) with
+    /// an optional metric [`Registry`]; see
+    /// [`start_tcp_observed`](Self::start_tcp_observed).
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp_with_keychains`](Self::start_tcp_with_keychains).
+    pub fn start_tcp_with_keychains_observed(
+        keychains: Vec<Keychain>,
+        cfg: Astro1Config,
+        flush_every: Duration,
+        registry: Option<Arc<Registry>>,
+    ) -> Result<Self, ClusterError> {
         let n = keychains.len();
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
@@ -835,7 +1022,14 @@ impl AstroOneCluster {
             .map(|i| AstroOneReplica::new(ReplicaId(i as u32), layout.clone(), cfg.clone()))
             .collect();
         Ok(AstroOneCluster {
-            inner: Cluster::start_endpoints(nodes, endpoints, layout, flush_every)?,
+            inner: Cluster::start_endpoints_observed(
+                nodes,
+                endpoints,
+                layout,
+                flush_every,
+                None,
+                registry,
+            )?,
             meta: Some(durable::RestartMeta {
                 keychains,
                 signing: Vec::new(),
@@ -871,6 +1065,11 @@ impl AstroOneCluster {
     /// The client → representative mapping in use.
     pub fn layout(&self) -> &ShardLayout {
         self.inner.layout()
+    }
+
+    /// The metric registry, if the cluster runs observed.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.inner.registry()
     }
 
     /// Submits a payment to the spender's representative.
@@ -965,6 +1164,40 @@ impl AstroTwoCluster {
         cfg: Astro2Config,
         flush_every: Duration,
     ) -> Result<Self, ClusterError> {
+        Self::start_tcp_with_keychains_observed(keychains, cfg, flush_every, None)
+    }
+
+    /// [`start_tcp`](Self::start_tcp) with a metric [`Registry`]
+    /// attached: the transport, the verify pipeline, each replica's
+    /// protocol layer, and the driver record into it, and payment
+    /// lifecycles are traced end-to-end. Key material from
+    /// [`demo_keychains`] — demo/test only.
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp`](Self::start_tcp).
+    pub fn start_tcp_observed(
+        n: usize,
+        cfg: Astro2Config,
+        flush_every: Duration,
+        registry: Arc<Registry>,
+    ) -> Result<Self, ClusterError> {
+        Self::start_tcp_with_keychains_observed(demo_keychains(n), cfg, flush_every, Some(registry))
+    }
+
+    /// [`start_tcp_with_keychains`](Self::start_tcp_with_keychains) with
+    /// an optional metric [`Registry`]; see
+    /// [`start_tcp_observed`](Self::start_tcp_observed).
+    ///
+    /// # Errors
+    ///
+    /// As [`start_tcp_with_keychains`](Self::start_tcp_with_keychains).
+    pub fn start_tcp_with_keychains_observed(
+        keychains: Vec<Keychain>,
+        cfg: Astro2Config,
+        flush_every: Duration,
+        registry: Option<Arc<Registry>>,
+    ) -> Result<Self, ClusterError> {
         let n = keychains.len();
         if n < 4 {
             return Err(ClusterError::TooSmall { n });
@@ -985,7 +1218,14 @@ impl AstroTwoCluster {
             })
             .collect();
         Ok(AstroTwoCluster {
-            inner: Cluster::start_endpoints_pooled(nodes, endpoints, layout, flush_every, pool)?,
+            inner: Cluster::start_endpoints_observed(
+                nodes,
+                endpoints,
+                layout,
+                flush_every,
+                pool,
+                registry,
+            )?,
             meta: Some(durable::RestartMeta {
                 keychains,
                 signing,
@@ -1060,6 +1300,11 @@ impl AstroTwoCluster {
     /// The client → representative mapping in use.
     pub fn layout(&self) -> &ShardLayout {
         self.inner.layout()
+    }
+
+    /// The metric registry, if the cluster runs observed.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.inner.registry()
     }
 
     /// Submits a payment to the spender's representative.

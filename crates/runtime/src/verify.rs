@@ -23,11 +23,13 @@
 //! the checked bytes, only *where* it runs changes.
 
 use astro_crypto::schnorr::{batch_verify, find_invalid};
+use astro_obs::{Gauge, Histogram, Registry};
 use astro_types::{KeyBook, SigCheck, VerdictCache};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Verdicts the cache retains; far above a burst's working set, bounded
 /// so a long-running replica cannot grow without limit. An evicted
@@ -115,17 +117,36 @@ struct Job {
     ticket: Ticket,
 }
 
+/// Metric handles of the verification pipeline, resolved once when a
+/// registry is attached. Without one, nothing is constructed and the pool
+/// pays a single pointer load per job.
+struct PoolObs {
+    /// Super-batch jobs submitted but not yet picked up by a worker.
+    queue_depth: Gauge,
+    /// Signature checks per submitted super-batch.
+    batch_checks: Histogram,
+    /// Wall time of one super-batch verification (the multi-scalar
+    /// multiplication plus any bisection on failure).
+    batch_nanos: Histogram,
+    /// Verdict-cache hits observed so far (sampled after each job).
+    verdict_hits: Gauge,
+    /// Verdict-cache misses observed so far (sampled after each job).
+    verdict_misses: Gauge,
+}
+
 /// A fixed pool of verifier threads plus the verdict cache they fill.
 pub struct VerifyPool {
     jobs: Sender<Job>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     cache: Arc<VerdictCache>,
+    obs: Arc<OnceLock<PoolObs>>,
 }
 
 impl VerifyPool {
     /// Starts `threads` workers verifying against `book`.
     pub fn start(threads: usize, book: KeyBook) -> Arc<VerifyPool> {
         let cache = Arc::new(VerdictCache::new(VERDICT_CACHE_CAP));
+        let obs: Arc<OnceLock<PoolObs>> = Arc::new(OnceLock::new());
         let (tx, rx) = unbounded::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads.max(1))
@@ -133,13 +154,27 @@ impl VerifyPool {
                 let rx = Arc::clone(&rx);
                 let book = book.clone();
                 let cache = Arc::clone(&cache);
+                let obs = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("astro-verify-{i}"))
-                    .spawn(move || worker_main(&rx, &book, &cache))
+                    .spawn(move || worker_main(&rx, &book, &cache, &obs))
                     .expect("spawn verifier thread")
             })
             .collect();
-        Arc::new(VerifyPool { jobs: tx, workers: Mutex::new(workers), cache })
+        Arc::new(VerifyPool { jobs: tx, workers: Mutex::new(workers), cache, obs })
+    }
+
+    /// Resolves the pool's `verify.*` metric handles from `registry`;
+    /// queue depth, super-batch sizes and latencies, and verdict-cache
+    /// hit rates are recorded from here on. First attach wins.
+    pub fn attach_registry(&self, registry: &Registry) {
+        let _ = self.obs.set(PoolObs {
+            queue_depth: registry.gauge("verify.queue_depth"),
+            batch_checks: registry.histogram("verify.batch_checks"),
+            batch_nanos: registry.histogram("verify.batch_nanos"),
+            verdict_hits: registry.gauge("verify.verdict_cache_hits"),
+            verdict_misses: registry.gauge("verify.verdict_cache_misses"),
+        });
     }
 
     /// The verdict cache to attach to the replicas' authenticators
@@ -153,10 +188,21 @@ impl VerifyPool {
     /// distinct replicas' bursts verify concurrently.
     pub fn submit(&self, items: Vec<SigCheck>) -> Ticket {
         let ticket = Ticket::new();
-        if items.is_empty() || self.jobs.send(Job { items, ticket: ticket.clone() }).is_err() {
-            // Nothing to do, or the pool is shutting down: the driver
-            // falls back to the authenticator's own (cache-missing,
-            // still-batched) verification path.
+        if items.is_empty() {
+            ticket.complete();
+            return ticket;
+        }
+        if let Some(obs) = self.obs.get() {
+            obs.batch_checks.record(items.len() as u64);
+            obs.queue_depth.add(1);
+        }
+        if self.jobs.send(Job { items, ticket: ticket.clone() }).is_err() {
+            // The pool is shutting down: the driver falls back to the
+            // authenticator's own (cache-missing, still-batched)
+            // verification path.
+            if let Some(obs) = self.obs.get() {
+                obs.queue_depth.sub(1);
+            }
             ticket.complete();
         }
         ticket
@@ -175,7 +221,12 @@ impl Drop for VerifyPool {
     }
 }
 
-fn worker_main(rx: &Arc<Mutex<Receiver<Job>>>, book: &KeyBook, cache: &VerdictCache) {
+fn worker_main(
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    book: &KeyBook,
+    cache: &VerdictCache,
+    obs: &OnceLock<PoolObs>,
+) {
     loop {
         // The offline crossbeam stub wraps `std::sync::mpsc` — a
         // single-consumer receiver — so workers share it behind a mutex.
@@ -184,7 +235,17 @@ fn worker_main(rx: &Arc<Mutex<Receiver<Job>>>, book: &KeyBook, cache: &VerdictCa
         // the curve work, so job *processing* runs fully in parallel.
         let job = { rx.lock().recv() };
         let Ok(Job { items, ticket }) = job else { return };
-        verify_job(book, cache, &items);
+        match obs.get() {
+            Some(o) => {
+                o.queue_depth.sub(1);
+                let started = Instant::now();
+                verify_job(book, cache, &items);
+                o.batch_nanos.record(started.elapsed().as_nanos() as u64);
+                o.verdict_hits.set(cache.hits());
+                o.verdict_misses.set(cache.misses());
+            }
+            None => verify_job(book, cache, &items),
+        }
         ticket.complete();
     }
 }

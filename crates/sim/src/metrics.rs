@@ -2,27 +2,26 @@
 
 use super::netmodel::Nanos;
 
-/// Latency statistics over a set of samples.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencyStats {
-    /// Number of samples.
-    pub count: usize,
-    /// Mean latency in nanoseconds.
-    pub mean: f64,
-    /// Median (50th percentile).
-    pub p50: Nanos,
-    /// 95th percentile (the paper's headline tail metric).
-    pub p95: Nanos,
-    /// 99th percentile.
-    pub p99: Nanos,
-    /// Maximum observed.
-    pub max: Nanos,
-}
+/// Latency statistics over a set of samples — the same shape (and
+/// nearest-rank percentile convention) `astro_obs` histograms report, so
+/// simulated and deployed runs read identically. The simulator computes
+/// it over exact samples; obs over log buckets.
+pub type LatencyStats = astro_obs::Summary;
 
 /// Collects per-payment confirmation latencies.
+///
+/// Samples accumulate in an unsorted tail; [`stats`](Self::stats) merges
+/// the tail into a maintained sorted run (sort the tail, one linear
+/// merge) instead of clone-and-sorting the full history per call, so
+/// repeated mid-run reads cost O(new + total), not O(total log total).
 #[derive(Debug, Default, Clone)]
 pub struct LatencyRecorder {
-    samples: Vec<Nanos>,
+    /// All samples seen so far, sorted.
+    sorted: Vec<Nanos>,
+    /// Samples recorded since the last merge.
+    tail: Vec<Nanos>,
+    /// Running sum of every sample (mean without a pass over the data).
+    sum: u128,
 }
 
 impl LatencyRecorder {
@@ -33,36 +32,58 @@ impl LatencyRecorder {
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Nanos) {
-        self.samples.push(latency);
+        self.tail.push(latency);
+        self.sum += latency as u128;
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.sorted.len() + self.tail.len()
     }
 
     /// True if no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
+    }
+
+    /// Folds the unsorted tail into the sorted run.
+    fn consolidate(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.tail.sort_unstable();
+        let merged_len = self.sorted.len() + self.tail.len();
+        let old = std::mem::replace(&mut self.sorted, Vec::with_capacity(merged_len));
+        let (mut a, mut b) = (old.into_iter().peekable(), self.tail.drain(..).peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    let next = if x <= y { a.next() } else { b.next() };
+                    self.sorted.push(next.expect("peeked"));
+                }
+                (Some(_), None) => self.sorted.extend(a.by_ref()),
+                (None, Some(_)) => self.sorted.extend(b.by_ref()),
+                (None, None) => break,
+            }
+        }
     }
 
     /// Computes the statistics; `None` when no samples exist.
-    pub fn stats(&self) -> Option<LatencyStats> {
-        if self.samples.is_empty() {
+    pub fn stats(&mut self) -> Option<LatencyStats> {
+        self.consolidate();
+        if self.sorted.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let sorted = &self.sorted;
         // Nearest-rank convention: the p-th percentile is the smallest
         // sample with at least p·n samples at or below it.
         let pct = |p: f64| -> Nanos {
             let rank = (p * sorted.len() as f64).ceil() as usize;
             sorted[rank.clamp(1, sorted.len()) - 1]
         };
-        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
         Some(LatencyStats {
-            count: sorted.len(),
-            mean: sum as f64 / sorted.len() as f64,
+            count: sorted.len() as u64,
+            mean: self.sum as f64 / sorted.len() as f64,
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -144,6 +165,25 @@ mod tests {
         assert_eq!(s.p95, 95_000_000);
         assert_eq!(s.max, 100_000_000);
         assert!((s.mean - 50_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn interleaved_reads_match_one_shot_stats() {
+        // Recording between stats() calls must fold correctly into the
+        // maintained sorted run — same answers as sorting everything once.
+        let mut incremental = LatencyRecorder::new();
+        let mut oneshot = LatencyRecorder::new();
+        // An adversarial order: descending, so the tail merge is exercised
+        // at the front of the sorted run.
+        for i in (1..=50u64).rev() {
+            incremental.record(i * 10);
+            oneshot.record(i * 10);
+            if i % 7 == 0 {
+                let _ = incremental.stats();
+            }
+        }
+        assert_eq!(incremental.len(), 50);
+        assert_eq!(incremental.stats(), oneshot.stats());
     }
 
     #[test]

@@ -58,12 +58,53 @@ pub mod snapshot;
 pub mod wal;
 
 use astro_core::journal::{Journal, WalRecord};
+use astro_obs::{Gauge, Histogram, Registry};
 use astro_types::wire::{decode_exact, Wire};
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wal::{GroupCommit, RecoveredWal, WalWriter};
+
+/// Metric handles the store records into when a cluster runs with an
+/// [`astro_obs::Registry`] attached; resolved once per replica and pushed
+/// down into the WAL writer. Without a registry nothing is constructed
+/// and the store pays nothing.
+#[derive(Debug, Clone)]
+pub struct StoreObs {
+    /// Latency of one [`Storage::append`] as the replica thread paid it
+    /// (includes any group-commit fsync the policy forced inline).
+    pub append_nanos: Histogram,
+    /// Latency of the `fsync(2)` itself.
+    pub fsync_nanos: Histogram,
+    /// Bytes handed to the OS per `write(2)` (the step-boundary batch).
+    pub flush_batch_bytes: Histogram,
+    /// Records amortized into one group commit.
+    pub commit_batch_records: Histogram,
+    /// Wall time of one snapshot install (serialize excluded; write +
+    /// fsync + rename + WAL truncate included).
+    pub snapshot_nanos: Histogram,
+    /// State bytes per installed snapshot.
+    pub snapshot_bytes: Histogram,
+    /// Current WAL file length.
+    pub wal_bytes: Gauge,
+}
+
+impl StoreObs {
+    /// Resolves the `store.r{replica}.*` handles from `registry`.
+    pub fn for_replica(registry: &Registry, replica: u32) -> StoreObs {
+        let name = |suffix: &str| format!("store.r{replica}.{suffix}");
+        StoreObs {
+            append_nanos: registry.histogram(&name("append_nanos")),
+            fsync_nanos: registry.histogram(&name("fsync_nanos")),
+            flush_batch_bytes: registry.histogram(&name("flush_batch_bytes")),
+            commit_batch_records: registry.histogram(&name("commit_batch_records")),
+            snapshot_nanos: registry.histogram(&name("snapshot_nanos")),
+            snapshot_bytes: registry.histogram(&name("snapshot_bytes")),
+            wal_bytes: registry.gauge(&name("wal_bytes")),
+        }
+    }
+}
 
 /// WAL file name within a replica's storage directory.
 pub const WAL_FILE: &str = "wal.bin";
@@ -127,6 +168,7 @@ pub struct Storage {
     /// Set when a snapshot install failed; compaction has stopped (the
     /// WAL keeps growing) even though the WAL writer itself is fine.
     install_failed: bool,
+    obs: Option<StoreObs>,
 }
 
 impl std::fmt::Debug for Storage {
@@ -175,7 +217,7 @@ impl Storage {
         }
         let wal = WalWriter::open_at(&wal_path, decoded_len.min(valid_len), group_commit_of(&cfg))?;
         Ok((
-            Storage { backend: Backend::Disk { dir, wal }, cfg, install_failed: false },
+            Storage { backend: Backend::Disk { dir, wal }, cfg, install_failed: false, obs: None },
             Recovered { snapshot, records },
         ))
     }
@@ -188,12 +230,23 @@ impl Storage {
             backend: Backend::Memory { records: Vec::new(), snapshot: None },
             cfg,
             install_failed: false,
+            obs: None,
         }
     }
 
     /// The configured durability policy.
     pub fn config(&self) -> &StoreConfig {
         &self.cfg
+    }
+
+    /// Attaches metric handles; WAL append/fsync latencies, group-commit
+    /// batch sizes, and snapshot duration/bytes are recorded from here on.
+    pub fn attach_obs(&mut self, obs: StoreObs) {
+        if let Backend::Disk { wal, .. } = &mut self.backend {
+            wal.attach_obs(obs.clone());
+            obs.wal_bytes.set(wal.len());
+        }
+        self.obs = Some(obs);
     }
 
     /// Appends one record (group commit decides when it is fsynced; an
@@ -235,6 +288,7 @@ impl Storage {
     /// still in place (install is crash-atomic, and the WAL is only
     /// truncated after a successful install).
     pub fn install_snapshot(&mut self, state: &[u8]) -> std::io::Result<()> {
+        let started = self.obs.as_ref().map(|_| Instant::now());
         let result = match &mut self.backend {
             Backend::Disk { dir, wal } => {
                 snapshot::write_snapshot(dir, state).and_then(|()| wal.reset())
@@ -245,6 +299,13 @@ impl Storage {
                 Ok(())
             }
         };
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            if result.is_ok() {
+                obs.snapshot_nanos.record(started.elapsed().as_nanos() as u64);
+                obs.snapshot_bytes.record(state.len() as u64);
+                obs.wal_bytes.set(self.wal_bytes());
+            }
+        }
         // A failed install stops compaction, which the health signal must
         // carry even though the WAL writer itself is fine.
         self.install_failed = result.is_err();

@@ -28,6 +28,7 @@
 //! power-loss durability window is bounded by that policy, and the
 //! recovery scan handles whatever a lost tail leaves behind.
 
+use crate::StoreObs;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -175,6 +176,7 @@ pub struct WalWriter {
     last_sync: Instant,
     policy: GroupCommit,
     degraded: Option<std::io::Error>,
+    obs: Option<StoreObs>,
 }
 
 impl WalWriter {
@@ -217,7 +219,14 @@ impl WalWriter {
             last_sync: Instant::now(),
             policy,
             degraded: None,
+            obs: None,
         })
+    }
+
+    /// Attaches metric handles; every subsequent append/flush/fsync
+    /// reports its latency and batch size through them.
+    pub fn attach_obs(&mut self, obs: StoreObs) {
+        self.obs = Some(obs);
     }
 
     /// Appends one record to the frame buffer; the group-commit policy
@@ -226,6 +235,7 @@ impl WalWriter {
         if self.degraded.is_some() {
             return;
         }
+        let started = self.obs.as_ref().map(|_| Instant::now());
         debug_assert!(payload.len() <= MAX_RECORD_LEN, "oversized WAL record");
         self.buffer.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buffer.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -238,6 +248,11 @@ impl WalWriter {
         } else if self.buffer.len() >= FLUSH_THRESHOLD {
             self.flush_writes();
         }
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            // Includes any inline flush/fsync the policy forced — the
+            // latency the appending replica thread actually paid.
+            obs.append_nanos.record(started.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Hands the buffered frames to the OS (one `write(2)`). Call at the
@@ -246,11 +261,17 @@ impl WalWriter {
         if self.degraded.is_some() || self.buffer.is_empty() {
             return;
         }
+        if let Some(obs) = &self.obs {
+            obs.flush_batch_bytes.record(self.buffer.len() as u64);
+        }
         match self.file.write_all(&self.buffer) {
             Ok(()) => {
                 self.len += self.buffer.len() as u64;
                 self.buffer.clear();
                 self.buffer.shrink_to(FLUSH_THRESHOLD);
+                if let Some(obs) = &self.obs {
+                    obs.wal_bytes.set(self.len);
+                }
             }
             Err(e) => self.degraded = Some(e),
         }
@@ -263,9 +284,14 @@ impl WalWriter {
         if self.degraded.is_some() || self.records_since_sync == 0 {
             return;
         }
+        let started = self.obs.as_ref().map(|_| Instant::now());
         if let Err(e) = self.file.sync_data() {
             self.degraded = Some(e);
             return;
+        }
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            obs.fsync_nanos.record(started.elapsed().as_nanos() as u64);
+            obs.commit_batch_records.record(self.records_since_sync as u64);
         }
         self.records_since_sync = 0;
         self.last_sync = Instant::now();

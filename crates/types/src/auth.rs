@@ -74,6 +74,8 @@ fn verdict_key(signer: ReplicaId, context: &[u8], sig: &astro_crypto::Signature)
 pub struct VerdictCache {
     inner: Mutex<VerdictInner>,
     cap: usize,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Debug)]
@@ -88,12 +90,27 @@ impl VerdictCache {
         VerdictCache {
             inner: Mutex::new(VerdictInner { map: HashMap::new(), order: VecDeque::new() }),
             cap: cap.max(1),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// The cached verdict for `key`, if any.
     pub fn get(&self, key: &[u8; 32]) -> Option<bool> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.get(key).copied()
+        let verdict = self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.get(key).copied();
+        let counter = if verdict.is_some() { &self.hits } else { &self.misses };
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        verdict
+    }
+
+    /// Lookups that found a cached verdict.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to curve work.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Records a verdict (first write wins; verification is deterministic,

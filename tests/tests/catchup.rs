@@ -13,7 +13,8 @@ use astro_core::astro2::{Astro2Config, AstroTwoReplica, CreditMode};
 use astro_core::journal::{Astro1State, Astro2State};
 use astro_core::reconfig::{ReconfigMsg, SyncError};
 use astro_core::testkit::PaymentCluster;
-use astro_core::ReplicaStep;
+use astro_core::{CoreObs, ReplicaStep};
+use astro_obs::Registry;
 use astro_runtime::{demo_keychains, AstroOneCluster, AstroTwoCluster};
 use astro_store::StoreConfig;
 use astro_types::wire::Wire;
@@ -369,7 +370,39 @@ fn byzantine_forged_or_tampered_state_transfer_is_rejected() {
     let layout = ShardLayout::single(4).unwrap();
     let cfg = Astro1Config { batch_size: 1, initial_balance: Amount(100) };
     let mut victim = AstroOneReplica::restore(ReplicaId(3), layout, cfg, &early).unwrap();
+    let registry = Registry::new();
+    victim.set_obs(CoreObs::for_replica(&registry, 3));
     victim.begin_catchup();
+
+    // Drive the flush timer past one full retry interval: the first
+    // flush sends the initial SyncRequest, and once the tick budget
+    // drains a re-request goes out — which the retry counter must see.
+    let mut requests = 0usize;
+    for _ in 0..40 {
+        requests += victim.flush().outbound.len();
+    }
+    assert!(requests >= 2, "expected an initial request plus at least one retry");
+
+    // Broadcast traffic arriving mid-sync parks for replay — and the
+    // parking metrics must see it. Mint a Prepare from a scratch replica
+    // with replica 1's identity; its instance is already delivered in the
+    // transferred state, so the post-install replay dedups it.
+    let mut minter = AstroOneReplica::new(
+        ReplicaId(1),
+        ShardLayout::single(4).unwrap(),
+        Astro1Config { batch_size: 1, initial_balance: Amount(100) },
+    );
+    let step = minter.submit(Payment::new(1u64, 0u64, 2u64, 1u64)).unwrap();
+    let brb = step
+        .outbound
+        .into_iter()
+        .find_map(|env| match env.msg {
+            m @ Astro1Msg::Brb(_) => Some(m),
+            _ => None,
+        })
+        .expect("batch size 1 flushes a Prepare");
+    let parked = victim.handle(ReplicaId(1), brb);
+    assert!(parked.outbound.is_empty() && parked.settled.is_empty());
 
     // Replica 0 is Byzantine. Variant 1: inflate its own balance.
     let mut inflated = c.node(0).sync_state(ReplicaId(3));
@@ -405,6 +438,25 @@ fn byzantine_forged_or_tampered_state_transfer_is_rejected() {
         assert!(victim.is_syncing(), "forged responses must not install");
     }
     assert_eq!(victim.balance(ClientId(4)), Amount(106), "pre-transfer state untouched");
+
+    // The attached metrics must have seen the catch-up friction: the
+    // stale response tripped the collector's floor guard, and the retry
+    // loop above re-sent the request at least once.
+    let snap = registry.snapshot();
+    assert!(
+        snap.gauge("core.r3.sync_rejected").unwrap_or(0) >= 1,
+        "rejected-response gauge must count the stale variant"
+    );
+    assert!(
+        snap.counter("core.r3.sync_retries").unwrap_or(0) >= 1,
+        "retry counter must count the re-sent SyncRequest"
+    );
+    assert_eq!(
+        snap.counter("core.r3.parked"),
+        Some(1),
+        "parked counter must see the mid-sync broadcast"
+    );
+    assert_eq!(snap.gauge("core.r3.parked_depth"), Some(1));
 
     // One honest response joins: still only one member per digest.
     let step = victim.handle(ReplicaId(1), response_from(&c, 1));
