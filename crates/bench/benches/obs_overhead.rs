@@ -22,8 +22,9 @@
 
 use astro_bench::json::Metric;
 use astro_core::astro1::Astro1Config;
+use astro_core::astro2::{Astro2Config, CreditMode};
 use astro_obs::Registry;
-use astro_runtime::AstroOneCluster;
+use astro_runtime::{AstroOneCluster, AstroTwoCluster};
 use astro_types::{Amount, Payment};
 use std::time::{Duration, Instant};
 
@@ -113,6 +114,64 @@ fn run_instrumented(flush: Duration, round: usize) -> Duration {
     dt
 }
 
+/// Astro II reliable-CREDIT accounting: one observed certificates-mode
+/// cluster settles a cross-representative workload, then the retry
+/// outboxes must drain — every CREDIT sub-batch acked by its
+/// destination. Reports the acked fraction (gated at 1.0 by
+/// `bench_gate`: an undrained outbox at quiescence means acks or
+/// retransmissions regressed) plus the raw ack/retransmit counts for
+/// trend-watching.
+fn run_credit_outbox(flush: Duration) -> Metric {
+    let payments: u64 = if astro_bench::smoke() { 256 } else { 1024 };
+    let registry = Registry::new();
+    let cfg = Astro2Config {
+        batch_size: 32,
+        initial_balance: Amount(u64::MAX / 2),
+        credit_mode: CreditMode::Certificates,
+        ..Astro2Config::default()
+    };
+    let cluster = AstroTwoCluster::start_tcp_observed(4, cfg, flush, registry.clone()).unwrap();
+    // Every client pays a client of a *different* representative, so
+    // each settle queues CREDIT sub-batches to a remote destination.
+    for seq in 0..payments / 4 {
+        for client in 1..=4u64 {
+            cluster.submit(Payment::new(client, seq, client % 4 + 1, 1u64)).unwrap();
+        }
+    }
+    assert!(
+        cluster.wait_settled_among(&[0, 1, 2, 3], payments as usize, Duration::from_secs(60)),
+        "astro2 workload settles"
+    );
+    // Quiescence: retransmission keeps the flush timer armed until the
+    // last ack lands, so the depth gauges must reach zero on their own.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let depth_total = loop {
+        let snap = registry.snapshot();
+        let total: u64 =
+            (0..4).map(|i| snap.gauge(&format!("core.r{i}.outbox_depth")).unwrap_or(0)).sum();
+        if total == 0 || Instant::now() >= deadline {
+            break total;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    cluster.shutdown();
+    let snap = registry.snapshot();
+    let acks: u64 =
+        (0..4).map(|i| snap.counter(&format!("core.r{i}.credit_acks")).unwrap_or(0)).sum();
+    let retransmits: u64 =
+        (0..4).map(|i| snap.counter(&format!("core.r{i}.credit_retransmits")).unwrap_or(0)).sum();
+    assert!(acks > 0, "cross-representative workload must exercise the outbox");
+    let fraction = acks as f64 / (acks + depth_total) as f64;
+    println!(
+        "{:<52} {fraction:>12.4} ({acks} acks, {retransmits} retransmits)",
+        "credit_outbox/delivery (acked fraction)"
+    );
+    Metric::new(
+        "credit_outbox/delivery",
+        [("acked_fraction", fraction), ("acks", acks as f64), ("retransmits", retransmits as f64)],
+    )
+}
+
 fn median(sorted: &[f64]) -> f64 {
     sorted[sorted.len() / 2]
 }
@@ -192,6 +251,7 @@ fn main() {
     println!("{:<52} {ratio:>12.4}", "settle_256_n4/obs_overhead (trimmed mean of pairs)");
     metrics
         .push(Metric::new("settle_256_n4/obs_overhead", [("instrumented_over_unattached", ratio)]));
+    metrics.push(run_credit_outbox(flush));
     let path = astro_bench::json::write("obs", &metrics).expect("write bench json");
     println!("\nwrote {}", path.display());
 }

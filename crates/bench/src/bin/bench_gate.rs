@@ -18,6 +18,10 @@
 //!   obs) — attaching a metric registry must keep ≥ 95% of the
 //!   unattached settle throughput, as an absolute floor (the ratio is
 //!   computed within one run, so machine load cancels out).
+//! - `credit_outbox/delivery` (`acked_fraction`, obs) — after an
+//!   Astro II certificates-mode workload quiesces, every CREDIT
+//!   sub-batch in the retry outboxes must have been acked by its
+//!   destination representative (absolute floor 1.0).
 //!
 //! The JSON was written by `astro_bench::json` (flat metric objects), so
 //! a small scanner suffices — the offline toolchain has no serde.
@@ -80,6 +84,18 @@ const GATES: &[Gate] = &[
         field: "instrumented_over_unattached",
         floor_fraction: 0.0,
         absolute_floor: 0.95,
+    },
+    // Reliable CREDIT delivery: at quiescence every CREDIT sub-batch in
+    // the retry outboxes must have been acked by its destination
+    // representative. The fraction is exact (acks / (acks + residual
+    // depth)), so the floor is exactly 1.0 — any undrained entry means
+    // the ack or retransmit path regressed.
+    Gate {
+        file: "BENCH_obs.json",
+        metric: "credit_outbox/delivery",
+        field: "acked_fraction",
+        floor_fraction: 0.0,
+        absolute_floor: 1.0,
     },
 ];
 

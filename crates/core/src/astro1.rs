@@ -249,7 +249,9 @@ impl AstroOneReplica {
             WalRecord::DepUsed { .. }
             | WalRecord::Stuck { .. }
             | WalRecord::Cert { .. }
-            | WalRecord::CertsTaken { .. } => {}
+            | WalRecord::CertsTaken { .. }
+            | WalRecord::CreditOut { .. }
+            | WalRecord::CreditAcked { .. } => {}
         }
     }
 

@@ -15,7 +15,8 @@
 
 use crate::astro1::SyncSession;
 use crate::batch::{
-    credit_context, verify_certificate, CreditBundle, DepBatch, DepPayment, DependencyCertificate,
+    credit_ack_context, credit_context, verify_certificate, CreditBundle, DepBatch, DepPayment,
+    DependencyCertificate,
 };
 use crate::journal::{Astro2State, Journal, JournalSlot, WalRecord};
 use crate::ledger::{Ledger, SettleOutcome};
@@ -28,7 +29,8 @@ use astro_brb::signed::{SignedBrb, SignedMsg};
 use astro_brb::{BrbConfig, DeliveryOrder, Envelope, InstanceId};
 use astro_types::wire::{decode_exact, Wire, WireError};
 use astro_types::{
-    Amount, Authenticator, ClientId, Group, Payment, PaymentId, ReplicaId, ShardId, ShardLayout,
+    Amount, Authenticator, ClientId, Group, Payment, PaymentId, ReplicaId, SeqNo, ShardId,
+    ShardLayout,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -98,6 +100,31 @@ pub enum Astro2Msg<S> {
     Credit(CreditBundle<S>),
     /// Reconfiguration / catch-up traffic within a shard (Appendix A).
     Sync(ReconfigMsg<S>),
+    /// The destination representative's signed acknowledgment that the
+    /// CREDIT sub-batches with these [`credit_context`] digests have been
+    /// certified (or were already certified — acks are idempotent). The
+    /// settling replica discharges the matching retry-outbox entries.
+    /// Acks accumulate per destination and ride the representative's
+    /// flush tick as one message, so ack traffic scales with flush
+    /// intervals rather than with sub-batch count.
+    CreditAck {
+        /// The acked sub-batch digests.
+        digests: Vec<[u8; 32]>,
+        /// The representative's signature over [`credit_ack_context`].
+        sig: S,
+    },
+    /// A restarted (or caught-up) representative asks a settling replica
+    /// to replay CREDITs its certificate store may be missing: the donor
+    /// immediately retransmits its unacked outbox entries for the
+    /// requester and regenerates signed singleton sub-batches for every
+    /// settled-but-unmaterialized payment crediting a client the
+    /// requester represents. Re-delivery is replay-protected by
+    /// `usedDeps` at materialization, so over-replay is harmless.
+    CreditRequest {
+        /// The requester's settled-payment watermark (donors behind it
+        /// skip regeneration — their view of settled history is stale).
+        since: u64,
+    },
 }
 
 impl<S: Wire> Wire for Astro2Msg<S> {
@@ -115,6 +142,15 @@ impl<S: Wire> Wire for Astro2Msg<S> {
                 buf.push(2);
                 m.encode(buf);
             }
+            Astro2Msg::CreditAck { digests, sig } => {
+                buf.push(3);
+                digests.encode(buf);
+                sig.encode(buf);
+            }
+            Astro2Msg::CreditRequest { since } => {
+                buf.push(4);
+                since.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -122,6 +158,8 @@ impl<S: Wire> Wire for Astro2Msg<S> {
             0 => Ok(Astro2Msg::Brb(Wire::decode(buf)?)),
             1 => Ok(Astro2Msg::Credit(Wire::decode(buf)?)),
             2 => Ok(Astro2Msg::Sync(Wire::decode(buf)?)),
+            3 => Ok(Astro2Msg::CreditAck { digests: Wire::decode(buf)?, sig: Wire::decode(buf)? }),
+            4 => Ok(Astro2Msg::CreditRequest { since: Wire::decode(buf)? }),
             _ => Err(WireError::InvalidValue("astro2 message tag")),
         }
     }
@@ -130,6 +168,8 @@ impl<S: Wire> Wire for Astro2Msg<S> {
             Astro2Msg::Brb(m) => m.encoded_len(),
             Astro2Msg::Credit(c) => c.encoded_len(),
             Astro2Msg::Sync(m) => m.encoded_len(),
+            Astro2Msg::CreditAck { digests, sig } => digests.encoded_len() + sig.encoded_len(),
+            Astro2Msg::CreditRequest { since } => since.encoded_len(),
         }
     }
 }
@@ -210,9 +250,18 @@ pub fn sig_checks(
                 sig: cb.sig,
             });
         }
+        Astro2Msg::CreditAck { digests, sig } => {
+            out.push(SigCheck {
+                signer: from,
+                context: credit_ack_context(digests).into(),
+                sig: *sig,
+            });
+        }
         // Catch-up traffic certifies by f+1 matching digests over the
-        // authenticated links — nothing for the verify pool.
-        Astro2Msg::Sync(_) => {}
+        // authenticated links — nothing for the verify pool. A
+        // CreditRequest carries no signature: over-replay it could induce
+        // is already harmless.
+        Astro2Msg::Sync(_) | Astro2Msg::CreditRequest { .. } => {}
     }
     out
 }
@@ -226,6 +275,38 @@ struct PartialBundle<S> {
     bundle: Vec<Payment>,
     proofs: HashMap<ReplicaId, S>,
     certified: bool,
+}
+
+/// Flush ticks before the first retransmission of an unacked CREDIT.
+/// Lazy on purpose: in the healthy path the destination's ack beats the
+/// timer (its round trip is link latency plus the destination's queue,
+/// both well under 16 flush intervals even at saturation), so the timer
+/// only fires when the CREDIT or its ack was actually lost. An eager
+/// timer is not harmless — every spurious retransmit charges the
+/// destination another signature verification, deepening the very queue
+/// that is delaying its acks.
+const OUTBOX_BASE_TICKS: u32 = 64;
+/// Retransmission backoff cap, in flush ticks. A representative
+/// returning from a long outage does not wait for this timer — its
+/// catch-up `CreditRequest` makes donors replay immediately.
+const OUTBOX_MAX_TICKS: u32 = 256;
+
+/// One unacked CREDIT sub-batch in the retry outbox, keyed by its
+/// [`credit_context`] digest. Retained until the destination
+/// representative returns a [`Astro2Msg::CreditAck`] for the digest;
+/// retransmitted on the flush timer with capped exponential backoff.
+#[derive(Debug)]
+struct OutboxEntry<S> {
+    /// The beneficiary representative the bundle is addressed to.
+    dest: ReplicaId,
+    /// The settled payments of the sub-batch.
+    bundle: Vec<Payment>,
+    /// This replica's signature over the bundle's [`credit_context`].
+    sig: S,
+    /// Flush ticks until the next retransmission.
+    ticks: u32,
+    /// Current backoff (doubles per retransmission, capped).
+    backoff: u32,
 }
 
 /// Certificates a replica keeps verified per process lifetime.
@@ -334,6 +415,15 @@ pub struct AstroTwoReplica<A: Authenticator> {
     rep_deps: HashMap<ClientId, Vec<DependencyCertificate<A::Sig>>>,
     /// Representative state: proofs gathered per sub-batch digest.
     partial: HashMap<[u8; 32], PartialBundle<A::Sig>>,
+    /// Settling-replica state: CREDIT sub-batches awaiting their
+    /// destination representative's ack, keyed by [`credit_context`]
+    /// digest (a `BTreeMap` for deterministic retransmission order).
+    outbox: BTreeMap<[u8; 32], OutboxEntry<A::Sig>>,
+    /// Representative state: sub-batch digests owed to each settling
+    /// replica as acknowledgments, batched per destination and emitted
+    /// as one signed [`Astro2Msg::CreditAck`] on the next flush tick
+    /// (a `BTreeMap` for deterministic emission order).
+    pending_acks: BTreeMap<ReplicaId, Vec<[u8; 32]>>,
     batch: Vec<DepPayment<A::Sig>>,
     batch_size: usize,
     next_tag: u64,
@@ -342,6 +432,13 @@ pub struct AstroTwoReplica<A: Authenticator> {
     /// Representative state: funds already promised to in-flight payments
     /// (submitted, not yet observed settled), per client.
     reserved: HashMap<ClientId, u64>,
+    /// Representative state: the next sequence number each represented
+    /// client may submit. Broadcast delivery is unordered, so if two
+    /// conflicting payments at one seq both reached broadcast, replicas
+    /// could settle different winners — the gate keeps each xlog's stream
+    /// conflict-free at its single entry point. In-memory only: after a
+    /// restart the ledger's `next_seq` is the correct floor.
+    submitted_seq: HashMap<ClientId, SeqNo>,
     journal: JournalSlot,
     /// Certificate consumptions awaiting the flush that makes their
     /// carrying payments durable (see [`WalRecord::CertsTaken`]).
@@ -390,12 +487,15 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             stuck: HashSet::new(),
             rep_deps: HashMap::new(),
             partial: HashMap::new(),
+            outbox: BTreeMap::new(),
+            pending_acks: BTreeMap::new(),
             batch: Vec::new(),
             batch_size: cfg.batch_size.max(1),
             next_tag: 0,
             mode: cfg.credit_mode,
             dep_policy: cfg.dep_policy,
             reserved: HashMap::new(),
+            submitted_seq: HashMap::new(),
             journal: JournalSlot::none(),
             pending_cert_takes: Vec::new(),
             syncing: None,
@@ -448,6 +548,26 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                 representative: self.layout.representative_of(payment.spender),
             });
         }
+        // At most one payment per xlog slot may ever leave this
+        // representative (Listing 7 assigns sequence numbers here for the
+        // same reason): the shard's broadcast delivery is unordered, so if
+        // two conflicting payments at one seq both reached broadcast,
+        // correct replicas could settle different winners. An equivocating
+        // client's second submission dies at the door instead.
+        let floor = self.ledger.next_seq(payment.spender);
+        let gate = self.submitted_seq.entry(payment.spender).or_insert(floor);
+        if *gate < floor {
+            // A catch-up install advanced the ledger past the gate.
+            *gate = floor;
+        }
+        if payment.seq != *gate {
+            return Err(SubmitError::SeqOutOfOrder {
+                client: payment.spender,
+                seq: payment.seq,
+                expected: *gate,
+            });
+        }
+        *gate = gate.next();
         let reserved = self.reserved.entry(payment.spender).or_insert(0);
         let need = reserved.saturating_add(payment.amount.0);
         let attach = match self.dep_policy {
@@ -503,19 +623,25 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// once a fallback budget runs out, abandons the catch-up and
     /// resumes from the local state.
     pub fn flush(&mut self) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        // CREDIT retransmission rides the same timer — and keeps running
+        // during catch-up: the outbox serves *other* replicas' recovery,
+        // which must not wait for ours.
+        let mut out = ReplicaStep::empty();
+        self.tick_outbox(&mut out.outbound);
         if let Some(sync) = &mut self.syncing {
             if sync.ticks == 0 {
                 if sync.exhausted() {
                     // No f+1 matching donors in time; resume from the
                     // locally recovered state, replaying whatever parked
-                    // (see the Astro I flush for the rationale).
+                    // (see the Astro I flush for the rationale), and ask
+                    // donors to replay CREDITs lost while we were down.
                     let sync = self.syncing.take().expect("syncing");
-                    let mut out = ReplicaStep::empty();
                     for (from, m) in sync.buffered {
                         let step = self.handle(from, Astro2Msg::Brb(m));
                         out.outbound.extend(step.outbound);
                         out.settled.extend(step.settled);
                     }
+                    out.outbound.extend(self.credit_request_envelopes());
                     return out;
                 }
                 sync.ticks = crate::astro1::SYNC_RETRY_TICKS;
@@ -527,19 +653,15 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                     obs.flight.event("core.sync.request", u64::from(sync.requests), 0);
                 }
                 let request = sync.votes.request();
-                return ReplicaStep {
-                    outbound: vec![Envelope {
-                        to: astro_brb::Dest::All,
-                        msg: Astro2Msg::Sync(request),
-                    }],
-                    settled: Vec::new(),
-                };
+                out.outbound
+                    .push(Envelope { to: astro_brb::Dest::All, msg: Astro2Msg::Sync(request) });
+                return out;
             }
             sync.ticks -= 1;
-            return ReplicaStep::empty();
+            return out;
         }
         if self.batch.is_empty() {
-            return ReplicaStep::empty();
+            return out;
         }
         let entries = std::mem::take(&mut self.batch);
         if let Some(obs) = &self.obs {
@@ -561,19 +683,122 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         }
         self.journal.rec(&WalRecord::OwnTag { tag: id.tag });
         let step = self.brb.broadcast(id, DepBatch { entries });
-        ReplicaStep {
-            outbound: step
-                .outbound
-                .into_iter()
-                .map(|e| Envelope { to: e.to, msg: Astro2Msg::Brb(e.msg) })
-                .collect(),
-            settled: Vec::new(),
+        out.outbound.extend(
+            step.outbound.into_iter().map(|e| Envelope { to: e.to, msg: Astro2Msg::Brb(e.msg) }),
+        );
+        out
+    }
+
+    /// Paces only the CREDIT retry outbox — the flush timer's
+    /// retransmission duty without cutting the payment batch. Drivers
+    /// with independent batch and retry clocks (the simulator) call this
+    /// instead of piggybacking retransmission on [`Self::flush`]: firing
+    /// `flush` early just to age the outbox would cut batches short and
+    /// inflate the per-batch broadcast overhead.
+    pub fn pace_outbox(&mut self) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        let mut out = ReplicaStep::empty();
+        self.tick_outbox(&mut out.outbound);
+        out
+    }
+
+    /// One flush tick of the retry outbox: accumulated acks leave
+    /// (batched per destination), then entries whose backoff expired are
+    /// retransmitted and their backoff doubles (capped).
+    fn tick_outbox(&mut self, outbound: &mut Vec<Envelope<Astro2Msg<A::Sig>>>) {
+        self.flush_acks(outbound);
+        let mut retransmits = 0u64;
+        for entry in self.outbox.values_mut() {
+            if entry.ticks > 0 {
+                entry.ticks -= 1;
+                continue;
+            }
+            entry.ticks = entry.backoff;
+            entry.backoff = (entry.backoff * 2).min(OUTBOX_MAX_TICKS);
+            retransmits += 1;
+            outbound.push(Envelope {
+                to: astro_brb::Dest::One(entry.dest),
+                msg: Astro2Msg::Credit(CreditBundle {
+                    bundle: entry.bundle.clone(),
+                    sig: entry.sig.clone(),
+                }),
+            });
         }
+        if let Some(obs) = &self.obs {
+            if retransmits > 0 {
+                obs.credit_retransmits.add(retransmits);
+                obs.flight.event("core.credit.retransmit", retransmits, self.outbox.len() as u64);
+            }
+            obs.outbox_depth.set(self.outbox.len() as u64);
+        }
+    }
+
+    /// Queues a signed CREDIT sub-batch in the retry outbox and emits the
+    /// initial transmission. The entry is retained (and journaled) until
+    /// `dest` acknowledges the bundle digest.
+    fn queue_credit(
+        &mut self,
+        dest: ReplicaId,
+        bundle: Vec<Payment>,
+        outbound: &mut Vec<Envelope<Astro2Msg<A::Sig>>>,
+    ) {
+        let context = credit_context(&bundle);
+        let key: [u8; 32] = context.as_slice().try_into().expect("sha256 digest");
+        let sig = self.auth.sign(&context);
+        if !self.outbox.contains_key(&key) {
+            self.journal.rec(&WalRecord::CreditOut { dest, bundle: bundle.clone() });
+            self.outbox.insert(
+                key,
+                OutboxEntry {
+                    dest,
+                    bundle: bundle.clone(),
+                    sig: sig.clone(),
+                    ticks: OUTBOX_BASE_TICKS,
+                    backoff: OUTBOX_BASE_TICKS * 2,
+                },
+            );
+        }
+        outbound.push(Envelope {
+            to: astro_brb::Dest::One(dest),
+            msg: Astro2Msg::Credit(CreditBundle { bundle, sig }),
+        });
+    }
+
+    /// The unicast fan-out of a `CreditRequest` to every potential donor:
+    /// all replicas of all shards (cross-shard settles credit through
+    /// here too), excluding this replica.
+    fn credit_request_envelopes(&self) -> Vec<Envelope<Astro2Msg<A::Sig>>> {
+        let since = self.ledger.total_settled() as u64;
+        let mut out = Vec::new();
+        for group in &self.groups {
+            for &r in group.members() {
+                if r != self.me {
+                    out.push(Envelope {
+                        to: astro_brb::Dest::One(r),
+                        msg: Astro2Msg::CreditRequest { since },
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Number of payments waiting in the unflushed batch.
     pub fn batched(&self) -> usize {
         self.batch.len()
+    }
+
+    /// Unacked CREDIT sub-batches in the retry outbox. Drivers keep the
+    /// flush timer armed while this is nonzero — retransmission has no
+    /// other clock.
+    pub fn outbox_depth(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Settling replicas owed a batched CREDIT acknowledgment. Drivers
+    /// keep the flush timer armed while this is nonzero — the
+    /// accumulated acks leave on the next flush tick.
+    pub fn pending_acks(&self) -> usize {
+        self.pending_acks.len()
     }
 
     /// Processes one replica-to-replica message.
@@ -625,7 +850,124 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             }
             Astro2Msg::Credit(cb) => self.on_credit(from, cb),
             Astro2Msg::Sync(m) => self.on_sync(from, m),
+            Astro2Msg::CreditAck { digests, sig } => self.on_credit_ack(from, digests, sig),
+            Astro2Msg::CreditRequest { since } => self.on_credit_request(from, since),
         }
+    }
+
+    /// Handles a CREDIT acknowledgment at the settling replica: each
+    /// digest the valid ack covers discharges its outbox entry, provided
+    /// the entry was addressed to the sender.
+    fn on_credit_ack(
+        &mut self,
+        from: ReplicaId,
+        digests: Vec<[u8; 32]>,
+        sig: A::Sig,
+    ) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        let empty = ReplicaStep::empty();
+        // One signature covers the whole batch of digests; verify it
+        // before touching any entry — a forged or replayed ack would
+        // silently lose the beneficiary's certificate material.
+        if !self.auth.verify(from, &credit_ack_context(&digests), &sig) {
+            return empty;
+        }
+        let mut discharged = 0u64;
+        for digest in digests {
+            // Only the representative the bundle was addressed to may
+            // discharge it; unknown digests (already acked, or never
+            // ours) are skipped — acks are idempotent.
+            let Some(entry) = self.outbox.get(&digest) else { continue };
+            if entry.dest != from {
+                continue;
+            }
+            self.outbox.remove(&digest);
+            self.journal.rec(&WalRecord::CreditAcked { digest });
+            discharged += 1;
+        }
+        if let Some(obs) = &self.obs {
+            if discharged > 0 {
+                obs.credit_acks.add(discharged);
+            }
+            obs.outbox_depth.set(self.outbox.len() as u64);
+        }
+        empty
+    }
+
+    /// Handles a CREDIT replay request at a settling replica (donor):
+    /// immediately retransmits every unacked outbox entry addressed to
+    /// the requester (resetting its backoff), then regenerates signed
+    /// singleton sub-batches for settled payments crediting the
+    /// requester's clients that were never materialized — covering
+    /// certificates the requester certified, acked, and then lost.
+    fn on_credit_request(&mut self, from: ReplicaId, since: u64) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        let mut out = ReplicaStep::empty();
+        if from == self.me {
+            return out;
+        }
+        let mut replays = 0u64;
+        for entry in self.outbox.values_mut() {
+            if entry.dest != from {
+                continue;
+            }
+            entry.ticks = OUTBOX_BASE_TICKS;
+            entry.backoff = OUTBOX_BASE_TICKS * 2;
+            replays += 1;
+            out.outbound.push(Envelope {
+                to: astro_brb::Dest::One(from),
+                msg: Astro2Msg::Credit(CreditBundle {
+                    bundle: entry.bundle.clone(),
+                    sig: entry.sig.clone(),
+                }),
+            });
+        }
+        // `since` is comparable only within a shard; a same-shard donor
+        // behind the requester's watermark regenerates nothing (its
+        // settled history is a stale prefix of what the requester
+        // already has) — the outbox retransmissions above still count.
+        let same_shard = self.layout.shard_of_replica(from) == Some(self.my_shard);
+        if !(same_shard && (self.ledger.total_settled() as u64) < since) {
+            // Regenerate from settled history. Singleton bundles, so every
+            // donor derives the identical digest independently and `f+1`
+            // proofs accumulate under one key at the requester.
+            let mut regenerated: Vec<Vec<Payment>> = Vec::new();
+            for xlog in self.ledger.xlogs() {
+                for p in xlog.iter() {
+                    if self.layout.representative_of(p.beneficiary) != from {
+                        continue;
+                    }
+                    // Direct-credited payments carry no certificate debt.
+                    if self.mode == CreditMode::DirectIntraShard
+                        && self.layout.shard_of_client(p.beneficiary) == self.my_shard
+                    {
+                        continue;
+                    }
+                    // Already materialized in this shard ⇒ the credit's
+                    // whole effect is in the shared settled state; the
+                    // requester needs no certificate for it.
+                    if self.used_deps.contains(&p.id()) {
+                        continue;
+                    }
+                    regenerated.push(vec![*p]);
+                }
+            }
+            for bundle in regenerated {
+                let key: [u8; 32] =
+                    credit_context(&bundle).as_slice().try_into().expect("sha256 digest");
+                if self.outbox.contains_key(&key) {
+                    continue; // already queued (and just retransmitted above)
+                }
+                replays += 1;
+                self.queue_credit(from, bundle, &mut out.outbound);
+            }
+        }
+        if let Some(obs) = &self.obs {
+            if replays > 0 {
+                obs.credit_replays.add(replays);
+            }
+            obs.flight.event("core.credit.replay", replays, self.outbox.len() as u64);
+            obs.outbox_depth.set(self.outbox.len() as u64);
+        }
+        out
     }
 
     /// Handles reconfiguration traffic: serves catch-up requests from
@@ -786,11 +1128,16 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             }
         }
         for (rep, bundle) in by_rep {
-            let sig = self.auth.sign(&credit_context(&bundle));
-            out.outbound.push(Envelope {
-                to: astro_brb::Dest::One(rep),
-                msg: Astro2Msg::Credit(CreditBundle { bundle, sig }),
-            });
+            if rep == self.me {
+                // Self-addressed credits deliver inline: no transport to
+                // lose them, so they bypass the retry outbox too.
+                let sig = self.auth.sign(&credit_context(&bundle));
+                let step = self.on_credit(self.me, CreditBundle { bundle, sig });
+                out.outbound.extend(step.outbound);
+                out.settled.extend(step.settled);
+            } else {
+                self.queue_credit(rep, bundle, &mut out.outbound);
+            }
         }
         if let Some(obs) = &self.obs {
             obs.settles.add(settled.len() as u64);
@@ -853,10 +1200,25 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             return empty;
         }
         let context = credit_context(&cb.bundle);
+        let key: [u8; 32] = context.as_slice().try_into().expect("sha256 digest");
+        // A bundle whose every credit is already covered — materialized
+        // (`usedDeps`) or vouched for by a held certificate — adds
+        // nothing; ack so the sender stops retransmitting. This also
+        // drains replayed singletons that can never reach a fresh quorum.
+        let covered = cb.bundle.iter().all(|p| {
+            self.used_deps.contains(&p.id())
+                || self
+                    .rep_deps
+                    .get(&p.beneficiary)
+                    .is_some_and(|certs| certs.iter().any(|c| c.bundle.contains(p)))
+        });
+        if covered {
+            self.note_ack(from, key);
+            return empty;
+        }
         if !self.auth.verify(from, &context, &cb.sig) {
             return empty;
         }
-        let key: [u8; 32] = context.as_slice().try_into().expect("sha256 digest");
         let small_quorum = group.small_quorum();
         let partial = self.partial.entry(key).or_insert_with(|| PartialBundle {
             bundle: cb.bundle,
@@ -864,7 +1226,13 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             certified: false,
         });
         partial.proofs.insert(from, cb.sig);
-        if partial.certified || partial.proofs.len() < small_quorum {
+        if partial.certified {
+            // Already certified: re-ack, the sender missed (or lost) the
+            // first acknowledgment.
+            self.note_ack(from, key);
+            return empty;
+        }
+        if partial.proofs.len() < small_quorum {
             return empty;
         }
         partial.certified = true;
@@ -873,6 +1241,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         // Canonical proof order, so the journaled bytes (and any re-export)
         // are independent of CREDIT arrival order.
         proofs.sort_unstable_by_key(|(r, _)| *r);
+        let senders: Vec<ReplicaId> = proofs.iter().map(|(r, _)| *r).collect();
         let cert = DependencyCertificate { bundle: partial.bundle.clone(), proofs };
         self.journal.rec(&WalRecord::Cert { bytes: cert.to_wire_bytes() });
         // Store the certificate for every beneficiary we represent.
@@ -881,10 +1250,53 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         beneficiaries.dedup();
         for b in beneficiaries {
             if self.layout.is_representative(self.me, b) {
-                self.rep_deps.entry(b).or_default().push(cert.clone());
+                let held = self.rep_deps.entry(b).or_default();
+                // A re-formed certificate over a bundle already held (the
+                // proof subset may differ) must not double-count.
+                if !held.iter().any(|c| c.bundle == cert.bundle) {
+                    held.push(cert.clone());
+                }
             }
         }
+        // The certificate is durable (journaled above; group commit makes
+        // it disk-durable before outbound leaves a durable runtime): owe
+        // every contributing settler an ack so their outboxes discharge
+        // on our next flush tick.
+        for sender in senders {
+            self.note_ack(sender, key);
+        }
         empty
+    }
+
+    /// Notes an acknowledgment owed to settling replica `to` for the
+    /// CREDIT sub-batch digest `key`. Acks accumulate per destination
+    /// and leave as one signed message on the next flush tick — ack
+    /// traffic scales with flush intervals, not with sub-batch count.
+    /// Self-addressed credits discharge their outbox entry directly.
+    fn note_ack(&mut self, to: ReplicaId, key: [u8; 32]) {
+        if to == self.me {
+            // Signing an ack to ourselves is wasted work.
+            if self.outbox.remove(&key).is_some() {
+                self.journal.rec(&WalRecord::CreditAcked { digest: key });
+            }
+            return;
+        }
+        let pending = self.pending_acks.entry(to).or_default();
+        if !pending.contains(&key) {
+            pending.push(key);
+        }
+    }
+
+    /// Emits the accumulated CREDIT acknowledgments, one signed message
+    /// per owed settler (the flush tick's ack-batching duty).
+    fn flush_acks(&mut self, outbound: &mut Vec<Envelope<Astro2Msg<A::Sig>>>) {
+        for (to, digests) in std::mem::take(&mut self.pending_acks) {
+            let sig = self.auth.sign(&credit_ack_context(&digests));
+            outbound.push(Envelope {
+                to: astro_brb::Dest::One(to),
+                msg: Astro2Msg::CreditAck { digests, sig },
+            });
+        }
     }
 
     /// The settled balance of a client at this replica.
@@ -896,10 +1308,14 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// plus certified-but-unspent incoming credits.
     pub fn available_balance(&self, client: ClientId) -> Amount {
         let mut total = self.ledger.balance(client);
+        // A credit may be vouched for by several held certificates (a
+        // replayed singleton alongside the original sub-batch): count
+        // each payment once.
+        let mut counted: HashSet<PaymentId> = HashSet::new();
         if let Some(certs) = self.rep_deps.get(&client) {
             for cert in certs {
                 for p in cert.credits_for(client) {
-                    if !self.used_deps.contains(&p.id()) {
+                    if !self.used_deps.contains(&p.id()) && counted.insert(p.id()) {
                         total = total.saturating_add(p.amount);
                     }
                 }
@@ -979,6 +1395,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         }
         let mut certs: Vec<(ClientId, Vec<Vec<u8>>)> = certs_map.into_iter().collect();
         certs.sort_unstable_by_key(|(c, _)| *c);
+        // Outbox iteration is digest-ordered; the stable sort yields the
+        // canonical (destination, digest) order.
+        let mut outbox: Vec<(ReplicaId, Vec<Payment>)> =
+            self.outbox.values().map(|e| (e.dest, e.bundle.clone())).collect();
+        outbox.sort_by_key(|(dest, _)| *dest);
         Astro2State {
             ledger: self.ledger.export(),
             pending: self
@@ -990,6 +1411,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
             used_deps,
             stuck,
             certs,
+            outbox,
             next_tag: self.next_tag,
             cursors: self.brb.delivery_cursors(),
         }
@@ -1033,11 +1455,29 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                 replica.rep_deps.insert(*client, decoded);
             }
         }
+        for (dest, bundle) in &state.outbox {
+            replica.restore_outbox_entry(*dest, bundle.clone());
+        }
         replica.next_tag = state.next_tag;
         for (source, next) in &state.cursors {
             replica.brb.advance_cursor(*source, *next);
         }
         Ok(replica)
+    }
+
+    /// Re-creates one retry-outbox entry from recovered `(dest, bundle)`
+    /// data, re-signing with this replica's key (signatures are not
+    /// persisted). Due for immediate retransmission; idempotent over the
+    /// snapshot/WAL overlap window.
+    fn restore_outbox_entry(&mut self, dest: ReplicaId, bundle: Vec<Payment>) {
+        let context = credit_context(&bundle);
+        let key: [u8; 32] = context.as_slice().try_into().expect("sha256 digest");
+        if self.outbox.contains_key(&key) {
+            return;
+        }
+        let sig = self.auth.sign(&context);
+        self.outbox
+            .insert(key, OutboxEntry { dest, bundle, sig, ticks: 0, backoff: OUTBOX_BASE_TICKS });
     }
 
     /// Re-applies one WAL record on top of a restored snapshot. Records
@@ -1093,6 +1533,12 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                     }
                 }
             }
+            WalRecord::CreditOut { dest, bundle } => {
+                self.restore_outbox_entry(*dest, bundle.clone());
+            }
+            WalRecord::CreditAcked { digest } => {
+                self.outbox.remove(digest);
+            }
         }
     }
 
@@ -1138,15 +1584,17 @@ impl<A: Authenticator> AstroTwoReplica<A> {
 
     /// The canonical state served to a catching-up peer: the shared
     /// settlement state (ledger, approval queue, dependency
-    /// replay-protection, stuck set) with the representative-local
-    /// certificate store cleared — donors do not hold the requester's
-    /// clients' certificates, and leaving local data in would break the
+    /// replay-protection, stuck set) with the replica-local sections —
+    /// the representative certificate store and the CREDIT retry outbox —
+    /// cleared: donors do not hold the requester's clients' certificates
+    /// or delivery debts, and leaving local data in would break the
     /// byte-identical `f+1` match. `next_tag` is reinterpreted as the
     /// *requester's* stream high-water mark (see
     /// [`astro_brb::signed::SignedBrb::source_high_water`]).
     pub fn sync_state(&self, requester: ReplicaId) -> Astro2State {
         let mut state = self.export_state();
         state.certs = Vec::new();
+        state.outbox = Vec::new();
         state.next_tag = self.brb.source_high_water(u64::from(requester.0));
         state
     }
@@ -1154,10 +1602,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     /// Installs a certified peer state over the locally recovered one;
     /// the Astro II analogue of
     /// [`crate::astro1::AstroOneReplica::install_sync`]. The
-    /// representative-local certificate store is untouched (certificates
-    /// unicast while the replica was down are lost with the CREDIT
-    /// messages that carried them — re-certification is the beneficiary
-    /// representative's CREDIT-replay story, not state transfer's).
+    /// representative-local certificate store is untouched by the
+    /// transfer itself: certificates are re-formed from CREDIT traffic —
+    /// donors retain unacked bundles in their retry outboxes, and the
+    /// `CreditRequest` fan-out this install emits makes them replay
+    /// anything this store is still missing.
     ///
     /// # Errors
     ///
@@ -1219,6 +1668,10 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         // The caught-up prefix is dead weight in the broadcast layer now.
         self.brb.gc_delivered();
         self.snapshot_requested = true;
+        // Rebuild the certificate store: ask every potential donor to
+        // replay CREDITs that died with the link while this replica was
+        // down (or that it certified and then lost non-durably).
+        out.outbound.extend(self.credit_request_envelopes());
         Ok(out)
     }
 }
@@ -1742,10 +2195,173 @@ mod tests {
         let auth = MacAuthenticator::new(ReplicaId(0), b"wire".to_vec());
         let bundle = vec![Payment::new(1u64, 0u64, 2u64, 5u64)];
         let sig = auth.sign(&credit_context(&bundle));
-        let msg: Astro2Msg<astro_types::auth::SimSig> =
-            Astro2Msg::Credit(CreditBundle { bundle, sig });
-        let bytes = msg.to_wire_bytes();
-        assert_eq!(bytes.len(), msg.encoded_len());
-        assert_eq!(decode_exact::<Astro2Msg<astro_types::auth::SimSig>>(&bytes).unwrap(), msg);
+        let msgs: Vec<Astro2Msg<astro_types::auth::SimSig>> = vec![
+            Astro2Msg::Credit(CreditBundle { bundle, sig: sig.clone() }),
+            Astro2Msg::CreditAck { digests: vec![[7u8; 32], [9u8; 32]], sig },
+            Astro2Msg::CreditRequest { since: 42 },
+        ];
+        for msg in msgs {
+            let bytes = msg.to_wire_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(decode_exact::<Astro2Msg<astro_types::auth::SimSig>>(&bytes).unwrap(), msg);
+        }
+    }
+
+    /// Drives `rounds` flush ticks on every replica, routing the emitted
+    /// retransmissions through the cluster.
+    fn tick_flushes(c: &mut PaymentCluster<Replica>, rounds: usize) {
+        for _ in 0..rounds {
+            for i in 0..c.len() {
+                let step = c.node_mut(i).flush();
+                c.submit_step(ReplicaId(i as u32), step);
+            }
+            c.run_to_quiescence();
+        }
+    }
+
+    #[test]
+    fn acked_credits_discharge_the_outbox() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        let rep1 = layout.representative_of(ClientId(1));
+        assert_eq!(c.node(rep1.0 as usize).held_certificates(ClientId(1)), 1);
+        // Acks are batched per destination and ride the flush tick.
+        tick_flushes(&mut c, 1);
+        for i in 0..4 {
+            assert_eq!(c.node(i).outbox_depth(), 0, "replica {i}: every CREDIT was acked");
+        }
+    }
+
+    #[test]
+    fn unacked_credits_retransmit_until_the_representative_certifies() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let rep1 = layout.representative_of(ClientId(1));
+        // The beneficiary representative is unreachable for CREDIT
+        // traffic: the paper-gap scenario where the unicast dies with the
+        // link.
+        let block = std::rc::Rc::new(std::cell::Cell::new(true));
+        let block_w = std::rc::Rc::clone(&block);
+        c.set_filter(move |_from, to, msg| {
+            !(block_w.get() && to == rep1 && matches!(msg, Astro2Msg::Credit(_)))
+        });
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        assert_eq!(c.node(rep1.0 as usize).held_certificates(ClientId(1)), 0);
+        for i in 0..4 {
+            if ReplicaId(i as u32) != rep1 {
+                assert_eq!(c.node(i).outbox_depth(), 1, "replica {i} retains the unacked CREDIT");
+            }
+        }
+        // The link heals; the flush-timer retransmissions re-deliver, the
+        // certificate forms, and the acks drain every outbox. The first
+        // retransmission waits out `OUTBOX_BASE_TICKS` flush ticks.
+        block.set(false);
+        tick_flushes(&mut c, OUTBOX_BASE_TICKS as usize + 2);
+        assert_eq!(c.node(rep1.0 as usize).held_certificates(ClientId(1)), 1);
+        assert_eq!(c.node(rep1.0 as usize).available_balance(ClientId(1)), Amount(130));
+        for i in 0..4 {
+            assert_eq!(c.node(i).outbox_depth(), 0, "replica {i} outbox drained");
+        }
+    }
+
+    #[test]
+    fn forged_or_misdirected_acks_do_not_discharge_the_outbox() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let rep1 = layout.representative_of(ClientId(1));
+        c.set_filter(move |_from, to, msg| !(to == rep1 && matches!(msg, Astro2Msg::Credit(_))));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        // Pick a settling replica with an outbox entry and forge acks.
+        let donor = (0..4).find(|&i| c.node(i).outbox_depth() == 1).unwrap();
+        let digest = *c.node(donor).outbox.keys().next().unwrap();
+        let auth = MacAuthenticator::new(ReplicaId(3), b"astro2".to_vec());
+        let good_ctx = credit_ack_context(&[digest]);
+        // (a) valid signature, wrong sender (not the entry's destination).
+        let sig = auth.sign(&good_ctx);
+        let step = c
+            .node_mut(donor)
+            .handle(ReplicaId(3), Astro2Msg::CreditAck { digests: vec![digest], sig });
+        assert!(step.outbound.is_empty());
+        assert_eq!(c.node(donor).outbox_depth(), 1, "misdirected ack ignored");
+        // (b) right sender, forged signature.
+        let forged = auth.sign(b"not-the-ack-context");
+        let step = c
+            .node_mut(donor)
+            .handle(rep1, Astro2Msg::CreditAck { digests: vec![digest], sig: forged });
+        assert!(step.outbound.is_empty());
+        assert_eq!(c.node(donor).outbox_depth(), 1, "forged ack ignored");
+        // (c) the genuine ack from the destination discharges it.
+        let rep_auth = MacAuthenticator::new(rep1, b"astro2".to_vec());
+        let sig = rep_auth.sign(&good_ctx);
+        c.node_mut(donor).handle(rep1, Astro2Msg::CreditAck { digests: vec![digest], sig });
+        assert_eq!(c.node(donor).outbox_depth(), 0);
+    }
+
+    #[test]
+    fn credit_request_replays_lost_certificates_from_settled_history() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        let rep1 = layout.representative_of(ClientId(1));
+        let idx = rep1.0 as usize;
+        assert_eq!(c.node(idx).held_certificates(ClientId(1)), 1);
+        // Non-durable loss after certification: every donor was acked
+        // (acks ride the flush tick), so no outbox entry survives — only
+        // settled history can replay it.
+        tick_flushes(&mut c, 1);
+        c.node_mut(idx).rep_deps.clear();
+        c.node_mut(idx).partial.clear();
+        for i in 0..4 {
+            assert_eq!(c.node(i).outbox_depth(), 0);
+        }
+        let requests = c.node(idx).credit_request_envelopes();
+        assert_eq!(requests.len(), 3);
+        let step = ReplicaStep { outbound: requests, settled: Vec::new() };
+        c.submit_step(rep1, step);
+        c.run_to_quiescence();
+        tick_flushes(&mut c, 4);
+        // The certificate re-formed from regenerated singleton CREDITs,
+        // and the regenerated outbox entries were acked and drained.
+        assert_eq!(c.node(idx).held_certificates(ClientId(1)), 1);
+        assert_eq!(c.node(idx).available_balance(ClientId(1)), Amount(130));
+        for i in 0..4 {
+            assert_eq!(c.node(i).outbox_depth(), 0, "replica {i} outbox drained");
+        }
+        // The replayed funds spend normally.
+        pay(&mut c, &layout, Payment::new(1u64, 0u64, 2u64, 120u64));
+        c.run_to_quiescence();
+        for i in 0..4 {
+            assert_eq!(c.node(i).balance(ClientId(1)), Amount(10), "replica {i}");
+        }
+    }
+
+    #[test]
+    fn outbox_survives_export_restore() {
+        let layout = ShardLayout::single(4).unwrap();
+        let mut c = cluster(1, 4, cfg(CreditMode::Certificates));
+        let rep1 = layout.representative_of(ClientId(1));
+        c.set_filter(move |_from, to, msg| !(to == rep1 && matches!(msg, Astro2Msg::Credit(_))));
+        pay(&mut c, &layout, Payment::new(0u64, 0u64, 1u64, 30u64));
+        c.run_to_quiescence();
+        let donor = (0..4).find(|&i| c.node(i).outbox_depth() == 1).unwrap();
+        let state = c.node(donor).export_state();
+        assert_eq!(state.outbox.len(), 1, "unacked CREDIT exported");
+        let restored = AstroTwoReplica::restore(
+            MacAuthenticator::new(ReplicaId(donor as u32), b"astro2".to_vec()),
+            layout.clone(),
+            cfg(CreditMode::Certificates),
+            &state,
+        )
+        .unwrap();
+        assert_eq!(restored.outbox_depth(), 1, "outbox recovered");
+        assert_eq!(restored.export_state(), state, "restore→export is the identity");
+        // The state served to catching-up peers clears the (donor-local)
+        // outbox, like the certificate store.
+        assert!(restored.sync_state(rep1).outbox.is_empty());
     }
 }

@@ -22,7 +22,7 @@
 //! claim made checkable on disk.
 
 use astro_types::wire::{Wire, WireError};
-use astro_types::{Amount, ClientId, Payment, PaymentId};
+use astro_types::{Amount, ClientId, Payment, PaymentId, ReplicaId};
 
 /// One durably-logged state-machine effect.
 ///
@@ -101,6 +101,23 @@ pub enum WalRecord {
         /// Content digests of the consumed certificates.
         digests: Vec<[u8; 32]>,
     },
+    /// A CREDIT sub-batch entered the retry outbox: this replica settled
+    /// the bundled payments and owes their delivery to the beneficiary
+    /// representative `dest` until it acknowledges. The signature is not
+    /// logged — recovery re-signs the bundle with the replica's own key.
+    CreditOut {
+        /// The beneficiary representative the bundle is addressed to.
+        dest: ReplicaId,
+        /// The settled payments of the sub-batch.
+        bundle: Vec<Payment>,
+    },
+    /// The destination representative acknowledged the CREDIT sub-batch
+    /// with this [`crate::batch::credit_context`] digest; the outbox
+    /// entry is discharged.
+    CreditAcked {
+        /// The acked sub-batch digest.
+        digest: [u8; 32],
+    },
 }
 
 impl Wire for WalRecord {
@@ -142,6 +159,15 @@ impl Wire for WalRecord {
                 client.encode(buf);
                 digests.encode(buf);
             }
+            WalRecord::CreditOut { dest, bundle } => {
+                buf.push(8);
+                dest.encode(buf);
+                bundle.encode(buf);
+            }
+            WalRecord::CreditAcked { digest } => {
+                buf.push(9);
+                digest.encode(buf);
+            }
         }
     }
 
@@ -161,6 +187,8 @@ impl Wire for WalRecord {
                 client: Wire::decode(buf)?,
                 digests: Wire::decode(buf)?,
             }),
+            8 => Ok(WalRecord::CreditOut { dest: Wire::decode(buf)?, bundle: Wire::decode(buf)? }),
+            9 => Ok(WalRecord::CreditAcked { digest: Wire::decode(buf)? }),
             _ => Err(WireError::InvalidValue("wal record tag")),
         }
     }
@@ -179,6 +207,8 @@ impl Wire for WalRecord {
             WalRecord::CertsTaken { client, digests } => {
                 client.encoded_len() + digests.encoded_len()
             }
+            WalRecord::CreditOut { dest, bundle } => dest.encoded_len() + bundle.encoded_len(),
+            WalRecord::CreditAcked { digest } => digest.encoded_len(),
         }
     }
 }
@@ -323,6 +353,11 @@ pub struct Astro2State {
     /// Held dependency certificates per represented client, ascending by
     /// client id; each certificate is `DependencyCertificate` wire bytes.
     pub certs: Vec<(ClientId, Vec<Vec<u8>>)>,
+    /// Unacked CREDIT sub-batches this replica still owes delivery for,
+    /// as `(destination representative, bundle)` ascending by destination
+    /// then bundle digest. Signatures are not exported — restore re-signs
+    /// with the replica's own key.
+    pub outbox: Vec<(ReplicaId, Vec<Payment>)>,
     /// The replica's own next broadcast tag.
     pub next_tag: u64,
     /// BRB delivery cursors (FIFO mode), ascending by source.
@@ -336,6 +371,7 @@ impl Wire for Astro2State {
         self.used_deps.encode(buf);
         self.stuck.encode(buf);
         self.certs.encode(buf);
+        self.outbox.encode(buf);
         self.next_tag.encode(buf);
         self.cursors.encode(buf);
     }
@@ -346,6 +382,7 @@ impl Wire for Astro2State {
             used_deps: Wire::decode(buf)?,
             stuck: Wire::decode(buf)?,
             certs: Wire::decode(buf)?,
+            outbox: Wire::decode(buf)?,
             next_tag: Wire::decode(buf)?,
             cursors: Wire::decode(buf)?,
         })
@@ -356,6 +393,7 @@ impl Wire for Astro2State {
             + self.used_deps.encoded_len()
             + self.stuck.encoded_len()
             + self.certs.encoded_len()
+            + self.outbox.encoded_len()
             + self.next_tag.encoded_len()
             + self.cursors.encoded_len()
     }
@@ -382,6 +420,8 @@ mod tests {
             WalRecord::OwnTag { tag: 12 },
             WalRecord::Cert { bytes: vec![1, 2, 3, 4] },
             WalRecord::CertsTaken { client: ClientId(5), digests: vec![[9u8; 32], [4u8; 32]] },
+            WalRecord::CreditOut { dest: ReplicaId(3), bundle: vec![p(1, 0, 2, 5)] },
+            WalRecord::CreditAcked { digest: [7u8; 32] },
         ];
         for rec in records {
             let bytes = rec.to_wire_bytes();
@@ -392,7 +432,7 @@ mod tests {
 
     #[test]
     fn wal_record_rejects_bad_tag() {
-        assert!(decode_exact::<WalRecord>(&[9u8]).is_err());
+        assert!(decode_exact::<WalRecord>(&[10u8]).is_err());
     }
 
     #[test]
@@ -420,6 +460,7 @@ mod tests {
             used_deps: vec![p(1, 0, 2, 5).id()],
             stuck: vec![ClientId(8)],
             certs: vec![(ClientId(2), vec![vec![0xab, 0xcd]])],
+            outbox: vec![(ReplicaId(1), vec![p(3, 0, 4, 2)])],
             next_tag: 1,
             cursors: vec![],
         };

@@ -71,7 +71,7 @@ pub mod testkit;
 pub mod xlog;
 
 use astro_brb::Envelope;
-use astro_types::{ClientId, Payment, ReplicaId};
+use astro_types::{ClientId, Payment, ReplicaId, SeqNo};
 
 pub use astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 pub use astro2::{Astro2Config, Astro2Msg, AstroTwoReplica, CreditMode};
@@ -118,6 +118,17 @@ pub enum SubmitError {
         /// The replica that does represent it.
         representative: ReplicaId,
     },
+    /// The sequence number is not the next one this representative will
+    /// accept from the client — a duplicate, an equivocating conflict for
+    /// an already-submitted slot, or a gap that would wedge the xlog.
+    SeqOutOfOrder {
+        /// The submitting client.
+        client: ClientId,
+        /// The rejected sequence number.
+        seq: SeqNo,
+        /// The sequence number the representative expected.
+        expected: SeqNo,
+    },
 }
 
 impl core::fmt::Display for SubmitError {
@@ -125,6 +136,9 @@ impl core::fmt::Display for SubmitError {
         match self {
             SubmitError::NotRepresentative { client, representative } => {
                 write!(f, "client {client} is represented by {representative}, not this replica")
+            }
+            SubmitError::SeqOutOfOrder { client, seq, expected } => {
+                write!(f, "client {client} submitted seq {seq} but {expected} is next")
             }
         }
     }

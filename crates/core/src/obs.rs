@@ -39,6 +39,19 @@ pub struct CoreObs {
     /// `core.r{i}.pending_depth` — approval-queue depth (sampled at
     /// flush).
     pub pending_depth: Gauge,
+    /// `core.r{i}.outbox_depth` — unacked CREDIT sub-batches awaiting
+    /// their destination representative's ack (Astro II).
+    pub outbox_depth: Gauge,
+    /// `core.r{i}.credit_retransmits` — CREDIT sub-batches re-sent by the
+    /// retry outbox beyond the initial transmission.
+    pub credit_retransmits: Counter,
+    /// `core.r{i}.credit_acks` — CREDIT acknowledgments accepted from
+    /// destination representatives (each discharges one outbox entry).
+    pub credit_acks: Counter,
+    /// `core.r{i}.credit_replays` — CREDIT sub-batches served in response
+    /// to a `CreditRequest`, whether retransmitted from the retry outbox
+    /// or regenerated from settled history.
+    pub credit_replays: Counter,
     /// The cluster-wide payment-lifecycle tracer.
     pub tracer: PaymentTracer,
     /// This replica's flight recorder.
@@ -58,6 +71,10 @@ impl CoreObs {
             cert_cache_hits: registry.gauge(&name("cert_cache_hits")),
             cert_cache_misses: registry.gauge(&name("cert_cache_misses")),
             pending_depth: registry.gauge(&name("pending_depth")),
+            outbox_depth: registry.gauge(&name("outbox_depth")),
+            credit_retransmits: registry.counter(&name("credit_retransmits")),
+            credit_acks: registry.counter(&name("credit_acks")),
+            credit_replays: registry.counter(&name("credit_replays")),
             tracer: registry.tracer().clone(),
             flight: registry.flight(replica),
         }

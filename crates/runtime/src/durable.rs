@@ -219,6 +219,10 @@ impl<N: PersistentNode> RuntimeNode for DurableNode<N> {
         self.node.total_settled()
     }
 
+    fn available_balance(&self, client: ClientId) -> Amount {
+        self.node.available_balance(client)
+    }
+
     fn stopping(&mut self) {
         // Clean stop: everything journaled becomes durable now.
         self.storage.sync();

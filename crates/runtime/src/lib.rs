@@ -241,6 +241,14 @@ pub trait RuntimeNode: Send + 'static {
     /// Total payments settled.
     fn total_settled(&self) -> usize;
 
+    /// A client's spendable funds at this replica: the ledger balance
+    /// plus, at an Astro II representative, certified-but-unspent credits
+    /// awaiting the client's next outgoing payment. Default: the ledger
+    /// balance alone.
+    fn available_balance(&self, client: ClientId) -> Amount {
+        self.final_balances().get(&client).copied().unwrap_or(Amount(0))
+    }
+
     /// Called once on a *clean* stop, before the thread exits — durable
     /// nodes flush their group commit here. Not called on a simulated
     /// crash ([`Cluster::kill_replica`]), which is the point of the
@@ -340,6 +348,10 @@ impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
         self.ledger().total_settled()
     }
 
+    fn available_balance(&self, client: ClientId) -> Amount {
+        AstroTwoReplica::available_balance(self, client)
+    }
+
     fn preverify(&self, from: ReplicaId, msg: &Self::Msg) -> Vec<astro_types::SigCheck> {
         astro_core::astro2::sig_checks(from, msg)
     }
@@ -354,6 +366,10 @@ impl RuntimeNode for AstroTwoReplica<SchnorrAuthenticator> {
 /// are not replicas; their submissions do not travel authenticated links).
 enum Ctrl {
     Client(Payment),
+    /// Reads a client's `(ledger, available)` balances off the replica
+    /// thread — how restart tests watch replayed CREDIT certificates
+    /// arrive at a representative before spending them.
+    Probe(ClientId, Sender<(Amount, Amount)>),
     Stop,
     /// Simulated power loss: exit immediately — no final flush, no
     /// storage sync. What the replica finds on disk afterwards is exactly
@@ -637,6 +653,25 @@ impl Cluster {
         self.settled.logs.lock()[i].clone()
     }
 
+    /// Reads `client`'s `(ledger, available)` balances at replica `i`.
+    /// `available` additionally counts certified-but-unspent credits an
+    /// Astro II representative holds for the client — what a restart test
+    /// polls to see replayed CREDIT certificates arrive before spending
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is down or the cluster is shutting down.
+    pub fn probe_balance(
+        &self,
+        i: usize,
+        client: ClientId,
+    ) -> Result<(Amount, Amount), ClusterError> {
+        let (tx, rx) = unbounded();
+        self.seats[i].ctrl.send(Ctrl::Probe(client, tx)).map_err(|_| ClusterError::ShuttingDown)?;
+        rx.recv().map_err(|_| ClusterError::ShuttingDown)
+    }
+
     /// Like [`Self::wait_settled`], but only waits on the listed
     /// replicas — what a test with a deliberately killed replica uses to
     /// wait on the live quorum. Returns true if every listed replica
@@ -685,6 +720,12 @@ struct DriverObs {
     /// Times the parked backlog crossed [`PENDING_HIGH_WATER`] and the
     /// driver blocked on the oldest super-batch.
     pending_high_water: Counter,
+    /// Outbound sends the transport failed fast on (peer link down).
+    /// Broadcast losses are masked by quorums; unicast losses matter —
+    /// CREDIT sub-batches ride on the core's retry outbox, which the
+    /// flush timer retransmits until acked, so a spike here with a flat
+    /// `core.*.credit_acks` is the gray-failure signature to alert on.
+    send_failures: Counter,
     flight: FlightRecorder,
 }
 
@@ -696,6 +737,7 @@ impl DriverObs {
             layout: layout.clone(),
             burst_msgs: registry.histogram(&name("burst_msgs")),
             pending_high_water: registry.counter(&name("pending_high_water")),
+            send_failures: registry.counter(&name("send_failures")),
             flight: registry.flight(me.0),
         }
     }
@@ -792,6 +834,10 @@ fn replica_main<N: RuntimeNode, E: Endpoint>(
                     if let Ok(step) = node.submit(p) {
                         dispatch(me, step, &mut endpoint, settled, obs);
                     }
+                }
+                Ok(Ctrl::Probe(client, reply)) => {
+                    let ledger = node.final_balances().get(&client).copied().unwrap_or(Amount(0));
+                    let _ = reply.send((ledger, node.available_balance(client)));
                 }
                 Err(TryRecvError::Empty) => break,
             }
@@ -900,14 +946,28 @@ fn dispatch<M: Wire, E: Endpoint>(
     }
     for env in step.outbound {
         let bytes = env.msg.to_wire_bytes();
-        // A failed send means a peer link is down; the BRB layer tolerates
-        // the loss (quorums mask a disconnected minority).
+        // A failed send means a peer link is down. Broadcast losses are
+        // masked by quorums; unicast losses (CREDIT sub-batches, acks,
+        // sync traffic) are fail-fast outcomes the replica's retry
+        // machinery covers — CREDITs sit in the core's acked outbox and
+        // retransmit on the flush timer until the destination confirms.
+        // Either way the failure is surfaced, never silently swallowed.
         match env.to {
             Dest::All => {
-                let _ = endpoint.broadcast(&bytes);
+                if endpoint.broadcast(&bytes).is_err() {
+                    if let Some(o) = obs {
+                        o.send_failures.inc();
+                        o.flight.event("runtime.send_failed", u64::from(me.0), 0);
+                    }
+                }
             }
             Dest::One(to) => {
-                let _ = endpoint.send(to, &bytes);
+                if endpoint.send(to, &bytes).is_err() {
+                    if let Some(o) = obs {
+                        o.send_failures.inc();
+                        o.flight.event("runtime.send_failed", u64::from(to.0), 0);
+                    }
+                }
             }
         }
     }
@@ -1096,6 +1156,20 @@ impl AstroOneCluster {
     /// payments; see [`Cluster::wait_settled_among`].
     pub fn wait_settled_among(&self, replicas: &[usize], count: usize, timeout: Duration) -> bool {
         self.inner.wait_settled_among(replicas, count, timeout)
+    }
+
+    /// Reads `client`'s `(ledger, available)` balances at replica `i`;
+    /// see [`Cluster::probe_balance`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is down or the cluster is shutting down.
+    pub fn probe_balance(
+        &self,
+        i: usize,
+        client: ClientId,
+    ) -> Result<(Amount, Amount), ClusterError> {
+        self.inner.probe_balance(i, client)
     }
 
     /// Stops all replicas and returns each replica's final balance map and
@@ -1331,6 +1405,36 @@ impl AstroTwoCluster {
     /// payments; see [`Cluster::wait_settled_among`].
     pub fn wait_settled_among(&self, replicas: &[usize], count: usize, timeout: Duration) -> bool {
         self.inner.wait_settled_among(replicas, count, timeout)
+    }
+
+    /// Reads `client`'s `(ledger, available)` balances at replica `i`;
+    /// `available` includes the certified-but-unspent credits this
+    /// representative holds for the client. See
+    /// [`Cluster::probe_balance`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is down or the cluster is shutting down.
+    pub fn probe_balance(
+        &self,
+        i: usize,
+        client: ClientId,
+    ) -> Result<(Amount, Amount), ClusterError> {
+        self.inner.probe_balance(i, client)
+    }
+
+    /// The mesh's TCP listen addresses, indexed by replica id. `None` for
+    /// in-process clusters. With the matching keychain this lets a test
+    /// wire an out-of-process — e.g. deliberately Byzantine — peer into a
+    /// killed replica's seat.
+    pub fn listen_addrs(&self) -> Option<Vec<std::net::SocketAddr>> {
+        self.meta.as_ref().map(|m| m.addrs.clone())
+    }
+
+    /// The protocol signing keychains the replicas run under (index =
+    /// replica id). `None` for in-process clusters.
+    pub fn signing_keychains(&self) -> Option<Vec<Keychain>> {
+        self.meta.as_ref().map(|m| m.signing.clone())
     }
 
     /// Stops all replicas and returns each replica's final balance map and

@@ -32,7 +32,30 @@ pub enum Fault {
     /// Add a constant delay to all the replica's outgoing packets
     /// (`tc qdisc … netem delay …`).
     Delay(ReplicaId, Nanos),
+    /// Sever one link in both directions while both endpoints stay up —
+    /// a partial (gray) partition: each node still reaches the rest of
+    /// the cluster, so neither looks crashed to anyone but the other.
+    PartialPartition(ReplicaId, ReplicaId),
+    /// Heal a severed link. Packets dropped during the partition stay
+    /// lost (the TCP connections were reset), so both endpoints run the
+    /// catch-up handshake to recover whatever broadcast state they
+    /// missed — unicast CREDIT traffic recovers through the retry
+    /// outbox instead.
+    HealPartition(ReplicaId, ReplicaId),
+    /// Add a constant delay to both directions of one link (a slow but
+    /// live link). Zero restores the link.
+    SlowLink(ReplicaId, ReplicaId, Nanos),
+    /// Degrade (`true`) or restore (`false`) a replica's disk: every
+    /// settle pays an extra write stall, the deterministic analogue of a
+    /// sick device whose fsyncs take milliseconds while
+    /// `astro_store::Storage::healthy()` reports false — the process
+    /// stays up and keeps voting, just slowly.
+    DiskDegraded(ReplicaId, bool),
 }
+
+/// Extra per-settle stall a [`Fault::DiskDegraded`] replica pays — the
+/// cost model's stand-in for fsyncs hitting a sick device.
+const DISK_DEGRADED_STALL: Nanos = 2_000_000;
 
 /// How long a fate-sharing client waits before retrying a submission
 /// whose representative is down (it polls for its replica's return;
@@ -185,6 +208,8 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
     }
 
     let mut cpu_free: Vec<Nanos> = vec![0; system.n()];
+    // Per-replica extra write stall per settle ([`Fault::DiskDegraded`]).
+    let mut disk_stall: Vec<Nanos> = vec![0; system.n()];
     // Per-replica verifier lanes (the runtime's verify pool in simulated
     // time): each entry is when that lane next comes free. Empty when the
     // model runs verification inline.
@@ -225,6 +250,20 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                     push(&mut heap, &mut seq, event.time, EventKind::CatchUp { replica: r });
                 }
                 Fault::Delay(r, extra) => network.add_delay(r, extra),
+                Fault::PartialPartition(a, b) => network.partition(a, b),
+                Fault::HealPartition(a, b) => {
+                    network.heal(a, b);
+                    // Broadcast messages dropped on the severed link have
+                    // no transport-level retransmit; both endpoints fetch
+                    // the missed state exactly as a restarted replica
+                    // does.
+                    push(&mut heap, &mut seq, event.time, EventKind::CatchUp { replica: a });
+                    push(&mut heap, &mut seq, event.time, EventKind::CatchUp { replica: b });
+                }
+                Fault::SlowLink(a, b, extra) => network.slow_link(a, b, extra),
+                Fault::DiskDegraded(r, degraded) => {
+                    disk_stall[r.0 as usize] = if degraded { DISK_DEGRADED_STALL } else { 0 };
+                }
             },
             EventKind::CatchUp { replica } => {
                 if network.is_crashed(replica) {
@@ -381,7 +420,8 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                 let ready = ready.max(deliver_ready[to.0 as usize]);
                 deliver_ready[to.0 as usize] = ready;
                 let step = system.deliver(to, from, msg, ready);
-                let completion = ready + cfg.cpu.settle_ns * step.settled.len() as Nanos;
+                let completion = ready
+                    + (cfg.cpu.settle_ns + disk_stall[to.0 as usize]) * step.settled.len() as Nanos;
                 // The loop itself is busy only for the inline share — a
                 // message whose step had effects re-occupies it at
                 // `ready` to emit them; one that produced nothing (an ACK
@@ -418,8 +458,10 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                 }
                 let start = event.time.max(cpu_free[replica.0 as usize]);
                 let step = system.tick(replica, start);
-                let completion =
-                    start + cfg.cpu.overhead_ns + cfg.cpu.settle_ns * step.settled.len() as Nanos;
+                let completion = start
+                    + cfg.cpu.overhead_ns
+                    + (cfg.cpu.settle_ns + disk_stall[replica.0 as usize])
+                        * step.settled.len() as Nanos;
                 cpu_free[replica.0 as usize] = completion;
                 process_step(
                     &mut system,

@@ -97,6 +97,11 @@ pub struct Network {
     /// Last arrival time per (from, to) link: links are TCP connections,
     /// so deliveries on one link are FIFO despite jitter.
     link_clock: std::collections::HashMap<(u32, u32), Nanos>,
+    /// Severed links (partial partitions): packets on these pairs are
+    /// dropped while both endpoints stay up. Both directions are listed.
+    severed: std::collections::HashSet<(u32, u32)>,
+    /// Per-link extra delay (gray links: slow, not dead). Both directions.
+    link_extra: std::collections::HashMap<(u32, u32), Nanos>,
 }
 
 impl Network {
@@ -108,6 +113,8 @@ impl Network {
             nodes: vec![NodeState::default(); n],
             params,
             link_clock: std::collections::HashMap::new(),
+            severed: std::collections::HashSet::new(),
+            link_extra: std::collections::HashMap::new(),
         }
     }
 
@@ -151,6 +158,40 @@ impl Network {
         self.nodes[node.0 as usize].extra_delay = extra;
     }
 
+    /// Severs the `a`–`b` link in both directions: a partial partition —
+    /// both nodes stay up and keep talking to everyone else, but packets
+    /// between them are dropped until [`Network::heal`].
+    pub fn partition(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.severed.insert((a.0, b.0));
+        self.severed.insert((b.0, a.0));
+    }
+
+    /// Heals a severed `a`–`b` link. Packets dropped during the
+    /// partition stay lost (TCP connections were reset); recovery is the
+    /// protocols' job — retry outboxes and catch-up state transfer.
+    pub fn heal(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.severed.remove(&(a.0, b.0));
+        self.severed.remove(&(b.0, a.0));
+    }
+
+    /// True if the `from`→`to` direction is severed by a partial
+    /// partition.
+    pub fn is_severed(&self, from: ReplicaId, to: ReplicaId) -> bool {
+        self.severed.contains(&(from.0, to.0))
+    }
+
+    /// Adds `extra` delay to both directions of the `a`–`b` link — a
+    /// gray link that is slow but not dead. `0` restores the link.
+    pub fn slow_link(&mut self, a: ReplicaId, b: ReplicaId, extra: Nanos) {
+        if extra == 0 {
+            self.link_extra.remove(&(a.0, b.0));
+            self.link_extra.remove(&(b.0, a.0));
+        } else {
+            self.link_extra.insert((a.0, b.0), extra);
+            self.link_extra.insert((b.0, a.0), extra);
+        }
+    }
+
     /// Propagation latency between two nodes (excluding serialization).
     pub fn latency(&self, from: ReplicaId, to: ReplicaId) -> Nanos {
         if self.region_of(from) == self.region_of(to) {
@@ -180,6 +221,9 @@ impl Network {
         if from == to {
             return Some(now + 1_000);
         }
+        if self.severed.contains(&(from.0, to.0)) {
+            return None;
+        }
         let bytes = (size + self.params.per_message_overhead) as u64;
         let tx = bytes
             .saturating_mul(1_000_000_000)
@@ -189,7 +233,8 @@ impl Network {
         let done = start + tx;
         self.nodes[from.0 as usize].nic_free_at = done;
         let jitter = if self.params.jitter > 0 { rng.gen_range(0..self.params.jitter) } else { 0 };
-        let extra = self.nodes[from.0 as usize].extra_delay;
+        let extra = self.nodes[from.0 as usize].extra_delay
+            + self.link_extra.get(&(from.0, to.0)).copied().unwrap_or(0);
         let raw = done + self.latency(from, to) + jitter + extra;
         // TCP semantics: per-link FIFO delivery.
         let clock = self.link_clock.entry((from.0, to.0)).or_insert(0);
@@ -262,6 +307,40 @@ mod tests {
             assert!(a > last, "link must deliver in order");
             last = a;
         }
+    }
+
+    #[test]
+    fn partition_severs_one_link_both_ways_and_heals() {
+        let mut net = Network::new(4, NetParams::europe_wan());
+        let mut r = rng();
+        net.partition(ReplicaId(0), ReplicaId(1));
+        assert!(net.is_severed(ReplicaId(0), ReplicaId(1)));
+        assert!(net.transmit(ReplicaId(0), ReplicaId(1), 100, 0, &mut r).is_none());
+        assert!(net.transmit(ReplicaId(1), ReplicaId(0), 100, 0, &mut r).is_none());
+        // Other links stay up: a *partial* partition.
+        assert!(net.transmit(ReplicaId(0), ReplicaId(2), 100, 0, &mut r).is_some());
+        assert!(net.transmit(ReplicaId(1), ReplicaId(3), 100, 0, &mut r).is_some());
+        net.heal(ReplicaId(0), ReplicaId(1));
+        assert!(net.transmit(ReplicaId(0), ReplicaId(1), 100, 0, &mut r).is_some());
+    }
+
+    #[test]
+    fn slow_link_inflates_one_pair_only() {
+        let mut net = Network::new(4, NetParams::europe_wan());
+        let mut r = rng();
+        let baseline = net.transmit(ReplicaId(0), ReplicaId(1), 100, 0, &mut r).unwrap();
+        net.slow_link(ReplicaId(0), ReplicaId(1), 50_000_000); // +50 ms
+        let slowed = net.transmit(ReplicaId(0), ReplicaId(1), 100, 1_000_000_000, &mut r).unwrap();
+        assert!(slowed - 1_000_000_000 >= baseline + 49_000_000);
+        // The reverse direction is slowed too; unrelated links are not.
+        let reverse = net.transmit(ReplicaId(1), ReplicaId(0), 100, 1_000_000_000, &mut r).unwrap();
+        assert!(reverse - 1_000_000_000 >= 50_000_000);
+        let other = net.transmit(ReplicaId(0), ReplicaId(2), 100, 2_000_000_000, &mut r).unwrap();
+        assert!(other - 2_000_000_000 < 50_000_000);
+        // Zero restores.
+        net.slow_link(ReplicaId(0), ReplicaId(1), 0);
+        let healed = net.transmit(ReplicaId(0), ReplicaId(1), 100, 3_000_000_000, &mut r).unwrap();
+        assert!(healed - 3_000_000_000 < 50_000_000);
     }
 
     #[test]

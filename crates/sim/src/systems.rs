@@ -19,7 +19,8 @@ use astro_core::reconfig::CatchUp;
 use astro_core::ReplicaStep;
 use astro_types::wire::{decode_exact, Wire};
 use astro_types::{ClientId, Group, MacAuthenticator, Payment, PaymentId, ReplicaId, ShardLayout};
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// How the harness decides a payment is confirmed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,8 +128,10 @@ pub trait SimSystem {
 /// Always-on invariants a chaos schedule must never violate, tracked by
 /// the Astro system adapters when enabled: a replica re-broadcasting an
 /// instance id it already used (stream-tag reuse — a restart that lost
-/// its tag counter would wedge or equivocate its stream), and a replica
-/// reporting the same payment settled twice (double settle).
+/// its tag counter would wedge or equivocate its stream), a replica
+/// reporting the same payment settled twice (double settle), and two
+/// *different* payments settling under the same `(spender, seq)` id
+/// anywhere in the cluster (a client equivocation that got through).
 #[derive(Debug, Default)]
 struct ChaosAudit {
     /// Every own-stream instance id ever broadcast, cluster-wide.
@@ -139,6 +142,13 @@ struct ChaosAudit {
     settled: Vec<HashSet<PaymentId>>,
     /// Payments a replica reported settled more than once.
     double_settles: usize,
+    /// First-seen canonical encoding per settled payment id,
+    /// cluster-wide. A second, *different* encoding under the same id
+    /// means an equivocating client got conflicting payments settled.
+    settled_content: HashMap<PaymentId, Vec<u8>>,
+    /// Settles whose content conflicted with an earlier settle of the
+    /// same payment id (anywhere in the cluster).
+    equivocation_settles: usize,
 }
 
 impl ChaosAudit {
@@ -150,6 +160,16 @@ impl ChaosAudit {
         for p in payments {
             if !self.settled[replica.0 as usize].insert(p.id()) {
                 self.double_settles += 1;
+            }
+            match self.settled_content.entry(p.id()) {
+                Entry::Occupied(seen) => {
+                    if seen.get() != &p.to_wire_bytes() {
+                        self.equivocation_settles += 1;
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(p.to_wire_bytes());
+                }
             }
         }
     }
@@ -169,6 +189,10 @@ pub struct ChaosReport {
     pub duplicate_broadcasts: usize,
     /// Payments a replica reported settled more than once.
     pub double_settles: usize,
+    /// Settles of a payment whose content conflicted with an earlier
+    /// settle of the same `(spender, seq)` anywhere in the cluster — an
+    /// equivocating client's double spend that slipped through.
+    pub equivocation_settles: usize,
 }
 
 /// What the shared catch-up loop needs from a payment replica — the
@@ -329,6 +353,7 @@ impl Astro1System {
         self.audit.as_ref().map(|a| ChaosReport {
             duplicate_broadcasts: a.duplicate_broadcasts,
             double_settles: a.double_settles,
+            equivocation_settles: a.equivocation_settles,
         })
     }
 
@@ -456,6 +481,12 @@ pub struct Astro2System {
     layout: ShardLayout,
     groups: Vec<Group>,
     flush: FlushTimers,
+    /// Independent pacer for the CREDIT retry outbox: it must keep
+    /// running while unacked bundles remain (retransmission has no other
+    /// clock), but it must not share the batch timer — firing `flush`
+    /// early just to age the outbox cuts batches short and inflates the
+    /// per-batch broadcast overhead.
+    outbox: FlushTimers,
     audit: Option<ChaosAudit>,
 }
 
@@ -480,6 +511,13 @@ impl Astro2System {
             layout,
             groups,
             flush: FlushTimers::new(total, batch_delay),
+            // Acks and retransmission pace at a coarser interval than
+            // batch cutting: a wider window accumulates more digests per
+            // destination into each signed CreditAck (fewer point-to-point
+            // messages) at the cost of at most one extra window of ack
+            // latency. Recovery after a restart is CreditRequest-replay
+            // driven, so the coarser retransmit clock is safe.
+            outbox: FlushTimers::new(total, batch_delay.saturating_mul(4)),
             audit: None,
         }
     }
@@ -505,7 +543,17 @@ impl Astro2System {
         self.audit.as_ref().map(|a| ChaosReport {
             duplicate_broadcasts: a.duplicate_broadcasts,
             double_settles: a.double_settles,
+            equivocation_settles: a.equivocation_settles,
         })
+    }
+
+    /// (Re-)arms both timers: the batch flush deadline for payments
+    /// awaiting broadcast, and the separate outbox pacer for unacked
+    /// CREDIT bundles awaiting retransmission.
+    fn arm_timers(&mut self, replica: ReplicaId, now: Nanos) {
+        let r = &self.replicas[replica.0 as usize];
+        self.flush.note_batched(replica, r.batched(), now);
+        self.outbox.note_batched(replica, r.outbox_depth() + r.pending_acks(), now);
     }
 
     fn observe(
@@ -549,7 +597,7 @@ impl SimSystem for Astro2System {
         let step = self.replicas[replica.0 as usize]
             .submit(payment)
             .unwrap_or_else(|_| ReplicaStep::empty());
-        self.flush.note_batched(replica, self.replicas[replica.0 as usize].batched(), now);
+        self.arm_timers(replica, now);
         self.observe(replica, &step);
         step
     }
@@ -559,25 +607,40 @@ impl SimSystem for Astro2System {
         to: ReplicaId,
         from: ReplicaId,
         msg: Self::Msg,
-        _now: Nanos,
+        now: Nanos,
     ) -> ReplicaStep<Self::Msg> {
         let step = self.replicas[to.0 as usize].handle(from, msg);
+        // A delivery can enqueue CREDIT outbox entries and owed acks
+        // (settlement emits them); keep the retransmit pacer armed. The
+        // batch timer stays anchored to submissions: payments a
+        // settlement cascade re-queues ride the next submission's window
+        // rather than re-anchoring (and thus shortening) it.
+        let r = &self.replicas[to.0 as usize];
+        self.outbox.note_batched(to, r.outbox_depth() + r.pending_acks(), now);
         self.observe(to, &step);
         step
     }
 
     fn tick(&mut self, replica: ReplicaId, now: Nanos) -> ReplicaStep<Self::Msg> {
+        let mut step = ReplicaStep::empty();
         if self.flush.due(replica, now) {
-            let step = self.replicas[replica.0 as usize].flush();
-            self.observe(replica, &step);
-            step
-        } else {
-            ReplicaStep::empty()
+            step = self.replicas[replica.0 as usize].flush();
         }
+        if self.outbox.due(replica, now) {
+            let pace = self.replicas[replica.0 as usize].pace_outbox();
+            step.outbound.extend(pace.outbound);
+            step.settled.extend(pace.settled);
+        }
+        self.arm_timers(replica, now);
+        self.observe(replica, &step);
+        step
     }
 
     fn next_deadline(&self, replica: ReplicaId) -> Option<Nanos> {
-        self.flush.next(replica)
+        match (self.flush.next(replica), self.outbox.next(replica)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn broadcast_targets(&self, sender: ReplicaId) -> Vec<ReplicaId> {
@@ -647,6 +710,16 @@ impl SimSystem for Astro2System {
                 inline: cpu.hash(size) + bundle.sig.encoded_len() as Nanos,
                 verify: cpu.verify_ns,
             },
+            // A CREDIT ack: point-to-point and consumed only by the donor,
+            // so pairwise MAC authentication suffices — unlike CREDIT
+            // bundles, whose signatures must be transferable because they
+            // end up inside dependency certificates shown to third
+            // parties. (The simulated replicas run `MacAuthenticator`, so
+            // the ack tag really is a MAC.)
+            Astro2Msg::CreditAck { .. } => DeliverCost::inline(cpu.hash(size) + cpu.mac_ns),
+            // A replay request: bookkeeping only — the cost lands on the
+            // retransmitted CREDITs it triggers.
+            Astro2Msg::CreditRequest { .. } => DeliverCost::inline(cpu.mac_ns),
             // Catch-up traffic: hashing the served state, no signatures.
             Astro2Msg::Sync(_) => DeliverCost::inline(cpu.hash(size)),
         }

@@ -168,6 +168,12 @@ pub struct Storage {
     /// Set when a snapshot install failed; compaction has stopped (the
     /// WAL keeps growing) even though the WAL writer itself is fine.
     install_failed: bool,
+    /// Externally injected gray failure: the device is sick (stalling,
+    /// remapping sectors) without any append having errored yet. Set by
+    /// fault injection and operator tooling; [`Storage::healthy`] reports
+    /// it so drivers stop trusting the store before it starts eating
+    /// records.
+    degraded: bool,
     obs: Option<StoreObs>,
 }
 
@@ -217,7 +223,13 @@ impl Storage {
         }
         let wal = WalWriter::open_at(&wal_path, decoded_len.min(valid_len), group_commit_of(&cfg))?;
         Ok((
-            Storage { backend: Backend::Disk { dir, wal }, cfg, install_failed: false, obs: None },
+            Storage {
+                backend: Backend::Disk { dir, wal },
+                cfg,
+                install_failed: false,
+                degraded: false,
+                obs: None,
+            },
             Recovered { snapshot, records },
         ))
     }
@@ -230,6 +242,7 @@ impl Storage {
             backend: Backend::Memory { records: Vec::new(), snapshot: None },
             cfg,
             install_failed: false,
+            degraded: false,
             obs: None,
         }
     }
@@ -320,11 +333,23 @@ impl Storage {
         }
     }
 
-    /// `false` once an IO error degraded the store: either the WAL
-    /// writer dropped records (see [`wal::WalWriter::health`]) or the
-    /// last snapshot install failed (compaction stopped, WAL unbounded).
+    /// Marks the store's device as degraded (or recovered): a gray
+    /// failure — stalling fsyncs, a remapping disk — that no append has
+    /// surfaced as an error yet. While set, [`Storage::healthy`] reports
+    /// `false` so drivers treat the replica as sick before data is lost.
+    /// The chaos simulator's `DiskDegraded` fault is the deterministic
+    /// analogue of this state.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// `false` once an IO error (or an injected gray failure, see
+    /// [`Storage::set_degraded`]) degraded the store: the WAL writer
+    /// dropped records (see [`wal::WalWriter::health`]), the last
+    /// snapshot install failed (compaction stopped, WAL unbounded), or
+    /// the device was flagged sick.
     pub fn healthy(&self) -> bool {
-        if self.install_failed {
+        if self.install_failed || self.degraded {
             return false;
         }
         match &self.backend {
@@ -377,6 +402,12 @@ impl SharedStorage {
     /// True while no IO error has degraded the store.
     pub fn healthy(&self) -> bool {
         self.0.lock().healthy()
+    }
+
+    /// Flags (or clears) a gray device failure; see
+    /// [`Storage::set_degraded`].
+    pub fn set_degraded(&self, degraded: bool) {
+        self.0.lock().set_degraded(degraded);
     }
 }
 
@@ -477,6 +508,19 @@ mod tests {
         s.sync();
         assert!(s.healthy());
         assert_eq!(s.wal_bytes(), 0);
+    }
+
+    #[test]
+    fn degraded_flag_drives_health_and_clears() {
+        let mut s = Storage::memory(StoreConfig::default());
+        assert!(s.healthy());
+        s.set_degraded(true);
+        assert!(!s.healthy(), "a sick device must report unhealthy before any IO error");
+        // The store keeps accepting appends while degraded — the flag is
+        // advisory, not a write barrier.
+        s.append(&settle(0));
+        s.set_degraded(false);
+        assert!(s.healthy());
     }
 
     #[test]

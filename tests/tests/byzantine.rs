@@ -183,6 +183,271 @@ fn forged_certificate_is_rejected_and_never_cached() {
     }
 }
 
+/// Polls replica `i` until `client`'s available balance (ledger +
+/// certified credits) reaches `want`.
+fn wait_available(
+    cluster: &astro_runtime::AstroTwoCluster,
+    i: usize,
+    client: ClientId,
+    want: u64,
+    timeout: std::time::Duration,
+) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if let Ok((_, available)) = cluster.probe_balance(i, client) {
+            if available.0 >= want {
+                return true;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn tcp_byzantine_donor_cannot_forge_acks_or_corrupt_credit_replay() {
+    // The reliable-delivery stack under an *insider* attack over real TCP.
+    // Replica 3's machine is compromised after it helped settle: the
+    // attacker holds its genuine transport and signing keys, takes over
+    // its mesh seat, and tries to (a) discharge the honest donors' retry
+    // outboxes with forged CREDIT acks, (b) inflate balances with a
+    // well-signed CREDIT for money that never settled, (c) confuse the
+    // restarted representative with corrupted, duplicated, and garbage
+    // frames. None of it may stick: the honest donors' retransmit/replay
+    // path alone must recover the beneficiary's certificates.
+    use astro_core::batch::credit_ack_context;
+    use astro_net::{Endpoint, TcpEndpoint};
+    use astro_obs::Registry;
+    use astro_runtime::{demo_keychains, AstroTwoCluster};
+    use astro_types::wire::{decode_exact, Wire};
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    type Msg = Astro2Msg<astro_crypto::Signature>;
+
+    let registry = Registry::new();
+    let transport = demo_keychains(4);
+    let cluster_cfg = Astro2Config {
+        batch_size: 1,
+        initial_balance: Amount(1_000),
+        credit_mode: CreditMode::Certificates,
+        dep_policy: DepPolicy::WhenNeeded,
+    };
+    let mut cluster = AstroTwoCluster::start_tcp_with_keychains_observed(
+        transport.clone(),
+        cluster_cfg,
+        Duration::from_millis(1),
+        Some(registry.clone()),
+    )
+    .unwrap();
+    let addrs = cluster.listen_addrs().unwrap();
+    let signing = cluster.signing_keychains().unwrap();
+
+    // Client 1's representative is down while client 0 pays it: the
+    // CREDIT sub-batches land in the settling replicas' retry outboxes.
+    cluster.kill_replica(1).unwrap();
+    const PAYMENTS: u64 = 8;
+    let wave: Vec<Payment> =
+        (0..PAYMENTS).map(|seq| Payment::new(0u64, seq, 1u64, 10u64)).collect();
+    for p in &wave {
+        cluster.submit(*p).unwrap();
+    }
+    assert!(
+        cluster.wait_settled_among(&[0, 2, 3], PAYMENTS as usize, Duration::from_secs(30)),
+        "live quorum settles while the beneficiary representative is down"
+    );
+
+    // Replica 3 falls to the attacker: kill the honest process and bring
+    // up a hand-driven endpoint on its listen address with its real key
+    // material. Peers re-dial and authenticate it as replica 3.
+    cluster.kill_replica(3).unwrap();
+    let listener = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpListener::bind(addrs[3]) {
+                Ok(l) => break l,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25))
+                }
+                Err(e) => panic!("replica 3's port never freed: {e}"),
+            }
+        }
+    };
+    let peer_addrs = (0..4).map(|i| if i == 3 { None } else { Some(addrs[i]) }).collect::<Vec<_>>();
+    let mut byz = TcpEndpoint::establish(transport[3].clone(), listener, peer_addrs).unwrap();
+    let byz_signer = SchnorrAuthenticator::new(signing[3].clone());
+
+    // Retries until the peer's maintenance pass re-dials seat 3.
+    let send_to = |byz: &mut TcpEndpoint, to: u32, bytes: &[u8]| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while byz.send(ReplicaId(to), bytes).is_err() {
+            assert!(Instant::now() < deadline, "link to replica {to} never came up");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    };
+
+    // (a) Forged acks: correctly signed by replica 3 over the *real*
+    // outbox digests — but the entries are destined to replica 1, and an
+    // ack only counts from its destination. Donors must keep retrying.
+    let digests: Vec<[u8; 32]> =
+        wave.iter().map(|p| credit_context(&[*p]).as_slice().try_into().unwrap()).collect();
+    for &donor in &[0u32, 2] {
+        // One batched ack covering every digest, and one per digest —
+        // neither form may discharge entries destined to replica 1.
+        let sig = byz_signer.sign(&credit_ack_context(&digests));
+        let ack = Msg::CreditAck { digests: digests.clone(), sig };
+        send_to(&mut byz, donor, &ack.to_wire_bytes());
+        for digest in &digests {
+            let sig = byz_signer.sign(&credit_ack_context(std::slice::from_ref(digest)));
+            let ack = Msg::CreditAck { digests: vec![*digest], sig };
+            send_to(&mut byz, donor, &ack.to_wire_bytes());
+        }
+    }
+    // (b) A CREDIT for money that never settled, signed with replica 3's
+    // genuine protocol key, plus (c) corrupted and garbage frames.
+    let phantom = Payment::new(9u64, 0u64, 5u64, 1_000_000u64);
+    let phantom_bundle = vec![phantom];
+    let phantom_credit = Msg::Credit(CreditBundle {
+        sig: byz_signer.sign(&credit_context(&phantom_bundle)),
+        bundle: phantom_bundle.clone(),
+    });
+    let outsider =
+        SchnorrAuthenticator::new(Keychain::deterministic_system(b"tcp-attacker", 4)[3].clone());
+    let corrupted = Msg::Credit(CreditBundle {
+        sig: outsider.sign(&credit_context(&phantom_bundle)),
+        bundle: phantom_bundle,
+    });
+    for &to in &[0u32, 2] {
+        send_to(&mut byz, to, &phantom_credit.to_wire_bytes());
+        send_to(&mut byz, to, &corrupted.to_wire_bytes());
+        send_to(&mut byz, to, b"not a protocol frame");
+    }
+
+    // Give the donors time to process the attack, then check nothing
+    // stuck: no forged ack was accepted, every outbox entry survives.
+    std::thread::sleep(Duration::from_millis(600));
+    let snap = registry.snapshot();
+    for donor in [0, 2] {
+        assert_eq!(
+            snap.counter(&format!("core.r{donor}.credit_acks")).unwrap_or(0),
+            0,
+            "donor {donor} accepted a forged ack"
+        );
+        assert_eq!(
+            snap.gauge(&format!("core.r{donor}.outbox_depth")),
+            Some(PAYMENTS),
+            "donor {donor} dropped outbox entries on forged acks"
+        );
+    }
+
+    // The honest representative returns (empty — non-durable restart) and
+    // recovers through peer catch-up plus CREDIT replay, with the
+    // attacker still spamming its seat.
+    cluster.restart_replica(1).unwrap();
+    let attack = [
+        // Duplicates of a *genuine* CREDIT (replica 3 really settled the
+        // wave): idempotent, must not double-materialize.
+        Msg::Credit(CreditBundle {
+            sig: byz_signer.sign(&credit_context(&[wave[0]])),
+            bundle: vec![wave[0]],
+        })
+        .to_wire_bytes(),
+        phantom_credit.to_wire_bytes(),
+        corrupted.to_wire_bytes(),
+        b"garbage mid-recovery".to_vec(),
+    ];
+    let mut saw_credit_request = false;
+    let spam_deadline = Instant::now() + Duration::from_secs(3);
+    while Instant::now() < spam_deadline {
+        for bytes in &attack {
+            // Best-effort: replica 1 dials seat 3 as part of coming back.
+            let _ = byz.send(ReplicaId(1), bytes);
+        }
+        // The replay protocol treats seat 3 as a donor too: the restarted
+        // representative must ask it for missing CREDITs.
+        if let Ok(Some((from, payload))) = byz.recv_timeout(Duration::from_millis(50)) {
+            if from == ReplicaId(1) {
+                if let Ok(Msg::CreditRequest { .. }) = decode_exact::<Msg>(&payload) {
+                    saw_credit_request = true;
+                }
+            }
+        }
+        if saw_credit_request
+            && wait_available(&cluster, 1, ClientId(1), 1_000 + PAYMENTS * 10, Duration::ZERO)
+        {
+            break;
+        }
+    }
+    assert!(saw_credit_request, "restarted representative never asked donors for replay");
+
+    // The two honest donors are exactly f+1: their replayed signatures
+    // alone must certify every credit at the restarted representative.
+    assert!(
+        wait_available(&cluster, 1, ClientId(1), 1_000 + PAYMENTS * 10, Duration::from_secs(30)),
+        "replayed CREDITs never certified at the restarted representative"
+    );
+    let (_, phantom_avail) = cluster.probe_balance(1, ClientId(5)).unwrap();
+    assert_eq!(phantom_avail, Amount(1_000), "phantom CREDIT inflated a balance");
+
+    // The credits are spendable: client 1 pays over its ledger balance,
+    // fundable only with the recovered certificates. Settles on the
+    // honest quorum {0, 1, 2} — the attacker's seat contributes nothing.
+    cluster.submit(Payment::new(1u64, 0u64, 2u64, 1_050u64)).unwrap();
+    assert!(
+        cluster.wait_settled_among(&[0, 1, 2], PAYMENTS as usize + 1, Duration::from_secs(30)),
+        "certificate-funded spend settles on the honest quorum"
+    );
+
+    // Genuine acks from the restarted representative drain the donors'
+    // outboxes — retry stops when (and only when) the destination acked.
+    let drained = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = registry.snapshot();
+            let depths: Vec<u64> = [0, 2]
+                .iter()
+                .map(|&d| snap.gauge(&format!("core.r{d}.outbox_depth")).unwrap_or(u64::MAX))
+                .collect();
+            if depths.iter().all(|&d| d == 0) {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+    assert!(drained, "donor outboxes never drained after genuine acks");
+    let snap = registry.snapshot();
+    for donor in [0, 2] {
+        assert!(
+            snap.counter(&format!("core.r{donor}.credit_acks")).unwrap_or(0) >= 1,
+            "donor {donor} recorded no genuine ack"
+        );
+        assert!(
+            snap.counter(&format!("core.r{donor}.credit_replays")).unwrap_or(0) >= 1,
+            "donor {donor} never replayed for the restarted representative"
+        );
+    }
+
+    // Byte-identical convergence across the honest replicas, with the
+    // attacker's inflation attempts invisible in the final balances.
+    drop(byz);
+    let finals = cluster.shutdown();
+    let (reference, settled) = &finals[0];
+    assert_eq!(*settled, PAYMENTS as usize + 1);
+    for i in [1usize, 2] {
+        assert_eq!(finals[i].0, *reference, "replica {i} diverged");
+        assert_eq!(finals[i].1, PAYMENTS as usize + 1, "replica {i} settle count");
+    }
+    assert_eq!(reference[&ClientId(0)], Amount(1_000 - PAYMENTS * 10));
+    assert_eq!(
+        reference[&ClientId(1)],
+        Amount(1_000 + PAYMENTS * 10 - 1_050),
+        "client 1 spent exactly its ledger plus recovered credits"
+    );
+}
+
 #[test]
 fn stolen_certificate_cannot_be_spent_by_another_client() {
     // Client 0 pays client 1; client 2's representative grabs the CREDIT

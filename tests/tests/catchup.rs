@@ -4,9 +4,15 @@
 //! brings it back to byte-identical balances — with **zero client
 //! resubmissions**. Covers Astro I and Astro II, durable (recover local
 //! `snapshot + WAL`, fetch only the delta) and non-durable (restart
-//! empty, fetch the full ledger). Plus the adversarial side: a Byzantine
-//! peer serving forged, stale, or regressed state-transfer responses is
-//! rejected and catch-up completes from the honest `2f+1`.
+//! empty, fetch the full ledger). The Astro II runs use full certificate
+//! mode and additionally prove CREDIT recovery: the downtime wave pays
+//! into a client the victim represents, so every CREDIT sub-batch parks
+//! in the settling replicas' retry outboxes until the restarted
+//! representative acks the retransmits and `CreditRequest` replay — the
+//! post-restart wave is spendable only from the replayed certificates.
+//! Plus the adversarial side: a Byzantine peer serving forged, stale, or
+//! regressed state-transfer responses is rejected and catch-up completes
+//! from the honest `2f+1`.
 
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, AstroTwoReplica, CreditMode};
@@ -200,11 +206,42 @@ fn run_astro1(durable: bool, dir_name: &str) {
     Waves::assert_finals(&cluster.shutdown());
 }
 
+/// Polls replica `i`'s view of `client` until the *available* balance
+/// (ledger plus certified-but-unspent credits at the representative)
+/// reaches `want`.
+fn wait_available(
+    cluster: &AstroTwoCluster,
+    i: usize,
+    client: ClientId,
+    want: u64,
+    timeout: Duration,
+) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if let Ok((_, available)) = cluster.probe_balance(i, client) {
+            if available.0 >= want {
+                return true;
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Astro II in full certificate mode: CREDIT sub-batches are *unicast*
+/// to the beneficiary's representative, so killing that representative
+/// between a settle and the CREDIT's arrival used to lose the credit for
+/// good. The downtime wave pays INTO the victim's client, and the
+/// post-restart wave spends more than the client's ledger balance — it
+/// can only settle if the acked retry outbox and `CreditRequest` replay
+/// delivered every missed CREDIT to the restarted representative.
 fn run_astro2(durable: bool, dir_name: &str) {
     let cfg = Astro2Config {
         batch_size: 4,
         initial_balance: Amount(1_000),
-        credit_mode: CreditMode::DirectIntraShard,
+        credit_mode: CreditMode::Certificates,
         ..Astro2Config::default()
     };
     let flush = Duration::from_millis(1);
@@ -226,8 +263,13 @@ fn run_astro2(durable: bool, dir_name: &str) {
     Waves::wave1(|p| cluster.submit(p).unwrap());
     assert_eq!(cluster.wait_settled(32, Duration::from_secs(20)).len(), 32);
 
+    // Kill client 3's representative, then settle a wave of payments INTO
+    // client 3 at the live quorum: every CREDIT sub-batch targets the dead
+    // replica and parks in the settling replicas' retry outboxes.
     cluster.kill_replica(Waves::VICTIM).unwrap();
-    Waves::wave2(|p| cluster.submit(p).unwrap());
+    for seq in 16..16 + DOWNTIME_PAYMENTS {
+        cluster.submit(Payment::new(1u64, seq, 3u64, 1u64)).unwrap();
+    }
     assert!(
         cluster.wait_settled_among(
             &[0, 1, 2],
@@ -247,15 +289,59 @@ fn run_astro2(durable: bool, dir_name: &str) {
         "restarted replica learns the downtime settlements from its peers"
     );
 
-    Waves::wave3(|p| cluster.submit(p).unwrap());
+    // The reliable-delivery assertion: the restarted representative must
+    // regain a certificate for every CREDIT it was down for — outbox
+    // retransmits plus the `CreditRequest { since }` replay, with zero
+    // client resubmissions. Ledger balance stays 968 (credits have not
+    // materialized), but the *spendable* balance must reach 968 + 256.
+    assert!(
+        wait_available(
+            &cluster,
+            Waves::VICTIM,
+            ClientId(3),
+            1_000 - 32 + DOWNTIME_PAYMENTS,
+            Duration::from_secs(30)
+        ),
+        "replayed CREDIT bundles must certify at the restarted representative"
+    );
+
+    // Client 3 now spends 1 200 — above its 968 ledger balance, fundable
+    // only by the replayed certificates.
+    for seq in 16..24u64 {
+        cluster.submit(Payment::new(3u64, seq, 4u64, 150u64)).unwrap();
+    }
     for i in 0..4 {
         assert!(
             wait_for_payments(|| cluster.settled_at(i), &wave3_ids(), Duration::from_secs(30)),
-            "replica {i}: post-restart broadcasts from the victim must settle everywhere"
+            "replica {i}: certificate-funded payments must settle everywhere"
         );
     }
 
-    Waves::assert_finals(&cluster.shutdown());
+    // Conservation, counting credits still floating as certificates at
+    // their representatives: client 2's wave-1 credits (80) and client
+    // 4's (32 + 1 200) never materialized — they must be spendable at
+    // replicas 2 and 0 respectively.
+    assert!(
+        wait_available(&cluster, 2, ClientId(2), 1_000 + 80, Duration::from_secs(20)),
+        "client 2's credits must certify at replica 2"
+    );
+    assert!(
+        wait_available(&cluster, 0, ClientId(4), 1_000 + 32 + 1_200, Duration::from_secs(20)),
+        "client 4's credits must certify at replica 0"
+    );
+
+    let finals = cluster.shutdown();
+    let reference = balance_bytes(&finals[0].0);
+    for (i, (balances, count)) in finals.iter().enumerate() {
+        assert_eq!(*count, Waves::TOTAL, "replica {i} must settle every payment");
+        assert_eq!(balance_bytes(balances), reference, "replica {i} diverged");
+    }
+    // Ledger balances under certificate mode: credits stay floating until
+    // the beneficiary spends. Only client 3 spent its incoming credits.
+    assert_eq!(finals[0].0[&ClientId(1)], Amount(1_000 - 80 - DOWNTIME_PAYMENTS));
+    assert_eq!(finals[0].0[&ClientId(2)], Amount(1_000));
+    assert_eq!(finals[0].0[&ClientId(3)], Amount(1_000 - 32 + DOWNTIME_PAYMENTS - 1_200));
+    assert_eq!(finals[0].0[&ClientId(4)], Amount(1_000));
 }
 
 #[test]
