@@ -4,9 +4,12 @@
 //!
 //! An attached registry turns on every layer's instrumentation — link
 //! byte/frame counters, write-latency histograms, the payment-lifecycle
-//! tracer, settle counters, flight recorders. The acceptance gate is
-//! instrumented ≥ 0.95× the unattached throughput (enforced by
-//! `bench_gate` against `BENCH_obs.json`).
+//! tracer, settle counters, flight recorders — and the instrumented
+//! side additionally runs the live `/metrics` scrape endpoint, as a
+//! deployed cluster would. The acceptance gate is instrumented ≥ 0.95×
+//! the unattached throughput (enforced by `bench_gate` against
+//! `BENCH_obs.json`), plus throughput floors on the health-monitor tick
+//! and scrape round-trip microbenches below.
 //!
 //! Unlike the other benches this one is *paired*: each round starts a
 //! fresh cluster per side, runs an untimed warm-up settle on it, then
@@ -23,7 +26,7 @@
 use astro_bench::json::Metric;
 use astro_core::astro1::Astro1Config;
 use astro_core::astro2::{Astro2Config, CreditMode};
-use astro_obs::Registry;
+use astro_obs::{HealthConfig, HealthEngine, Registry};
 use astro_runtime::{AstroOneCluster, AstroTwoCluster};
 use astro_types::{Amount, Payment};
 use std::time::{Duration, Instant};
@@ -101,17 +104,112 @@ fn run_unattached(flush: Duration, round: usize) -> Duration {
     dt
 }
 
-/// One instrumented round on a fresh cluster and fresh registry, with a
-/// liveness check that the instrumentation actually ran (a handle
-/// lookup plus an atomic load, outside the timed region).
+/// One instrumented round on a fresh cluster and fresh registry — with
+/// the live scrape endpoint attached for the whole round, as a deployed
+/// cluster would run it — and a liveness check that the instrumentation
+/// and the exporter actually ran (a scrape plus an atomic load, outside
+/// the timed region).
 fn run_instrumented(flush: Duration, round: usize) -> Duration {
     let _pad = pad(round);
     let registry = Registry::new();
     let cluster = AstroOneCluster::start_tcp_observed(4, cfg(), flush, registry.clone()).unwrap();
+    let server = cluster.serve_metrics("127.0.0.1:0").expect("exporter binds");
     let dt = settle_round(&cluster);
+    assert!(
+        scrape_text(server.addr()).contains("core_r0_settles"),
+        "exporter must serve the round it watched"
+    );
     cluster.shutdown();
     assert_eq!(registry.counter("lifecycle.confirmed").get(), WARMUP + REPS as u64 * PAYMENTS);
     dt
+}
+
+/// One blocking `GET /metrics` against a scrape endpoint; returns the
+/// response body.
+fn scrape_text(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("scrape endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
+}
+
+/// Fills `reg` with the metric surface of a busy 4-replica cluster —
+/// settle/link counters and latency histograms on every edge — so the
+/// monitor-tick and scrape benches below measure realistic cardinality.
+fn populate(reg: &Registry, n: usize) {
+    for i in 0..n {
+        reg.counter(&format!("core.r{i}.settles")).add(50);
+        reg.histogram(&format!("store.r{i}.fsync_nanos")).record(100_000);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            reg.counter(&format!("net.r{i}.to_r{j}.tx_frames")).add(100);
+            reg.counter(&format!("net.r{i}.to_r{j}.tx_bytes")).add(40_000);
+            reg.counter(&format!("net.r{j}.from_r{i}.rx_frames")).add(100);
+            reg.histogram(&format!("net.r{i}.to_r{j}.write_nanos")).record(20_000);
+        }
+    }
+}
+
+/// Health-monitor tick cost: snapshot a busy registry and feed the
+/// engine, exactly what [`astro_obs::HealthMonitor`] does every
+/// interval. A tick must stay in the tens of microseconds so aggressive
+/// (100 ms) monitor intervals cost nothing measurable.
+fn run_health_tick() -> Metric {
+    let reg = Registry::new();
+    let mut engine = HealthEngine::new(4, HealthConfig::default());
+    engine.bind(&reg);
+    let ticks: u32 = if astro_bench::smoke() { 2_000 } else { 20_000 };
+    populate(&reg, 4);
+    let t = Instant::now();
+    for _ in 0..ticks {
+        populate(&reg, 4); // traffic advances between windows
+        let mut snap = reg.snapshot();
+        snap.at_nanos += 100_000_000;
+        engine.observe(&snap);
+    }
+    let per_tick = t.elapsed() / ticks;
+    let per_sec = 1.0 / per_tick.as_secs_f64();
+    println!(
+        "{:<52} {:>9.1} us {:>11.0} elem/s",
+        "health_engine/tick (snapshot + observe)",
+        per_tick.as_secs_f64() * 1e6,
+        per_sec
+    );
+    Metric::new(
+        "health_engine/tick",
+        [("ticks_per_sec", per_sec), ("mean_us", per_tick.as_secs_f64() * 1e6)],
+    )
+}
+
+/// Scrape latency: round-trip `GET /metrics` (connect, serve, encode,
+/// read) against the busy registry. Scrapers poll at human cadence, so
+/// the bar is only "well under a scrape interval" — but the trend
+/// catches the exposition encoder going accidentally quadratic.
+fn run_scrape() -> Metric {
+    let reg = Registry::new();
+    populate(&reg, 4);
+    let server = reg.serve("127.0.0.1:0").expect("exporter binds");
+    let scrapes: u32 = if astro_bench::smoke() { 200 } else { 2_000 };
+    let mut times = Vec::with_capacity(scrapes as usize);
+    for _ in 0..scrapes {
+        let t = Instant::now();
+        let body = scrape_text(server.addr());
+        times.push(t.elapsed().as_secs_f64());
+        assert!(body.contains("core_r0_settles"));
+    }
+    times.sort_by(f64::total_cmp);
+    let p50 = times[times.len() / 2];
+    println!(
+        "{:<52} {:>9.1} us {:>11.0} elem/s",
+        "scrape/metrics_text (GET round-trip)",
+        p50 * 1e6,
+        1.0 / p50
+    );
+    Metric::new("scrape/metrics_text", [("scrapes_per_sec", 1.0 / p50), ("p50_us", p50 * 1e6)])
 }
 
 /// Astro II reliable-CREDIT accounting: one observed certificates-mode
@@ -252,6 +350,8 @@ fn main() {
     metrics
         .push(Metric::new("settle_256_n4/obs_overhead", [("instrumented_over_unattached", ratio)]));
     metrics.push(run_credit_outbox(flush));
+    metrics.push(run_health_tick());
+    metrics.push(run_scrape());
     let path = astro_bench::json::write("obs", &metrics).expect("write bench json");
     println!("\nwrote {}", path.display());
 }

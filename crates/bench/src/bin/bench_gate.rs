@@ -22,6 +22,11 @@
 //!   Astro II certificates-mode workload quiesces, every CREDIT
 //!   sub-batch in the retry outboxes must have been acked by its
 //!   destination representative (absolute floor 1.0).
+//! - `health_engine/tick` (`ticks_per_sec`, obs) and
+//!   `scrape/metrics_text` (`scrapes_per_sec`, obs) — the
+//!   health-monitor tick (snapshot + observe) and the `/metrics` scrape
+//!   round-trip must hold at ≥ 50% of baseline throughput (wall-time
+//!   microbenches; headroom covers runner jitter).
 //!
 //! The JSON was written by `astro_bench::json` (flat metric objects), so
 //! a small scanner suffices — the offline toolchain has no serde.
@@ -96,6 +101,26 @@ const GATES: &[Gate] = &[
         field: "acked_fraction",
         floor_fraction: 0.0,
         absolute_floor: 1.0,
+    },
+    // The health monitor's per-interval cost (registry snapshot + one
+    // engine observe over a busy 4-replica surface) must not quietly
+    // grow past its microsecond budget.
+    Gate {
+        file: "BENCH_obs.json",
+        metric: "health_engine/tick",
+        field: "ticks_per_sec",
+        floor_fraction: 0.5,
+        absolute_floor: 0.0,
+    },
+    // The `/metrics` scrape round-trip (connect, encode, read) guards
+    // the exposition encoder against going accidentally quadratic in
+    // the metric count.
+    Gate {
+        file: "BENCH_obs.json",
+        metric: "scrape/metrics_text",
+        field: "scrapes_per_sec",
+        floor_fraction: 0.5,
+        absolute_floor: 0.0,
     },
 ];
 

@@ -67,6 +67,10 @@ struct LinkMetrics {
     tx_frames: Counter,
     rx_bytes: Counter,
     rx_frames: Counter,
+    /// Latency of one sampled `write(2)` *to this peer* — the per-link
+    /// attribution the health engine's slow-link rule reads (a slow or
+    /// backpressured socket stalls only its own link's writes).
+    write_nanos: Histogram,
 }
 
 /// Metric handles one TCP endpoint records into once a registry is
@@ -102,6 +106,7 @@ impl NetMetrics {
                 tx_frames: registry.counter(&format!("net.r{me}.to_r{peer}.tx_frames")),
                 rx_bytes: registry.counter(&format!("net.r{me}.from_r{peer}.rx_bytes")),
                 rx_frames: registry.counter(&format!("net.r{me}.from_r{peer}.rx_frames")),
+                write_nanos: registry.histogram(&format!("net.r{me}.to_r{peer}.write_nanos")),
             })
             .collect();
         NetMetrics {
@@ -115,9 +120,10 @@ impl NetMetrics {
         }
     }
 
-    /// Times every [`WRITE_SAMPLE`]th `write` when metrics are attached;
-    /// plain call otherwise.
-    fn timed_write<R>(metrics: Option<&NetMetrics>, write: impl FnOnce() -> R) -> R {
+    /// Times every [`WRITE_SAMPLE`]th `write` to peer `to` when metrics
+    /// are attached; plain call otherwise. A sampled write feeds both
+    /// the per-replica aggregate and the per-link histogram.
+    fn timed_write<R>(metrics: Option<&NetMetrics>, to: usize, write: impl FnOnce() -> R) -> R {
         match metrics {
             None => write(),
             Some(m) => {
@@ -126,7 +132,9 @@ impl NetMetrics {
                 }
                 let started = Instant::now();
                 let result = write();
-                m.write_nanos.record(started.elapsed().as_nanos() as u64);
+                let nanos = started.elapsed().as_nanos() as u64;
+                m.write_nanos.record(nanos);
+                m.links[to].write_nanos.record(nanos);
                 result
             }
         }
@@ -633,8 +641,9 @@ impl TcpEndpoint {
             if let Some(m) = metrics {
                 m.flush_bytes.record(pending.buf.len() as u64);
             }
-            let ok =
-                NetMetrics::timed_write(metrics, || writer.stream.write_all(&pending.buf).is_ok());
+            let ok = NetMetrics::timed_write(metrics, to.0 as usize, || {
+                writer.stream.write_all(&pending.buf).is_ok()
+            });
             pending.buf.clear();
             pending.buf.shrink_to(CORK_FLUSH_THRESHOLD);
             if ok {
@@ -649,7 +658,9 @@ impl TcpEndpoint {
                 link.tx_bytes.add(self.scratch.len() as u64);
                 link.tx_frames.inc();
             }
-            if NetMetrics::timed_write(metrics, || writer.stream.write_all(&self.scratch).is_ok()) {
+            if NetMetrics::timed_write(metrics, to.0 as usize, || {
+                writer.stream.write_all(&self.scratch).is_ok()
+            }) {
                 return Ok(true);
             }
         }
@@ -773,7 +784,7 @@ impl Endpoint for TcpEndpoint {
                     if let Some(m) = metrics {
                         m.flush_bytes.record(pending.buf.len() as u64);
                     }
-                    if NetMetrics::timed_write(metrics, || {
+                    if NetMetrics::timed_write(metrics, i, || {
                         writer.stream.write_all(&pending.buf).is_err()
                     }) {
                         if let Some(w) = state.writer.take() {

@@ -1,0 +1,207 @@
+//! Windowed deltas between two [`Snapshot`]s: per-window counter rates,
+//! gauge changes, and true interval histogram summaries, so successive
+//! snapshots yield live rates (settles/s, bytes/s, retransmits/s)
+//! instead of lifetime totals.
+
+use crate::metric::Summary;
+use crate::registry::Snapshot;
+
+/// One counter over a window: lifetime total, within-window increase,
+/// and the increase divided by the window length.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterRate {
+    /// Lifetime total at the later snapshot.
+    pub total: u64,
+    /// Increase across the window.
+    pub delta: u64,
+    /// Increase per second of window time.
+    pub per_sec: f64,
+}
+
+/// One gauge over a window: current value and signed change.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaugeDelta {
+    /// Value at the later snapshot.
+    pub value: u64,
+    /// Signed change across the window.
+    pub change: i64,
+}
+
+/// The difference between two [`Snapshot`]s of the same registry — the
+/// live-rate view a dashboard or the health engine consumes each tick.
+///
+/// Names present only in the later snapshot are treated as having been
+/// zero at the earlier one (handles are resolved lazily, so new metrics
+/// appear mid-run). Histogram entries are *interval* summaries computed
+/// by subtracting cumulative bucket counts; windows in which a histogram
+/// saw no samples are skipped, mirroring how empty histograms are
+/// skipped in snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDelta {
+    /// Capture time of the later snapshot (nanoseconds since registry
+    /// creation, or simulated time in the sim).
+    pub at_nanos: u64,
+    /// Window length in nanoseconds (later minus earlier capture time).
+    pub window_nanos: u64,
+    /// `(name, rate)` per counter, name-sorted.
+    pub counters: Vec<(String, CounterRate)>,
+    /// `(name, delta)` per gauge, name-sorted.
+    pub gauges: Vec<(String, GaugeDelta)>,
+    /// `(name, interval summary)` per histogram that saw samples in the
+    /// window, name-sorted.
+    pub histograms: Vec<(String, Summary)>,
+}
+
+impl SnapshotDelta {
+    /// The named counter's window rate, if the counter exists.
+    pub fn counter(&self, name: &str) -> Option<CounterRate> {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The named counter's per-second rate; `0.0` when absent.
+    pub fn rate(&self, name: &str) -> f64 {
+        self.counter(name).map_or(0.0, |c| c.per_sec)
+    }
+
+    /// The named gauge's window view, if the gauge exists.
+    pub fn gauge(&self, name: &str) -> Option<GaugeDelta> {
+        self.gauges.binary_search_by(|(k, _)| k.as_str().cmp(name)).ok().map(|i| self.gauges[i].1)
+    }
+
+    /// The named histogram's interval summary, if it saw samples in the
+    /// window.
+    pub fn histogram(&self, name: &str) -> Option<Summary> {
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.histograms[i].1)
+    }
+
+    /// Sums the per-second rates of every counter whose name starts with
+    /// `prefix` — e.g. `sum_rates("net.")` for cluster bytes+frames/s.
+    pub fn sum_rates(&self, prefix: &str) -> f64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, c)| c.per_sec).sum()
+    }
+
+    /// Human-readable dump, one metric per line; zero-rate counters and
+    /// unchanged gauges are skipped to keep live views readable.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("window {:.3}s\n", self.window_nanos as f64 / 1e9);
+        for (name, c) in &self.counters {
+            if c.delta > 0 {
+                out.push_str(&format!("rate      {name} = {:.1}/s (+{})\n", c.per_sec, c.delta));
+            }
+        }
+        for (name, g) in &self.gauges {
+            if g.change != 0 {
+                out.push_str(&format!("gauge     {name} = {} ({:+})\n", g.value, g.change));
+            }
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "interval  {name} count={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            ));
+        }
+        out
+    }
+}
+
+impl Snapshot {
+    /// The windowed delta from `earlier` (an older snapshot of the same
+    /// registry) to `self`: counter rates over the window, gauge changes,
+    /// and interval histogram summaries. A default (empty) `earlier`
+    /// yields lifetime rates since registry creation.
+    pub fn delta(&self, earlier: &Snapshot) -> SnapshotDelta {
+        let window_nanos = self.at_nanos.saturating_sub(earlier.at_nanos);
+        let secs = window_nanos as f64 / 1e9;
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, total)| {
+                let before = earlier.counter(name).unwrap_or(0);
+                let delta = total.saturating_sub(before);
+                let per_sec = if secs > 0.0 { delta as f64 / secs } else { 0.0 };
+                (name.clone(), CounterRate { total: *total, delta, per_sec })
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, value)| {
+                let before = earlier.gauge(name).unwrap_or(0);
+                let change = *value as i64 - before as i64;
+                (name.clone(), GaugeDelta { value: *value, change })
+            })
+            .collect();
+        let histograms = self
+            .hist_buckets
+            .iter()
+            .filter_map(|(name, buckets)| {
+                let interval = match earlier.buckets(name) {
+                    Some(before) => buckets.since(before),
+                    None => buckets.clone(),
+                };
+                interval.summary().map(|s| (name.clone(), s))
+            })
+            .collect();
+        SnapshotDelta { at_nanos: self.at_nanos, window_nanos, counters, gauges, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn delta_reports_window_rates_not_lifetime_totals() {
+        let reg = Registry::new();
+        reg.counter("core.r0.settles").add(100);
+        reg.gauge("core.r0.outbox_depth").set(4);
+        reg.histogram("net.r0.write_nanos").record(1_000);
+        let mut a = reg.snapshot();
+        a.at_nanos = 1_000_000_000; // pin times for exact rate math
+        reg.counter("core.r0.settles").add(50);
+        reg.gauge("core.r0.outbox_depth").set(1);
+        reg.counter("late.arrival").add(7);
+        reg.histogram("net.r0.write_nanos").record(9_000);
+        let mut b = reg.snapshot();
+        b.at_nanos = 3_000_000_000;
+        let d = b.delta(&a);
+        assert_eq!(d.window_nanos, 2_000_000_000);
+        let settles = d.counter("core.r0.settles").unwrap();
+        assert_eq!((settles.total, settles.delta), (150, 50));
+        assert!((settles.per_sec - 25.0).abs() < 1e-9);
+        // A counter born inside the window rates from zero.
+        assert_eq!(d.counter("late.arrival").unwrap().delta, 7);
+        let depth = d.gauge("core.r0.outbox_depth").unwrap();
+        assert_eq!((depth.value, depth.change), (1, -3));
+        // Interval histogram sees only the in-window sample.
+        let h = d.histogram("net.r0.write_nanos").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 9_000);
+        // A quiet window drops the histogram entirely.
+        let mut c = reg.snapshot();
+        c.at_nanos = 4_000_000_000;
+        assert!(c.delta(&b).histogram("net.r0.write_nanos").is_none());
+        assert_eq!(c.delta(&b).rate("core.r0.settles"), 0.0);
+        let text = d.to_text();
+        assert!(text.contains("core.r0.settles"));
+        assert!(text.contains("window 2.000s"));
+    }
+
+    #[test]
+    fn sum_rates_by_prefix() {
+        let reg = Registry::new();
+        reg.counter("net.r0.to_r1.tx_bytes").add(100);
+        reg.counter("net.r0.to_r2.tx_bytes").add(300);
+        reg.counter("core.r0.settles").add(5);
+        let mut snap = reg.snapshot();
+        snap.at_nanos = 1_000_000_000;
+        let d = snap.delta(&Default::default());
+        assert!((d.sum_rates("net.") - 400.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,447 @@
+//! Live export of snapshots and deltas: Prometheus-style text
+//! exposition, a JSON encoding, and a tiny zero-dependency scrape
+//! endpoint over a std [`TcpListener`].
+//!
+//! The endpoint ([`Registry::serve`]) is deliberately minimal — one
+//! thread, bounded request parsing, `Connection: close` — because it
+//! exists so an operator (or CI) can watch a cluster live without
+//! pulling an HTTP stack into an offline-friendly workspace. Routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition of a fresh snapshot
+//! - `GET /metrics.json` — JSON encoding of a fresh snapshot
+//! - `GET /delta` — JSON [`SnapshotDelta`] since the *previous* `/delta`
+//!   scrape (first scrape windows from registry creation), so a poller
+//!   gets live rates without keeping state
+
+use crate::delta::SnapshotDelta;
+use crate::registry::{Registry, Snapshot};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rewrites a metric name into the Prometheus exposition charset
+/// (`[a-zA-Z0-9_:]`, not starting with a digit): dots and other
+/// punctuation become underscores, a leading digit gets a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            if i == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number (JSON has no NaN/Inf; those render as 0).
+fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format (v0.0.4).
+/// Counters and gauges keep their values; each histogram renders as a
+/// summary (`{quantile=...}` series plus `_sum`/`_count`) and an exact
+/// `_max` gauge. Empty histograms never reach the snapshot, so they are
+/// skipped here by construction.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, s) in &snap.histograms {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        out.push_str(&format!("{n}{{quantile=\"0.5\"}} {}\n", s.p50));
+        out.push_str(&format!("{n}{{quantile=\"0.95\"}} {}\n", s.p95));
+        out.push_str(&format!("{n}{{quantile=\"0.99\"}} {}\n", s.p99));
+        out.push_str(&format!("{n}_sum {}\n", fnum(s.mean * s.count as f64)));
+        out.push_str(&format!("{n}_count {}\n", s.count));
+        out.push_str(&format!("# TYPE {n}_max gauge\n{n}_max {}\n", s.max));
+    }
+    out
+}
+
+/// Encodes a snapshot as JSON. Metric names keep their dotted form
+/// (escaped as JSON strings); histograms carry their summaries.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut out = format!("{{\"at_nanos\":{},\"counters\":[", snap.at_nanos);
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"name\":\"{}\",\"value\":{v}}}", escape_json(name)));
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"name\":\"{}\",\"value\":{v}}}", escape_json(name)));
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, (name, s)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+            escape_json(name),
+            s.count,
+            fnum(s.mean),
+            s.p50,
+            s.p95,
+            s.p99,
+            s.max
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encodes a windowed delta as JSON: per-counter rates, gauge changes,
+/// and interval histogram summaries.
+pub fn delta_json(delta: &SnapshotDelta) -> String {
+    let mut out = format!(
+        "{{\"at_nanos\":{},\"window_nanos\":{},\"counters\":[",
+        delta.at_nanos, delta.window_nanos
+    );
+    for (i, (name, c)) in delta.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"total\":{},\"delta\":{},\"per_sec\":{}}}",
+            escape_json(name),
+            c.total,
+            c.delta,
+            fnum(c.per_sec)
+        ));
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, (name, g)) in delta.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"value\":{},\"change\":{}}}",
+            escape_json(name),
+            g.value,
+            g.change
+        ));
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, (name, s)) in delta.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+            escape_json(name),
+            s.count,
+            fnum(s.mean),
+            s.p50,
+            s.p95,
+            s.p99,
+            s.max
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A running scrape endpoint. Stops (and joins its thread) on
+/// [`ServeHandle::stop`] or drop.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit and joins the serving thread.
+    /// Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // The accept loop blocks in `accept`; a self-connection wakes
+            // it to observe the flag (same idiom as the TCP transport's
+            // shutdown).
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Longest request head the endpoint will read before answering 400.
+/// Scrapes are `GET <short path>`; anything larger is not a scraper.
+const MAX_REQUEST_BYTES: usize = 512;
+
+/// Serves `registry` over HTTP on `addr` from one background thread.
+/// See the [module docs](self) for routes. Prefer the
+/// [`Registry::serve`] convenience method.
+pub fn serve(registry: Arc<Registry>, addr: impl ToSocketAddrs) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new().name("obs-export".into()).spawn(move || {
+        // The `/delta` window base: replaced on every `/delta` scrape.
+        let mut delta_base: Option<Snapshot> = None;
+        for conn in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(mut stream) = conn {
+                let _ = answer(&registry, &mut stream, &mut delta_base);
+            }
+        }
+    })?;
+    Ok(ServeHandle { addr, stop, thread: Some(thread) })
+}
+
+impl Registry {
+    /// Starts a scrape endpoint for this registry on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port). One thread, bounded
+    /// request parsing; the endpoint never touches the settle path
+    /// beyond the relaxed atomic reads a snapshot already does.
+    pub fn serve(self: &Arc<Self>, addr: impl ToSocketAddrs) -> io::Result<ServeHandle> {
+        serve(Arc::clone(self), addr)
+    }
+}
+
+/// Reads one bounded request head and writes the matching response.
+fn answer(
+    registry: &Registry,
+    stream: &mut TcpStream,
+    delta_base: &mut Option<Snapshot>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = [0u8; MAX_REQUEST_BYTES];
+    let mut len = 0;
+    // Read until the request line is complete (CRLF) or the cap is hit.
+    while len < head.len() {
+        let n = stream.read(&mut head[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if head[..len].windows(2).any(|w| w == b"\r\n") {
+            break;
+        }
+    }
+    let line = match std::str::from_utf8(&head[..len]) {
+        Ok(s) => s.lines().next().unwrap_or(""),
+        Err(_) => "",
+    };
+    let path = match line.strip_prefix("GET ") {
+        Some(rest) => rest.split_whitespace().next().unwrap_or(""),
+        None => {
+            return respond(stream, "400 Bad Request", "text/plain", "expected GET\n");
+        }
+    };
+    match path {
+        "/metrics" => {
+            let body = prometheus_text(&registry.snapshot());
+            respond(stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/metrics.json" => {
+            let body = snapshot_json(&registry.snapshot());
+            respond(stream, "200 OK", "application/json", &body)
+        }
+        "/delta" => {
+            let snap = registry.snapshot();
+            let earlier = delta_base.take().unwrap_or_default();
+            let body = delta_json(&snap.delta(&earlier));
+            *delta_base = Some(snap);
+            respond(stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(stream, "404 Not Found", "text/plain", "unknown path\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn fetch(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn prometheus_text_sanitizes_names_and_skips_empty_histograms() {
+        let reg = Registry::new();
+        reg.counter("core.r0.settles").add(42);
+        reg.gauge("core.r0.outbox_depth").set(3);
+        reg.histogram("net.r0.write_nanos").record(1_000);
+        reg.histogram("store.r0.never_recorded"); // resolved but empty
+        let text = prometheus_text(&reg.snapshot());
+        // Dotted names become exposition-safe, label-free series.
+        assert!(text.contains("# TYPE core_r0_settles counter\ncore_r0_settles 42\n"));
+        assert!(text.contains("# TYPE core_r0_outbox_depth gauge\ncore_r0_outbox_depth 3\n"));
+        assert!(text.contains("net_r0_write_nanos{quantile=\"0.5\"}"));
+        assert!(text.contains("net_r0_write_nanos_count 1\n"));
+        assert!(text.contains("net_r0_write_nanos_max 1000\n"));
+        assert!(!text.contains("never_recorded"), "empty histograms are skipped");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || "_:{}=\".".contains(c)),
+                "bad series name {name:?}"
+            );
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn sanitize_name_handles_leading_digits_and_punctuation() {
+        assert_eq!(sanitize_name("core.r0.settles"), "core_r0_settles");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn json_escaping_round_trips_hostile_names() {
+        assert_eq!(escape_json("plain.name"), "plain.name");
+        assert_eq!(escape_json("q\"b\\s\nn"), "q\\\"b\\\\s\\nn");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        let reg = Registry::new();
+        reg.counter("weird\"name").add(1);
+        let json = snapshot_json(&reg.snapshot());
+        assert!(json.contains("\"name\":\"weird\\\"name\",\"value\":1"));
+        // Structural sanity: balanced braces/brackets outside strings.
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            match (in_str, esc, c) {
+                (true, true, _) => esc = false,
+                (true, false, '\\') => esc = true,
+                (true, false, '"') => in_str = false,
+                (false, _, '"') => in_str = true,
+                (false, _, '{' | '[') => depth += 1,
+                (false, _, '}' | ']') => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {json}");
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn delta_json_carries_rates() {
+        let reg = Registry::new();
+        reg.counter("core.r0.settles").add(10);
+        let mut a = reg.snapshot();
+        a.at_nanos = 0;
+        reg.counter("core.r0.settles").add(10);
+        let mut b = reg.snapshot();
+        b.at_nanos = 1_000_000_000;
+        let json = delta_json(&b.delta(&a));
+        assert!(json.contains("\"window_nanos\":1000000000"));
+        assert!(
+            json.contains("\"name\":\"core.r0.settles\",\"total\":20,\"delta\":10,\"per_sec\":10")
+        );
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_metrics_json_and_deltas() {
+        let reg = Registry::new();
+        reg.counter("core.r0.settles").add(5);
+        let mut handle = reg.serve("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let (head, body) = fetch(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"));
+        assert!(body.contains("core_r0_settles 5"));
+
+        let (head, body) = fetch(addr, "/metrics.json");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"name\":\"core.r0.settles\",\"value\":5"));
+
+        // First /delta windows from registry creation; the second one
+        // only sees what happened in between.
+        let (_, body) = fetch(addr, "/delta");
+        assert!(body.contains("\"delta\":5"), "{body}");
+        reg.counter("core.r0.settles").add(3);
+        let (_, body) = fetch(addr, "/delta");
+        assert!(body.contains("\"total\":8,\"delta\":3"), "{body}");
+
+        let (head, _) = fetch(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        // Non-GET requests are rejected, not served.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"));
+
+        handle.stop();
+        // Stopped endpoint refuses further scrapes.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -1,0 +1,831 @@
+//! Gray-failure health engine: turns successive registry snapshots into
+//! per-replica and per-link [`Verdict`]s.
+//!
+//! Gray failures — a slow link, a degraded disk, a partial partition, a
+//! skewed flush timer — don't trip any single error path; they show up
+//! only as *relative* drift in signals the cluster already emits
+//! (per-link tx/rx rates, write and fsync latency, redials,
+//! `credit_retransmits`, catch-up retries). The engine consumes one
+//! [`Snapshot`] per tick, computes the windowed delta against the
+//! previous one, folds each signal into an EWMA, and compares every
+//! replica/link against its *peers' median* — a replica is only ever
+//! judged against the cluster it is in, never against absolute numbers
+//! alone, which is what keeps quiet clusters verdict-clean.
+//!
+//! Verdict state machine (per subject, evaluated once per window):
+//!
+//! ```text
+//!              breaches >= suspect_after      breaches >= degrade_after
+//!   Healthy ───────────────────────► Suspect ─────────────────────► Degraded
+//!      ▲                                │                               │
+//!      └────────── clean windows >= clear_after ◄───────────────────────┘
+//! ```
+//!
+//! Every transition is logged to the subject's flight recorder and (when
+//! the engine is bound to a registry) exported as `health.*` gauges, so
+//! the scrape endpoint shows verdicts live.
+
+use crate::delta::SnapshotDelta;
+use crate::flight::FlightRecorder;
+use crate::metric::Gauge;
+use crate::registry::{Registry, Snapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Breach reasons the engine can attach to a verdict.
+pub mod reason {
+    /// No peer hears from this replica while the cluster is settling.
+    pub const UNREACHABLE: &str = "unreachable";
+    /// WAL fsync latency far above the peer median.
+    pub const DISK_DEGRADED: &str = "disk-degraded";
+    /// Egress frame rate far below peers with elevated CREDIT
+    /// retransmissions — the signature of skewed flush-timer pacing.
+    pub const PACING_SKEW: &str = "pacing-skew";
+    /// Redials / handshake failures / send failures churning.
+    pub const LINK_CHURN: &str = "link-churn";
+    /// Catch-up retries firing repeatedly.
+    pub const CATCH_UP_STORM: &str = "catch-up-storm";
+    /// Frames sent into a link but nothing coming out the far side.
+    pub const PARTITIONED: &str = "partitioned";
+    /// Link latency far above the median of all links.
+    pub const SLOW_LINK: &str = "slow-link";
+}
+
+fn reason_code(r: &str) -> u64 {
+    match r {
+        reason::UNREACHABLE => 1,
+        reason::DISK_DEGRADED => 2,
+        reason::PACING_SKEW => 3,
+        reason::LINK_CHURN => 4,
+        reason::CATCH_UP_STORM => 5,
+        reason::PARTITIONED => 6,
+        reason::SLOW_LINK => 7,
+        _ => 0,
+    }
+}
+
+/// Health state of one replica or link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// No rule breaching.
+    #[default]
+    Healthy,
+    /// A rule breached for `suspect_after` consecutive windows.
+    Suspect(&'static str),
+    /// A rule breached for `degrade_after` consecutive windows.
+    Degraded(&'static str),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, Verdict::Healthy)
+    }
+
+    /// Gauge encoding: 0 healthy, 1 suspect, 2 degraded.
+    pub fn code(&self) -> u64 {
+        match self {
+            Verdict::Healthy => 0,
+            Verdict::Suspect(_) => 1,
+            Verdict::Degraded(_) => 2,
+        }
+    }
+
+    /// The breach reason, if not healthy.
+    pub fn reason(&self) -> Option<&'static str> {
+        match self {
+            Verdict::Healthy => None,
+            Verdict::Suspect(r) | Verdict::Degraded(r) => Some(r),
+        }
+    }
+}
+
+/// What a verdict is about: a replica, or one *directed* link
+/// (`Link(from, to)` — traffic from `from` as observed at `to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subject {
+    /// Replica `i`.
+    Replica(u32),
+    /// The directed link from the first replica to the second.
+    Link(u32, u32),
+}
+
+/// One evaluation window's output: every subject's verdict, plus the
+/// subjects whose verdict *changed* this window.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Capture time of the snapshot that produced this report.
+    pub at_nanos: u64,
+    /// Verdict per subject — replicas first, then directed links.
+    pub verdicts: Vec<(Subject, Verdict)>,
+    /// Subjects whose verdict changed in this window, with the new
+    /// verdict.
+    pub transitions: Vec<(Subject, Verdict)>,
+}
+
+impl HealthReport {
+    /// Verdict of replica `i` (healthy when unknown).
+    pub fn replica(&self, i: u32) -> Verdict {
+        self.lookup(Subject::Replica(i))
+    }
+
+    /// Verdict of the directed link `from → to` (healthy when unknown).
+    pub fn link(&self, from: u32, to: u32) -> Verdict {
+        self.lookup(Subject::Link(from, to))
+    }
+
+    fn lookup(&self, s: Subject) -> Verdict {
+        self.verdicts.iter().find(|(sub, _)| *sub == s).map_or(Verdict::Healthy, |(_, v)| *v)
+    }
+
+    /// `true` when every subject is healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| v.is_healthy())
+    }
+
+    /// Every non-healthy subject with its verdict.
+    pub fn non_healthy(&self) -> Vec<(Subject, Verdict)> {
+        self.verdicts.iter().filter(|(_, v)| !v.is_healthy()).cloned().collect()
+    }
+}
+
+/// Thresholds and pacing of the health engine. The defaults are tuned
+/// for *zero false positives* on healthy clusters: peer-relative ratios
+/// of 6–8×, absolute floors under every latency rule, minimum-activity
+/// guards on every rate rule, and multi-window hysteresis.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Windows consumed before any rule may breach (EWMAs warm up).
+    pub warmup_windows: u32,
+    /// Consecutive breaching windows before `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive breaching windows before `Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive clean windows before a verdict returns to `Healthy`.
+    pub clear_after: u32,
+    /// EWMA smoothing factor per window (weight of the newest window).
+    pub ewma_alpha: f64,
+    /// Minimum link tx rate (frames/s) for the partition rule to apply.
+    pub min_link_rate: f64,
+    /// A link is stalled when rx falls below this fraction of tx.
+    pub stall_fraction: f64,
+    /// Link latency must exceed this multiple of the all-links median.
+    pub latency_ratio: f64,
+    /// ...and this absolute floor (ns), so loopback jitter cannot breach.
+    pub min_latency_nanos: f64,
+    /// Fsync latency must exceed this multiple of the peer median.
+    pub disk_ratio: f64,
+    /// ...and this absolute floor (ns).
+    pub min_fsync_nanos: f64,
+    /// Minimum samples a histogram window needs before latency rules
+    /// consider it.
+    pub min_hist_samples: u64,
+    /// Egress below this fraction of the peer median flags pacing skew.
+    pub egress_fraction: f64,
+    /// ...but only while cluster CREDIT retransmits exceed this rate.
+    pub min_retransmit_rate: f64,
+    /// Cluster settle rate (payments/s) below which the unreachable rule
+    /// is suspended (an idle cluster hears from nobody).
+    pub min_settle_rate: f64,
+    /// Rx rate (frames/s) below which a peer counts as unheard-from.
+    pub dead_rx_rate: f64,
+    /// Redials + handshake failures + send failures per second that
+    /// count as churn.
+    pub churn_rate: f64,
+    /// Catch-up retries per second that count as a storm.
+    pub sync_retry_rate: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            warmup_windows: 2,
+            suspect_after: 2,
+            degrade_after: 4,
+            clear_after: 3,
+            ewma_alpha: 0.4,
+            min_link_rate: 10.0,
+            stall_fraction: 0.1,
+            latency_ratio: 8.0,
+            min_latency_nanos: 1_000_000.0, // 1 ms
+            disk_ratio: 8.0,
+            min_fsync_nanos: 500_000.0, // 500 µs
+            min_hist_samples: 3,
+            egress_fraction: 0.5,
+            min_retransmit_rate: 0.5,
+            min_settle_rate: 20.0,
+            dead_rx_rate: 0.5,
+            churn_rate: 5.0,
+            sync_retry_rate: 2.0,
+        }
+    }
+}
+
+/// An EWMA that seeds itself from the first observation.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    v: f64,
+    seeded: bool,
+}
+
+impl Ewma {
+    fn update(&mut self, x: f64, alpha: f64) {
+        self.v = if self.seeded { alpha * x + (1.0 - alpha) * self.v } else { x };
+        self.seeded = true;
+    }
+
+    fn get(&self) -> f64 {
+        self.v
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SubjectState {
+    verdict: Verdict,
+    breaches: u32,
+    clean: u32,
+}
+
+/// Handles for publishing verdicts back into a registry.
+struct Publisher {
+    replica_gauges: Vec<Gauge>,
+    link_gauges: Vec<Gauge>, // n*n, row-major (from * n + to)
+    transitions: crate::metric::Counter,
+    flights: Vec<FlightRecorder>,
+}
+
+const REPLICA_LABELS: [&str; 3] =
+    ["health.replica.healthy", "health.replica.suspect", "health.replica.degraded"];
+const LINK_LABELS: [&str; 3] =
+    ["health.link.healthy", "health.link.suspect", "health.link.degraded"];
+
+/// The gray-failure detector. Feed it one snapshot per tick via
+/// [`HealthEngine::observe`]; it returns a [`HealthReport`] each time.
+/// Optionally [`HealthEngine::bind`] it to a registry to export
+/// `health.r{i}.state` / `health.link.r{i}.r{j}.state` gauges, a
+/// `health.transitions` counter, and flight-recorder transition events.
+pub struct HealthEngine {
+    n: usize,
+    cfg: HealthConfig,
+    prev: Option<Snapshot>,
+    windows: u32,
+    // Signal EWMAs.
+    link_tx: Vec<Ewma>,  // n*n directed, frames/s
+    link_rx: Vec<Ewma>,  // n*n directed, frames/s
+    link_lat: Vec<Ewma>, // n*n directed, mean ns per window
+    egress: Vec<Ewma>,   // per replica, frames/s
+    settle: Vec<Ewma>,   // per replica, settles/s
+    retrans: Vec<Ewma>,  // per replica, retransmits/s
+    churn: Vec<Ewma>,    // per replica, failures/s
+    syncs: Vec<Ewma>,    // per replica, catch-up retries/s
+    fsync: Vec<Ewma>,    // per replica, mean fsync ns per window
+    // Verdict state: replicas 0..n, then links row-major.
+    states: Vec<SubjectState>,
+    // Pre-rendered metric names (the engine polls every tick; building
+    // format! strings per tick per signal would allocate n² strings).
+    settles_names: Vec<String>,
+    retrans_names: Vec<String>,
+    redial_names: Vec<String>,
+    handshake_names: Vec<String>,
+    sendfail_names: Vec<String>,
+    sync_names: Vec<String>,
+    fsync_names: Vec<String>,
+    tx_names: Vec<String>,    // n*n
+    rx_names: Vec<String>,    // n*n
+    delay_names: Vec<String>, // n*n (sim one-way delay)
+    write_names: Vec<String>, // n*n (runtime per-link write latency)
+    publisher: Option<Publisher>,
+}
+
+impl HealthEngine {
+    /// An engine for a cluster of `n` replicas.
+    pub fn new(n: usize, cfg: HealthConfig) -> Self {
+        let per_replica = |suffix: &str| -> Vec<String> {
+            (0..n).map(|i| format!("core.r{i}.{suffix}")).collect()
+        };
+        let per_link = |mk: &dyn Fn(usize, usize) -> String| -> Vec<String> {
+            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).map(|(i, j)| mk(i, j)).collect()
+        };
+        HealthEngine {
+            n,
+            prev: None,
+            windows: 0,
+            link_tx: vec![Ewma::default(); n * n],
+            link_rx: vec![Ewma::default(); n * n],
+            link_lat: vec![Ewma::default(); n * n],
+            egress: vec![Ewma::default(); n],
+            settle: vec![Ewma::default(); n],
+            retrans: vec![Ewma::default(); n],
+            churn: vec![Ewma::default(); n],
+            syncs: vec![Ewma::default(); n],
+            fsync: vec![Ewma::default(); n],
+            states: vec![SubjectState::default(); n + n * n],
+            settles_names: per_replica("settles"),
+            retrans_names: per_replica("credit_retransmits"),
+            sync_names: per_replica("sync_retries"),
+            redial_names: (0..n).map(|i| format!("net.r{i}.redials")).collect(),
+            handshake_names: (0..n).map(|i| format!("net.r{i}.handshake_failures")).collect(),
+            sendfail_names: (0..n).map(|i| format!("runtime.r{i}.send_failures")).collect(),
+            fsync_names: (0..n).map(|i| format!("store.r{i}.fsync_nanos")).collect(),
+            tx_names: per_link(&|i, j| format!("net.r{i}.to_r{j}.tx_frames")),
+            rx_names: per_link(&|i, j| format!("net.r{j}.from_r{i}.rx_frames")),
+            delay_names: per_link(&|i, j| format!("net.r{i}.to_r{j}.delay_nanos")),
+            write_names: per_link(&|i, j| format!("net.r{i}.to_r{j}.write_nanos")),
+            cfg,
+            publisher: None,
+        }
+    }
+
+    /// Exports verdicts into `registry`: `health.r{i}.state` and
+    /// `health.link.r{i}.r{j}.state` gauges (0 healthy / 1 suspect /
+    /// 2 degraded), a `health.transitions` counter, and one flight event
+    /// per transition on the subject's (or link source's) recorder.
+    pub fn bind(&mut self, registry: &Registry) {
+        let n = self.n;
+        self.publisher = Some(Publisher {
+            replica_gauges: (0..n).map(|i| registry.gauge(&format!("health.r{i}.state"))).collect(),
+            link_gauges: (0..n)
+                .flat_map(|i| (0..n).map(move |j| (i, j)))
+                .map(|(i, j)| registry.gauge(&format!("health.link.r{i}.r{j}.state")))
+                .collect(),
+            transitions: registry.counter("health.transitions"),
+            flights: (0..n as u32).map(|i| registry.flight(i)).collect(),
+        });
+    }
+
+    /// Number of evaluation windows consumed so far.
+    pub fn windows(&self) -> u32 {
+        self.windows
+    }
+
+    /// Consumes the next snapshot and returns this window's report. The
+    /// first call only establishes the baseline (everything healthy); a
+    /// rule can breach once `warmup_windows` further windows have warmed
+    /// the EWMAs up.
+    pub fn observe(&mut self, snap: &Snapshot) -> HealthReport {
+        let Some(prev) = self.prev.replace(snap.clone()) else {
+            return self.report(snap.at_nanos, Vec::new());
+        };
+        let d = snap.delta(&prev);
+        if d.window_nanos == 0 {
+            return self.report(snap.at_nanos, Vec::new());
+        }
+        self.fold(&d);
+        self.windows += 1;
+        if self.windows <= self.cfg.warmup_windows {
+            return self.report(snap.at_nanos, Vec::new());
+        }
+        let breaches = self.evaluate(&d);
+        let transitions = self.advance(&breaches);
+        self.publish(&transitions);
+        self.report(snap.at_nanos, transitions)
+    }
+
+    /// Folds this window's signal rates into the EWMAs.
+    fn fold(&mut self, d: &SnapshotDelta) {
+        let (n, a) = (self.n, self.cfg.ewma_alpha);
+        for i in 0..n {
+            self.settle[i].update(d.rate(&self.settles_names[i]), a);
+            self.retrans[i].update(d.rate(&self.retrans_names[i]), a);
+            self.syncs[i].update(d.rate(&self.sync_names[i]), a);
+            let churn = d.rate(&self.redial_names[i])
+                + d.rate(&self.handshake_names[i])
+                + d.rate(&self.sendfail_names[i]);
+            self.churn[i].update(churn, a);
+            if let Some(s) = d.histogram(&self.fsync_names[i]) {
+                if s.count >= self.cfg.min_hist_samples {
+                    self.fsync[i].update(s.mean, a);
+                }
+            }
+            let mut egress = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let l = i * n + j;
+                let tx = d.rate(&self.tx_names[l]);
+                self.link_tx[l].update(tx, a);
+                self.link_rx[l].update(d.rate(&self.rx_names[l]), a);
+                egress += tx;
+                let lat =
+                    d.histogram(&self.delay_names[l]).or_else(|| d.histogram(&self.write_names[l]));
+                if let Some(s) = lat {
+                    if s.count >= self.cfg.min_hist_samples {
+                        self.link_lat[l].update(s.mean, a);
+                    }
+                }
+            }
+            self.egress[i].update(egress, a);
+        }
+    }
+
+    /// Evaluates every rule; returns the breach reason per subject
+    /// (replicas 0..n, then links row-major), `None` where clean.
+    fn evaluate(&self, _d: &SnapshotDelta) -> Vec<Option<&'static str>> {
+        let (n, cfg) = (self.n, &self.cfg);
+        let mut out = vec![None; n + n * n];
+        let cluster_settle: f64 = self.settle.iter().map(Ewma::get).sum();
+        let cluster_retrans: f64 = self.retrans.iter().map(Ewma::get).sum();
+        let median = |mut xs: Vec<f64>| -> f64 {
+            if xs.is_empty() {
+                return 0.0;
+            }
+            xs.sort_by(f64::total_cmp);
+            xs[xs.len() / 2]
+        };
+        // Churn (redials, handshake failures, failed sends) localizes a
+        // flaky replica only when it is concentrated there. A dead or
+        // partitioned peer makes *every* live replica churn toward it at
+        // once — sender-side counters cannot name the target — so
+        // cluster-wide churn is a symptom with a common cause, and
+        // flagging the victims would drown the diagnosis the
+        // reachability rules deliver.
+        let churners = (0..n).filter(|i| self.churn[*i].get() >= cfg.churn_rate).count();
+        for (i, slot) in out.iter_mut().enumerate().take(n) {
+            let others = |v: &[Ewma]| -> Vec<f64> {
+                (0..n).filter(|j| *j != i).map(|j| v[j].get()).collect()
+            };
+            let unreachable = cluster_settle >= cfg.min_settle_rate
+                && (0..n)
+                    .filter(|p| *p != i)
+                    .all(|p| self.link_rx[i * n + p].get() < cfg.dead_rx_rate);
+            let fsync_med = median(others(&self.fsync));
+            let fsync_mine = self.fsync[i].get();
+            let disk_degraded = fsync_med > 0.0
+                && fsync_mine > cfg.disk_ratio * fsync_med
+                && fsync_mine > cfg.min_fsync_nanos;
+            let egress_med = median(others(&self.egress));
+            let pacing_skew = egress_med >= cfg.min_link_rate
+                && self.egress[i].get() < cfg.egress_fraction * egress_med
+                && cluster_retrans >= cfg.min_retransmit_rate;
+            // Priority order: the strongest localization first.
+            let breach = if unreachable {
+                Some(reason::UNREACHABLE)
+            } else if disk_degraded {
+                Some(reason::DISK_DEGRADED)
+            } else if pacing_skew {
+                Some(reason::PACING_SKEW)
+            } else if self.syncs[i].get() >= cfg.sync_retry_rate {
+                Some(reason::CATCH_UP_STORM)
+            } else if churners == 1 && self.churn[i].get() >= cfg.churn_rate {
+                Some(reason::LINK_CHURN)
+            } else {
+                None
+            };
+            *slot = breach;
+        }
+        // Link rules. The latency median spans every link with data.
+        let lat_med = median(
+            (0..n * n)
+                .filter(|l| l / n != l % n && self.link_lat[*l].seeded)
+                .map(|l| self.link_lat[l].get())
+                .collect(),
+        );
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let l = i * n + j;
+                let (tx, rx) = (self.link_tx[l].get(), self.link_rx[l].get());
+                let lat = &self.link_lat[l];
+                out[n + l] = if tx >= cfg.min_link_rate && rx <= cfg.stall_fraction * tx {
+                    Some(reason::PARTITIONED)
+                } else if lat.seeded
+                    && lat_med > 0.0
+                    && lat.get() > cfg.latency_ratio * lat_med
+                    && lat.get() > cfg.min_latency_nanos
+                {
+                    Some(reason::SLOW_LINK)
+                } else {
+                    None
+                };
+            }
+        }
+        out
+    }
+
+    /// Applies hysteresis and returns the transitions of this window.
+    fn advance(&mut self, breaches: &[Option<&'static str>]) -> Vec<(Subject, Verdict)> {
+        let cfg = self.cfg.clone();
+        let n = self.n;
+        let subject = |idx: usize| {
+            if idx < n {
+                Subject::Replica(idx as u32)
+            } else {
+                let l = idx - n;
+                Subject::Link((l / n) as u32, (l % n) as u32)
+            }
+        };
+        let mut transitions = Vec::new();
+        for (idx, state) in self.states.iter_mut().enumerate() {
+            let old = state.verdict;
+            match breaches[idx] {
+                Some(r) => {
+                    state.breaches += 1;
+                    state.clean = 0;
+                    if state.breaches >= cfg.degrade_after {
+                        state.verdict = Verdict::Degraded(r);
+                    } else if state.breaches >= cfg.suspect_after {
+                        state.verdict = Verdict::Suspect(r);
+                    }
+                }
+                None => {
+                    state.clean += 1;
+                    if state.clean >= cfg.clear_after {
+                        state.breaches = 0;
+                        state.verdict = Verdict::Healthy;
+                    }
+                }
+            }
+            if state.verdict != old {
+                transitions.push((subject(idx), state.verdict));
+            }
+        }
+        transitions
+    }
+
+    fn subject(&self, idx: usize) -> Subject {
+        if idx < self.n {
+            Subject::Replica(idx as u32)
+        } else {
+            let l = idx - self.n;
+            Subject::Link((l / self.n) as u32, (l % self.n) as u32)
+        }
+    }
+
+    fn publish(&self, transitions: &[(Subject, Verdict)]) {
+        let Some(p) = &self.publisher else { return };
+        for (subject, verdict) in transitions {
+            let code = verdict.code();
+            let rc = verdict.reason().map_or(0, reason_code);
+            match subject {
+                Subject::Replica(i) => {
+                    p.replica_gauges[*i as usize].set(code);
+                    p.flights[*i as usize].event(REPLICA_LABELS[code as usize], *i as u64, rc);
+                }
+                Subject::Link(i, j) => {
+                    p.link_gauges[*i as usize * self.n + *j as usize].set(code);
+                    p.flights[*i as usize].event(LINK_LABELS[code as usize], *j as u64, rc);
+                }
+            }
+            p.transitions.inc();
+        }
+    }
+
+    fn report(&self, at_nanos: u64, transitions: Vec<(Subject, Verdict)>) -> HealthReport {
+        let verdicts =
+            self.states.iter().enumerate().map(|(i, s)| (self.subject(i), s.verdict)).collect();
+        HealthReport { at_nanos, verdicts, transitions }
+    }
+}
+
+/// A background health tick for the threaded runtime: snapshots
+/// `registry` every `interval`, feeds the engine, and keeps the latest
+/// report available. Stops (and joins) on [`HealthMonitor::stop`] or
+/// drop.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    latest: Arc<Mutex<HealthReport>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthMonitor {
+    /// Spawns the tick thread for a cluster of `replicas` replicas. The
+    /// engine is bound to `registry`, so verdicts surface as `health.*`
+    /// gauges and flight events as well as through
+    /// [`HealthMonitor::latest`].
+    pub fn spawn(
+        registry: Arc<Registry>,
+        replicas: usize,
+        cfg: HealthConfig,
+        interval: Duration,
+    ) -> HealthMonitor {
+        let latest = Arc::new(Mutex::new(HealthReport::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (latest2, stop2) = (Arc::clone(&latest), Arc::clone(&stop));
+        let thread = std::thread::Builder::new()
+            .name("obs-health".into())
+            .spawn(move || {
+                let mut engine = HealthEngine::new(replicas, cfg);
+                engine.bind(&registry);
+                while !stop2.load(Ordering::SeqCst) {
+                    // Sleep in short hops so stop() returns promptly even
+                    // with a long tick interval.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop2.load(Ordering::SeqCst) {
+                        let hop = Duration::from_millis(10).min(interval - slept);
+                        std::thread::sleep(hop);
+                        slept += hop;
+                    }
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let report = engine.observe(&registry.snapshot());
+                    *latest2.lock().expect("health monitor") = report;
+                }
+            })
+            .expect("spawn health monitor");
+        HealthMonitor { latest, stop, thread: Some(thread) }
+    }
+
+    /// The most recent report (default/empty before the first tick).
+    pub fn latest(&self) -> HealthReport {
+        self.latest.lock().expect("health monitor").clone()
+    }
+
+    /// Signals the tick thread to exit and joins it. Idempotent; also
+    /// runs on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Snapshots `reg` with a pinned capture time so window math is
+    /// exact and deterministic.
+    fn traffic_snap(reg: &Arc<Registry>, at_nanos: u64) -> Snapshot {
+        let mut snap = reg.snapshot();
+        snap.at_nanos = at_nanos;
+        snap
+    }
+
+    fn pump(reg: &Arc<Registry>, n: usize, frames: u64, settles: u64) {
+        for i in 0..n {
+            reg.counter(&format!("core.r{i}.settles")).add(settles);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                reg.counter(&format!("net.r{i}.to_r{j}.tx_frames")).add(frames);
+                reg.counter(&format!("net.r{j}.from_r{i}.rx_frames")).add(frames);
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_cluster_stays_verdict_clean() {
+        let reg = Registry::new();
+        let mut engine = HealthEngine::new(4, HealthConfig::default());
+        for w in 0..20u64 {
+            pump(&reg, 4, 100, 50);
+            let report = engine.observe(&traffic_snap(&reg, (w + 1) * 100_000_000));
+            assert!(report.all_healthy(), "window {w}: {:?}", report.non_healthy());
+            assert!(report.transitions.is_empty());
+        }
+    }
+
+    #[test]
+    fn partitioned_link_escalates_suspect_then_degraded_then_clears() {
+        let reg = Registry::new();
+        let mut engine = HealthEngine::new(4, HealthConfig::default());
+        let mut t = 0u64;
+        let mut window = |engine: &mut HealthEngine, sever: bool| {
+            for i in 0..4usize {
+                reg.counter(&format!("core.r{i}.settles")).add(50);
+                for j in 0..4usize {
+                    if i == j {
+                        continue;
+                    }
+                    reg.counter(&format!("net.r{i}.to_r{j}.tx_frames")).add(100);
+                    if !(sever && i == 1 && j == 2) {
+                        reg.counter(&format!("net.r{j}.from_r{i}.rx_frames")).add(100);
+                    }
+                }
+            }
+            t += 100_000_000;
+            engine.observe(&traffic_snap(&reg, t))
+        };
+        for _ in 0..5 {
+            assert!(window(&mut engine, false).all_healthy());
+        }
+        // Sever 1→2: tx keeps flowing, rx stops. EWMA decay takes a
+        // couple of windows to fall under the stall fraction, then the
+        // hysteresis ladder climbs.
+        let mut saw_suspect = false;
+        let mut report = HealthReport::default();
+        for _ in 0..12 {
+            report = window(&mut engine, true);
+            if let Verdict::Suspect(r) = report.link(1, 2) {
+                assert_eq!(r, reason::PARTITIONED);
+                saw_suspect = true;
+            }
+            if report.link(1, 2).code() == 2 {
+                break;
+            }
+        }
+        assert!(saw_suspect, "suspect precedes degraded");
+        assert_eq!(report.link(1, 2), Verdict::Degraded(reason::PARTITIONED));
+        // Only that link is implicated.
+        for (subject, v) in report.non_healthy() {
+            assert_eq!(subject, Subject::Link(1, 2), "unexpected verdict {v:?}");
+        }
+        // Heal: clean windows clear the verdict.
+        for _ in 0..20 {
+            report = window(&mut engine, false);
+            if report.all_healthy() {
+                break;
+            }
+        }
+        assert!(report.all_healthy(), "verdict clears after healing");
+    }
+
+    #[test]
+    fn degraded_disk_is_localized_to_the_replica() {
+        let reg = Registry::new();
+        let mut engine = HealthEngine::new(4, HealthConfig::default());
+        let mut t = 0u64;
+        let mut report = HealthReport::default();
+        for w in 0..12 {
+            pump(&reg, 4, 100, 50);
+            for i in 0..4usize {
+                let h = reg.histogram(&format!("store.r{i}.fsync_nanos"));
+                for _ in 0..10 {
+                    // Replica 3's disk goes bad from window 4.
+                    h.record(if i == 3 && w >= 4 { 5_000_000 } else { 100_000 });
+                }
+            }
+            t += 100_000_000;
+            report = engine.observe(&traffic_snap(&reg, t));
+        }
+        assert_eq!(report.replica(3), Verdict::Degraded(reason::DISK_DEGRADED));
+        for (subject, v) in report.non_healthy() {
+            assert_eq!(subject, Subject::Replica(3), "unexpected verdict {v:?}");
+        }
+    }
+
+    #[test]
+    fn churn_localizes_one_flaky_replica_but_not_a_common_cause() {
+        // One replica redialing alone is a flaky replica; every replica
+        // churning at once has a common cause (typically a dead peer the
+        // reachability rules will name) and must not flag the victims.
+        let run = |churners: &[usize]| {
+            let reg = Registry::new();
+            let mut engine = HealthEngine::new(4, HealthConfig::default());
+            let mut t = 0u64;
+            let mut report = HealthReport::default();
+            for w in 0..12 {
+                pump(&reg, 4, 100, 50);
+                if w >= 4 {
+                    for i in churners {
+                        reg.counter(&format!("net.r{i}.redials")).add(1);
+                        reg.counter(&format!("runtime.r{i}.send_failures")).add(1);
+                    }
+                }
+                t += 100_000_000;
+                report = engine.observe(&traffic_snap(&reg, t));
+            }
+            report
+        };
+        let report = run(&[2]);
+        assert_eq!(report.replica(2).reason(), Some(reason::LINK_CHURN));
+        for (subject, v) in report.non_healthy() {
+            assert_eq!(subject, Subject::Replica(2), "unexpected verdict {v:?}");
+        }
+        let report = run(&[0, 1, 2]);
+        assert!(report.all_healthy(), "cluster-wide churn must stay clean: {report:?}");
+    }
+
+    #[test]
+    fn bound_engine_exports_gauges_and_flight_events() {
+        let reg = Registry::new();
+        let mut engine = HealthEngine::new(4, HealthConfig::default());
+        engine.bind(&reg);
+        let mut t = 0u64;
+        for w in 0..12 {
+            for i in 0..4usize {
+                reg.counter(&format!("core.r{i}.settles")).add(50);
+                for j in 0..4usize {
+                    if i == j {
+                        continue;
+                    }
+                    reg.counter(&format!("net.r{i}.to_r{j}.tx_frames")).add(100);
+                    if !(w >= 4 && i == 0 && j == 3) {
+                        reg.counter(&format!("net.r{j}.from_r{i}.rx_frames")).add(100);
+                    }
+                }
+            }
+            t += 100_000_000;
+            engine.observe(&traffic_snap(&reg, t));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("health.link.r0.r3.state"), Some(2), "degraded gauge exported");
+        assert_eq!(snap.gauge("health.r0.state"), Some(0));
+        assert!(snap.counter("health.transitions").unwrap() >= 2);
+        assert!(reg.flight_dump().contains("health.link.degraded"));
+    }
+}

@@ -23,15 +23,31 @@
 //! - [`PaymentTracer`] — timestamps each payment at
 //!   submit → PREPARE → ACK quorum → settle → confirmation ([`Stage`])
 //!   and feeds per-span histograms (`lifecycle.*`).
+//! - [`SnapshotDelta`] ([`Snapshot::delta`]) — windowed rates between
+//!   two snapshots: settles/s, bytes/s, retransmits/s, and true
+//!   interval histogram percentiles from bucket subtraction.
+//! - [`export`] — Prometheus text / JSON encodings and the
+//!   [`Registry::serve`] scrape endpoint (std `TcpListener`, one
+//!   thread, bounded parsing).
+//! - [`health`] — the gray-failure [`HealthEngine`]: per-replica and
+//!   per-link EWMAs over snapshot deltas, peer-median comparisons, and
+//!   hysteresis into `Healthy | Suspect | Degraded` verdicts exported
+//!   as `health.*` gauges.
 
 #![warn(missing_docs)]
 
+mod delta;
+pub mod export;
 mod flight;
+pub mod health;
 mod metric;
 mod registry;
 mod trace;
 
+pub use delta::{CounterRate, GaugeDelta, SnapshotDelta};
+pub use export::ServeHandle;
 pub use flight::{Event, FlightRecorder, FLIGHT_CAPACITY};
-pub use metric::{Counter, Gauge, Histogram, Summary};
+pub use health::{HealthConfig, HealthEngine, HealthMonitor, HealthReport, Subject, Verdict};
+pub use metric::{Counter, Gauge, HistBuckets, Histogram, Summary};
 pub use registry::{Registry, Snapshot};
 pub use trace::{PaymentTracer, Stage};

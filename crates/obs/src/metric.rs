@@ -196,8 +196,11 @@ impl Histogram {
         self.stripes.iter().map(|s| s.count.load(Ordering::Relaxed)).sum()
     }
 
-    /// Merges the stripes into a percentile summary; `None` when empty.
-    pub fn summary(&self) -> Option<Summary> {
+    /// Merges the stripes into a sparse bucket view — the raw material
+    /// for interval (windowed) summaries, since percentiles of a window
+    /// can only be computed by *subtracting* bucket counts of two
+    /// cumulative views, never by subtracting two [`Summary`]s.
+    pub fn buckets(&self) -> HistBuckets {
         let mut merged = [0u64; BUCKETS];
         let mut count = 0u64;
         let mut sum = 0u128;
@@ -210,32 +213,101 @@ impl Histogram {
             sum += stripe.sum.load(Ordering::Relaxed) as u128;
             max = max.max(stripe.max.load(Ordering::Relaxed));
         }
-        if count == 0 {
+        let counts = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(idx, c)| (idx as u16, *c))
+            .collect();
+        HistBuckets { counts, count, sum, max }
+    }
+
+    /// Merges the stripes into a percentile summary; `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        self.buckets().summary()
+    }
+}
+
+/// A cumulative, point-in-time copy of a histogram's merged bucket
+/// counts, sparse (only non-empty buckets are kept). Two of these taken
+/// at different instants subtract via [`HistBuckets::since`] into an
+/// interval view whose [`HistBuckets::summary`] reports true
+/// within-window percentiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistBuckets {
+    /// `(bucket index, count)` pairs, ascending by index, zeros skipped.
+    pub counts: Vec<(u16, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u128,
+    /// Maximum observed sample (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistBuckets {
+    /// Nearest-rank percentile summary of this view; `None` when empty.
+    /// Same convention as [`Histogram::summary`].
+    pub fn summary(&self) -> Option<Summary> {
+        if self.count == 0 {
             return None;
         }
-        // Nearest-rank percentile over bucket counts: the p-th percentile
-        // is the floor of the first bucket whose cumulative count reaches
-        // ceil(p·n) — the same convention `astro_sim` uses over exact
-        // samples.
         let pct = |p: f64| -> u64 {
-            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
             let mut seen = 0u64;
-            for (idx, c) in merged.iter().enumerate() {
+            for (idx, c) in &self.counts {
                 seen += c;
                 if seen >= rank {
-                    return bucket_floor(idx);
+                    return bucket_floor(*idx as usize);
                 }
             }
-            max
+            self.max
         };
         Some(Summary {
-            count,
-            mean: sum as f64 / count as f64,
+            count: self.count,
+            mean: self.sum as f64 / self.count as f64,
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
-            max,
+            max: self.max,
         })
+    }
+
+    /// The interval view between `earlier` and `self` (both cumulative
+    /// copies of the *same* histogram, `earlier` taken first): per-bucket
+    /// count differences, window count and sum. The interval `max` is
+    /// exact when a new all-time maximum was recorded inside the window;
+    /// otherwise it is approximated by the floor of the highest non-empty
+    /// interval bucket (within 12.5% of the true window max).
+    pub fn since(&self, earlier: &HistBuckets) -> HistBuckets {
+        let mut counts = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.counts.len() {
+            let (idx, now) = self.counts[i];
+            let before = loop {
+                match earlier.counts.get(j) {
+                    Some((eidx, _)) if *eidx < idx => j += 1,
+                    Some((eidx, c)) if *eidx == idx => break *c,
+                    _ => break 0,
+                }
+            };
+            let diff = now.saturating_sub(before);
+            if diff > 0 {
+                counts.push((idx, diff));
+            }
+            i += 1;
+        }
+        let max = if self.max > earlier.max {
+            self.max
+        } else {
+            counts.last().map_or(0, |(idx, _)| bucket_floor(*idx as usize))
+        };
+        HistBuckets {
+            counts,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max,
+        }
     }
 }
 
@@ -324,6 +396,44 @@ mod tests {
     fn empty_histogram_has_no_summary() {
         assert!(Histogram::new().summary().is_none());
         assert_eq!(Histogram::new().count(), 0);
+    }
+
+    #[test]
+    fn bucket_view_interval_subtraction_yields_window_percentiles() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let before = h.buckets();
+        for _ in 0..50 {
+            h.record(1_000_000);
+        }
+        let after = h.buckets();
+        // Lifetime view is dominated by the fast samples...
+        let life = after.summary().unwrap();
+        assert_eq!(bucket_index(life.p50), bucket_index(1_000));
+        // ...but the window view sees only the slow ones.
+        let window = after.since(&before);
+        assert_eq!(window.count, 50);
+        let s = window.summary().unwrap();
+        assert_eq!(bucket_index(s.p50), bucket_index(1_000_000));
+        assert_eq!(s.max, 1_000_000, "new all-time max inside the window is exact");
+        assert!((s.mean - 1_000_000.0).abs() < 1.0);
+        // An empty window subtracts to an empty view.
+        assert!(after.since(&after).summary().is_none());
+    }
+
+    #[test]
+    fn interval_max_is_approximated_when_no_new_global_max() {
+        let h = Histogram::new();
+        h.record(1_000_000);
+        let before = h.buckets();
+        h.record(2_000);
+        let window = h.buckets().since(&before);
+        assert_eq!(window.count, 1);
+        // No new global max: approximated by the highest window bucket's
+        // floor, within 12.5% below the true window max.
+        assert!(window.max <= 2_000 && window.max > 1_750, "got {}", window.max);
     }
 
     #[test]

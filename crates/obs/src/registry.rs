@@ -3,7 +3,7 @@
 //! and snapshot/dump export.
 
 use crate::flight::FlightRecorder;
-use crate::metric::{Counter, Gauge, Histogram, Summary};
+use crate::metric::{Counter, Gauge, HistBuckets, Histogram, Summary};
 use crate::trace::{PaymentTracer, SpanHists};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -62,19 +62,34 @@ impl Registry {
         self.start.elapsed().as_nanos() as u64
     }
 
-    /// The named counter, created at zero on first use.
+    /// The named counter, created at zero on first use. Re-resolving an
+    /// existing name allocates nothing (the key is only cloned on miss).
     pub fn counter(&self, name: &str) -> Counter {
-        self.counters.lock().expect("registry").entry(name.to_string()).or_default().clone()
+        let mut map = self.counters.lock().expect("registry");
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        map.entry(name.to_string()).or_default().clone()
     }
 
-    /// The named gauge, created at zero on first use.
+    /// The named gauge, created at zero on first use. Allocation-free on
+    /// hit, like [`Registry::counter`].
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.gauges.lock().expect("registry").entry(name.to_string()).or_default().clone()
+        let mut map = self.gauges.lock().expect("registry");
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        map.entry(name.to_string()).or_default().clone()
     }
 
-    /// The named histogram, created empty on first use.
+    /// The named histogram, created empty on first use. Allocation-free
+    /// on hit, like [`Registry::counter`].
     pub fn histogram(&self, name: &str) -> Histogram {
-        self.histograms.lock().expect("registry").entry(name.to_string()).or_default().clone()
+        let mut map = self.histograms.lock().expect("registry");
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        map.entry(name.to_string()).or_default().clone()
     }
 
     /// The flight recorder of `replica`, created on first use.
@@ -114,14 +129,16 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .expect("registry")
-            .iter()
-            .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
-            .collect();
-        Snapshot { counters, gauges, histograms }
+        let mut histograms = Vec::new();
+        let mut hist_buckets = Vec::new();
+        for (k, v) in self.histograms.lock().expect("registry").iter() {
+            let buckets = v.buckets();
+            if let Some(s) = buckets.summary() {
+                histograms.push((k.clone(), s));
+                hist_buckets.push((k.clone(), buckets));
+            }
+        }
+        Snapshot { at_nanos: self.elapsed_nanos(), counters, gauges, histograms, hist_buckets }
     }
 
     /// Renders every replica's flight recorder, oldest events first.
@@ -138,28 +155,53 @@ impl Registry {
 /// A point-in-time copy of a [`Registry`], sorted by name.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
+    /// Capture time, nanoseconds since the registry was created. The
+    /// denominator of every rate [`Snapshot::delta`] computes; the sim
+    /// overwrites it with simulated time before feeding the health
+    /// engine.
+    pub at_nanos: u64,
     /// `(name, value)` for every counter.
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` for every gauge.
     pub gauges: Vec<(String, u64)>,
     /// `(name, summary)` for every non-empty histogram.
     pub histograms: Vec<(String, Summary)>,
+    /// `(name, buckets)` for every non-empty histogram — the cumulative
+    /// bucket counts [`Snapshot::delta`] subtracts to produce interval
+    /// percentiles (summaries alone cannot be subtracted).
+    pub hist_buckets: Vec<(String, HistBuckets)>,
 }
 
 impl Snapshot {
-    /// The value of the named counter, if present.
+    /// The value of the named counter, if present. Binary search: the
+    /// vecs are name-sorted by construction (BTreeMap iteration order).
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
     }
 
     /// The value of the named gauge, if present.
     pub fn gauge(&self, name: &str) -> Option<u64> {
-        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+        self.gauges.binary_search_by(|(k, _)| k.as_str().cmp(name)).ok().map(|i| self.gauges[i].1)
     }
 
     /// The summary of the named histogram, if it has samples.
     pub fn histogram(&self, name: &str) -> Option<Summary> {
-        self.histograms.iter().find(|(k, _)| k == name).map(|(_, s)| *s)
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.histograms[i].1)
+    }
+
+    /// The cumulative bucket view of the named histogram, if it has
+    /// samples.
+    pub fn buckets(&self, name: &str) -> Option<&HistBuckets> {
+        self.hist_buckets
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.hist_buckets[i].1)
     }
 
     /// Sums every counter whose name starts with `prefix` — e.g.

@@ -56,7 +56,10 @@ use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, Astro2Msg, AstroTwoReplica};
 use astro_core::{CoreObs, ReplicaStep, SubmitError};
 use astro_net::{Endpoint, InProcTransport, NetError, TcpTransport, Transport};
-use astro_obs::{Counter, FlightRecorder, Histogram, PaymentTracer, Registry, Stage};
+use astro_obs::{
+    Counter, FlightRecorder, HealthConfig, HealthMonitor, Histogram, PaymentTracer, Registry,
+    ServeHandle, Stage,
+};
 use astro_types::wire::{decode_exact, Wire};
 use astro_types::{
     Amount, ClientId, ConfigError, Keychain, Payment, ReplicaId, SchnorrAuthenticator, ShardLayout,
@@ -153,6 +156,11 @@ pub enum ClusterError {
         /// Signing keychains provided.
         signing: usize,
     },
+    /// The operation needs a metric registry, but the cluster was
+    /// started unobserved.
+    NotObserved,
+    /// The metrics scrape endpoint could not be started.
+    Export(std::io::Error),
 }
 
 impl core::fmt::Display for ClusterError {
@@ -177,6 +185,10 @@ impl core::fmt::Display for ClusterError {
             ClusterError::KeychainMismatch { transport, signing } => {
                 write!(f, "{transport} transport keychains but {signing} signing keychains")
             }
+            ClusterError::NotObserved => {
+                f.write_str("cluster was started without a metric registry")
+            }
+            ClusterError::Export(e) => write!(f, "metrics endpoint failed: {e}"),
         }
     }
 }
@@ -187,6 +199,7 @@ impl std::error::Error for ClusterError {
             ClusterError::Config(e) => Some(e),
             ClusterError::Net(e) => Some(e),
             ClusterError::Storage(e) => Some(e),
+            ClusterError::Export(e) => Some(e),
             _ => None,
         }
     }
@@ -541,6 +554,40 @@ impl Cluster {
     /// The metric registry, if the cluster runs observed.
     pub fn registry(&self) -> Option<&Arc<Registry>> {
         self.registry.as_ref()
+    }
+
+    /// Starts the live scrape endpoint ([`Registry::serve`]) for this
+    /// cluster's registry on `addr` (`"127.0.0.1:0"` for an ephemeral
+    /// port). The endpoint runs on its own thread and stops when the
+    /// returned handle is dropped; it never touches the settle path
+    /// beyond the relaxed atomic reads a snapshot performs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster runs unobserved or the address cannot be
+    /// bound.
+    pub fn serve_metrics(&self, addr: &str) -> Result<ServeHandle, ClusterError> {
+        let registry = self.registry.as_ref().ok_or(ClusterError::NotObserved)?;
+        registry.serve(addr).map_err(ClusterError::Export)
+    }
+
+    /// Spawns the gray-failure health tick
+    /// ([`HealthMonitor`](astro_obs::HealthMonitor)): every `interval`
+    /// it snapshots the registry, feeds the
+    /// [`HealthEngine`](astro_obs::HealthEngine), and publishes
+    /// `health.*` gauges plus flight-recorder transition events. The
+    /// monitor stops when the returned handle is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster runs unobserved.
+    pub fn spawn_health_monitor(
+        &self,
+        cfg: HealthConfig,
+        interval: Duration,
+    ) -> Result<HealthMonitor, ClusterError> {
+        let registry = self.registry.as_ref().ok_or(ClusterError::NotObserved)?;
+        Ok(HealthMonitor::spawn(Arc::clone(registry), self.seats.len(), cfg, interval))
     }
 
     /// True if replica `i`'s thread is (still) attached.
@@ -1132,6 +1179,29 @@ impl AstroOneCluster {
         self.inner.registry()
     }
 
+    /// Starts the live scrape endpoint; see [`Cluster::serve_metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster runs unobserved or the bind fails.
+    pub fn serve_metrics(&self, addr: &str) -> Result<ServeHandle, ClusterError> {
+        self.inner.serve_metrics(addr)
+    }
+
+    /// Spawns the gray-failure health tick; see
+    /// [`Cluster::spawn_health_monitor`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster runs unobserved.
+    pub fn spawn_health_monitor(
+        &self,
+        cfg: HealthConfig,
+        interval: Duration,
+    ) -> Result<HealthMonitor, ClusterError> {
+        self.inner.spawn_health_monitor(cfg, interval)
+    }
+
     /// Submits a payment to the spender's representative.
     ///
     /// # Errors
@@ -1379,6 +1449,29 @@ impl AstroTwoCluster {
     /// The metric registry, if the cluster runs observed.
     pub fn registry(&self) -> Option<&Arc<Registry>> {
         self.inner.registry()
+    }
+
+    /// Starts the live scrape endpoint; see [`Cluster::serve_metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster runs unobserved or the bind fails.
+    pub fn serve_metrics(&self, addr: &str) -> Result<ServeHandle, ClusterError> {
+        self.inner.serve_metrics(addr)
+    }
+
+    /// Spawns the gray-failure health tick; see
+    /// [`Cluster::spawn_health_monitor`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster runs unobserved.
+    pub fn spawn_health_monitor(
+        &self,
+        cfg: HealthConfig,
+        interval: Duration,
+    ) -> Result<HealthMonitor, ClusterError> {
+        self.inner.spawn_health_monitor(cfg, interval)
     }
 
     /// Submits a payment to the spender's representative.

@@ -10,6 +10,7 @@ use crate::cpumodel::CpuModel;
 use crate::metrics::{LatencyRecorder, LatencyStats, ThroughputTimeline};
 use crate::netmodel::{Nanos, NetParams, Network, Region};
 use crate::systems::{ConfirmRule, SimSystem};
+use crate::telemetry::SimTelemetry;
 use crate::workload::Workload;
 use astro_brb::Dest;
 use astro_core::ReplicaStep;
@@ -51,6 +52,16 @@ pub enum Fault {
     /// `astro_store::Storage::healthy()` reports false — the process
     /// stays up and keeps voting, just slowly.
     DiskDegraded(ReplicaId, bool),
+    /// Skew the replica's timer pacing: every flush/outbox deadline
+    /// interval is stretched by `permille / 1000` (values below 1000 are
+    /// clamped to 1000 — a fast clock would only flush smaller batches,
+    /// which is not a fault). The deterministic analogue of a VM whose
+    /// timer interrupts fire late (steal time, cgroup throttling): the
+    /// replica keeps voting and settling at full speed, but its batch
+    /// cuts and CREDIT ack/retransmit pacing crawl — the gray failure
+    /// the health engine's pacing-skew rule localizes. `1000` restores
+    /// nominal pacing.
+    ClockSkew(ReplicaId, u64),
 }
 
 /// Extra per-settle stall a [`Fault::DiskDegraded`] replica pays — the
@@ -177,15 +188,38 @@ struct Outstanding {
 
 /// Runs `workload` against `system` under `cfg` and reports metrics.
 pub fn run<S: SimSystem, W: Workload>(system: S, workload: W, cfg: SimConfig) -> SimReport {
-    run_with_system(system, workload, cfg).0
+    run_inner(system, workload, cfg, None).0
 }
 
 /// Like [`run`], additionally returning the system for post-run inspection
 /// (final views, replica state).
 pub fn run_with_system<S: SimSystem, W: Workload>(
+    system: S,
+    workload: W,
+    cfg: SimConfig,
+) -> (SimReport, S) {
+    run_inner(system, workload, cfg, None)
+}
+
+/// Like [`run_with_system`], additionally feeding every network
+/// transmission, settle, and health-tick window into `telemetry` — the
+/// simulated twin of the runtime's registry + [`astro_obs::HealthEngine`]
+/// wiring. Attach the system to the same registry first
+/// (`attach_registry`) so `core.*` counters flow too.
+pub fn run_observed<S: SimSystem, W: Workload>(
+    system: S,
+    workload: W,
+    cfg: SimConfig,
+    telemetry: &mut SimTelemetry,
+) -> (SimReport, S) {
+    run_inner(system, workload, cfg, Some(telemetry))
+}
+
+fn run_inner<S: SimSystem, W: Workload>(
     mut system: S,
     mut workload: W,
     cfg: SimConfig,
+    mut telemetry: Option<&mut SimTelemetry>,
 ) -> (SimReport, S) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut network = Network::new(system.n(), cfg.net.clone());
@@ -210,6 +244,9 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
     let mut cpu_free: Vec<Nanos> = vec![0; system.n()];
     // Per-replica extra write stall per settle ([`Fault::DiskDegraded`]).
     let mut disk_stall: Vec<Nanos> = vec![0; system.n()];
+    // Per-replica timer-pacing skew in permille ([`Fault::ClockSkew`]);
+    // 1000 = nominal.
+    let mut clock_skew: Vec<u64> = vec![1000; system.n()];
     // Per-replica verifier lanes (the runtime's verify pool in simulated
     // time): each entry is when that lane next comes free. Empty when the
     // model runs verification inline.
@@ -220,6 +257,12 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
     // earlier message's verification — model that head-of-line ordering.
     let mut deliver_ready: Vec<Nanos> = vec![0; system.n()];
     let mut next_tick: Vec<Nanos> = vec![Nanos::MAX; system.n()];
+    // The authoritative (possibly skew-stretched) fire time for each
+    // replica's scheduled tick. Superseded tick events still sitting in
+    // the heap are dropped when they pop — otherwise a stale tick would
+    // fire an overdue timer at its *nominal* time and silently erode a
+    // [`Fault::ClockSkew`] stretch back to the healthy cadence.
+    let mut tick_fire: Vec<Nanos> = vec![Nanos::MAX; system.n()];
     let mut outstanding: HashMap<PaymentId, Outstanding> = HashMap::new();
     let mut entry_override: HashMap<usize, ReplicaId> = HashMap::new();
     // Payments whose representative was down at submit time, waiting for
@@ -237,6 +280,12 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
     while let Some(Reverse(event)) = heap.pop() {
         if event.time > cfg.duration {
             break;
+        }
+        // Health windows close on the simulated clock: run every tick due
+        // strictly before this event (events arrive in time order, so the
+        // registry holds exactly the state as of the window's end).
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.poll(event.time);
         }
         events += 1;
         match event.kind {
@@ -263,6 +312,9 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                 Fault::SlowLink(a, b, extra) => network.slow_link(a, b, extra),
                 Fault::DiskDegraded(r, degraded) => {
                     disk_stall[r.0 as usize] = if degraded { DISK_DEGRADED_STALL } else { 0 };
+                }
+                Fault::ClockSkew(r, permille) => {
+                    clock_skew[r.0 as usize] = permille.max(1000);
                 }
             },
             EventKind::CatchUp { replica } => {
@@ -294,11 +346,15 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                             &mut timeline,
                             &mut confirmed,
                             &mut next_tick,
+                            &mut tick_fire,
                             &mut cpu_free,
                             replica,
                             step,
                             done,
                             confirm_rule,
+                            telemetry.as_deref_mut(),
+                            &disk_stall,
+                            &clock_skew,
                         );
                     }
                     // No f+1 matching state yet (donors mid-divergence):
@@ -387,11 +443,15 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                     &mut timeline,
                     &mut confirmed,
                     &mut next_tick,
+                    &mut tick_fire,
                     &mut cpu_free,
                     entry,
                     step,
                     completion,
                     confirm_rule,
+                    telemetry.as_deref_mut(),
+                    &disk_stall,
+                    &clock_skew,
                 );
             }
             EventKind::Deliver { from, to, msg } => {
@@ -444,15 +504,26 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                     &mut timeline,
                     &mut confirmed,
                     &mut next_tick,
+                    &mut tick_fire,
                     &mut cpu_free,
                     to,
                     step,
                     completion,
                     confirm_rule,
+                    telemetry.as_deref_mut(),
+                    &disk_stall,
+                    &clock_skew,
                 );
             }
             EventKind::Tick { replica } => {
+                // Only the authoritative schedule fires the clock; ticks
+                // whose deadline was superseded by a re-schedule are
+                // inert heap residue.
+                if event.time != tick_fire[replica.0 as usize] {
+                    continue;
+                }
                 next_tick[replica.0 as usize] = Nanos::MAX;
+                tick_fire[replica.0 as usize] = Nanos::MAX;
                 if network.is_crashed(replica) {
                     continue;
                 }
@@ -475,11 +546,15 @@ pub fn run_with_system<S: SimSystem, W: Workload>(
                     &mut timeline,
                     &mut confirmed,
                     &mut next_tick,
+                    &mut tick_fire,
                     &mut cpu_free,
                     replica,
                     step,
                     completion,
                     confirm_rule,
+                    telemetry.as_deref_mut(),
+                    &disk_stall,
+                    &clock_skew,
                 );
             }
         }
@@ -523,12 +598,29 @@ fn process_step<S: SimSystem>(
     timeline: &mut ThroughputTimeline,
     confirmed: &mut usize,
     next_tick: &mut [Nanos],
+    tick_fire: &mut [Nanos],
     cpu_free: &mut [Nanos],
     replica: ReplicaId,
     step: ReplicaStep<S::Msg>,
     now: Nanos,
     confirm_rule: ConfirmRule,
+    mut telemetry: Option<&mut SimTelemetry>,
+    disk_stall: &[Nanos],
+    clock_skew: &[u64],
 ) {
+    // The settles of this step hit the WAL: record the modelled fsync
+    // latency (settle cost plus any injected disk stall) so the health
+    // engine sees the same `store.*` signal the runtime exports.
+    if !step.settled.is_empty() {
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.on_settled(
+                replica,
+                step.settled.len(),
+                cfg.cpu.settle_ns + disk_stall[replica.0 as usize],
+            );
+        }
+    }
+
     // Confirmations.
     for p in &step.settled {
         let id = p.id();
@@ -571,8 +663,11 @@ fn process_step<S: SimSystem>(
             Dest::All => {
                 for target in system.broadcast_targets(replica) {
                     send_clock += per_copy;
-                    if let Some(arrival) = network.transmit(replica, target, size, send_clock, rng)
-                    {
+                    let arrival = network.transmit(replica, target, size, send_clock, rng);
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.on_transmit(&*network, replica, target, send_clock, arrival);
+                    }
+                    if let Some(arrival) = arrival {
                         *seq += 1;
                         heap.push(Reverse(Event {
                             time: arrival,
@@ -588,7 +683,11 @@ fn process_step<S: SimSystem>(
             }
             Dest::One(target) => {
                 send_clock += per_copy;
-                if let Some(arrival) = network.transmit(replica, target, size, send_clock, rng) {
+                let arrival = network.transmit(replica, target, size, send_clock, rng);
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.on_transmit(&*network, replica, target, send_clock, arrival);
+                }
+                if let Some(arrival) = arrival {
                     *seq += 1;
                     heap.push(Reverse(Event {
                         time: arrival,
@@ -603,17 +702,20 @@ fn process_step<S: SimSystem>(
     // The sender's CPU was busy until the last copy left.
     cpu_free[replica.0 as usize] = cpu_free[replica.0 as usize].max(send_clock);
 
-    // Timer rescheduling for this replica.
+    // Timer rescheduling for this replica. A skewed clock
+    // ([`Fault::ClockSkew`]) stretches the remaining interval: the timer
+    // still fires, just `permille / 1000` later than the protocol asked
+    // for — batch cuts and outbox pacing crawl while message handling
+    // runs at full speed.
     if let Some(deadline) = system.next_deadline(replica) {
         let slot = &mut next_tick[replica.0 as usize];
         if deadline < *slot {
             *slot = deadline;
+            let skew = clock_skew[replica.0 as usize];
+            let fire = now + deadline.saturating_sub(now).saturating_mul(skew) / 1000;
+            tick_fire[replica.0 as usize] = fire;
             *seq += 1;
-            heap.push(Reverse(Event {
-                time: deadline.max(now),
-                seq: *seq,
-                kind: EventKind::Tick { replica },
-            }));
+            heap.push(Reverse(Event { time: fire, seq: *seq, kind: EventKind::Tick { replica } }));
         }
     }
 }

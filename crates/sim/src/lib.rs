@@ -45,11 +45,13 @@ pub mod harness;
 pub mod metrics;
 pub mod netmodel;
 pub mod systems;
+pub mod telemetry;
 pub mod workload;
 
 pub use cpumodel::CpuModel;
-pub use harness::{run, run_with_system, Fault, SimConfig, SimReport};
+pub use harness::{run, run_observed, run_with_system, Fault, SimConfig, SimReport};
 pub use metrics::{LatencyStats, ThroughputTimeline};
 pub use netmodel::{NetParams, Network, Region};
 pub use systems::{Astro1System, Astro2System, ChaosReport, ConfirmRule, PbftSystem, SimSystem};
+pub use telemetry::SimTelemetry;
 pub use workload::{SmallbankWorkload, UniformWorkload, Workload};

@@ -341,6 +341,16 @@ impl Astro1System {
         &self.replicas[i]
     }
 
+    /// Attaches every replica's [`astro_core::CoreObs`] instrumentation
+    /// to `registry` — the same wiring the threaded runtime's observed
+    /// constructors do, so a simulated run exports the same `core.*`
+    /// counters (used by [`crate::telemetry::SimTelemetry`]).
+    pub fn attach_registry(&mut self, registry: &astro_obs::Registry) {
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            r.set_obs(astro_core::CoreObs::for_replica(registry, i as u32));
+        }
+    }
+
     /// Turns on the chaos-schedule invariant counters (stream-tag reuse,
     /// double settles). Off by default — the benchmarks pay nothing.
     pub fn enable_chaos_audit(&mut self) {
@@ -525,6 +535,14 @@ impl Astro2System {
     /// Access to a replica (assertions in tests).
     pub fn replica(&self, i: usize) -> &AstroTwoReplica<MacAuthenticator> {
         &self.replicas[i]
+    }
+
+    /// Attaches every replica's [`astro_core::CoreObs`] instrumentation
+    /// to `registry`; see [`Astro1System::attach_registry`].
+    pub fn attach_registry(&mut self, registry: &astro_obs::Registry) {
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            r.set_obs(astro_core::CoreObs::for_replica(registry, i as u32));
+        }
     }
 
     /// The shard layout.

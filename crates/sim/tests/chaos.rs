@@ -78,11 +78,12 @@ fn cfg_with(seed: u64, faults: Vec<(Nanos, Fault)>, duration: Nanos) -> SimConfi
 
 /// Like [`build_schedule`], but every window layers a *gray* failure on
 /// top of the crash: a partial partition between two survivors, a slow
-/// link, or a degraded disk — each healed/restored when the window ends,
-/// so the run always drains. The crash victim doubles as a beneficiary
-/// representative for some clients (round-robin representation), which is
-/// exactly the "kill the representative between settle and CREDIT
-/// delivery" race the retry outbox and `CreditRequest` replay must win.
+/// link, a degraded disk, or a skewed timer — each healed/restored when
+/// the window ends, so the run always drains. The crash victim doubles
+/// as a beneficiary representative for some clients (round-robin
+/// representation), which is exactly the "kill the representative
+/// between settle and CREDIT delivery" race the retry outbox and
+/// `CreditRequest` replay must win.
 fn build_gray_schedule(raw: &[(u64, u64, u64, u64)]) -> (Vec<(Nanos, Fault)>, Nanos) {
     let mut faults = Vec::new();
     let mut t: Nanos = 300 * MS;
@@ -97,7 +98,7 @@ fn build_gray_schedule(raw: &[(u64, u64, u64, u64)]) -> (Vec<(Nanos, Fault)>, Na
         let end = start + outage_ms * MS;
         faults.push((start, Fault::Crash(v)));
         faults.push((end, Fault::Restart(v)));
-        match gray % 3 {
+        match gray % 4 {
             0 => {
                 faults.push((start, Fault::PartialPartition(a, b)));
                 faults.push((end, Fault::HealPartition(a, b)));
@@ -106,9 +107,16 @@ fn build_gray_schedule(raw: &[(u64, u64, u64, u64)]) -> (Vec<(Nanos, Fault)>, Na
                 faults.push((start, Fault::SlowLink(a, b, 20 * MS)));
                 faults.push((end, Fault::SlowLink(a, b, 0)));
             }
-            _ => {
+            2 => {
                 faults.push((start, Fault::DiskDegraded(a, true)));
                 faults.push((end, Fault::DiskDegraded(a, false)));
+            }
+            _ => {
+                // A survivor's timers crawl 8× slow: its batch cuts and
+                // CREDIT ack/retransmit pacing stretch while a peer is
+                // down — payments must still drain once pacing restores.
+                faults.push((start, Fault::ClockSkew(a, 8_000)));
+                faults.push((end, Fault::ClockSkew(a, 1_000)));
             }
         }
         t = end + 50 * MS;
