@@ -102,6 +102,37 @@ const GATES: &[Gate] = &[
         floor_fraction: 0.0,
         absolute_floor: 1.0,
     },
+    // Incremental snapshots: the full-state payload a v1 snapshot would
+    // rewrite per install, over the bytes the v2 engine actually writes
+    // (sealed delta + residual). The ratio grows with history depth —
+    // an absolute floor of 4 catches any regression back to
+    // rewrite-everything snapshots without being machine-sensitive.
+    Gate {
+        file: "BENCH_store.json",
+        metric: "snapshot_bytes_per_install",
+        field: "full_over_incremental",
+        floor_fraction: 0.0,
+        absolute_floor: 4.0,
+    },
+    // Off-thread installs must stay off the settle path: durable settle
+    // throughput with frequent incremental snapshots vs the install-free
+    // durable series, within one run (machine load cancels out).
+    Gate {
+        file: "BENCH_store.json",
+        metric: "settle_durable_n4/install_overhead",
+        field: "during_install_over_steady",
+        floor_fraction: 0.0,
+        absolute_floor: 0.9,
+    },
+    // Chunked state transfer: serve + reassemble + install of a
+    // multi-block history must not quietly regress.
+    Gate {
+        file: "BENCH_store.json",
+        metric: "state_transfer_chunked/entries_per_sec",
+        field: "elements_per_sec",
+        floor_fraction: 0.5,
+        absolute_floor: 0.0,
+    },
     // The health monitor's per-interval cost (registry snapshot + one
     // engine observe over a busy 4-replica surface) must not quietly
     // grow past its microsecond budget.

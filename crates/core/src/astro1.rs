@@ -8,11 +8,14 @@
 //! funded transactions, instead it queues them").
 
 use crate::batch::Batch;
-use crate::journal::{Astro1State, Journal, JournalSlot, WalRecord};
+use crate::journal::{
+    block_counts, merge_history_blocks, split_history_blocks, Astro1Snapshot, Astro1State, Journal,
+    JournalSlot, RecoverError, SyncBlock, SyncHead, WalRecord, SYNC_HEAD_MAX_BYTES,
+};
 use crate::ledger::{Ledger, SettleOutcome};
 use crate::obs::CoreObs;
 use crate::pending::PendingQueue;
-use crate::reconfig::{CatchUp, ReconfigMsg, SyncError};
+use crate::reconfig::{BlockVotes, CatchUp, ReconfigMsg, SyncError, SyncServeError};
 use crate::xlog::XLogError;
 use crate::{ReplicaStep, SubmitError};
 use astro_brb::bracha::{BrachaBrb, BrachaMsg};
@@ -104,6 +107,13 @@ pub(crate) const SYNC_FALLBACK_ROUNDS: u32 = 256;
 #[derive(Debug)]
 pub(crate) struct SyncSession<M> {
     pub(crate) votes: CatchUp,
+    /// Chunked-transfer block collector. Certified blocks persist across
+    /// head retries: history certification is monotonic even while the
+    /// donors keep settling.
+    pub(crate) blocks: BlockVotes,
+    /// A certified head whose referenced blocks are not all certified
+    /// yet (install completes as the last block lands).
+    pub(crate) certified_head: Option<Vec<u8>>,
     pub(crate) buffered: VecDeque<(ReplicaId, M)>,
     /// Flush ticks until the next request retry (0 = send now).
     pub(crate) ticks: u32,
@@ -117,8 +127,16 @@ pub(crate) struct SyncSession<M> {
 }
 
 impl<M> SyncSession<M> {
-    pub(crate) fn new(votes: CatchUp, rounds_left: Option<u32>) -> Self {
-        SyncSession { votes, buffered: VecDeque::new(), ticks: 0, requests: 0, rounds_left }
+    pub(crate) fn new(votes: CatchUp, blocks: BlockVotes, rounds_left: Option<u32>) -> Self {
+        SyncSession {
+            votes,
+            blocks,
+            certified_head: None,
+            buffered: VecDeque::new(),
+            ticks: 0,
+            requests: 0,
+            rounds_left,
+        }
     }
 
     pub(crate) fn park(&mut self, from: ReplicaId, msg: M) {
@@ -434,59 +452,130 @@ impl AstroOneReplica {
                 if self.syncing.is_some() || (self.ledger.total_settled() as u64) < settled {
                     return ReplicaStep::empty();
                 }
-                let state = self.sync_state(from);
-                let reply = ReconfigMsg::SyncState {
-                    settled: self.ledger.total_settled() as u64,
-                    state: state.to_wire_bytes(),
-                };
-                ReplicaStep {
-                    outbound: vec![Envelope { to: Dest::One(from), msg: Astro1Msg::Sync(reply) }],
-                    settled: Vec::new(),
-                }
-            }
-            ReconfigMsg::SyncState { settled, state } => {
-                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
-                let certified = sync.votes.offer(from, settled, state);
-                if let Some(obs) = &self.obs {
-                    obs.sync_rejected.set(sync.votes.rejected() as u64);
-                }
-                let Some(certified) = certified else {
-                    return ReplicaStep::empty();
-                };
-                let Ok(decoded) = decode_exact::<Astro1State>(&certified) else {
-                    // f+1 matching copies of undecodable bytes cannot come
-                    // from an honest majority; drop them and re-collect.
-                    sync.votes.clear();
-                    return ReplicaStep::empty();
-                };
-                match self.install_sync(&decoded) {
-                    Ok(mut out) => {
-                        // Caught up: replay the parked broadcast traffic
-                        // through the normal path (messages at or below
-                        // the installed cursor are dropped by FIFO
-                        // gating, later ones proceed).
-                        let sync = self.syncing.take().expect("syncing");
-                        for (from, m) in sync.buffered {
-                            let step = self.handle(from, Astro1Msg::Brb(m));
-                            out.outbound.extend(step.outbound);
-                            out.settled.extend(step.settled);
+                match self.sync_chunks(from) {
+                    Ok((head, blocks)) => {
+                        let mut outbound = Vec::with_capacity(blocks.len() + 1);
+                        let reply = ReconfigMsg::SyncState {
+                            settled: self.ledger.total_settled() as u64,
+                            state: head.to_wire_bytes(),
+                        };
+                        outbound
+                            .push(Envelope { to: Dest::One(from), msg: Astro1Msg::Sync(reply) });
+                        for (client, block, data) in blocks {
+                            outbound.push(Envelope {
+                                to: Dest::One(from),
+                                msg: Astro1Msg::Sync(ReconfigMsg::SyncBlock {
+                                    client,
+                                    block,
+                                    data,
+                                }),
+                            });
                         }
-                        out
+                        ReplicaStep { outbound, settled: Vec::new() }
                     }
-                    Err(_) => {
-                        // The certified state is behind this replica (the
-                        // donors lag) — discard and retry.
-                        if let Some(sync) = &mut self.syncing {
-                            sync.votes.clear();
+                    Err(SyncServeError::HeadTooLarge { bytes }) => {
+                        // Typed refusal instead of the framing layer's
+                        // oversized-payload panic.
+                        if let Some(obs) = &self.obs {
+                            obs.sync_refused_oversize.inc();
+                            obs.flight.event("core.sync.head_oversize", bytes as u64, 0);
                         }
                         ReplicaStep::empty()
                     }
                 }
             }
+            ReconfigMsg::SyncState { settled, state } => {
+                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+                if let Some(head) = sync.votes.offer(from, settled, state) {
+                    sync.certified_head = Some(head);
+                }
+                self.note_sync_progress();
+                self.try_complete_sync()
+            }
+            ReconfigMsg::SyncBlock { client, block, data } => {
+                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+                sync.blocks.offer(from, client, block, data);
+                self.note_sync_progress();
+                self.try_complete_sync()
+            }
             // The join protocol (Join / ViewProposal / StateTransfer) is
             // driven by `ReconfigReplica` deployments, not by the payment
             // replica itself.
             _ => ReplicaStep::empty(),
+        }
+    }
+
+    /// Publishes the catch-up collectors' reject/progress counters.
+    fn note_sync_progress(&mut self) {
+        let (Some(obs), Some(sync)) = (&self.obs, &self.syncing) else { return };
+        obs.sync_rejected.set((sync.votes.rejected() + sync.blocks.rejected()) as u64);
+        obs.sync_blocks_certified.set(sync.blocks.certified_len() as u64);
+    }
+
+    /// Attempts to finish the catch-up: once the head is certified and
+    /// every history block it references is certified, reassemble the
+    /// full state and install it. Anything structurally invalid discards
+    /// the collected votes and re-collects; a merely *stale* head (the
+    /// donors lag) discards only the head — certified blocks are
+    /// content-stable and stay.
+    fn try_complete_sync(&mut self) -> ReplicaStep<Astro1Msg> {
+        let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+        let Some(head_bytes) = &sync.certified_head else { return ReplicaStep::empty() };
+        let assembled = match decode_exact::<SyncHead>(head_bytes) {
+            Ok(head) => {
+                if !sync.blocks.has_all(&head.blocks) {
+                    return ReplicaStep::empty(); // blocks still certifying
+                }
+                let blocks = &sync.blocks;
+                decode_exact::<Astro1State>(&head.state_tail).ok().and_then(|mut state| {
+                    merge_history_blocks(&mut state.ledger, &head.blocks, |c, b| {
+                        blocks.certified(c, b).cloned()
+                    })
+                    .ok()
+                    .map(|()| state)
+                })
+            }
+            Err(_) => None,
+        };
+        let Some(state) = assembled else {
+            // f+1 matching copies of an undecodable or unmergeable
+            // transfer cannot come from an honest majority; drop
+            // everything and re-collect.
+            sync.certified_head = None;
+            sync.votes.clear();
+            sync.blocks.clear();
+            return ReplicaStep::empty();
+        };
+        match self.install_sync(&state) {
+            Ok(mut out) => {
+                // Caught up: replay the parked broadcast traffic through
+                // the normal path (messages at or below the installed
+                // cursor are dropped by FIFO gating, later ones proceed).
+                let sync = self.syncing.take().expect("syncing");
+                for (from, m) in sync.buffered {
+                    let step = self.handle(from, Astro1Msg::Brb(m));
+                    out.outbound.extend(step.outbound);
+                    out.settled.extend(step.settled);
+                }
+                out
+            }
+            Err(SyncError::Stale) => {
+                // The certified head is behind this replica (the donors
+                // lag) — discard it and retry; certified blocks stay.
+                if let Some(sync) = &mut self.syncing {
+                    sync.certified_head = None;
+                    sync.votes.clear();
+                }
+                ReplicaStep::empty()
+            }
+            Err(SyncError::Invalid) => {
+                if let Some(sync) = &mut self.syncing {
+                    sync.certified_head = None;
+                    sync.votes.clear();
+                    sync.blocks.clear();
+                }
+                ReplicaStep::empty()
+            }
         }
     }
 
@@ -601,7 +690,11 @@ impl AstroOneReplica {
     /// restarts use [`Self::begin_catchup_with_fallback`].
     pub fn begin_catchup(&mut self) {
         let floor = self.ledger.total_settled() as u64;
-        self.syncing = Some(SyncSession::new(CatchUp::new(&self.group, self.me, floor), None));
+        self.syncing = Some(SyncSession::new(
+            CatchUp::new(&self.group, self.me, floor),
+            BlockVotes::new(&self.group, self.me),
+            None,
+        ));
     }
 
     /// Like [`Self::begin_catchup`], but gives up after a bounded number
@@ -615,6 +708,7 @@ impl AstroOneReplica {
         let floor = self.ledger.total_settled() as u64;
         self.syncing = Some(SyncSession::new(
             CatchUp::new(&self.group, self.me, floor),
+            BlockVotes::new(&self.group, self.me),
             Some(SYNC_FALLBACK_ROUNDS),
         ));
     }
@@ -640,6 +734,119 @@ impl AstroOneReplica {
         let mut state = self.export_state();
         state.next_tag = self.brb.source_high_water(u64::from(requester.0));
         state
+    }
+
+    /// The chunked form of [`Self::sync_state`]: settled history splits
+    /// into content-stable [`crate::journal::SYNC_BLOCK_ENTRIES`]-entry
+    /// xlog blocks (certified per-block at the requester), and the
+    /// volatile remainder — ledger tails, balances, approval queue,
+    /// cursors — rides in a small [`SyncHead`]. Every piece stays far
+    /// below the wire frame cap regardless of total settled history.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncServeError::HeadTooLarge`] if the volatile head alone
+    /// exceeds [`SYNC_HEAD_MAX_BYTES`] — a pathological state (an
+    /// enormous approval queue) that must be refused rather than
+    /// panicking the framing layer.
+    pub fn sync_chunks(
+        &self,
+        requester: ReplicaId,
+    ) -> Result<(SyncHead, Vec<SyncBlock>), SyncServeError> {
+        let mut state = self.sync_state(requester);
+        let blocks = split_history_blocks(&mut state.ledger);
+        let head = SyncHead { blocks: block_counts(&blocks), state_tail: state.to_wire_bytes() };
+        let bytes = head.state_tail.len();
+        if bytes > SYNC_HEAD_MAX_BYTES {
+            return Err(SyncServeError::HeadTooLarge { bytes });
+        }
+        Ok((head, blocks))
+    }
+
+    /// Seals the settle delta since the last checkpoint: one
+    /// [`crate::journal::CheckpointRecord`] per dirty account (encoded),
+    /// in canonical client order, and advances the per-account
+    /// watermarks. Empty when nothing settled since the last seal. The
+    /// durable runtime writes the returned records as one immutable
+    /// checkpoint segment; the next [`Self::residual_state`] then only
+    /// carries state *above* the watermarks.
+    pub fn seal_checkpoint(&mut self) -> Vec<Vec<u8>> {
+        self.ledger
+            .seal_delta()
+            .iter()
+            .map(super::journal::CheckpointRecord::to_wire_bytes)
+            .collect()
+    }
+
+    /// The residual snapshot: the volatile protocol state **not** covered
+    /// by checkpoint segments — the approval queue, the broadcast tag
+    /// counter, and delivery cursors. Captured at the same instant as
+    /// [`Self::seal_checkpoint`], the sealed segments reconstruct the
+    /// entire ledger, so the residual needs none of it; its size is
+    /// O(working set), not O(total settled).
+    pub fn residual_state(&self, sealed_segments: u64) -> Astro1Snapshot {
+        Astro1Snapshot {
+            sealed_segments,
+            pending: self.pending.payments(),
+            next_tag: self.next_tag,
+            cursors: self.brb.delivery_cursors(),
+        }
+    }
+
+    /// Forgets the checkpoint watermarks: every account becomes dirty
+    /// again and the next [`Self::seal_checkpoint`] re-exports full
+    /// history. The durable runtime calls this when a checkpoint segment
+    /// fails to persist — the on-disk segment sequence stops being a
+    /// prefix of what the watermarks assume, so the only safe move is to
+    /// restart checkpointing from scratch.
+    pub fn rebaseline(&mut self) {
+        self.ledger.rebaseline();
+    }
+
+    /// Reconstructs a replica from recovered checkpoint segments plus the
+    /// residual snapshot — the segmented counterpart of
+    /// [`Self::restore`]. `segments` are the decoded record payloads of
+    /// the sealed segments, in index order; the residual's
+    /// `sealed_segments` says how many of them it builds on (extra
+    /// trailing segments — sealed after the residual was written but
+    /// before its WAL truncation — are ignored; *missing* ones are
+    /// unrecoverable).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::MissingSegments`] if fewer segments were recovered
+    /// than the residual references, [`RecoverError::Discontinuity`] /
+    /// [`RecoverError::Decode`] on segment content that does not chain,
+    /// [`RecoverError::Log`] if the reassembled xlogs violate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a member of the layout (as [`Self::new`]).
+    pub fn restore_from_checkpoints(
+        me: ReplicaId,
+        layout: ShardLayout,
+        cfg: Astro1Config,
+        segments: &[Vec<Vec<u8>>],
+        residual: &Astro1Snapshot,
+    ) -> Result<Self, RecoverError> {
+        if (segments.len() as u64) < residual.sealed_segments {
+            return Err(RecoverError::MissingSegments {
+                referenced: residual.sealed_segments,
+                recovered: segments.len() as u64,
+            });
+        }
+        let sealed = &segments[..residual.sealed_segments as usize];
+        let initial_balance = cfg.initial_balance;
+        let mut replica = AstroOneReplica::new(me, layout, cfg);
+        replica.ledger = Ledger::from_checkpoints(initial_balance, sealed)?;
+        for payment in &residual.pending {
+            replica.pending.push(*payment, ());
+        }
+        replica.next_tag = residual.next_tag;
+        for (source, next) in &residual.cursors {
+            replica.brb.advance_cursor(*source, *next);
+        }
+        Ok(replica)
     }
 
     /// Installs a certified peer state over the locally recovered one:
@@ -1022,5 +1229,103 @@ mod tests {
             assert!(c.settled(i).is_empty(), "forged payment must not settle");
             assert_eq!(c.node(i).balance(victim), Amount(100));
         }
+    }
+
+    /// A settlement state with `entries` payments on client 7's xlog —
+    /// bulk history for the chunked-transfer tests (built directly; the
+    /// broadcast path would take minutes at this size).
+    fn long_state(entries: u64) -> Astro1State {
+        let history: Vec<Payment> =
+            (0..entries).map(|seq| Payment::new(7u64, seq, 8u64, 1u64)).collect();
+        Astro1State {
+            ledger: crate::journal::LedgerState {
+                initial_balance: Amount(100),
+                accounts: vec![(ClientId(7), Amount(100)), (ClientId(8), Amount(100 + entries))],
+                xlogs: vec![(ClientId(7), history)],
+            },
+            pending: Vec::new(),
+            next_tag: 0,
+            cursors: Vec::new(),
+        }
+    }
+
+    fn restored(i: u32, state: &Astro1State) -> AstroOneReplica {
+        AstroOneReplica::restore(
+            ReplicaId(i),
+            ShardLayout::single(4).unwrap(),
+            Astro1Config { batch_size: 1, initial_balance: Amount(100) },
+            state,
+        )
+        .expect("valid state")
+    }
+
+    #[test]
+    fn chunked_catchup_round_trips_large_history() {
+        use crate::journal::SYNC_BLOCK_ENTRIES;
+        // Two full history blocks plus a tail: the transfer must split.
+        let entries = 2 * SYNC_BLOCK_ENTRIES as u64 + 100;
+        let state = long_state(entries);
+        let mut c = PaymentCluster::new((0..4).map(|i| {
+            if i == 3 {
+                // The restarted replica: no local state at all.
+                AstroOneReplica::new(
+                    ReplicaId(3),
+                    ShardLayout::single(4).unwrap(),
+                    Astro1Config { batch_size: 1, initial_balance: Amount(100) },
+                )
+            } else {
+                restored(i, &state)
+            }
+        }));
+        let (head, blocks) = c.node(0).sync_chunks(ReplicaId(3)).expect("serves");
+        assert_eq!(blocks.len(), 2, "two sealed blocks");
+        assert_eq!(head.blocks, vec![(ClientId(7), 2)]);
+
+        c.node_mut(3).begin_catchup();
+        let step = c.node_mut(3).flush();
+        c.submit_step(ReplicaId(3), step);
+        c.run_to_quiescence();
+
+        assert!(!c.node(3).is_syncing(), "chunked install completed");
+        assert_eq!(c.node(3).export_state().ledger, state.ledger);
+        assert_eq!(c.settled(3).len() as u64, entries, "installed delta reported once");
+    }
+
+    #[test]
+    fn sync_frames_stay_below_the_wire_cap_for_giant_states() {
+        use astro_types::wire::{Wire, MAX_FRAME_LEN};
+        // ~19 MiB of settled history: the v1 single-frame transfer would
+        // hit `put_frame`'s oversized-payload panic on the donor.
+        let entries = 600_000u64;
+        let state = long_state(entries);
+        assert!(state.to_wire_bytes().len() > MAX_FRAME_LEN, "history exceeds one frame");
+        let mut donor = restored(0, &state);
+        let step =
+            donor.handle(ReplicaId(3), Astro1Msg::Sync(ReconfigMsg::SyncRequest { settled: 0 }));
+        assert!(!step.outbound.is_empty(), "giant state still served");
+        for env in &step.outbound {
+            assert!(
+                env.msg.encoded_len() < MAX_FRAME_LEN,
+                "every sync frame stays below the wire cap"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_volatile_head_is_refused_with_a_typed_error() {
+        use crate::reconfig::SyncServeError;
+        // History chunks, but the volatile head (here: a pathological
+        // approval queue) cannot — past the bound the donor refuses
+        // instead of panicking the framing layer.
+        let mut state = long_state(4);
+        state.pending = (0..300_000u64).map(|c| Payment::new(c, 0u64, 1u64, u64::MAX)).collect();
+        let mut donor = restored(0, &state);
+        assert!(matches!(
+            donor.sync_chunks(ReplicaId(3)),
+            Err(SyncServeError::HeadTooLarge { .. })
+        ));
+        let step =
+            donor.handle(ReplicaId(3), Astro1Msg::Sync(ReconfigMsg::SyncRequest { settled: 0 }));
+        assert!(step.outbound.is_empty(), "refusal, not a panic or a partial serve");
     }
 }

@@ -18,11 +18,14 @@ use crate::batch::{
     credit_ack_context, credit_context, verify_certificate, CreditBundle, DepBatch, DepPayment,
     DependencyCertificate,
 };
-use crate::journal::{Astro2State, Journal, JournalSlot, WalRecord};
+use crate::journal::{
+    block_counts, merge_history_blocks, split_history_blocks, Astro2Snapshot, Astro2State, Journal,
+    JournalSlot, RecoverError, SyncBlock, SyncHead, WalRecord, SYNC_HEAD_MAX_BYTES,
+};
 use crate::ledger::{Ledger, SettleOutcome};
 use crate::obs::CoreObs;
 use crate::pending::PendingQueue;
-use crate::reconfig::{CatchUp, ReconfigMsg, SyncError};
+use crate::reconfig::{BlockVotes, CatchUp, ReconfigMsg, SyncError, SyncServeError};
 use crate::xlog::XLogError;
 use crate::{ReplicaStep, SubmitError};
 use astro_brb::signed::{SignedBrb, SignedMsg};
@@ -989,53 +992,127 @@ impl<A: Authenticator> AstroTwoReplica<A> {
                 if self.syncing.is_some() || (self.ledger.total_settled() as u64) < settled {
                     return ReplicaStep::empty();
                 }
-                let state = self.sync_state(from);
-                let reply = ReconfigMsg::SyncState {
-                    settled: self.ledger.total_settled() as u64,
-                    state: state.to_wire_bytes(),
-                };
-                ReplicaStep {
-                    outbound: vec![Envelope {
-                        to: astro_brb::Dest::One(from),
-                        msg: Astro2Msg::Sync(reply),
-                    }],
-                    settled: Vec::new(),
-                }
-            }
-            ReconfigMsg::SyncState { settled, state } => {
-                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
-                let certified = sync.votes.offer(from, settled, state);
-                if let Some(obs) = &self.obs {
-                    obs.sync_rejected.set(sync.votes.rejected() as u64);
-                }
-                let Some(certified) = certified else {
-                    return ReplicaStep::empty();
-                };
-                let Ok(decoded) = decode_exact::<Astro2State>(&certified) else {
-                    sync.votes.clear();
-                    return ReplicaStep::empty();
-                };
-                match self.install_sync(&decoded) {
-                    Ok(mut out) => {
-                        let sync = self.syncing.take().expect("syncing");
-                        for (from, m) in sync.buffered {
-                            let step = self.handle(from, Astro2Msg::Brb(m));
-                            out.outbound.extend(step.outbound);
-                            out.settled.extend(step.settled);
+                match self.sync_chunks(from) {
+                    Ok((head, blocks)) => {
+                        let mut outbound = Vec::with_capacity(blocks.len() + 1);
+                        let reply = ReconfigMsg::SyncState {
+                            settled: self.ledger.total_settled() as u64,
+                            state: head.to_wire_bytes(),
+                        };
+                        outbound.push(Envelope {
+                            to: astro_brb::Dest::One(from),
+                            msg: Astro2Msg::Sync(reply),
+                        });
+                        for (client, block, data) in blocks {
+                            outbound.push(Envelope {
+                                to: astro_brb::Dest::One(from),
+                                msg: Astro2Msg::Sync(ReconfigMsg::SyncBlock {
+                                    client,
+                                    block,
+                                    data,
+                                }),
+                            });
                         }
-                        out
+                        ReplicaStep { outbound, settled: Vec::new() }
                     }
-                    Err(_) => {
-                        if let Some(sync) = &mut self.syncing {
-                            sync.votes.clear();
+                    Err(SyncServeError::HeadTooLarge { bytes }) => {
+                        // Typed refusal instead of the framing layer's
+                        // oversized-payload panic.
+                        if let Some(obs) = &self.obs {
+                            obs.sync_refused_oversize.inc();
+                            obs.flight.event("core.sync.head_oversize", bytes as u64, 0);
                         }
                         ReplicaStep::empty()
                     }
                 }
             }
+            ReconfigMsg::SyncState { settled, state } => {
+                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+                if let Some(head) = sync.votes.offer(from, settled, state) {
+                    sync.certified_head = Some(head);
+                }
+                self.note_sync_progress();
+                self.try_complete_sync()
+            }
+            ReconfigMsg::SyncBlock { client, block, data } => {
+                let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+                sync.blocks.offer(from, client, block, data);
+                self.note_sync_progress();
+                self.try_complete_sync()
+            }
             // The join protocol is driven by `ReconfigReplica`
             // deployments, not by the payment replica itself.
             _ => ReplicaStep::empty(),
+        }
+    }
+
+    /// Publishes the catch-up collectors' reject/progress counters.
+    fn note_sync_progress(&mut self) {
+        let (Some(obs), Some(sync)) = (&self.obs, &self.syncing) else { return };
+        obs.sync_rejected.set((sync.votes.rejected() + sync.blocks.rejected()) as u64);
+        obs.sync_blocks_certified.set(sync.blocks.certified_len() as u64);
+    }
+
+    /// Attempts to finish the catch-up; the Astro II twin of
+    /// [`crate::astro1::AstroOneReplica`]'s completion flow — certified
+    /// head plus all referenced history blocks reassemble into a full
+    /// [`Astro2State`] and install. Invalid transfers discard every vote;
+    /// a merely stale head keeps the content-stable certified blocks.
+    fn try_complete_sync(&mut self) -> ReplicaStep<Astro2Msg<A::Sig>> {
+        let Some(sync) = &mut self.syncing else { return ReplicaStep::empty() };
+        let Some(head_bytes) = &sync.certified_head else { return ReplicaStep::empty() };
+        let assembled = match decode_exact::<SyncHead>(head_bytes) {
+            Ok(head) => {
+                if !sync.blocks.has_all(&head.blocks) {
+                    return ReplicaStep::empty(); // blocks still certifying
+                }
+                let blocks = &sync.blocks;
+                decode_exact::<Astro2State>(&head.state_tail).ok().and_then(|mut state| {
+                    merge_history_blocks(&mut state.ledger, &head.blocks, |c, b| {
+                        blocks.certified(c, b).cloned()
+                    })
+                    .ok()
+                    .map(|()| state)
+                })
+            }
+            Err(_) => None,
+        };
+        let Some(state) = assembled else {
+            // f+1 matching copies of an undecodable or unmergeable
+            // transfer cannot come from an honest majority; drop
+            // everything and re-collect.
+            sync.certified_head = None;
+            sync.votes.clear();
+            sync.blocks.clear();
+            return ReplicaStep::empty();
+        };
+        match self.install_sync(&state) {
+            Ok(mut out) => {
+                let sync = self.syncing.take().expect("syncing");
+                for (from, m) in sync.buffered {
+                    let step = self.handle(from, Astro2Msg::Brb(m));
+                    out.outbound.extend(step.outbound);
+                    out.settled.extend(step.settled);
+                }
+                out
+            }
+            Err(SyncError::Stale) => {
+                // The certified head is behind this replica (the donors
+                // lag) — discard it and retry; certified blocks stay.
+                if let Some(sync) = &mut self.syncing {
+                    sync.certified_head = None;
+                    sync.votes.clear();
+                }
+                ReplicaStep::empty()
+            }
+            Err(SyncError::Invalid) => {
+                if let Some(sync) = &mut self.syncing {
+                    sync.certified_head = None;
+                    sync.votes.clear();
+                    sync.blocks.clear();
+                }
+                ReplicaStep::empty()
+            }
         }
     }
 
@@ -1556,7 +1633,11 @@ impl<A: Authenticator> AstroTwoReplica<A> {
     pub fn begin_catchup(&mut self) {
         let floor = self.ledger.total_settled() as u64;
         let group = self.group().clone();
-        self.syncing = Some(SyncSession::new(CatchUp::new(&group, self.me, floor), None));
+        self.syncing = Some(SyncSession::new(
+            CatchUp::new(&group, self.me, floor),
+            BlockVotes::new(&group, self.me),
+            None,
+        ));
     }
 
     /// Like [`Self::begin_catchup`], but gives up after a bounded number
@@ -1567,6 +1648,7 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         let group = self.group().clone();
         self.syncing = Some(SyncSession::new(
             CatchUp::new(&group, self.me, floor),
+            BlockVotes::new(&group, self.me),
             Some(crate::astro1::SYNC_FALLBACK_ROUNDS),
         ));
     }
@@ -1597,6 +1679,115 @@ impl<A: Authenticator> AstroTwoReplica<A> {
         state.outbox = Vec::new();
         state.next_tag = self.brb.source_high_water(u64::from(requester.0));
         state
+    }
+
+    /// The chunked form of [`Self::sync_state`]; see
+    /// [`crate::astro1::AstroOneReplica::sync_chunks`]. Settled history
+    /// splits into content-stable blocks, the volatile remainder rides in
+    /// a small [`SyncHead`].
+    ///
+    /// # Errors
+    ///
+    /// [`SyncServeError::HeadTooLarge`] if the volatile head alone
+    /// exceeds [`SYNC_HEAD_MAX_BYTES`].
+    pub fn sync_chunks(
+        &self,
+        requester: ReplicaId,
+    ) -> Result<(SyncHead, Vec<SyncBlock>), SyncServeError> {
+        let mut state = self.sync_state(requester);
+        let blocks = split_history_blocks(&mut state.ledger);
+        let head = SyncHead { blocks: block_counts(&blocks), state_tail: state.to_wire_bytes() };
+        let bytes = head.state_tail.len();
+        if bytes > SYNC_HEAD_MAX_BYTES {
+            return Err(SyncServeError::HeadTooLarge { bytes });
+        }
+        Ok((head, blocks))
+    }
+
+    /// Seals the settle delta since the last checkpoint; see
+    /// [`crate::astro1::AstroOneReplica::seal_checkpoint`].
+    pub fn seal_checkpoint(&mut self) -> Vec<Vec<u8>> {
+        self.ledger
+            .seal_delta()
+            .iter()
+            .map(crate::journal::CheckpointRecord::to_wire_bytes)
+            .collect()
+    }
+
+    /// The residual snapshot — everything outside the ledger (which the
+    /// checkpoint segments reconstruct in full at seal time); see
+    /// [`crate::astro1::AstroOneReplica::residual_state`].
+    pub fn residual_state(&self, sealed_segments: u64) -> Astro2Snapshot {
+        let full = self.export_state();
+        Astro2Snapshot {
+            sealed_segments,
+            pending: full.pending,
+            used_deps: full.used_deps,
+            stuck: full.stuck,
+            certs: full.certs,
+            outbox: full.outbox,
+            next_tag: full.next_tag,
+            cursors: full.cursors,
+        }
+    }
+
+    /// Forgets the checkpoint watermarks; see
+    /// [`crate::astro1::AstroOneReplica::rebaseline`].
+    pub fn rebaseline(&mut self) {
+        self.ledger.rebaseline();
+    }
+
+    /// Reconstructs a replica from recovered checkpoint segments plus the
+    /// residual snapshot — the segmented counterpart of [`Self::restore`];
+    /// see [`crate::astro1::AstroOneReplica::restore_from_checkpoints`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::astro1::AstroOneReplica::restore_from_checkpoints`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is not a member of the layout (as
+    /// [`Self::new`]).
+    pub fn restore_from_checkpoints(
+        auth: A,
+        layout: ShardLayout,
+        cfg: Astro2Config,
+        segments: &[Vec<Vec<u8>>],
+        residual: &Astro2Snapshot,
+    ) -> Result<Self, RecoverError> {
+        if (segments.len() as u64) < residual.sealed_segments {
+            return Err(RecoverError::MissingSegments {
+                referenced: residual.sealed_segments,
+                recovered: segments.len() as u64,
+            });
+        }
+        let sealed = &segments[..residual.sealed_segments as usize];
+        let initial_balance = cfg.initial_balance;
+        let mut replica = AstroTwoReplica::new(auth, layout, cfg);
+        replica.ledger = Ledger::from_checkpoints(initial_balance, sealed)?;
+        for (payment, deps) in &residual.pending {
+            let decoded: Vec<DependencyCertificate<A::Sig>> =
+                deps.iter().filter_map(|bytes| decode_exact(bytes).ok()).collect();
+            replica.pending.push(*payment, decoded);
+        }
+        replica.used_deps = residual.used_deps.iter().copied().collect();
+        replica.stuck = residual.stuck.iter().copied().collect();
+        for (client, certs) in &residual.certs {
+            let decoded: Vec<DependencyCertificate<A::Sig>> =
+                certs.iter().filter_map(|bytes| decode_exact(bytes).ok()).collect();
+            if !decoded.is_empty() {
+                replica.rep_deps.insert(*client, decoded);
+            }
+        }
+        for (dest, bundle) in &residual.outbox {
+            replica.restore_outbox_entry(*dest, bundle.clone());
+        }
+        replica.next_tag = residual.next_tag;
+        for (source, next) in &residual.cursors {
+            replica.brb.advance_cursor(*source, *next);
+        }
+        Ok(replica)
     }
 
     /// Installs a certified peer state over the locally recovered one;

@@ -21,8 +21,29 @@
 //! holding the same state — which is exactly the paper's convergence
 //! claim made checkable on disk.
 
-use astro_types::wire::{Wire, WireError};
+use crate::xlog::XLogError;
+use astro_types::wire::{decode_exact, Wire, WireError};
 use astro_types::{Amount, ClientId, Payment, PaymentId, ReplicaId};
+
+/// Entries per sync history block (chunked catch-up state transfer).
+///
+/// A block is the wire encoding of `SYNC_BLOCK_ENTRIES` consecutive xlog
+/// entries of one client, aligned to multiples of the block size. Only
+/// *full* blocks are split out of a transferred state: a full block of a
+/// per-sender log is content-stable across correct donors (log prefix
+/// consistency), so per-block `f+1` byte-identical certification
+/// accumulates monotonically across retry rounds even while the donors
+/// keep settling. At ~32 bytes per payment a block encodes to ~16 KiB —
+/// far below the 16 MiB `MAX_FRAME_LEN` wire bound.
+pub const SYNC_BLOCK_ENTRIES: usize = 512;
+
+/// Upper bound on the encoded size of a [`SyncHead`] a donor will serve.
+///
+/// The head carries the volatile remainder of the state (balances, xlog
+/// tails, queues, cursors) and must fit one wire frame with room to
+/// spare; a donor whose head exceeds this refuses with a typed error
+/// instead of reaching `put_frame`'s panic on oversized payloads.
+pub const SYNC_HEAD_MAX_BYTES: usize = 8 << 20;
 
 /// One durably-logged state-machine effect.
 ///
@@ -399,10 +420,314 @@ impl Wire for Astro2State {
     }
 }
 
+/// One account's sealed history delta: everything that changed since the
+/// account's last checkpoint, destined for an immutable checkpoint
+/// segment (see `astro-store`'s `checkpoint` module).
+///
+/// The balance is *absolute at seal time*, so segment replay is
+/// last-writer-wins per account and never re-executes debits; the xlog
+/// delta is positional — `entries` extend the account's log exactly at
+/// `base`, and recovery rejects any discontinuity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// The account this delta belongs to.
+    pub client: ClientId,
+    /// The account's settled balance when the delta was sealed.
+    pub balance: Amount,
+    /// Number of xlog entries already sealed by earlier segments; the
+    /// first entry in `entries` has sequence number `base`.
+    pub base: u64,
+    /// The xlog entries settled since the last checkpoint of this
+    /// account (may be empty for a pure balance change).
+    pub entries: Vec<Payment>,
+}
+
+impl Wire for CheckpointRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.client.encode(buf);
+        self.balance.encode(buf);
+        self.base.encode(buf);
+        self.entries.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CheckpointRecord {
+            client: Wire::decode(buf)?,
+            balance: Wire::decode(buf)?,
+            base: Wire::decode(buf)?,
+            entries: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.client.encoded_len()
+            + self.balance.encoded_len()
+            + self.base.encoded_len()
+            + self.entries.encoded_len()
+    }
+}
+
+/// The residual snapshot of an Astro I replica (v2 storage engine): the
+/// volatile protocol state *not* covered by checkpoint segments. Settled
+/// history and balances live in the `sealed_segments` checkpoint
+/// segments this snapshot builds on — the snapshot itself stays O(working
+/// set) no matter how much history has settled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Astro1Snapshot {
+    /// How many checkpoint segments this snapshot builds on. Recovery
+    /// uses exactly this many (an orphan segment sealed just before a
+    /// crash, whose snapshot never installed, is ignored) and fails if
+    /// fewer are recovered intact.
+    pub sealed_segments: u64,
+    /// Payments queued awaiting approval, `(spender, seq)` ascending.
+    pub pending: Vec<Payment>,
+    /// The replica's own next broadcast tag.
+    pub next_tag: u64,
+    /// BRB delivery cursors, ascending by source.
+    pub cursors: Vec<(u64, u64)>,
+}
+
+impl Wire for Astro1Snapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sealed_segments.encode(buf);
+        self.pending.encode(buf);
+        self.next_tag.encode(buf);
+        self.cursors.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Astro1Snapshot {
+            sealed_segments: Wire::decode(buf)?,
+            pending: Wire::decode(buf)?,
+            next_tag: Wire::decode(buf)?,
+            cursors: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.sealed_segments.encoded_len()
+            + self.pending.encoded_len()
+            + self.next_tag.encoded_len()
+            + self.cursors.encoded_len()
+    }
+}
+
+/// The residual snapshot of an Astro II replica — see [`Astro1Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Astro2Snapshot {
+    /// Checkpoint segments this snapshot builds on (see
+    /// [`Astro1Snapshot::sealed_segments`]).
+    pub sealed_segments: u64,
+    /// Queued payments with their attached certificates.
+    pub pending: Vec<(Payment, Vec<Vec<u8>>)>,
+    /// Dependency credits already materialized, ascending.
+    pub used_deps: Vec<PaymentId>,
+    /// Clients with permanently stuck xlogs, ascending.
+    pub stuck: Vec<ClientId>,
+    /// Held dependency certificates per represented client.
+    pub certs: Vec<(ClientId, Vec<Vec<u8>>)>,
+    /// Unacked CREDIT sub-batches still owed delivery.
+    pub outbox: Vec<(ReplicaId, Vec<Payment>)>,
+    /// The replica's own next broadcast tag.
+    pub next_tag: u64,
+    /// BRB delivery cursors, ascending by source.
+    pub cursors: Vec<(u64, u64)>,
+}
+
+impl Wire for Astro2Snapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sealed_segments.encode(buf);
+        self.pending.encode(buf);
+        self.used_deps.encode(buf);
+        self.stuck.encode(buf);
+        self.certs.encode(buf);
+        self.outbox.encode(buf);
+        self.next_tag.encode(buf);
+        self.cursors.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Astro2Snapshot {
+            sealed_segments: Wire::decode(buf)?,
+            pending: Wire::decode(buf)?,
+            used_deps: Wire::decode(buf)?,
+            stuck: Wire::decode(buf)?,
+            certs: Wire::decode(buf)?,
+            outbox: Wire::decode(buf)?,
+            next_tag: Wire::decode(buf)?,
+            cursors: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.sealed_segments.encoded_len()
+            + self.pending.encoded_len()
+            + self.used_deps.encoded_len()
+            + self.stuck.encoded_len()
+            + self.certs.encoded_len()
+            + self.outbox.encoded_len()
+            + self.next_tag.encoded_len()
+            + self.cursors.encoded_len()
+    }
+}
+
+/// Why a recovered snapshot + checkpoint-segment combination could not be
+/// turned back into a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverError {
+    /// A checkpoint record's `base` does not meet the xlog it extends —
+    /// a segment is missing or records were reordered.
+    Discontinuity {
+        /// The account with the broken chain.
+        client: ClientId,
+        /// The xlog length the next record had to start at.
+        expected: u64,
+        /// The record's `base`.
+        got: u64,
+    },
+    /// A record's entries violate the xlog owner/sequence invariants.
+    Log(XLogError),
+    /// The residual snapshot builds on more sealed segments than were
+    /// recovered intact from disk.
+    MissingSegments {
+        /// Segments the snapshot requires.
+        referenced: u64,
+        /// Valid segments found on disk.
+        recovered: u64,
+    },
+    /// A checkpoint record or snapshot section failed to decode.
+    Decode,
+}
+
+impl core::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoverError::Discontinuity { client, expected, got } => write!(
+                f,
+                "checkpoint chain broken for client {client}: expected base {expected}, got {got}"
+            ),
+            RecoverError::Log(e) => write!(f, "checkpoint entries invalid: {e}"),
+            RecoverError::MissingSegments { referenced, recovered } => write!(
+                f,
+                "snapshot references {referenced} checkpoint segments but only {recovered} \
+                 recovered intact"
+            ),
+            RecoverError::Decode => f.write_str("checkpoint record failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<XLogError> for RecoverError {
+    fn from(e: XLogError) -> Self {
+        RecoverError::Log(e)
+    }
+}
+
+/// The head of a chunked catch-up transfer: per-client counts of the full
+/// history blocks split out of the state, plus the remaining volatile
+/// state (balances, xlog *tails*, queues, cursors) as `Astro1State` /
+/// `Astro2State` wire bytes whose xlogs hold only the entries past the
+/// last full block.
+///
+/// The head is the only part of the transfer that must match across
+/// `f+1` donors at once; the blocks it references certify independently
+/// (and monotonically across retry rounds) via
+/// `ReconfigMsg::SyncBlock`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncHead {
+    /// Full history blocks per client, ascending by client id; clients
+    /// with fewer than [`SYNC_BLOCK_ENTRIES`] settled entries are
+    /// omitted.
+    pub blocks: Vec<(ClientId, u64)>,
+    /// The volatile remainder: protocol state wire bytes with each xlog
+    /// listed in `blocks` truncated to its tail.
+    pub state_tail: Vec<u8>,
+}
+
+impl Wire for SyncHead {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.blocks.encode(buf);
+        self.state_tail.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SyncHead { blocks: Wire::decode(buf)?, state_tail: Wire::decode(buf)? })
+    }
+    fn encoded_len(&self) -> usize {
+        self.blocks.encoded_len() + self.state_tail.encoded_len()
+    }
+}
+
+/// One sealed history chunk in a chunked state transfer:
+/// `(client, block index, encoded entries)`.
+pub type SyncBlock = (ClientId, u64, Vec<u8>);
+
+/// Splits the full history blocks out of a ledger state, truncating each
+/// affected xlog to its tail in place. Returns the blocks as
+/// [`SyncBlock`]s in canonical (client, index) order; the per-client
+/// counts for the [`SyncHead`] are `block_counts(&blocks)`.
+pub fn split_history_blocks(ledger: &mut LedgerState) -> Vec<SyncBlock> {
+    let mut blocks = Vec::new();
+    for (client, entries) in &mut ledger.xlogs {
+        let full = entries.len() / SYNC_BLOCK_ENTRIES;
+        if full == 0 {
+            continue;
+        }
+        let tail = entries.split_off(full * SYNC_BLOCK_ENTRIES);
+        let history = std::mem::replace(entries, tail);
+        for (index, chunk) in history.chunks(SYNC_BLOCK_ENTRIES).enumerate() {
+            blocks.push((*client, index as u64, chunk.to_vec().to_wire_bytes()));
+        }
+    }
+    blocks
+}
+
+/// The per-client block counts of a `split_history_blocks` result.
+pub fn block_counts(blocks: &[(ClientId, u64, Vec<u8>)]) -> Vec<(ClientId, u64)> {
+    let mut counts: Vec<(ClientId, u64)> = Vec::new();
+    for (client, _, _) in blocks {
+        match counts.last_mut() {
+            Some((c, n)) if c == client => *n += 1,
+            _ => counts.push((*client, 1)),
+        }
+    }
+    counts
+}
+
+/// Reassembles a full ledger state from a head's tail-only xlogs and the
+/// certified blocks, prepending each client's `counts` blocks (fetched
+/// via `fetch`) in front of its tail.
+///
+/// # Errors
+///
+/// Fails if a block is missing, fails to decode, is not exactly
+/// [`SYNC_BLOCK_ENTRIES`] entries, or names a client the head has no
+/// xlog for — all symptoms of a forged or torn transfer; the caller
+/// discards and re-collects.
+pub fn merge_history_blocks(
+    ledger: &mut LedgerState,
+    counts: &[(ClientId, u64)],
+    mut fetch: impl FnMut(ClientId, u64) -> Option<Vec<u8>>,
+) -> Result<(), WireError> {
+    for &(client, count) in counts {
+        let mut history: Vec<Payment> =
+            Vec::with_capacity((count as usize).saturating_mul(SYNC_BLOCK_ENTRIES));
+        for index in 0..count {
+            let bytes =
+                fetch(client, index).ok_or(WireError::InvalidValue("missing history block"))?;
+            let chunk: Vec<Payment> = decode_exact(&bytes)?;
+            if chunk.len() != SYNC_BLOCK_ENTRIES {
+                return Err(WireError::InvalidValue("history block with wrong entry count"));
+            }
+            history.extend(chunk);
+        }
+        let Some((_, entries)) = ledger.xlogs.iter_mut().find(|(c, _)| *c == client) else {
+            return Err(WireError::InvalidValue("history block for unknown xlog"));
+        };
+        history.append(entries);
+        *entries = history;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use astro_types::wire::decode_exact;
 
     fn p(s: u64, n: u64, b: u64, x: u64) -> Payment {
         Payment::new(s, n, b, x)
@@ -467,6 +792,119 @@ mod tests {
         let bytes = state.to_wire_bytes();
         assert_eq!(bytes.len(), state.encoded_len());
         assert_eq!(decode_exact::<Astro2State>(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn checkpoint_record_wire_round_trips() {
+        let rec = CheckpointRecord {
+            client: ClientId(7),
+            balance: Amount(440),
+            base: 12,
+            entries: vec![p(7, 12, 1, 3), p(7, 13, 2, 4)],
+        };
+        let bytes = rec.to_wire_bytes();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        assert_eq!(decode_exact::<CheckpointRecord>(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn snapshot_residuals_wire_round_trip() {
+        let s1 = Astro1Snapshot {
+            sealed_segments: 3,
+            pending: vec![p(3, 1, 4, 9)],
+            next_tag: 5,
+            cursors: vec![(0, 2), (1, 7)],
+        };
+        let bytes = s1.to_wire_bytes();
+        assert_eq!(bytes.len(), s1.encoded_len());
+        assert_eq!(decode_exact::<Astro1Snapshot>(&bytes).unwrap(), s1);
+
+        let s2 = Astro2Snapshot {
+            sealed_segments: 1,
+            pending: vec![(p(9, 3, 1, 1), vec![vec![7, 8]])],
+            used_deps: vec![p(1, 0, 2, 5).id()],
+            stuck: vec![ClientId(8)],
+            certs: vec![(ClientId(2), vec![vec![0xab]])],
+            outbox: vec![(ReplicaId(1), vec![p(3, 0, 4, 2)])],
+            next_tag: 1,
+            cursors: vec![(2, 4)],
+        };
+        let bytes = s2.to_wire_bytes();
+        assert_eq!(bytes.len(), s2.encoded_len());
+        assert_eq!(decode_exact::<Astro2Snapshot>(&bytes).unwrap(), s2);
+    }
+
+    fn long_ledger(len: u64) -> LedgerState {
+        LedgerState {
+            initial_balance: Amount(1_000_000),
+            accounts: vec![(ClientId(1), Amount(500)), (ClientId(2), Amount(9))],
+            xlogs: vec![
+                (ClientId(1), (0..len).map(|s| p(1, s, 2, 1)).collect()),
+                (ClientId(2), vec![p(2, 0, 1, 1)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn history_blocks_split_and_merge_round_trip() {
+        let k = SYNC_BLOCK_ENTRIES as u64;
+        let full = long_ledger(2 * k + 5);
+        let mut split = full.clone();
+        let blocks = split_history_blocks(&mut split);
+        assert_eq!(blocks.len(), 2, "two full blocks split out");
+        assert_eq!(split.xlogs[0].1.len(), 5, "tail stays in place");
+        assert_eq!(split.xlogs[1].1.len(), 1, "short logs untouched");
+        let counts = block_counts(&blocks);
+        assert_eq!(counts, vec![(ClientId(1), 2)]);
+        let lookup: std::collections::HashMap<(ClientId, u64), Vec<u8>> =
+            blocks.into_iter().map(|(c, b, data)| ((c, b), data)).collect();
+        merge_history_blocks(&mut split, &counts, |c, b| lookup.get(&(c, b)).cloned()).unwrap();
+        assert_eq!(split, full, "split → merge is the identity");
+    }
+
+    #[test]
+    fn block_aligned_log_leaves_an_empty_tail() {
+        let k = SYNC_BLOCK_ENTRIES as u64;
+        let full = long_ledger(k);
+        let mut split = full.clone();
+        let blocks = split_history_blocks(&mut split);
+        assert_eq!(blocks.len(), 1);
+        assert!(split.xlogs[0].1.is_empty(), "exact multiple: empty tail, entry kept");
+        let counts = block_counts(&blocks);
+        let lookup: std::collections::HashMap<(ClientId, u64), Vec<u8>> =
+            blocks.into_iter().map(|(c, b, data)| ((c, b), data)).collect();
+        merge_history_blocks(&mut split, &counts, |c, b| lookup.get(&(c, b)).cloned()).unwrap();
+        assert_eq!(split, full);
+    }
+
+    #[test]
+    fn merge_rejects_missing_short_or_foreign_blocks() {
+        let k = SYNC_BLOCK_ENTRIES as u64;
+        let mut split = long_ledger(k + 1);
+        let blocks = split_history_blocks(&mut split);
+        let counts = block_counts(&blocks);
+        // Missing block.
+        assert!(merge_history_blocks(&mut split.clone(), &counts, |_, _| None).is_err());
+        // Wrong entry count.
+        let short = vec![p(1, 0, 2, 1)].to_wire_bytes();
+        assert!(
+            merge_history_blocks(&mut split.clone(), &counts, |_, _| Some(short.clone())).is_err()
+        );
+        // Count referencing a client with no xlog in the head.
+        let foreign = vec![(ClientId(77), 1u64)];
+        assert!(merge_history_blocks(&mut split.clone(), &foreign, |_, b| Some(
+            blocks[b as usize].2.clone()
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn sync_head_wire_round_trips() {
+        let head =
+            SyncHead { blocks: vec![(ClientId(1), 4), (ClientId(9), 1)], state_tail: vec![1, 2] };
+        let bytes = head.to_wire_bytes();
+        assert_eq!(bytes.len(), head.encoded_len());
+        assert_eq!(decode_exact::<SyncHead>(&bytes).unwrap(), head);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! [`DENSE_LIMIT`] fall back to a hash map, so the id space stays the
 //! full `u64` without unbounded memory.
 
-use crate::journal::LedgerState;
+use crate::journal::{CheckpointRecord, LedgerState, RecoverError};
 use crate::xlog::{XLog, XLogError};
 use astro_types::{Amount, ClientId, Payment, SeqNo};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Client ids below this index into the dense account table; ids at or
 /// above it live in the sparse fallback map. The dense table grows on
@@ -41,6 +41,11 @@ pub enum SettleOutcome {
 struct Account {
     balance: Option<Amount>,
     xlog: Option<XLog>,
+    /// Xlog entries already sealed into checkpoint segments (the
+    /// per-client checkpoint watermark). Entries below this index are
+    /// durable history; a snapshot delta only exports entries at or
+    /// above it.
+    ckpt: u64,
 }
 
 impl Account {
@@ -63,12 +68,22 @@ pub struct Ledger {
     sparse: HashMap<ClientId, Account>,
     /// Payments settled across all xlogs (maintained incrementally).
     settled: usize,
+    /// Accounts touched (balance or xlog) since their last checkpoint —
+    /// exactly what the next [`Ledger::seal_delta`] exports. Ordered so
+    /// the delta encoding is canonical.
+    dirty: BTreeSet<ClientId>,
 }
 
 impl Ledger {
     /// Creates a ledger where every client starts with `initial_balance`.
     pub fn new(initial_balance: Amount) -> Self {
-        Ledger { initial_balance, dense: Vec::new(), sparse: HashMap::new(), settled: 0 }
+        Ledger {
+            initial_balance,
+            dense: Vec::new(),
+            sparse: HashMap::new(),
+            settled: 0,
+            dirty: BTreeSet::new(),
+        }
     }
 
     #[inline]
@@ -137,6 +152,7 @@ impl Ledger {
         let new =
             balance.checked_add(amount).expect("balance overflow: total money supply exceeds u64");
         account.balance = Some(new);
+        self.dirty.insert(client);
     }
 
     /// Attempts to settle `payment` atomically: both approval criteria of
@@ -167,6 +183,7 @@ impl Ledger {
             .append(*payment)
             .expect("sequence checked above");
         self.settled += 1;
+        self.dirty.insert(payment.spender);
         if credit_beneficiary {
             self.credit(payment.beneficiary, payment.amount);
         }
@@ -177,11 +194,16 @@ impl Ledger {
     /// state transfer (Appendix A). Overwrites local state for the owner.
     pub fn install(&mut self, xlog: XLog, balance: Amount) {
         let new_len = xlog.len();
-        let account = self.account_mut(xlog.owner());
+        let owner = xlog.owner();
+        let account = self.account_mut(owner);
         let old_len = account.xlog.as_ref().map_or(0, XLog::len);
         account.balance = Some(balance);
         account.xlog = Some(xlog);
+        // The transferred log replaced whatever sealed prefix the local
+        // checkpoint segments covered: re-seal from scratch.
+        account.ckpt = 0;
         self.settled = self.settled - old_len + new_len;
+        self.dirty.insert(owner);
     }
 
     /// Audit: every xlog internally consistent, and the settled counter in
@@ -227,13 +249,143 @@ impl Ledger {
         let mut ledger = Ledger::new(state.initial_balance);
         for (client, balance) in &state.accounts {
             ledger.account_mut(*client).balance = Some(*balance);
+            ledger.dirty.insert(*client);
         }
         for (owner, entries) in &state.xlogs {
             let xlog = XLog::from_entries(*owner, entries.clone())?;
             ledger.settled += xlog.len();
             ledger.account_mut(*owner).xlog = Some(xlog);
+            ledger.dirty.insert(*owner);
         }
         Ok(ledger)
+    }
+
+    /// Accounts touched since their last checkpoint — what the next
+    /// [`Ledger::seal_delta`] will export.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Xlog entries already sealed into checkpoint segments, across all
+    /// accounts (observability for the incremental-snapshot metrics).
+    pub fn sealed_entries(&self) -> u64 {
+        let dense = self.dense.iter().map(|a| a.ckpt).sum::<u64>();
+        dense + self.sparse.values().map(|a| a.ckpt).sum::<u64>()
+    }
+
+    /// Seals the dirty-account delta: one [`CheckpointRecord`] per account
+    /// touched since its last checkpoint, in canonical (id-ascending)
+    /// order, each carrying the account's absolute balance and the xlog
+    /// entries above its watermark. Watermarks advance and the dirty set
+    /// clears — the caller owns making the records durable (and calling
+    /// [`Ledger::rebaseline`] if it fails to).
+    pub fn seal_delta(&mut self) -> Vec<CheckpointRecord> {
+        let initial = self.initial_balance;
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut records = Vec::with_capacity(dirty.len());
+        for client in dirty {
+            let account = self.account_mut(client);
+            let balance = account.balance.unwrap_or(initial);
+            let base = account.ckpt;
+            let entries: Vec<Payment> = account
+                .xlog
+                .as_ref()
+                .map(|x| x.iter().skip(base as usize).copied().collect())
+                .unwrap_or_default();
+            account.ckpt = base + entries.len() as u64;
+            records.push(CheckpointRecord { client, balance, base, entries });
+        }
+        records
+    }
+
+    /// Replays one recovered checkpoint record: the balance is absolute
+    /// (last-writer-wins across segments) and the entries must extend the
+    /// account's xlog exactly at `base` — except a `base == 0` record,
+    /// which *replaces* the account wholesale. Re-baselined seals (after
+    /// an install failure or a catch-up import) export full history from
+    /// `base == 0`, so a later segment can lawfully rewrite what earlier
+    /// segments built; xlogs only ever grow, so the rewrite is always a
+    /// superset of what it replaces.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Discontinuity`] if a non-zero `base` does not meet
+    /// the xlog (a segment is missing or reordered), [`RecoverError::Log`]
+    /// if the entries violate the owner/sequence invariants.
+    pub fn apply_checkpoint(&mut self, record: &CheckpointRecord) -> Result<(), RecoverError> {
+        let have = self.account_mut(record.client).xlog.as_ref().map_or(0, XLog::len) as u64;
+        if record.base == 0 && have > 0 {
+            let xlog = XLog::from_entries(record.client, record.entries.clone())?;
+            let new_len = xlog.len();
+            let account = self.account_mut(record.client);
+            account.xlog = Some(xlog);
+            account.balance = Some(record.balance);
+            account.ckpt = new_len as u64;
+            self.settled = self.settled - have as usize + new_len;
+            return Ok(());
+        }
+        let account = self.account_mut(record.client);
+        if record.base != have {
+            return Err(RecoverError::Discontinuity {
+                client: record.client,
+                expected: have,
+                got: record.base,
+            });
+        }
+        if !record.entries.is_empty() {
+            let xlog = account.xlog.get_or_insert_with(|| XLog::new(record.client));
+            for entry in &record.entries {
+                xlog.append(*entry)?;
+            }
+        }
+        account.balance = Some(record.balance);
+        account.ckpt = record.base + record.entries.len() as u64;
+        self.settled += record.entries.len();
+        Ok(())
+    }
+
+    /// Reconstructs a ledger from recovered checkpoint segments (each a
+    /// list of encoded [`CheckpointRecord`]s, in seal order). The result
+    /// is fully sealed: nothing is dirty until new effects arrive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ledger::apply_checkpoint`] failures, or
+    /// [`RecoverError::Decode`] on undecodable records.
+    pub fn from_checkpoints(
+        initial_balance: Amount,
+        segments: &[Vec<Vec<u8>>],
+    ) -> Result<Ledger, RecoverError> {
+        use astro_types::wire::decode_exact;
+        let mut ledger = Ledger::new(initial_balance);
+        for segment in segments {
+            for bytes in segment {
+                let record =
+                    decode_exact::<CheckpointRecord>(bytes).map_err(|_| RecoverError::Decode)?;
+                ledger.apply_checkpoint(&record)?;
+            }
+        }
+        Ok(ledger)
+    }
+
+    /// Invalidates all checkpoint watermarks: every non-vacant account
+    /// becomes dirty with nothing sealed, so the next [`Ledger::seal_delta`]
+    /// exports the full state from segment zero. Called when a snapshot
+    /// install fails (the sealed segment may not have survived) or after
+    /// a catch-up install replaced the ledger wholesale.
+    pub fn rebaseline(&mut self) {
+        for (i, account) in self.dense.iter_mut().enumerate() {
+            if !account.is_vacant() {
+                account.ckpt = 0;
+                self.dirty.insert(ClientId(i as u64));
+            }
+        }
+        for (client, account) in &mut self.sparse {
+            if !account.is_vacant() {
+                account.ckpt = 0;
+                self.dirty.insert(*client);
+            }
+        }
     }
 }
 
@@ -391,6 +543,138 @@ mod tests {
         let a = build(&[5, DENSE_LIMIT + 9, 1, DENSE_LIMIT + 2, 3]);
         let b = build(&[DENSE_LIMIT + 2, 3, 5, 1, DENSE_LIMIT + 9]);
         assert_eq!(a.export().to_wire_bytes(), b.export().to_wire_bytes());
+    }
+
+    #[test]
+    fn seal_delta_exports_only_dirty_accounts() {
+        let mut l = ledger();
+        for seq in 0..3u64 {
+            assert_eq!(
+                l.settle(&Payment::new(1u64, seq, 2u64, 10u64), true),
+                SettleOutcome::Applied
+            );
+        }
+        assert_eq!(l.dirty_len(), 2, "spender and beneficiary");
+        let first = l.seal_delta();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].client, ClientId(1));
+        assert_eq!(first[0].base, 0);
+        assert_eq!(first[0].entries.len(), 3);
+        assert_eq!(first[0].balance, Amount(70));
+        assert_eq!(first[1].client, ClientId(2));
+        assert!(first[1].entries.is_empty(), "beneficiary delta is balance-only");
+        assert_eq!(l.dirty_len(), 0);
+        assert_eq!(l.sealed_entries(), 3);
+        // Nothing dirty: the next delta is empty.
+        assert!(l.seal_delta().is_empty());
+        // One more settle dirties exactly the touched accounts, and the
+        // xlog delta starts at the watermark.
+        assert_eq!(l.settle(&Payment::new(1u64, 3u64, 3u64, 5u64), true), SettleOutcome::Applied);
+        let second = l.seal_delta();
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].client, ClientId(1));
+        assert_eq!(second[0].base, 3, "delta starts above the sealed prefix");
+        assert_eq!(second[0].entries.len(), 1);
+        assert_eq!(second[1].client, ClientId(3));
+    }
+
+    #[test]
+    fn checkpoints_rebuild_the_exact_ledger() {
+        let mut l = ledger();
+        let mut segments: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut seqs = [0u64; 4];
+        for round in 0..3 {
+            for i in 0..5u64 {
+                let s = ((i + round) % 4) as usize;
+                let p = Payment::new(s as u64, seqs[s], (i + 1) % 4, 2u64);
+                if l.settle(&p, true) == SettleOutcome::Applied {
+                    seqs[s] += 1;
+                }
+            }
+            segments.push(l.seal_delta().iter().map(Wire::to_wire_bytes).collect());
+        }
+        let recovered = Ledger::from_checkpoints(Amount(100), &segments).unwrap();
+        assert_eq!(recovered.export(), l.export(), "segment replay rebuilds the state");
+        assert_eq!(recovered.total_settled(), l.total_settled());
+        assert_eq!(recovered.dirty_len(), 0, "recovered-sealed state is clean");
+        assert!(recovered.audit());
+    }
+
+    #[test]
+    fn apply_checkpoint_rejects_discontinuity() {
+        let mut l = ledger();
+        assert_eq!(l.settle(&Payment::new(1u64, 0u64, 2u64, 1u64), true), SettleOutcome::Applied);
+        let records = l.seal_delta();
+        let mut fresh = Ledger::new(Amount(100));
+        // Skipping the first segment breaks the chain.
+        let gap = CheckpointRecord {
+            client: ClientId(1),
+            balance: Amount(50),
+            base: 7,
+            entries: vec![Payment::new(1u64, 7u64, 2u64, 1u64)],
+        };
+        assert!(matches!(
+            fresh.apply_checkpoint(&gap),
+            Err(RecoverError::Discontinuity { expected: 0, got: 7, .. })
+        ));
+        // In order it applies.
+        for r in &records {
+            fresh.apply_checkpoint(r).unwrap();
+        }
+        assert_eq!(fresh.export(), l.export());
+    }
+
+    #[test]
+    fn rebaseline_marks_everything_dirty_again() {
+        let mut l = ledger();
+        assert_eq!(l.settle(&Payment::new(1u64, 0u64, 2u64, 10u64), true), SettleOutcome::Applied);
+        l.credit(ClientId(DENSE_LIMIT + 5), Amount(1));
+        let sealed = l.seal_delta();
+        assert_eq!(sealed.len(), 3);
+        assert_eq!(l.dirty_len(), 0);
+        l.rebaseline();
+        assert_eq!(l.dirty_len(), 3, "all non-vacant accounts dirty again");
+        let resealed = l.seal_delta();
+        assert_eq!(resealed.len(), 3);
+        assert_eq!(resealed[0].base, 0, "watermarks reset: full state from segment zero");
+        assert_eq!(resealed[0].entries.len(), 1);
+        // Rebuilding from the re-sealed full delta matches.
+        let bytes: Vec<Vec<u8>> = resealed.iter().map(Wire::to_wire_bytes).collect();
+        let recovered = Ledger::from_checkpoints(Amount(100), &[bytes]).unwrap();
+        assert_eq!(recovered.export(), l.export());
+    }
+
+    #[test]
+    fn base_zero_checkpoint_replaces_a_shorter_xlog() {
+        // A rebaselined seal (post-catch-up or after a failed install)
+        // re-exports every account from base 0. Applied over a directory
+        // whose earlier segment already materialized a shorter prefix,
+        // it must *replace* the account — xlogs only grow, so the
+        // rewrite is a superset of what it overwrites.
+        let mut l = ledger();
+        assert_eq!(l.settle(&Payment::new(1u64, 0u64, 2u64, 10u64), true), SettleOutcome::Applied);
+        let first = l.seal_delta();
+        assert_eq!(l.settle(&Payment::new(1u64, 1u64, 2u64, 5u64), true), SettleOutcome::Applied);
+        l.rebaseline();
+        let full = l.seal_delta();
+        assert_eq!(full[0].base, 0, "rebaselined seal restarts at zero");
+        assert_eq!(full[0].entries.len(), 2);
+
+        let mut recovered = Ledger::new(Amount(100));
+        for r in first.iter().chain(&full) {
+            recovered.apply_checkpoint(r).unwrap();
+        }
+        assert_eq!(recovered.export(), l.export(), "replacement supersedes the old prefix");
+        assert_eq!(recovered.total_settled(), l.total_settled());
+        assert!(recovered.audit());
+
+        // A base-0 record over a *fresh* account still takes the append
+        // path — both entry points agree.
+        let mut fresh = Ledger::new(Amount(100));
+        for r in &full {
+            fresh.apply_checkpoint(r).unwrap();
+        }
+        assert_eq!(fresh.export(), l.export());
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct CoreObs {
     /// `core.r{i}.sync_rejected` — responses the catch-up collector has
     /// rejected (non-members, self, stale floors).
     pub sync_rejected: Gauge,
+    /// `core.r{i}.sync_blocks_certified` — history blocks certified so
+    /// far in the current catch-up session (monotonic within a session;
+    /// the chunked-transfer progress indicator).
+    pub sync_blocks_certified: Gauge,
+    /// `core.r{i}.sync_refused_oversize` — catch-up requests this donor
+    /// refused because the volatile head exceeded the wire-safe bound
+    /// (the typed-error path that replaced the `put_frame` panic).
+    pub sync_refused_oversize: Counter,
     /// `core.r{i}.cert_cache_hits` — dependency-certificate cache hits
     /// (Astro II; sampled at flush).
     pub cert_cache_hits: Gauge,
@@ -68,6 +76,8 @@ impl CoreObs {
             parked_depth: registry.gauge(&name("parked_depth")),
             sync_retries: registry.counter(&name("sync_retries")),
             sync_rejected: registry.gauge(&name("sync_rejected")),
+            sync_blocks_certified: registry.gauge(&name("sync_blocks_certified")),
+            sync_refused_oversize: registry.counter(&name("sync_refused_oversize")),
             cert_cache_hits: registry.gauge(&name("cert_cache_hits")),
             cert_cache_misses: registry.gauge(&name("cert_cache_misses")),
             pending_depth: registry.gauge(&name("pending_depth")),

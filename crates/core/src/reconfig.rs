@@ -149,15 +149,32 @@ pub enum ReconfigMsg<S> {
         /// requester's own collector use it as a freshness floor.
         settled: u64,
     },
-    /// A peer serves its canonical settlement state in reply to a
-    /// [`ReconfigMsg::SyncRequest`].
+    /// A peer serves the *head* of its canonical settlement state in
+    /// reply to a [`ReconfigMsg::SyncRequest`]: `crate::journal::SyncHead`
+    /// wire bytes (per-client history-block counts plus the volatile
+    /// state remainder), kept opaque so the message is shared by both
+    /// protocols. The history blocks the head references travel as
+    /// [`ReconfigMsg::SyncBlock`]s alongside.
     SyncState {
         /// The responder's settled-payment count at capture time.
         settled: u64,
-        /// The canonical snapshot encoding (`Astro1State` /
-        /// `Astro2State` wire bytes, see `crate::journal`), kept opaque
-        /// so the message is shared by both protocols.
+        /// The canonical head encoding.
         state: Vec<u8>,
+    },
+    /// One full history block of the chunked catch-up transfer: entries
+    /// `[block·K, (block+1)·K)` of `client`'s xlog, `K =`
+    /// [`crate::journal::SYNC_BLOCK_ENTRIES`]. Blocks are content-stable
+    /// across correct donors (per-sender log prefix consistency), so the
+    /// requester certifies each at `f+1` byte-identical copies —
+    /// accumulated across retry rounds, which is what lets catch-up
+    /// converge while the donors keep settling.
+    SyncBlock {
+        /// The xlog owner.
+        client: ClientId,
+        /// The block index within the owner's xlog.
+        block: u64,
+        /// The encoded entries (`Vec<Payment>` wire bytes).
+        data: Vec<u8>,
     },
 }
 
@@ -184,6 +201,12 @@ impl<S: Wire> Wire for ReconfigMsg<S> {
                 settled.encode(buf);
                 state.encode(buf);
             }
+            ReconfigMsg::SyncBlock { client, block, data } => {
+                buf.push(5);
+                client.encode(buf);
+                block.encode(buf);
+                data.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -198,6 +221,11 @@ impl<S: Wire> Wire for ReconfigMsg<S> {
             4 => {
                 Ok(ReconfigMsg::SyncState { settled: u64::decode(buf)?, state: Wire::decode(buf)? })
             }
+            5 => Ok(ReconfigMsg::SyncBlock {
+                client: ClientId::decode(buf)?,
+                block: u64::decode(buf)?,
+                data: Wire::decode(buf)?,
+            }),
             _ => Err(WireError::InvalidValue("reconfig message tag")),
         }
     }
@@ -211,6 +239,9 @@ impl<S: Wire> Wire for ReconfigMsg<S> {
             ReconfigMsg::SyncRequest { settled } => settled.encoded_len(),
             ReconfigMsg::SyncState { settled, state } => {
                 settled.encoded_len() + state.encoded_len()
+            }
+            ReconfigMsg::SyncBlock { client, block, data } => {
+                client.encoded_len() + block.encoded_len() + data.encoded_len()
             }
         }
     }
@@ -237,6 +268,33 @@ impl core::fmt::Display for SyncError {
 }
 
 impl std::error::Error for SyncError {}
+
+/// Why a donor refused to serve a catch-up response — the typed
+/// alternative to panicking in the framing layer on oversized payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncServeError {
+    /// The volatile head of the state exceeds
+    /// [`crate::journal::SYNC_HEAD_MAX_BYTES`]; serving it would risk the
+    /// wire layer's `MAX_FRAME_LEN` assertion. History is already
+    /// chunked, so this only triggers on a pathologically large working
+    /// set (queues/balances), and the donor declines instead of crashing.
+    HeadTooLarge {
+        /// The head's encoded size.
+        bytes: usize,
+    },
+}
+
+impl core::fmt::Display for SyncServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SyncServeError::HeadTooLarge { bytes } => {
+                write!(f, "sync head of {bytes} bytes exceeds the wire-safe bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncServeError {}
 
 /// The requester side of the catch-up state transfer: collects
 /// [`ReconfigMsg::SyncState`] responses and certifies one once `f+1`
@@ -318,6 +376,118 @@ impl CatchUp {
     /// observability for the adversarial tests.
     pub fn rejected(&self) -> usize {
         self.rejected
+    }
+}
+
+/// Per-block vote state: candidate bytes by digest, plus each sender's
+/// latest vote.
+#[derive(Debug, Default)]
+struct BlockSlot {
+    candidates: HashMap<[u8; 32], (Vec<u8>, HashSet<ReplicaId>)>,
+    by_sender: HashMap<ReplicaId, [u8; 32]>,
+}
+
+/// The requester side of the chunked history transfer: collects
+/// [`ReconfigMsg::SyncBlock`]s and certifies each `(client, block)` once
+/// `f+1` group members served byte-identical copies.
+///
+/// Unlike the head collector ([`CatchUp`]), certified blocks are **kept
+/// across retry rounds**: a full block of a per-sender log has a unique
+/// honest version (log prefix consistency), so once certified it never
+/// needs re-collection — certification progress is monotonic even while
+/// the donors keep settling, which is what makes catch-up converge
+/// without a quiet moment.
+#[derive(Debug)]
+pub struct BlockVotes {
+    me: ReplicaId,
+    members: Vec<ReplicaId>,
+    small_quorum: usize,
+    open: HashMap<(ClientId, u64), BlockSlot>,
+    certified: HashMap<(ClientId, u64), Vec<u8>>,
+    rejected: usize,
+}
+
+impl BlockVotes {
+    /// A collector for replica `me` of `group`.
+    pub fn new(group: &Group, me: ReplicaId) -> Self {
+        BlockVotes {
+            me,
+            members: group.members().to_vec(),
+            small_quorum: group.small_quorum(),
+            open: HashMap::new(),
+            certified: HashMap::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Offers one block copy. Returns true if this vote certified the
+    /// block (reaching `f+1` byte-identical copies); an already-certified
+    /// block absorbs further copies silently.
+    pub fn offer(&mut self, from: ReplicaId, client: ClientId, block: u64, data: Vec<u8>) -> bool {
+        if from == self.me || !self.members.contains(&from) {
+            self.rejected += 1;
+            return false;
+        }
+        let key = (client, block);
+        if self.certified.contains_key(&key) {
+            return false;
+        }
+        let mut h = astro_crypto::sha256::Sha256::new();
+        h.update(b"astro-sync-block-v1");
+        h.update(&client.0.to_be_bytes());
+        h.update(&block.to_be_bytes());
+        h.update(&data);
+        let digest = h.finalize();
+        let slot = self.open.entry(key).or_default();
+        if let Some(old) = slot.by_sender.insert(from, digest) {
+            if old != digest {
+                if let Some((_, senders)) = slot.candidates.get_mut(&old) {
+                    senders.remove(&from);
+                    if senders.is_empty() {
+                        slot.candidates.remove(&old);
+                    }
+                }
+            }
+        }
+        let entry = slot.candidates.entry(digest).or_insert_with(|| (data, HashSet::new()));
+        entry.1.insert(from);
+        if entry.1.len() >= self.small_quorum {
+            let (data, _) = slot.candidates.remove(&digest).expect("just inserted");
+            self.open.remove(&key);
+            self.certified.insert(key, data);
+            return true;
+        }
+        false
+    }
+
+    /// The certified copy of `(client, block)`, if any.
+    pub fn certified(&self, client: ClientId, block: u64) -> Option<&Vec<u8>> {
+        self.certified.get(&(client, block))
+    }
+
+    /// True if every block in `counts` (per-client block counts from a
+    /// certified head) is certified.
+    pub fn has_all(&self, counts: &[(ClientId, u64)]) -> bool {
+        counts.iter().all(|&(client, n)| (0..n).all(|b| self.certified.contains_key(&(client, b))))
+    }
+
+    /// Number of certified blocks so far (observability / progress).
+    pub fn certified_len(&self) -> usize {
+        self.certified.len()
+    }
+
+    /// Offers rejected so far (self, non-members) — observability for
+    /// the adversarial tests.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Discards everything, certified blocks included — only for the
+    /// invalid-transfer path (a certified head + blocks combination that
+    /// failed structural validation cannot be trusted in any part).
+    pub fn clear(&mut self) {
+        self.open.clear();
+        self.certified.clear();
     }
 }
 
@@ -432,9 +602,9 @@ impl<A: Authenticator> ReconfigReplica<A> {
             }
             // Catch-up traffic is handled by the payment replicas (the
             // member set is unchanged, no view transition runs).
-            ReconfigMsg::SyncRequest { .. } | ReconfigMsg::SyncState { .. } => {
-                ReconfigStep::empty()
-            }
+            ReconfigMsg::SyncRequest { .. }
+            | ReconfigMsg::SyncState { .. }
+            | ReconfigMsg::SyncBlock { .. } => ReconfigStep::empty(),
         }
     }
 
@@ -792,11 +962,56 @@ mod tests {
     }
 
     #[test]
+    fn block_votes_certify_at_f_plus_1_and_stay_certified() {
+        let group = Group::of_size(4).unwrap();
+        let mut bv = BlockVotes::new(&group, ReplicaId(3));
+        assert!(!bv.offer(ReplicaId(0), ClientId(1), 0, vec![7, 7]));
+        assert!(bv.offer(ReplicaId(1), ClientId(1), 0, vec![7, 7]), "f+1 = 2 certifies");
+        assert_eq!(bv.certified(ClientId(1), 0), Some(&vec![7, 7]));
+        // A later conflicting copy cannot displace a certified block.
+        assert!(!bv.offer(ReplicaId(2), ClientId(1), 0, vec![9]));
+        assert_eq!(bv.certified(ClientId(1), 0), Some(&vec![7, 7]));
+        assert!(bv.has_all(&[(ClientId(1), 1)]));
+        assert!(!bv.has_all(&[(ClientId(1), 2)]), "second block still missing");
+    }
+
+    #[test]
+    fn block_votes_count_each_sender_once_and_reject_outsiders() {
+        let group = Group::of_size(4).unwrap();
+        let mut bv = BlockVotes::new(&group, ReplicaId(3));
+        assert!(!bv.offer(ReplicaId(3), ClientId(1), 0, vec![1]), "own copies do not count");
+        assert!(!bv.offer(ReplicaId(9), ClientId(1), 0, vec![1]), "non-members do not count");
+        assert_eq!(bv.rejected(), 2);
+        // One Byzantine sender repeating itself never certifies.
+        assert!(!bv.offer(ReplicaId(0), ClientId(1), 0, vec![1]));
+        assert!(!bv.offer(ReplicaId(0), ClientId(1), 0, vec![1]));
+        // Its switch of vote retracts the old copy.
+        assert!(!bv.offer(ReplicaId(0), ClientId(1), 0, vec![2]));
+        assert!(!bv.offer(ReplicaId(1), ClientId(1), 0, vec![1]));
+        assert!(bv.offer(ReplicaId(2), ClientId(1), 0, vec![1]), "two honest copies certify");
+    }
+
+    #[test]
+    fn block_votes_clear_discards_certified_blocks() {
+        let group = Group::of_size(4).unwrap();
+        let mut bv = BlockVotes::new(&group, ReplicaId(3));
+        assert!(
+            bv.offer(ReplicaId(0), ClientId(1), 0, vec![1])
+                || bv.offer(ReplicaId(1), ClientId(1), 0, vec![1])
+        );
+        assert_eq!(bv.certified_len(), 1);
+        bv.clear();
+        assert_eq!(bv.certified_len(), 0);
+        assert!(bv.certified(ClientId(1), 0).is_none());
+    }
+
+    #[test]
     fn sync_messages_wire_round_trip() {
         use astro_types::wire::decode_exact;
         let msgs: Vec<ReconfigMsg<astro_types::auth::SimSig>> = vec![
             ReconfigMsg::SyncRequest { settled: 42 },
             ReconfigMsg::SyncState { settled: 43, state: vec![1, 2, 3, 4] },
+            ReconfigMsg::SyncBlock { client: ClientId(5), block: 2, data: vec![9, 9, 9] },
         ];
         for msg in msgs {
             let bytes = msg.to_wire_bytes();

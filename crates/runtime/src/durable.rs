@@ -23,7 +23,7 @@
 use crate::{Astro1Config, Astro2Config, Cluster, ClusterError, RuntimeNode};
 use astro_core::astro1::AstroOneReplica;
 use astro_core::astro2::AstroTwoReplica;
-use astro_core::journal::{Astro1State, Astro2State};
+use astro_core::journal::{Astro1Snapshot, Astro2Snapshot};
 use astro_core::{ReplicaStep, SubmitError};
 use astro_net::{TcpEndpoint, TcpTransport, Transport};
 use astro_store::{SharedStorage, Storage, StoreConfig};
@@ -55,8 +55,25 @@ pub trait PersistentNode: RuntimeNode {
     /// Attaches the journal all subsequent effects are recorded to.
     fn set_journal(&mut self, journal: Box<dyn astro_core::journal::Journal>);
 
-    /// The wire-encoded snapshot of the node's durable state.
-    fn export_state_bytes(&self) -> Vec<u8>;
+    /// Seals the settle delta since the last checkpoint as encoded
+    /// checkpoint records (one per dirty account) and advances the
+    /// node's watermarks. Empty when nothing settled since the last
+    /// seal. The wrapper writes the records as one immutable checkpoint
+    /// segment — snapshot IO is O(dirty accounts), not O(total settled).
+    fn seal_checkpoint_records(&mut self) -> Vec<Vec<u8>>;
+
+    /// The wire-encoded residual snapshot: the volatile state not covered
+    /// by the `sealed_segments` checkpoint segments sealed so far. Must
+    /// be captured at the same instant as
+    /// [`PersistentNode::seal_checkpoint_records`] (same step, no settles
+    /// in between).
+    fn residual_state_bytes(&self, sealed_segments: u64) -> Vec<u8>;
+
+    /// Forgets the checkpoint watermarks after a failed install: the
+    /// on-disk segment sequence stopped matching what the watermarks
+    /// assume, so the next seal must re-export everything from segment
+    /// zero.
+    fn rebaseline(&mut self);
 
     /// Prunes broadcast-layer state for delivered instances. Called right
     /// after a snapshot install: the snapshot holds those instances'
@@ -88,8 +105,16 @@ impl PersistentNode for AstroOneReplica {
         AstroOneReplica::set_journal(self, journal);
     }
 
-    fn export_state_bytes(&self) -> Vec<u8> {
-        self.export_state().to_wire_bytes()
+    fn seal_checkpoint_records(&mut self) -> Vec<Vec<u8>> {
+        AstroOneReplica::seal_checkpoint(self)
+    }
+
+    fn residual_state_bytes(&self, sealed_segments: u64) -> Vec<u8> {
+        self.residual_state(sealed_segments).to_wire_bytes()
+    }
+
+    fn rebaseline(&mut self) {
+        AstroOneReplica::rebaseline(self);
     }
 
     fn prune_delivered(&mut self) {
@@ -110,8 +135,16 @@ impl PersistentNode for AstroTwoReplica<SchnorrAuthenticator> {
         AstroTwoReplica::set_journal(self, journal);
     }
 
-    fn export_state_bytes(&self) -> Vec<u8> {
-        self.export_state().to_wire_bytes()
+    fn seal_checkpoint_records(&mut self) -> Vec<Vec<u8>> {
+        AstroTwoReplica::seal_checkpoint(self)
+    }
+
+    fn residual_state_bytes(&self, sealed_segments: u64) -> Vec<u8> {
+        self.residual_state(sealed_segments).to_wire_bytes()
+    }
+
+    fn rebaseline(&mut self) {
+        AstroTwoReplica::rebaseline(self);
     }
 
     fn prune_delivered(&mut self) {
@@ -128,23 +161,51 @@ impl PersistentNode for AstroTwoReplica<SchnorrAuthenticator> {
 }
 
 /// A replica wrapped with its storage: journals flow in via the node's
-/// journal hook; this wrapper drives the *snapshot policy* (export +
-/// atomic install + WAL truncation every
-/// [`StoreConfig::snapshot_every_settled`] settled payments) and the
+/// journal hook; this wrapper drives the *snapshot policy* every
+/// [`StoreConfig::snapshot_every_settled`] settled payments and the
 /// final group-commit flush on a clean stop.
+///
+/// v2 engine: at each threshold the node seals its dirty-account delta
+/// (a checkpoint segment) plus a small residual snapshot, and the store
+/// makes both durable **off this thread** ([`Storage::begin_install`]) —
+/// the settle path pays a group-commit fsync and a WAL rotation, never a
+/// full-state serialization. Results fold back in at later step
+/// boundaries: success prunes delivered BRB instances, failure
+/// re-baselines the watermarks so the next seal re-exports from segment
+/// zero.
 pub struct DurableNode<N: PersistentNode> {
     node: N,
     storage: SharedStorage,
     snapshot_every: usize,
     settled_since_snapshot: usize,
+    /// Checkpoint segments *confirmed durable* so far (the next segment's
+    /// index). Only advances when an install reports success — an
+    /// in-flight install's target waits in [`Self::pending_segments`].
+    segments: u64,
+    /// The segment count the in-flight install will confirm, if any.
+    pending_segments: Option<u64>,
 }
 
 impl<N: PersistentNode> DurableNode<N> {
     /// Wraps `node`, attaching `storage` as its journal.
-    pub fn new(mut node: N, storage: SharedStorage) -> Self {
+    pub fn new(node: N, storage: SharedStorage) -> Self {
+        Self::with_segments(node, storage, 0)
+    }
+
+    /// Wraps a node recovered from `segments` sealed checkpoint segments
+    /// (the residual snapshot's `sealed_segments`), attaching `storage`
+    /// as its journal.
+    pub fn with_segments(mut node: N, storage: SharedStorage, segments: u64) -> Self {
         let snapshot_every = storage.with(|s| s.config().snapshot_every_settled).max(1);
         node.set_journal(Box::new(storage.clone()));
-        DurableNode { node, storage, snapshot_every, settled_since_snapshot: 0 }
+        DurableNode {
+            node,
+            storage,
+            snapshot_every,
+            settled_since_snapshot: 0,
+            segments,
+            pending_segments: None,
+        }
     }
 
     /// The wrapped node.
@@ -158,29 +219,85 @@ impl<N: PersistentNode> DurableNode<N> {
         self.node.begin_catchup();
     }
 
+    /// Blocks until any in-flight snapshot install completes and folds
+    /// its outcome in (prune on success, re-baseline on failure).
+    pub fn drain_installs(&mut self) {
+        let result = self.storage.drain_install();
+        self.fold_install_result(result);
+    }
+
+    fn fold_install_result(&mut self, result: Option<std::io::Result<()>>) {
+        match result {
+            Some(Ok(())) => {
+                if let Some(confirmed) = self.pending_segments.take() {
+                    self.segments = confirmed;
+                }
+                // The snapshot now holds every delivered instance's
+                // effects: prune their BRB bookkeeping so broadcast-layer
+                // memory stays bounded (ROADMAP's WAL-aware GC item).
+                self.node.prune_delivered();
+            }
+            Some(Err(_)) => {
+                // The install guarantees an error left the previous
+                // snapshot chain intact (see `astro-store`), so `segments`
+                // stands — but the failed seal's delta is now above the
+                // node's watermarks without a durable segment holding it.
+                // Re-baseline: the next seal exports full history as a
+                // rewrite record set, which recovery applies over whatever
+                // older segments say. The recovery WAL still has every
+                // record (it is only deleted after a successful install);
+                // the store reports health out of band.
+                self.pending_segments = None;
+                self.node.rebaseline();
+            }
+            None => {}
+        }
+    }
+
     fn after_step(&mut self, settled: usize) {
         // Step boundary: the step's journal records reach the OS with one
         // write(2), so a kill between steps loses nothing (fsync stays
         // amortized by group commit).
         self.storage.flush_writes();
         self.settled_since_snapshot += settled;
+        // Fold in any install that completed off-thread since last step.
+        let polled = self.storage.poll_install();
+        self.fold_install_result(polled);
         if self.node.take_snapshot_request() {
-            // A catch-up install put state in memory that no journal
-            // replay can reproduce — snapshot now, not at the next
-            // settled-count threshold.
+            // A catch-up install replaced the ledger wholesale (state in
+            // memory no journal replay can reproduce): every account is
+            // dirty again, so the next seal is a full rewrite — and it
+            // must happen now, not at the next settled-count threshold.
             self.settled_since_snapshot = self.snapshot_every;
         }
-        if self.settled_since_snapshot >= self.snapshot_every {
+        if self.settled_since_snapshot >= self.snapshot_every && !self.storage.installing() {
+            // While an install is in flight the seal defers (the counter
+            // keeps the threshold) — sealing on top of an unconfirmed
+            // segment could reference an index that never becomes durable.
             self.settled_since_snapshot = 0;
-            let state = self.node.export_state_bytes();
-            // An install failure keeps the full WAL — recovery still
-            // works, only compaction is lost; the store reports health
-            // out of band.
-            if self.storage.install_snapshot(&state).is_ok() {
-                // The snapshot now holds every delivered instance's
-                // effects: prune their BRB bookkeeping so broadcast-layer
-                // memory stays bounded (ROADMAP's WAL-aware GC item).
-                self.node.prune_delivered();
+            let records = self.node.seal_checkpoint_records();
+            let segment = (!records.is_empty()).then_some((self.segments as u32, records));
+            let new_segments = self.segments + u64::from(segment.is_some());
+            let residual = self.node.residual_state_bytes(new_segments);
+            if self.storage.begin_install(segment, residual) {
+                if self.storage.installing() {
+                    // Async: the worker owns sealing + install; the result
+                    // folds in at a later step boundary.
+                    self.pending_segments = Some(new_segments);
+                } else if self.storage.healthy() {
+                    // Inline completion (memory backend).
+                    self.segments = new_segments;
+                    self.node.prune_delivered();
+                } else {
+                    // Inline failure (WAL already degraded, rotation
+                    // failed): nothing was sealed.
+                    self.node.rebaseline();
+                }
+            } else {
+                // Refused (unreachable: `installing()` was just checked on
+                // this thread) — but the seal above advanced the node's
+                // watermarks, so never drop its records silently.
+                self.node.rebaseline();
             }
         }
     }
@@ -224,7 +341,10 @@ impl<N: PersistentNode> RuntimeNode for DurableNode<N> {
     }
 
     fn stopping(&mut self) {
-        // Clean stop: everything journaled becomes durable now.
+        // Clean stop: a threshold snapshot still in flight completes (so
+        // it is never lost to process exit), then everything journaled
+        // becomes durable.
+        self.drain_installs();
         self.storage.sync();
     }
 
@@ -292,7 +412,7 @@ fn replica_dir(root: &Path, i: usize) -> PathBuf {
 }
 
 /// Opens replica `i`'s store and recovers an Astro I node from
-/// `snapshot + WAL`.
+/// `checkpoint segments + residual snapshot + WAL`.
 fn recover_astro1(
     root: &Path,
     i: usize,
@@ -302,25 +422,32 @@ fn recover_astro1(
 ) -> Result<DurableNode<AstroOneReplica>, ClusterError> {
     let (storage, recovered) = Storage::open(replica_dir(root, i), store_cfg.clone())?;
     let me = ReplicaId(i as u32);
-    let mut node = match &recovered.snapshot {
+    let (mut node, segments) = match &recovered.snapshot {
         Some(bytes) => {
-            let state: Astro1State =
+            let residual: Astro1Snapshot =
                 decode_exact(bytes).map_err(|_| ClusterError::Recovery("snapshot decode"))?;
-            AstroOneReplica::restore(me, layout, cfg, &state)
-                .map_err(|_| ClusterError::Recovery("snapshot xlog invariants"))?
+            let node = AstroOneReplica::restore_from_checkpoints(
+                me,
+                layout,
+                cfg,
+                &recovered.checkpoints,
+                &residual,
+            )
+            .map_err(|_| ClusterError::Recovery("checkpoint chain invariants"))?;
+            (node, residual.sealed_segments)
         }
-        None => AstroOneReplica::new(me, layout, cfg),
+        None => (AstroOneReplica::new(me, layout, cfg), 0),
     };
     for record in &recovered.records {
         node.replay(record);
     }
     node.finish_recovery();
-    Ok(DurableNode::new(node, SharedStorage::new(storage)))
+    Ok(DurableNode::with_segments(node, SharedStorage::new(storage), segments))
 }
 
 /// Opens replica `i`'s store and recovers an Astro II node from
-/// `snapshot + WAL`. `auth` must carry the same signing identity as the
-/// crashed incarnation.
+/// `checkpoint segments + residual snapshot + WAL`. `auth` must carry the
+/// same signing identity as the crashed incarnation.
 fn recover_astro2(
     root: &Path,
     i: usize,
@@ -330,20 +457,27 @@ fn recover_astro2(
     store_cfg: &StoreConfig,
 ) -> Result<DurableNode<AstroTwoReplica<SchnorrAuthenticator>>, ClusterError> {
     let (storage, recovered) = Storage::open(replica_dir(root, i), store_cfg.clone())?;
-    let mut node = match &recovered.snapshot {
+    let (mut node, segments) = match &recovered.snapshot {
         Some(bytes) => {
-            let state: Astro2State =
+            let residual: Astro2Snapshot =
                 decode_exact(bytes).map_err(|_| ClusterError::Recovery("snapshot decode"))?;
-            AstroTwoReplica::restore(auth, layout, cfg, &state)
-                .map_err(|_| ClusterError::Recovery("snapshot xlog invariants"))?
+            let node = AstroTwoReplica::restore_from_checkpoints(
+                auth,
+                layout,
+                cfg,
+                &recovered.checkpoints,
+                &residual,
+            )
+            .map_err(|_| ClusterError::Recovery("checkpoint chain invariants"))?;
+            (node, residual.sealed_segments)
         }
-        None => AstroTwoReplica::new(auth, layout, cfg),
+        None => (AstroTwoReplica::new(auth, layout, cfg), 0),
     };
     for record in &recovered.records {
         node.replay(record);
     }
     node.finish_recovery();
-    Ok(DurableNode::new(node, SharedStorage::new(storage)))
+    Ok(DurableNode::with_segments(node, SharedStorage::new(storage), segments))
 }
 
 /// The deterministic seed Astro II signing keys derive from in durable
@@ -822,8 +956,32 @@ mod tests {
                 route(&mut queue, to, step);
             }
         }
+        // Quiesce: installs run off-thread, so under a loaded machine the
+        // last seal may still be deferred behind an in-flight install.
+        // Fold whatever is in flight, settle one more threshold's worth
+        // (guaranteeing a fresh seal covering everything before it), and
+        // fold that install too — after which at most the post-seal tail
+        // of the extra round is still tracked.
+        for node in &mut nodes {
+            node.drain_installs();
+        }
+        for seq in 32..36u64 {
+            let step = RuntimeNode::submit(
+                &mut nodes[rep.0 as usize],
+                Payment::new(1u64, seq, 2u64, 1u64),
+            )
+            .unwrap();
+            route(&mut queue, rep, step);
+            while let Some((from, to, msg)) = queue.pop_front() {
+                let step = RuntimeNode::handle(&mut nodes[to.0 as usize], from, msg);
+                route(&mut queue, to, step);
+            }
+        }
+        for node in &mut nodes {
+            node.drain_installs();
+        }
         for (i, node) in nodes.iter().enumerate() {
-            assert_eq!(node.node().ledger().total_settled(), 32, "replica {i}");
+            assert_eq!(node.node().ledger().total_settled(), 36, "replica {i}");
             let tracked = node.node().tracked_instances();
             assert!(
                 tracked <= 4,

@@ -15,7 +15,8 @@ use astro_brb::{Envelope, InstanceId};
 use astro_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
 use astro_core::astro1::{Astro1Config, Astro1Msg, AstroOneReplica};
 use astro_core::astro2::{Astro2Config, Astro2Msg, AstroTwoReplica};
-use astro_core::reconfig::CatchUp;
+use astro_core::journal::{merge_history_blocks, SyncHead};
+use astro_core::reconfig::{BlockVotes, CatchUp};
 use astro_core::ReplicaStep;
 use astro_types::wire::{decode_exact, Wire};
 use astro_types::{ClientId, Group, MacAuthenticator, Payment, PaymentId, ReplicaId, ShardLayout};
@@ -196,19 +197,29 @@ pub struct ChaosReport {
 }
 
 /// What the shared catch-up loop needs from a payment replica — the
-/// serve/install surface both Astro protocols expose.
+/// chunked serve/install surface both Astro protocols expose.
 trait SyncableReplica {
     type Msg;
 
     /// Settled-payment count (the certification floor).
     fn settled(&self) -> u64;
 
-    /// The canonical sync state served to `requester`, wire-encoded.
-    fn serve(&self, requester: ReplicaId) -> Vec<u8>;
+    /// The chunked sync payload served to `requester`: wire-encoded head
+    /// plus the sealed history blocks it references. `None` when the
+    /// donor refuses to serve (oversized volatile head).
+    fn serve_chunks(&self, requester: ReplicaId) -> Option<(Vec<u8>, SyncBlockSet)>;
 
-    /// Decodes and installs a certified state; `None` on any rejection.
-    fn install(&mut self, bytes: &[u8]) -> Option<ReplicaStep<Self::Msg>>;
+    /// Reassembles a certified head and its certified blocks into a full
+    /// state and installs it; `None` on any rejection.
+    fn install_chunked(
+        &mut self,
+        head: &[u8],
+        blocks: &BlockVotes,
+    ) -> Option<ReplicaStep<Self::Msg>>;
 }
+
+/// Sealed history blocks served alongside a sync head.
+type SyncBlockSet = Vec<(ClientId, u64, Vec<u8>)>;
 
 impl SyncableReplica for AstroOneReplica {
     type Msg = Astro1Msg;
@@ -217,12 +228,26 @@ impl SyncableReplica for AstroOneReplica {
         self.ledger().total_settled() as u64
     }
 
-    fn serve(&self, requester: ReplicaId) -> Vec<u8> {
-        self.sync_state(requester).to_wire_bytes()
+    fn serve_chunks(&self, requester: ReplicaId) -> Option<(Vec<u8>, SyncBlockSet)> {
+        let (head, blocks) = self.sync_chunks(requester).ok()?;
+        Some((head.to_wire_bytes(), blocks))
     }
 
-    fn install(&mut self, bytes: &[u8]) -> Option<ReplicaStep<Self::Msg>> {
-        self.install_sync(&decode_exact(bytes).ok()?).ok()
+    fn install_chunked(
+        &mut self,
+        head: &[u8],
+        blocks: &BlockVotes,
+    ) -> Option<ReplicaStep<Self::Msg>> {
+        let head: SyncHead = decode_exact(head).ok()?;
+        if !blocks.has_all(&head.blocks) {
+            return None;
+        }
+        let mut state: astro_core::journal::Astro1State = decode_exact(&head.state_tail).ok()?;
+        merge_history_blocks(&mut state.ledger, &head.blocks, |client, block| {
+            blocks.certified(client, block).cloned()
+        })
+        .ok()?;
+        self.install_sync(&state).ok()
     }
 }
 
@@ -233,20 +258,36 @@ impl SyncableReplica for AstroTwoReplica<MacAuthenticator> {
         self.ledger().total_settled() as u64
     }
 
-    fn serve(&self, requester: ReplicaId) -> Vec<u8> {
-        self.sync_state(requester).to_wire_bytes()
+    fn serve_chunks(&self, requester: ReplicaId) -> Option<(Vec<u8>, SyncBlockSet)> {
+        let (head, blocks) = self.sync_chunks(requester).ok()?;
+        Some((head.to_wire_bytes(), blocks))
     }
 
-    fn install(&mut self, bytes: &[u8]) -> Option<ReplicaStep<Self::Msg>> {
-        self.install_sync(&decode_exact(bytes).ok()?).ok()
+    fn install_chunked(
+        &mut self,
+        head: &[u8],
+        blocks: &BlockVotes,
+    ) -> Option<ReplicaStep<Self::Msg>> {
+        let head: SyncHead = decode_exact(head).ok()?;
+        if !blocks.has_all(&head.blocks) {
+            return None;
+        }
+        let mut state: astro_core::journal::Astro2State = decode_exact(&head.state_tail).ok()?;
+        merge_history_blocks(&mut state.ledger, &head.blocks, |client, block| {
+            blocks.certified(client, block).cloned()
+        })
+        .ok()?;
+        self.install_sync(&state).ok()
     }
 }
 
 /// The catch-up handshake in simulated form, shared by both Astro
-/// adapters: `donors` serve their canonical state, `f+1` byte-identical
-/// copies certify, the restarted replica installs. Returns the bytes
-/// transferred and the install step, or `None` when nothing certified
-/// or the install was rejected (the harness retries).
+/// adapters: `donors` serve a sync head plus sealed history blocks,
+/// the head certifies at `f+1` byte-identical copies, each block
+/// certifies independently at `f+1`, and the restarted replica
+/// reassembles and installs once every referenced block is certified.
+/// Returns the bytes transferred and the install step, or `None` when
+/// nothing certified or the install was rejected (the harness retries).
 fn run_catch_up<R: SyncableReplica>(
     replicas: &mut [R],
     group: &Group,
@@ -254,14 +295,26 @@ fn run_catch_up<R: SyncableReplica>(
     donors: &[ReplicaId],
 ) -> Option<(usize, ReplicaStep<R::Msg>)> {
     let mut votes = CatchUp::new(group, replica, replicas[replica.0 as usize].settled());
+    let mut blocks = BlockVotes::new(group, replica);
+    let mut certified_head: Option<Vec<u8>> = None;
     let mut bytes = 0usize;
     for &donor in donors {
-        let state = replicas[donor.0 as usize].serve(replica);
+        let Some((head, served_blocks)) = replicas[donor.0 as usize].serve_chunks(replica) else {
+            continue;
+        };
         let settled = replicas[donor.0 as usize].settled();
-        bytes += state.len();
-        if let Some(certified) = votes.offer(donor, settled, state) {
-            let step = replicas[replica.0 as usize].install(&certified)?;
-            return Some((bytes, step));
+        bytes += head.len();
+        if let Some(certified) = votes.offer(donor, settled, head) {
+            certified_head = Some(certified);
+        }
+        for (client, block, data) in served_blocks {
+            bytes += data.len();
+            blocks.offer(donor, client, block, data);
+        }
+        if let Some(head) = &certified_head {
+            if let Some(step) = replicas[replica.0 as usize].install_chunked(head, &blocks) {
+                return Some((bytes, step));
+            }
         }
     }
     None

@@ -1,0 +1,236 @@
+//! Sealed checkpoint segments: the settled-history half of a snapshot.
+//!
+//! A v1 snapshot rewrote the *entire* replica state on every install, so
+//! cumulative snapshot IO grew O(n²) in total settled payments. The v2
+//! engine splits the state: long-settled history is sealed once into
+//! numbered, immutable **checkpoint segments** under `ckpt/`, and the
+//! installed snapshot shrinks to the residual working set (protocol
+//! state) plus a count of the segments it builds on. History bytes are
+//! written exactly once — total snapshot IO becomes O(n).
+//!
+//! # Segment format
+//!
+//! ```text
+//! ┌──────────────┬─────────────┬────────────┬──────────────────────┐
+//! │ magic (8 B)  │ version (4) │ index (4)  │ records …            │
+//! │ "ASTROCKP"   │ 1 (LE)      │ u32 (LE)   │                      │
+//! └──────────────┴─────────────┴────────────┴──────────────────────┘
+//! record := len (u32 LE) ‖ crc32(payload) (u32 LE) ‖ payload
+//! ```
+//!
+//! Segments are sealed crash-atomically (write to `seg.tmp`, fsync,
+//! rename to `seg-NNNNNNNN.bin`, fsync the directory) and never modified
+//! afterwards. Recovery reads segments `0, 1, 2, …` in order and stops at
+//! the first gap, torn, or corrupt segment — the **longest valid segment
+//! prefix**. Which prefix is actually *referenced* is decided one layer
+//! up: the residual snapshot records how many segments it builds on, so
+//! an orphan segment sealed just before a crash (its snapshot never
+//! installed) is ignored rather than double-applied.
+
+use crate::wal::{crc32, MAX_RECORD_LEN};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Leading magic of every checkpoint segment file.
+pub const CKPT_MAGIC: [u8; 8] = *b"ASTROCKP";
+
+/// Current segment format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Subdirectory of a replica's storage directory holding the segments.
+pub const CKPT_DIR: &str = "ckpt";
+
+/// Staging file name; never read as a segment.
+pub const CKPT_TMP_FILE: &str = "seg.tmp";
+
+/// Segment header length: magic, version, index.
+pub const CKPT_HEADER_LEN: usize = 16;
+
+/// Path of segment `index` under `dir` (the replica storage directory).
+pub fn segment_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(CKPT_DIR).join(format!("seg-{index:08}.bin"))
+}
+
+fn ckpt_dir(dir: &Path) -> PathBuf {
+    dir.join(CKPT_DIR)
+}
+
+/// Seals `records` as segment `index`, crash-atomically: staging write +
+/// fsync, rename into place, directory fsync. Overwrites an existing
+/// segment at the same index (re-sealing after a failed install restarts
+/// the sequence; the residual snapshot's segment count is what makes a
+/// segment live).
+///
+/// # Errors
+///
+/// Propagates IO errors; on error no new segment is visible.
+pub fn seal_segment(dir: &Path, index: u32, records: &[Vec<u8>]) -> std::io::Result<()> {
+    let ckpt = ckpt_dir(dir);
+    std::fs::create_dir_all(&ckpt)?;
+    let tmp = ckpt.join(CKPT_TMP_FILE);
+    let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+    let mut buf =
+        Vec::with_capacity(CKPT_HEADER_LEN + records.iter().map(|r| 8 + r.len()).sum::<usize>());
+    buf.extend_from_slice(&CKPT_MAGIC);
+    buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&index.to_le_bytes());
+    for record in records {
+        debug_assert!(record.len() <= MAX_RECORD_LEN, "oversized checkpoint record");
+        buf.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(record).to_le_bytes());
+        buf.extend_from_slice(record);
+    }
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, segment_path(dir, index))?;
+    File::open(&ckpt)?.sync_all()
+}
+
+/// Validates one segment file's bytes in full. Unlike the WAL, a sealed
+/// segment admits no torn tail: any trailing garbage, truncated frame, or
+/// CRC mismatch invalidates the whole segment (it was written atomically,
+/// so damage means external corruption, not a crash).
+fn parse_segment(bytes: &[u8], index: u32) -> Option<Vec<Vec<u8>>> {
+    if bytes.len() < CKPT_HEADER_LEN
+        || bytes[..8] != CKPT_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) != CKPT_VERSION
+        || u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) != index
+    {
+        return None;
+    }
+    let mut records = Vec::new();
+    let mut offset = CKPT_HEADER_LEN;
+    while offset < bytes.len() {
+        if bytes.len() - offset < 8 {
+            return None;
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || bytes.len() - offset - 8 < len {
+            return None;
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        if crc32(payload) != crc {
+            return None;
+        }
+        records.push(payload.to_vec());
+        offset += 8 + len;
+    }
+    Some(records)
+}
+
+/// Reads the longest valid segment prefix under `dir`: segments
+/// `0, 1, 2, …` in order, stopping at the first missing or invalid one.
+/// A stray staging file from an interrupted seal is removed.
+///
+/// # Errors
+///
+/// Only genuine IO errors surface; damaged segments cut the prefix.
+pub fn read_segments(dir: &Path) -> std::io::Result<Vec<Vec<Vec<u8>>>> {
+    let ckpt = ckpt_dir(dir);
+    let _ = std::fs::remove_file(ckpt.join(CKPT_TMP_FILE));
+    let mut segments = Vec::new();
+    for index in 0u32.. {
+        let bytes = match std::fs::read(segment_path(dir, index)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+            Err(e) => return Err(e),
+        };
+        match parse_segment(&bytes, index) {
+            Some(records) => segments.push(records),
+            None => break,
+        }
+    }
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("astro-ckpt-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn seal_read_round_trips() {
+        let dir = tmp_dir("round-trip");
+        assert!(read_segments(&dir).unwrap().is_empty());
+        seal_segment(&dir, 0, &[b"alpha".to_vec(), b"beta".to_vec()]).unwrap();
+        seal_segment(&dir, 1, &[b"gamma".to_vec()]).unwrap();
+        let segments = read_segments(&dir).unwrap();
+        assert_eq!(
+            segments,
+            vec![vec![b"alpha".to_vec(), b"beta".to_vec()], vec![b"gamma".to_vec()]]
+        );
+    }
+
+    #[test]
+    fn gap_cuts_the_prefix() {
+        let dir = tmp_dir("gap");
+        seal_segment(&dir, 0, &[b"zero".to_vec()]).unwrap();
+        seal_segment(&dir, 2, &[b"two".to_vec()]).unwrap();
+        let segments = read_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1, "segment 1 missing: the prefix stops before 2");
+    }
+
+    #[test]
+    fn corrupt_segment_cuts_the_prefix() {
+        let dir = tmp_dir("corrupt");
+        seal_segment(&dir, 0, &[b"safe".to_vec()]).unwrap();
+        seal_segment(&dir, 1, &[b"damaged".to_vec()]).unwrap();
+        seal_segment(&dir, 2, &[b"after".to_vec()]).unwrap();
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 1;
+        std::fs::write(&path, bytes).unwrap();
+        let segments = read_segments(&dir).unwrap();
+        assert_eq!(segments, vec![vec![b"safe".to_vec()]]);
+    }
+
+    #[test]
+    fn torn_segment_is_wholly_invalid() {
+        let dir = tmp_dir("torn");
+        seal_segment(&dir, 0, &[b"first".to_vec(), b"second".to_vec()]).unwrap();
+        let path = segment_path(&dir, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop anywhere: a sealed segment has no valid shorter form.
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(read_segments(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_index_is_rejected() {
+        let dir = tmp_dir("wrong-index");
+        seal_segment(&dir, 0, &[b"zero".to_vec()]).unwrap();
+        // A segment whose embedded index disagrees with its file name
+        // (e.g. a misplaced copy) must not be accepted.
+        std::fs::copy(segment_path(&dir, 0), segment_path(&dir, 1)).unwrap();
+        assert_eq!(read_segments(&dir).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn resealing_overwrites() {
+        let dir = tmp_dir("reseal");
+        seal_segment(&dir, 0, &[b"old".to_vec()]).unwrap();
+        seal_segment(&dir, 0, &[b"new".to_vec()]).unwrap();
+        assert_eq!(read_segments(&dir).unwrap(), vec![vec![b"new".to_vec()]]);
+    }
+
+    #[test]
+    fn stray_staging_file_is_cleaned_up() {
+        let dir = tmp_dir("stray");
+        std::fs::create_dir_all(dir.join(CKPT_DIR)).unwrap();
+        std::fs::write(dir.join(CKPT_DIR).join(CKPT_TMP_FILE), b"half a segment").unwrap();
+        assert!(read_segments(&dir).unwrap().is_empty());
+        assert!(!dir.join(CKPT_DIR).join(CKPT_TMP_FILE).exists());
+    }
+}

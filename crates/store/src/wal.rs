@@ -190,6 +190,24 @@ impl WalWriter {
     /// Propagates IO errors; this is the one moment durability problems
     /// should abort startup rather than degrade.
     pub fn open_at(path: &Path, valid_len: u64, policy: GroupCommit) -> std::io::Result<WalWriter> {
+        Self::open_inner(path, valid_len, policy, true)
+    }
+
+    /// [`open_at`](Self::open_at) for the snapshot-install rotation: the
+    /// fresh log's header is written but **not** fsynced, keeping the
+    /// rotation cheap on the settle path. The install worker fsyncs the
+    /// file off-thread before the snapshot becomes authoritative; until
+    /// then a power loss recovers through the previous log.
+    pub fn open_rotated(path: &Path, policy: GroupCommit) -> std::io::Result<WalWriter> {
+        Self::open_inner(path, 0, policy, false)
+    }
+
+    fn open_inner(
+        path: &Path,
+        valid_len: u64,
+        policy: GroupCommit,
+        sync_header: bool,
+    ) -> std::io::Result<WalWriter> {
         // truncate(false): the valid prefix must survive; set_len below
         // trims exactly the invalid tail.
         let mut file =
@@ -209,7 +227,9 @@ impl WalWriter {
         } else {
             file.seek(SeekFrom::Start(valid_len))?;
         }
-        file.sync_all()?;
+        if sync_header {
+            file.sync_all()?;
+        }
         let len = if have_header { valid_len } else { WAL_HEADER_LEN };
         Ok(WalWriter {
             file,
@@ -325,6 +345,13 @@ impl WalWriter {
     /// True if the log holds no records.
     pub fn is_empty(&self) -> bool {
         self.len() <= WAL_HEADER_LEN
+    }
+
+    /// Consumes the writer, returning its file handle. Used by the
+    /// install rotation: the superseded log's fsync and `close(2)` both
+    /// happen on the worker thread, through this fd.
+    pub fn into_file(self) -> File {
+        self.file
     }
 
     /// `Err` with the first IO error if the writer went degraded.

@@ -411,6 +411,66 @@ fn concurrent_restarts_fall_back_to_local_state_and_stay_live() {
     }
 }
 
+#[test]
+fn chunked_catchup_completes_under_sustained_settlement_load() {
+    // The victim misses enough history to push client 1's xlog past one
+    // full sync block (512 entries), so its catch-up must certify a
+    // sealed `SyncBlock` alongside the head. The live quorum keeps
+    // settling new payments *while* the transfer runs: donor heads drift
+    // between serves, but certified blocks are immutable and survive
+    // head retries, so the transfer converges without a quiet moment and
+    // with zero client resubmissions.
+    let dir = tmp_dir("sustained-load");
+    let cfg = Astro1Config { batch_size: 4, initial_balance: Amount(4_000) };
+    let mut cluster = AstroOneCluster::start_tcp_durable_with_keychains(
+        demo_keychains(4),
+        dir,
+        cfg,
+        Duration::from_millis(1),
+        store_cfg(),
+    )
+    .unwrap();
+
+    for seq in 0..16u64 {
+        cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).unwrap();
+    }
+    assert_eq!(cluster.wait_settled(16, Duration::from_secs(20)).len(), 16);
+
+    // Downtime deep enough to seal one full history block at the donors.
+    cluster.kill_replica(3).unwrap();
+    for seq in 16..544u64 {
+        cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).unwrap();
+    }
+    assert!(
+        cluster.wait_settled_among(&[0, 1, 2], 544, Duration::from_secs(60)),
+        "live quorum settles the deep downtime wave"
+    );
+
+    // Restart and immediately keep the settlement stream running — the
+    // chunked handshake races live traffic the whole way.
+    cluster.restart_replica(3).expect("restart");
+    for seq in 544..608u64 {
+        cluster.submit(Payment::new(1u64, seq, 2u64, 1u64)).unwrap();
+    }
+
+    let all_ids: Vec<(u64, u64)> = (0..608u64).map(|seq| (1u64, seq)).collect();
+    for i in 0..4 {
+        assert!(
+            wait_for_payments(|| cluster.settled_at(i), &all_ids, Duration::from_secs(60)),
+            "replica {i}: every payment, downtime and live-load included, must settle"
+        );
+    }
+
+    let finals = cluster.shutdown();
+    let reference = balance_bytes(&finals[0].0);
+    for (i, (balances, count)) in finals.iter().enumerate() {
+        assert_eq!(*count, 608, "replica {i} must settle the full stream");
+        assert_eq!(balance_bytes(balances), reference, "replica {i} diverged");
+    }
+    assert_eq!(finals[0].0[&ClientId(1)], Amount(4_000 - 608));
+    assert_eq!(finals[0].0[&ClientId(2)], Amount(4_000 + 608));
+}
+
 // ---------------------------------------------------------------------------
 // Adversarial state transfer
 // ---------------------------------------------------------------------------
@@ -442,11 +502,15 @@ fn settled_cluster() -> (PaymentCluster<AstroOneReplica>, Astro1State) {
     (c, early)
 }
 
-/// A `SyncState` response as replica `from` would serve it.
+/// A `SyncState` (head) response as replica `from` would serve it. The
+/// settled history here is far below one block, so the head carries the
+/// whole state and no `SyncBlock` frames accompany it.
 fn response_from(c: &PaymentCluster<AstroOneReplica>, from: usize) -> Astro1Msg {
+    let (head, blocks) = c.node(from).sync_chunks(ReplicaId(3)).expect("head within bounds");
+    assert!(blocks.is_empty(), "short histories must not seal blocks");
     Astro1Msg::Sync(ReconfigMsg::SyncState {
         settled: c.node(from).ledger().total_settled() as u64,
-        state: c.node(from).sync_state(ReplicaId(3)).to_wire_bytes(),
+        state: head.to_wire_bytes(),
     })
 }
 
